@@ -1,0 +1,22 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rel_stdlib::SessionExt;
+use rel_bench::{programs, OrderWorkload};
+
+/// E9 — grouped aggregation under set semantics vs a native fold.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_aggregation");
+    group.sample_size(10);
+    for n in [200usize, 1000] {
+        let w = OrderWorkload::generate(n, 50, 3);
+        let session = rel_engine::Session::with_stdlib(w.db.clone());
+        group.bench_function(format!("rel_sum/orders{n}"), |b| {
+            b.iter(|| session.query(programs::REVENUE).unwrap())
+        });
+        group.bench_function(format!("native_fold/orders{n}"), |b| {
+            b.iter(|| w.native_revenue())
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

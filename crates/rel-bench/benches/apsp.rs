@@ -1,0 +1,22 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rel_graph::gen;
+
+/// E5 — all-pairs shortest paths: Rel (PFP + aggregation) vs native BFS.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_apsp");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        let g = gen::random_graph(n, 2.0, 7);
+        let db = gen::graph_database(&g);
+        let session = rel_graph::with_graph_lib(db);
+        group.bench_function(format!("rel_apsp2/n{n}"), |b| {
+            b.iter(|| session.query(rel_bench::programs::APSP).unwrap())
+        });
+        group.bench_function(format!("native_bfs/n{n}"), |b| {
+            b.iter(|| rel_graph::native::apsp(&g))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rel_stdlib::SessionExt;
+use rel_core::Database;
+
+/// E10 — GNF decomposition vs a wide record relation: the rejoin cost of
+/// §2's normalization (name+price lookup for every product).
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_gnf");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let mut wide_db = Database::new();
+        wide_db.set("ProductWide", rel_kg::wide_products(n));
+        let mut gnf_db = Database::new();
+        for (name, rel) in rel_kg::gnf_products(n) {
+            gnf_db.set(&name, rel);
+        }
+        let wide_s = rel_engine::Session::with_stdlib(wide_db);
+        let gnf_s = rel_engine::Session::with_stdlib(gnf_db);
+        group.bench_function(format!("wide_scan/n{n}"), |b| {
+            b.iter(|| wide_s.query("def output(p, nm, pr) : ProductWide(p, nm, pr)").unwrap())
+        });
+        group.bench_function(format!("gnf_rejoin/n{n}"), |b| {
+            b.iter(|| {
+                gnf_s
+                    .query("def output(p, nm, pr) : ProductName(p, nm) and ProductPrice(p, pr)")
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

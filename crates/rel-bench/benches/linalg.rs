@@ -1,0 +1,34 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rel_stdlib::SessionExt;
+use rel_bench::{dense_matrix, native_matmul, sparse_matrix};
+use rel_core::Database;
+
+/// E7 — MatrixMult on dense and sparse encodings (same Rel code) vs native.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_linalg");
+    group.sample_size(10);
+    for d in [8usize, 16] {
+        let mut db = Database::new();
+        dense_matrix("A", d, &mut db);
+        dense_matrix("B", d, &mut db);
+        let session = rel_engine::Session::with_stdlib(db.clone());
+        group.bench_function(format!("rel_dense/d{d}"), |b| {
+            b.iter(|| session.query(rel_bench::programs::MATMUL).unwrap())
+        });
+        let (a, bm) = (db.get("A").unwrap().clone(), db.get("B").unwrap().clone());
+        group.bench_function(format!("native_dense/d{d}"), |b| {
+            b.iter(|| native_matmul(&a, &bm))
+        });
+    }
+    // Sparse: same Rel code, different data shape (data independence).
+    let mut db = Database::new();
+    sparse_matrix("A", 32, 0.05, 5, &mut db);
+    sparse_matrix("B", 32, 0.05, 6, &mut db);
+    let session = rel_engine::Session::with_stdlib(db);
+    group.bench_function("rel_sparse/d32", |b| {
+        b.iter(|| session.query(rel_bench::programs::MATMUL).unwrap())
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

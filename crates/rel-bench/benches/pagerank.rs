@@ -1,0 +1,24 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rel_graph::{gen, native};
+
+/// E6 — PageRank: the paper's stop-condition program vs a native loop.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pagerank");
+    group.sample_size(10);
+    for n in [16usize, 48] {
+        let g = gen::random_graph(n, 3.0, 11);
+        let mut db = gen::graph_database(&g);
+        db.set("M", gen::transition_matrix_relation(&g));
+        let session = rel_graph::with_graph_lib(db);
+        let m = native::transition_matrix(&g);
+        group.bench_function(format!("rel_pagerank/n{n}"), |b| {
+            b.iter(|| session.query(rel_bench::programs::PAGERANK).unwrap())
+        });
+        group.bench_function(format!("native_iterate/n{n}"), |b| {
+            b.iter(|| native::pagerank_iterate(g.n, &m, 0.005, 10_000))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

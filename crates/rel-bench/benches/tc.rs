@@ -1,0 +1,26 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rel_bench::programs;
+use rel_graph::gen;
+
+/// E4 — transitive closure: semi-naive vs naive vs native BFS.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_tc");
+    group.sample_size(10);
+    for n in [50usize, 150] {
+        let g = gen::random_graph(n, 3.0, 42);
+        let db = gen::graph_database(&g);
+        let module = rel_sema::compile(programs::TC).unwrap();
+        group.bench_function(format!("semi_naive/n{n}"), |b| {
+            b.iter(|| rel_engine::materialize(&module, &db).unwrap())
+        });
+        group.bench_function(format!("naive/n{n}"), |b| {
+            b.iter(|| rel_engine::materialize_naive(&module, &db).unwrap())
+        });
+        group.bench_function(format!("native_bfs/n{n}"), |b| {
+            b.iter(|| rel_graph::native::transitive_closure(&g))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rel_engine::leapfrog::{triangle_count_hash, triangle_count_lftj};
+use rel_graph::gen;
+
+/// E8 — triangle counting: leapfrog triejoin (WCOJ) vs binary hash joins,
+/// on uniform and hub-skewed graphs (where binary plans blow up).
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_triangles");
+    group.sample_size(10);
+    let uniform = gen::edge_relation(&gen::random_graph(300, 6.0, 13));
+    group.bench_function("lftj/uniform_n300", |b| b.iter(|| triangle_count_lftj(&uniform)));
+    group.bench_function("hash/uniform_n300", |b| b.iter(|| triangle_count_hash(&uniform)));
+    let skewed = gen::edge_relation(&gen::skewed_graph(800, 4, 400, 17));
+    group.bench_function("lftj/skewed_hubs", |b| b.iter(|| triangle_count_lftj(&skewed)));
+    group.bench_function("hash/skewed_hubs", |b| b.iter(|| triangle_count_hash(&skewed)));
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

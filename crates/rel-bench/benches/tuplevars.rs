@@ -1,0 +1,28 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rel_stdlib::SessionExt;
+use rel_core::{Database, Relation, Tuple, Value};
+
+/// E12 — tuple-variable programs: arity-generic Product/Prefixes across a
+/// relation-arity sweep.
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_tuplevars");
+    group.sample_size(10);
+    for arity in [2usize, 4, 6] {
+        let mut db = Database::new();
+        let rel: Relation = (0..40i64)
+            .map(|r| Tuple::from((0..arity).map(|c| Value::Int(r * 10 + c as i64)).collect::<Vec<_>>()))
+            .collect();
+        db.set("R", rel);
+        db.set("S", Relation::from_tuples([Tuple::from(vec![Value::Int(-1), Value::Int(-2)])]));
+        let session = rel_engine::Session::with_stdlib(db);
+        group.bench_function(format!("generic_product/arity{arity}"), |b| {
+            b.iter(|| session.query("def output : Product[R, S]").unwrap())
+        });
+        group.bench_function(format!("prefixes/arity{arity}"), |b| {
+            b.iter(|| session.query("def output : Prefixes[R]").unwrap())
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E10 — GNF decomposition vs wide records: rejoin cost of §2's schema.
+use rel_core::Database;
+use rel_stdlib::SessionExt;
+use std::time::Instant;
+
+fn main() {
+    println!("E10 — GNF (6NF) rejoin vs wide-record scan");
+    println!("{:>8} {:>14} {:>14}", "n", "wide scan", "GNF rejoin");
+    for n in [500usize, 2000, 8000] {
+        let mut wide_db = Database::new();
+        wide_db.set("ProductWide", rel_kg::wide_products(n));
+        let mut gnf_db = Database::new();
+        for (name, rel) in rel_kg::gnf_products(n) {
+            gnf_db.set(&name, rel);
+        }
+        let wide_s = rel_engine::Session::with_stdlib(wide_db);
+        let gnf_s = rel_engine::Session::with_stdlib(gnf_db);
+        let t = Instant::now();
+        let w = wide_s.query("def output(p, nm, pr) : ProductWide(p, nm, pr)").unwrap();
+        let wt = t.elapsed();
+        let t = Instant::now();
+        let g = gnf_s
+            .query("def output(p, nm, pr) : ProductName(p, nm) and ProductPrice(p, pr)")
+            .unwrap();
+        let gt = t.elapsed();
+        assert_eq!(w, g, "decomposition is lossless");
+        println!("{n:>8} {wt:>14.2?} {gt:>14.2?}");
+    }
+}

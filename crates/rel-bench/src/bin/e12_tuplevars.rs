@@ -1,0 +1,27 @@
+//! E12 — tuple-variable (arity-generic) programs across an arity sweep.
+use rel_core::{Database, Relation, Tuple, Value};
+use rel_stdlib::SessionExt;
+use std::time::Instant;
+
+fn main() {
+    println!("E12 — arity-generic Product / Prefixes (tuple variables, §4.1)");
+    println!("{:>7} {:>9} {:>12} {:>12}", "arity", "rows", "Product[R,S]", "Prefixes[R]");
+    for arity in [1usize, 2, 4, 6, 8] {
+        let mut db = Database::new();
+        let rel: Relation = (0..50i64)
+            .map(|r| Tuple::from((0..arity).map(|c| Value::Int(r * 10 + c as i64)).collect::<Vec<_>>()))
+            .collect();
+        db.set("R", rel);
+        db.set("S", Relation::from_tuples([Tuple::from(vec![Value::Int(-1)])]));
+        let session = rel_engine::Session::with_stdlib(db);
+        let t = Instant::now();
+        let p = session.query("def output : Product[R, S]").unwrap();
+        let pt = t.elapsed();
+        assert_eq!(p.len(), 50);
+        let t = Instant::now();
+        let pre = session.query("def output : Prefixes[R]").unwrap();
+        let prt = t.elapsed();
+        assert!(pre.len() >= 50 * arity);
+        println!("{arity:>7} {:>9} {pt:>12.2?} {prt:>12.2?}", 50);
+    }
+}

@@ -1,0 +1,49 @@
+//! E1 — paper-conformance report: re-runs the headline §3–§5 queries and
+//! prints paper-expected vs measured results.
+use rel_stdlib::SessionExt;
+
+fn main() {
+    let db = rel_core::database::figure1_database();
+    let s = rel_engine::Session::with_stdlib(db);
+    let cases: &[(&str, &str, &str)] = &[
+        ("OrderWithPayment (§3.1)",
+         "def output(y) : exists((x) | PaymentOrder(x,y))",
+         r#"{("O1"); ("O2"); ("O3")}"#),
+        ("NotOrdered (§3.1)",
+         "def output(x) : ProductPrice(x,_) and not OrderProductQuantity(_,x,_)",
+         r#"{("P4")}"#),
+        ("DiscountedproductPrice (§3.2)",
+         "def output(x,y) : exists((z) | ProductPrice(x,z) and add(y,5,z))",
+         r#"{("P1", 5); ("P2", 15); ("P3", 25); ("P4", 35)}"#),
+        ("BoughtWithExpensiveProduct (§3.3)",
+         "def SameOrder(p1,p2) : exists((o) | OrderProductQuantity(o,p1,_) and OrderProductQuantity(o,p2,_))\n\
+          def SODP(p1,p2) : SameOrder(p1,p2) and p1 != p2\n\
+          def Expensive(p) : exists((pr) | ProductPrice(p,pr) and pr > 15)\n\
+          def output(p) : exists((x in Expensive) | SODP(x,p))",
+         r#"{("P1")}"#),
+        ("OrderProductQuantity[\"O1\"] (§4.3)",
+         "def output : OrderProductQuantity[\"O1\"]",
+         r#"{("P1", 2); ("P2", 1)}"#),
+        ("OrderPaid (§5.2)",
+         "def Ord(x) : OrderProductQuantity(x,_,_)\n\
+          def OPA(x,y,z) : PaymentOrder(y,x) and PaymentAmount(y,z)\n\
+          def output[x in Ord] : sum[OPA[x]]",
+         r#"{("O1", 30); ("O2", 10); ("O3", 90)}"#),
+        ("ScalarProd (§5.3.2)",
+         "def U(i,x) : {(1,4); (2,2)}(i,x)\ndef Vv(i,x) : {(1,3); (2,6)}(i,x)\n\
+          def output : ScalarProd[U, Vv]",
+         "{(24)}"),
+    ];
+    println!("E1 — paper conformance (Figure 1 database)");
+    println!("{:<38} {:>7}", "query", "status");
+    let mut ok = 0;
+    for (label, src, expected) in cases {
+        let got = s.query(src).map(|r| r.to_string()).unwrap_or_else(|e| format!("ERR {e}"));
+        let status = if got == *expected { ok += 1; "match" } else { "MISMATCH" };
+        println!("{label:<38} {status:>7}");
+        if status == "MISMATCH" {
+            println!("  expected {expected}\n  got      {got}");
+        }
+    }
+    println!("{ok}/{} queries reproduce the paper's stated results", cases.len());
+}

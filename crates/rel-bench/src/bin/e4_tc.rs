@@ -1,0 +1,26 @@
+//! E4 — transitive closure scaling: semi-naive vs naive vs native BFS.
+use rel_bench::programs;
+use rel_graph::{gen, native};
+use std::time::Instant;
+
+fn main() {
+    println!("E4 — transitive closure (random digraphs, avg degree 3)");
+    println!("{:>6} {:>9} {:>12} {:>12} {:>12}", "n", "|TC|", "semi-naive", "naive", "native BFS");
+    for n in [50usize, 100, 200, 400] {
+        let g = gen::random_graph(n, 3.0, 42);
+        let db = gen::graph_database(&g);
+        let module = rel_sema::compile(programs::TC).unwrap();
+        let t = Instant::now();
+        let rels = rel_engine::materialize(&module, &db).unwrap();
+        let semi = t.elapsed();
+        let size = rels.get("TC").map(rel_core::Relation::len).unwrap_or(0);
+        let t = Instant::now();
+        rel_engine::materialize_naive(&module, &db).unwrap();
+        let naive = t.elapsed();
+        let t = Instant::now();
+        let nat = native::transitive_closure(&g);
+        let native_t = t.elapsed();
+        assert_eq!(size, nat.len(), "differential check");
+        println!("{n:>6} {size:>9} {semi:>12.2?} {naive:>12.2?} {native_t:>12.2?}");
+    }
+}

@@ -1,0 +1,20 @@
+//! E5 — all-pairs shortest paths: Rel APSP2 vs native BFS-per-source.
+use rel_graph::{gen, native};
+use std::time::Instant;
+
+fn main() {
+    println!("E5 — APSP (aggregation variant, partial fixpoint)");
+    println!("{:>6} {:>9} {:>12} {:>12}", "n", "paths", "rel APSP2", "native BFS");
+    for n in [16usize, 32, 64] {
+        let g = gen::random_graph(n, 2.0, 7);
+        let session = rel_graph::with_graph_lib(gen::graph_database(&g));
+        let t = Instant::now();
+        let out = session.query(rel_bench::programs::APSP).unwrap();
+        let rel_t = t.elapsed();
+        let t = Instant::now();
+        let nat = native::apsp(&g);
+        let nat_t = t.elapsed();
+        assert_eq!(out.len(), nat.len(), "differential check");
+        println!("{n:>6} {:>9} {rel_t:>12.2?} {nat_t:>12.2?}", out.len());
+    }
+}

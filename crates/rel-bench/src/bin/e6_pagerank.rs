@@ -1,0 +1,26 @@
+//! E6 — PageRank: the paper's §5.4 program (partial fixpoint) vs native.
+use rel_graph::{gen, native};
+use std::time::Instant;
+
+fn main() {
+    println!("E6 — PageRank (eps = 0.005, the paper's stop condition)");
+    println!("{:>6} {:>12} {:>12} {:>12}", "n", "rel", "native", "max |diff|");
+    for n in [16usize, 32, 64, 128] {
+        let g = gen::random_graph(n, 3.0, 11);
+        let mut db = gen::graph_database(&g);
+        db.set("M", gen::transition_matrix_relation(&g));
+        let session = rel_graph::with_graph_lib(db);
+        let t = Instant::now();
+        let out = session.query(rel_bench::programs::PAGERANK).unwrap();
+        let rel_t = t.elapsed();
+        let m = native::transition_matrix(&g);
+        let t = Instant::now();
+        let nat = native::pagerank_iterate(g.n, &m, 0.005, 10_000);
+        let nat_t = t.elapsed();
+        let max_err = out.iter().map(|t| {
+            let i = t.values()[0].as_int().unwrap() as usize;
+            (t.values()[1].as_f64().unwrap() - nat[&i]).abs()
+        }).fold(0.0f64, f64::max);
+        println!("{n:>6} {rel_t:>12.2?} {nat_t:>12.2?} {max_err:>12.2e}");
+    }
+}

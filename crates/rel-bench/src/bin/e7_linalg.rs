@@ -1,0 +1,42 @@
+//! E7 — MatrixMult: dense and sparse, same Rel code (data independence).
+use rel_bench::{dense_matrix, native_matmul, sparse_matrix};
+use rel_core::Database;
+use rel_stdlib::SessionExt;
+use std::time::Instant;
+
+fn main() {
+    println!("E7 — MatrixMult (§1): identical Rel code, dense vs sparse data");
+    println!("{:>14} {:>9} {:>12} {:>12}", "matrix", "|out|", "rel", "native");
+    for d in [8usize, 16, 24] {
+        let mut db = Database::new();
+        dense_matrix("A", d, &mut db);
+        dense_matrix("B", d, &mut db);
+        let a = db.get("A").unwrap().clone();
+        let b = db.get("B").unwrap().clone();
+        let session = rel_engine::Session::with_stdlib(db);
+        let t = Instant::now();
+        let out = session.query(rel_bench::programs::MATMUL).unwrap();
+        let rel_t = t.elapsed();
+        let t = Instant::now();
+        let nat = native_matmul(&a, &b);
+        let nat_t = t.elapsed();
+        assert_eq!(out, nat, "differential check");
+        println!("{:>14} {:>9} {rel_t:>12.2?} {nat_t:>12.2?}", format!("dense {d}x{d}"), out.len());
+    }
+    for d in [32usize, 64] {
+        let mut db = Database::new();
+        sparse_matrix("A", d, 0.05, 5, &mut db);
+        sparse_matrix("B", d, 0.05, 6, &mut db);
+        let a = db.get("A").unwrap().clone();
+        let b = db.get("B").unwrap().clone();
+        let session = rel_engine::Session::with_stdlib(db);
+        let t = Instant::now();
+        let out = session.query(rel_bench::programs::MATMUL).unwrap();
+        let rel_t = t.elapsed();
+        let t = Instant::now();
+        let nat = native_matmul(&a, &b);
+        let nat_t = t.elapsed();
+        assert_eq!(out, nat, "differential check");
+        println!("{:>14} {:>9} {rel_t:>12.2?} {nat_t:>12.2?}", format!("sparse {d}x{d}"), out.len());
+    }
+}

@@ -1,0 +1,22 @@
+//! E9 — grouped aggregation throughput vs a native fold.
+use rel_bench::{programs, OrderWorkload};
+use rel_stdlib::SessionExt;
+use std::time::Instant;
+
+fn main() {
+    println!("E9 — revenue per order (sum + <++ 0, Zipf-skewed lines)");
+    println!("{:>8} {:>9} {:>12} {:>12}", "orders", "lines", "rel", "native");
+    for n in [200usize, 1000, 5000] {
+        let w = OrderWorkload::generate(n, 50, 3);
+        let lines = w.db.get("Line").unwrap().len();
+        let session = rel_engine::Session::with_stdlib(w.db.clone());
+        let t = Instant::now();
+        let out = session.query(programs::REVENUE).unwrap();
+        let rel_t = t.elapsed();
+        let t = Instant::now();
+        let nat = w.native_revenue();
+        let nat_t = t.elapsed();
+        assert_eq!(out.len(), nat.len(), "differential check");
+        println!("{n:>8} {lines:>9} {rel_t:>12.2?} {nat_t:>12.2?}");
+    }
+}

@@ -1,0 +1,165 @@
+//! `rel` — command-line interface for rel-rs.
+//!
+//! ```text
+//! rel run program.rel [--db data.csv:Concept ...]   execute a program, print `output`
+//! rel check program.rel                             compile only (safety/strata report)
+//! rel repl                                          interactive session over an empty DB
+//! ```
+//!
+//! The standard, relational-algebra, linear-algebra and graph libraries
+//! are installed in every session.
+
+use rel_core::{Database, RelResult};
+use rel_engine::Session;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("repl") => cmd_repl(),
+        _ => {
+            eprintln!(
+                "usage:\n  rel run <program.rel> [--db <file.csv>:<Concept> ...]\n  \
+                 rel check <program.rel>\n  rel repl"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn session_with_libraries(db: Database) -> Session {
+    rel_stdlib::with_stdlib(db).with_library(rel_graph::GRAPH_LIB)
+}
+
+fn load_databases(args: &[String]) -> RelResult<Database> {
+    let mut db = Database::new();
+    let mut reg = rel_kg::EntityRegistry::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--db" {
+            let spec = args.get(i + 1).cloned().unwrap_or_default();
+            let (path, concept) = spec
+                .split_once(':')
+                .ok_or_else(|| rel_core::RelError::internal("--db expects file.csv:Concept"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| rel_core::RelError::internal(format!("reading {path}: {e}")))?;
+            let records = rel_kg::parse_csv(&text)?;
+            rel_kg::ingest_records(&mut db, &mut reg, concept, &records)?;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(db)
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("rel run: missing program file");
+        return 2;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rel: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let db = match load_databases(&args[1..]) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("rel: {e}");
+            return 1;
+        }
+    };
+    let mut session = session_with_libraries(db);
+    match session.transact(&src) {
+        Ok(outcome) => {
+            for t in outcome.output.iter() {
+                println!("{t}");
+            }
+            if outcome.inserted + outcome.deleted > 0 {
+                eprintln!(
+                    "committed: +{} / -{} tuples",
+                    outcome.inserted, outcome.deleted
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("rel: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("rel check: missing program file");
+        return 2;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rel: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let session = session_with_libraries(Database::new());
+    match session.compile(&src) {
+        Ok(module) => {
+            println!(
+                "ok: {} predicates, {} strata",
+                module.rules.len(),
+                module.strata.len()
+            );
+            for (i, s) in module.strata.iter().enumerate() {
+                if s.recursive {
+                    println!(
+                        "  stratum {i}: {:?} ({})",
+                        s.preds,
+                        if s.monotone { "semi-naive" } else { "partial fixpoint" }
+                    );
+                }
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("rel: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_repl() -> i32 {
+    let mut session = session_with_libraries(Database::new());
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    eprintln!("rel repl — enter a full program per line; :quit to exit");
+    loop {
+        eprint!("rel> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return 0,
+            Ok(_) => {}
+            Err(_) => return 1,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            return 0;
+        }
+        match session.transact(line) {
+            Ok(outcome) => {
+                let _ = writeln!(out, "{}", outcome.output);
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

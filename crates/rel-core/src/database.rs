@@ -1,0 +1,237 @@
+//! A Rel database: named base relations plus transactional deltas.
+//!
+//! Per §3.4 of the paper, a *transaction* executes a query against the
+//! database; the control relations `insert` and `delete` describe changes,
+//! which are persisted when the transaction commits (and discarded when it
+//! aborts, e.g. on an integrity-constraint violation). The engine crate
+//! drives that protocol; this type provides the storage and the atomic
+//! delta application.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::{name, Name};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of named base (EDB) relations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<Name, Relation>,
+}
+
+/// A pending change set produced by one transaction: per-relation tuples to
+/// insert and to delete. Deletes are applied before inserts, matching the
+/// paper's semantics where `insert`/`delete` are computed against the *old*
+/// state and applied atomically at commit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// Tuples to insert, per relation. Relations are created on demand
+    /// ("there is no need to declare a new base relation", §3.4).
+    pub inserts: BTreeMap<Name, Vec<Tuple>>,
+    /// Tuples to delete, per relation.
+    pub deletes: BTreeMap<Name, Vec<Tuple>>,
+}
+
+impl Delta {
+    /// Is this delta a no-op?
+    pub fn is_empty(&self) -> bool {
+        self.inserts.values().all(Vec::is_empty) && self.deletes.values().all(Vec::is_empty)
+    }
+
+    /// Record an insertion.
+    pub fn insert(&mut self, rel: impl AsRef<str>, t: Tuple) {
+        self.inserts.entry(name(rel)).or_default().push(t);
+    }
+
+    /// Record a deletion.
+    pub fn delete(&mut self, rel: impl AsRef<str>, t: Tuple) {
+        self.deletes.entry(name(rel)).or_default().push(t);
+    }
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Look up a base relation. Unknown names read as the empty relation —
+    /// Rel treats undefined relations as empty rather than erroring.
+    pub fn get(&self, rel: &str) -> Option<&Relation> {
+        self.relations.get(rel)
+    }
+
+    /// Mutable access, creating the relation if absent.
+    pub fn get_mut(&mut self, rel: impl AsRef<str>) -> &mut Relation {
+        self.relations.entry(name(rel)).or_default()
+    }
+
+    /// Replace or create a whole relation.
+    pub fn set(&mut self, rel: impl AsRef<str>, r: Relation) {
+        self.relations.insert(name(rel), r);
+    }
+
+    /// Insert one tuple into a (possibly new) relation.
+    pub fn insert(&mut self, rel: impl AsRef<str>, t: Tuple) -> bool {
+        self.get_mut(rel).insert(t)
+    }
+
+    /// Does the database define this relation name (even if empty)?
+    pub fn defines(&self, rel: &str) -> bool {
+        self.relations.contains_key(rel)
+    }
+
+    /// Names of all base relations, sorted.
+    pub fn relation_names(&self) -> impl Iterator<Item = &Name> {
+        self.relations.keys()
+    }
+
+    /// Iterate `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Total number of stored tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The *active domain*: every value occurring in any stored tuple.
+    /// Used by the reference interpreter's finite-universe semantics.
+    pub fn active_domain(&self) -> std::collections::BTreeSet<crate::Value> {
+        let mut dom = std::collections::BTreeSet::new();
+        for rel in self.relations.values() {
+            for t in rel.iter() {
+                dom.extend(t.iter().cloned());
+            }
+        }
+        dom
+    }
+
+    /// Atomically apply a transaction's delta: deletes first, then inserts
+    /// (so a tuple both deleted and inserted survives). Creates relations
+    /// referenced only by inserts; removes nothing but tuples.
+    pub fn apply(&mut self, delta: &Delta) {
+        for (rel, tuples) in &delta.deletes {
+            if let Some(r) = self.relations.get_mut(rel) {
+                for t in tuples {
+                    r.remove(t);
+                }
+            }
+        }
+        for (rel, tuples) in &delta.inserts {
+            let r = self.relations.entry(rel.clone()).or_default();
+            for t in tuples {
+                r.insert(t.clone());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, r) in &self.relations {
+            writeln!(f, "{n}: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Build the example database of Figure 1 of the paper: orders, products
+/// included in orders (with quantities), product prices, and payments.
+/// Used pervasively by tests and examples.
+pub fn figure1_database() -> Database {
+    let mut db = Database::new();
+    let pairs: &[(&str, &[(&str, &str)])] = &[
+        ("PaymentOrder", &[("Pmt1", "O1"), ("Pmt2", "O2"), ("Pmt3", "O1"), ("Pmt4", "O3")]),
+    ];
+    for (rel, rows) in pairs {
+        for (a, b) in rows.iter() {
+            db.insert(*rel, Tuple::from(vec![crate::Value::str(a), crate::Value::str(b)]));
+        }
+    }
+    for (p, amt) in [("Pmt1", 20), ("Pmt2", 10), ("Pmt3", 10), ("Pmt4", 90)] {
+        db.insert(
+            "PaymentAmount",
+            Tuple::from(vec![crate::Value::str(p), crate::Value::int(amt)]),
+        );
+    }
+    for (o, p, q) in [("O1", "P1", 2), ("O1", "P2", 1), ("O2", "P1", 1), ("O3", "P3", 4)] {
+        db.insert(
+            "OrderProductQuantity",
+            Tuple::from(vec![
+                crate::Value::str(o),
+                crate::Value::str(p),
+                crate::Value::int(q),
+            ]),
+        );
+    }
+    for (p, price) in [("P1", 10), ("P2", 20), ("P3", 30), ("P4", 40)] {
+        db.insert(
+            "ProductPrice",
+            Tuple::from(vec![crate::Value::str(p), crate::Value::int(price)]),
+        );
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, Value};
+
+    #[test]
+    fn figure1_shape() {
+        let db = figure1_database();
+        assert_eq!(db.get("PaymentOrder").unwrap().len(), 4);
+        assert_eq!(db.get("PaymentAmount").unwrap().len(), 4);
+        assert_eq!(db.get("OrderProductQuantity").unwrap().len(), 4);
+        assert_eq!(db.get("ProductPrice").unwrap().len(), 4);
+        assert_eq!(db.total_tuples(), 16);
+    }
+
+    #[test]
+    fn unknown_relation_is_none() {
+        let db = Database::new();
+        assert!(db.get("Nope").is_none());
+    }
+
+    #[test]
+    fn apply_delta_delete_then_insert() {
+        let mut db = figure1_database();
+        let mut delta = Delta::default();
+        delta.delete("ProductPrice", tuple!["P4", 40]);
+        delta.insert("ClosedOrders", tuple!["O1"]);
+        db.apply(&delta);
+        assert_eq!(db.get("ProductPrice").unwrap().len(), 3);
+        assert!(db.get("ClosedOrders").unwrap().contains(&tuple!["O1"]));
+    }
+
+    #[test]
+    fn insert_wins_over_delete_of_same_tuple() {
+        let mut db = Database::new();
+        db.insert("R", tuple![1]);
+        let mut delta = Delta::default();
+        delta.delete("R", tuple![1]);
+        delta.insert("R", tuple![1]);
+        db.apply(&delta);
+        assert!(db.get("R").unwrap().contains(&tuple![1]));
+    }
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let db = figure1_database();
+        let dom = db.active_domain();
+        assert!(dom.contains(&Value::str("O1")));
+        assert!(dom.contains(&Value::int(90)));
+        assert!(dom.contains(&Value::str("P4")));
+    }
+
+    #[test]
+    fn delta_is_empty() {
+        assert!(Delta::default().is_empty());
+        let mut d = Delta::default();
+        d.insert("R", tuple![1]);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types shared across the rel-rs workspace.
+
+use std::fmt;
+
+/// Result alias used throughout rel-rs.
+pub type RelResult<T> = Result<T, RelError>;
+
+/// Any error produced while compiling or running a Rel program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelError {
+    /// Lexical error: unexpected character, unterminated string, …
+    Lex { line: u32, col: u32, msg: String },
+    /// Syntax error with source position.
+    Parse { line: u32, col: u32, msg: String },
+    /// Name-resolution / arity error.
+    Resolve(String),
+    /// Safety violation: an expression could denote an infinite relation
+    /// (§3.1–3.2 of the paper).
+    Unsafe(String),
+    /// Stratification / recursion error.
+    Stratify(String),
+    /// Type error during evaluation (e.g. adding a string to an integer).
+    Type(String),
+    /// Arithmetic error (overflow, division by zero).
+    Arithmetic(String),
+    /// Integrity-constraint violation: aborts the transaction (§3.5).
+    ConstraintViolation {
+        /// Name of the violated `ic`.
+        name: String,
+        /// Witness tuples (the populated violation relation), rendered.
+        witnesses: String,
+    },
+    /// Graph-normal-form violation (§2).
+    Gnf(String),
+    /// Fixpoint iteration exceeded the configured cap without converging.
+    Divergent { relation: String, iterations: usize },
+    /// `reduce` applied to a non-functional or empty operand (§5.2).
+    Reduce(String),
+    /// Ambiguous first-/second-order application requiring `?`/`&`
+    /// disambiguation (Addendum A).
+    AmbiguousApplication(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl RelError {
+    /// Shorthand constructor for resolution errors.
+    pub fn resolve(msg: impl Into<String>) -> Self {
+        RelError::Resolve(msg.into())
+    }
+    /// Shorthand constructor for safety errors.
+    pub fn unsafe_expr(msg: impl Into<String>) -> Self {
+        RelError::Unsafe(msg.into())
+    }
+    /// Shorthand constructor for type errors.
+    pub fn type_err(msg: impl Into<String>) -> Self {
+        RelError::Type(msg.into())
+    }
+    /// Shorthand constructor for internal errors.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        RelError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Lex { line, col, msg } => {
+                write!(f, "lex error at {line}:{col}: {msg}")
+            }
+            RelError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            RelError::Resolve(m) => write!(f, "resolution error: {m}"),
+            RelError::Unsafe(m) => write!(f, "safety error: {m}"),
+            RelError::Stratify(m) => write!(f, "stratification error: {m}"),
+            RelError::Type(m) => write!(f, "type error: {m}"),
+            RelError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            RelError::ConstraintViolation { name, witnesses } => {
+                write!(f, "integrity constraint `{name}` violated: {witnesses}")
+            }
+            RelError::Gnf(m) => write!(f, "GNF violation: {m}"),
+            RelError::Divergent { relation, iterations } => write!(
+                f,
+                "fixpoint for `{relation}` did not converge within {iterations} iterations"
+            ),
+            RelError::Reduce(m) => write!(f, "reduce error: {m}"),
+            RelError::AmbiguousApplication(m) => {
+                write!(f, "ambiguous application (use ?{{}} or &{{}}): {m}")
+            }
+            RelError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelError::ConstraintViolation {
+            name: "valid_products".into(),
+            witnesses: "{(\"P9\")}".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("valid_products"));
+        assert!(s.contains("P9"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RelError::unsafe_expr("x unbounded"));
+    }
+}

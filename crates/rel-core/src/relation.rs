@@ -1,0 +1,333 @@
+//! First-order relations (*Rels₁*): sets of [`Tuple`]s.
+//!
+//! Rel relations are pure sets (no multiplicities, no nulls) and may contain
+//! tuples of *different arities* (Addendum A: "a relation … can contain
+//! tuples of different arity"). A [`Relation`] is backed by a `BTreeSet` so
+//! iteration — and therefore all query output — is deterministic.
+//!
+//! Boolean encoding (§4.3): `true` is `{⟨⟩}` and `false` is `{}`.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of first-order tuples.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Relation {
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation `{}` — the encoding of `false`.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// The empty relation `{}` (alias of [`Relation::new`]).
+    pub fn false_rel() -> Self {
+        Relation::new()
+    }
+
+    /// The relation `{⟨⟩}` containing just the empty tuple — `true`.
+    pub fn true_rel() -> Self {
+        let mut r = Relation::new();
+        r.insert(Tuple::empty());
+        r
+    }
+
+    /// Build from an iterator of tuples.
+    pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        Relation {
+            tuples: tuples.into_iter().collect(),
+        }
+    }
+
+    /// Build a unary relation from values.
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Self {
+        Relation {
+            tuples: values.into_iter().map(|v| Tuple::from(vec![v])).collect(),
+        }
+    }
+
+    /// A relation holding a single tuple.
+    pub fn singleton(t: Tuple) -> Self {
+        Relation::from_tuples([t])
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty (i.e. `false`)?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Is this the `true` relation `{⟨⟩}` (or does it at least contain `⟨⟩`)?
+    pub fn is_true(&self) -> bool {
+        self.tuples.contains(&Tuple::empty())
+    }
+
+    /// Insert a tuple; returns `true` if it was new (set semantics).
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        self.tuples.insert(t)
+    }
+
+    /// Remove a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Membership test (full application `R(a, …)`).
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + Clone + '_ {
+        self.tuples.iter()
+    }
+
+    /// The set of distinct arities present.
+    pub fn arities(&self) -> BTreeSet<usize> {
+        self.tuples.iter().map(|t| t.arity()).collect()
+    }
+
+    /// If all tuples share one arity, return it; an empty relation reports
+    /// `Some(0)`? No — it reports `None` (no tuples, no arity evidence).
+    pub fn uniform_arity(&self) -> Option<usize> {
+        let mut it = self.tuples.iter();
+        let first = it.next()?.arity();
+        it.all(|t| t.arity() == first).then_some(first)
+    }
+
+    /// Partial application `R[prefix…]` (§4.3): all suffixes of tuples that
+    /// start with `prefix`. `R["O1"]` over `OrderProductQuantity` yields
+    /// `{⟨"P1",2⟩, ⟨"P2",1⟩}`.
+    pub fn partial_apply(&self, prefix: &[Value]) -> Relation {
+        let mut out = Relation::new();
+        // Tuples sharing a prefix are contiguous in BTreeSet order only
+        // within an arity class; mixed arities still compare lexicographically
+        // so prefix-sharing tuples cluster. We use a range scan from the
+        // prefix tuple and stop once tuples no longer start with it only when
+        // every arity ≥ prefix is exhausted; simpler and still O(matches +
+        // log n) in the common case is a full range scan with early exit on
+        // the sorted order.
+        let start = Tuple::from(prefix.to_vec());
+        for t in self.tuples.range(start..) {
+            if !t.starts_with(prefix) {
+                break;
+            }
+            out.insert(t.suffix(prefix.len()));
+        }
+        out
+    }
+
+    /// Set union (the `{A; B}` / `or` operator).
+    pub fn union(&self, other: &Relation) -> Relation {
+        Relation {
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Set intersection (`and` on formulas, `Select` on conditions).
+    pub fn intersect(&self, other: &Relation) -> Relation {
+        Relation {
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Set difference (`Minus`).
+    pub fn minus(&self, other: &Relation) -> Relation {
+        Relation {
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Cartesian product `(A, B)` — pairwise tuple concatenation.
+    pub fn product(&self, other: &Relation) -> Relation {
+        let mut out = BTreeSet::new();
+        for a in &self.tuples {
+            for b in &other.tuples {
+                out.insert(a.concat(b));
+            }
+        }
+        Relation { tuples: out }
+    }
+
+    /// Extend with tuples from an iterator.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        self.tuples.extend(tuples);
+    }
+
+    /// Union in place; returns the number of newly inserted tuples.
+    pub fn absorb(&mut self, other: &Relation) -> usize {
+        let before = self.tuples.len();
+        self.tuples.extend(other.tuples.iter().cloned());
+        self.tuples.len() - before
+    }
+
+    /// Drain all tuples into a sorted `Vec`.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples.into_iter().collect()
+    }
+
+    /// Last-column values (the "value" column of a GNF key→value relation),
+    /// in relation order. Used by `reduce` (§5.2).
+    pub fn last_column(&self) -> Vec<Value> {
+        self.tuples
+            .iter()
+            .filter(|t| !t.is_empty())
+            .map(|t| t.values()[t.arity() - 1].clone())
+            .collect()
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Relation::from_tuples(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+impl IntoIterator for Relation {
+    type Item = Tuple;
+    type IntoIter = std::collections::btree_set::IntoIter<Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.into_iter()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn opq() -> Relation {
+        // OrderProductQuantity from Figure 1.
+        Relation::from_tuples([
+            tuple!["O1", "P1", 2],
+            tuple!["O1", "P2", 1],
+            tuple!["O2", "P1", 1],
+            tuple!["O3", "P3", 4],
+        ])
+    }
+
+    #[test]
+    fn set_semantics_dedup() {
+        let mut r = Relation::new();
+        assert!(r.insert(tuple![1, 2]));
+        assert!(!r.insert(tuple![1, 2]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn true_false_encoding() {
+        assert!(Relation::true_rel().is_true());
+        assert!(!Relation::false_rel().is_true());
+        assert!(Relation::false_rel().is_empty());
+        assert_eq!(Relation::true_rel().len(), 1);
+        assert_eq!(Relation::true_rel().to_string(), "{()}");
+    }
+
+    #[test]
+    fn partial_apply_paper_example() {
+        // OrderProductQuantity["O1"] = {("P1",2); ("P2",1)}  (§4.3)
+        let r = opq().partial_apply(&[Value::str("O1")]);
+        assert_eq!(
+            r,
+            Relation::from_tuples([tuple!["P1", 2], tuple!["P2", 1]])
+        );
+    }
+
+    #[test]
+    fn partial_apply_full_is_boolean() {
+        let r = opq().partial_apply(&[Value::str("O1"), Value::str("P1"), Value::int(2)]);
+        assert!(r.is_true());
+        let r = opq().partial_apply(&[Value::str("O1"), Value::str("P1"), Value::int(3)]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn product_concats() {
+        let r = Relation::from_tuples([tuple![1, 2], tuple![3, 4]]);
+        let s = Relation::from_tuples([tuple![5, 6]]);
+        let p = r.product(&s);
+        assert_eq!(
+            p,
+            Relation::from_tuples([tuple![1, 2, 5, 6], tuple![3, 4, 5, 6]])
+        );
+    }
+
+    #[test]
+    fn product_with_true_is_identity() {
+        let r = opq();
+        assert_eq!(r.product(&Relation::true_rel()), r);
+        assert_eq!(Relation::true_rel().product(&r), r);
+        assert!(r.product(&Relation::false_rel()).is_empty());
+    }
+
+    #[test]
+    fn union_minus_intersect() {
+        let a = Relation::from_tuples([tuple![1], tuple![2]]);
+        let b = Relation::from_tuples([tuple![2], tuple![3]]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersect(&b).len(), 1);
+        assert_eq!(a.minus(&b), Relation::from_tuples([tuple![1]]));
+    }
+
+    #[test]
+    fn mixed_arity_allowed() {
+        let mut r = Relation::new();
+        r.insert(tuple![1]);
+        r.insert(tuple![1, 2]);
+        r.insert(Tuple::empty());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.arities().into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(r.uniform_arity(), None);
+    }
+
+    #[test]
+    fn uniform_arity() {
+        assert_eq!(opq().uniform_arity(), Some(3));
+        assert_eq!(Relation::new().uniform_arity(), None);
+    }
+
+    #[test]
+    fn last_column() {
+        let vals = opq().last_column();
+        assert_eq!(vals.len(), 4);
+        assert!(vals.iter().all(|v| v.is_int()));
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let r1 = Relation::from_tuples([tuple![2], tuple![1], tuple![3]]);
+        let r2 = Relation::from_tuples([tuple![3], tuple![2], tuple![1]]);
+        let v1: Vec<_> = r1.iter().cloned().collect();
+        let v2: Vec<_> = r2.iter().cloned().collect();
+        assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,171 @@
+//! First-order tuples (*Tuples₁*).
+//!
+//! A [`Tuple`] is an ordered, fixed-length sequence of [`Value`]s, written
+//! `⟨v₁, …, vₙ⟩` in the paper. The empty tuple `⟨⟩` is a first-class
+//! citizen: the relation `{⟨⟩}` encodes `true` and `{}` encodes `false`.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Deref;
+
+/// An immutable first-order tuple. Stored as a boxed slice so the tuple
+/// itself is two words; cloning copies the values (values themselves are
+/// cheap to clone — strings are reference counted).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// The empty tuple `⟨⟩`.
+    pub fn empty() -> Self {
+        Tuple(Box::from([]))
+    }
+
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// Arity (number of positions).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this the empty tuple?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value at position `i` (0-based), if within arity.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Concatenation `self · other` (tuple product of Addendum A).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into_boxed_slice())
+    }
+
+    /// Prefix of length `n` (panics if `n > arity`).
+    pub fn prefix(&self, n: usize) -> Tuple {
+        Tuple(self.0[..n].to_vec().into_boxed_slice())
+    }
+
+    /// Suffix starting at position `n` (panics if `n > arity`).
+    pub fn suffix(&self, n: usize) -> Tuple {
+        Tuple(self.0[n..].to_vec().into_boxed_slice())
+    }
+
+    /// Does `self` start with `prefix` (element-wise equality)?
+    pub fn starts_with(&self, prefix: &[Value]) -> bool {
+        self.0.len() >= prefix.len() && self.0[..prefix.len()] == *prefix
+    }
+
+    /// Iterate over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl Deref for Tuple {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro: `tuple![1, 2.5, "x"]` builds a [`Tuple`] from
+/// `Into<Value>` items.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::from(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string(), "()");
+    }
+
+    #[test]
+    fn concat_prefix_suffix() {
+        let a = tuple![1, 2];
+        let b = tuple![3];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.prefix(2), a);
+        assert_eq!(c.suffix(2), b);
+        assert_eq!(c.prefix(0), Tuple::empty());
+        assert_eq!(c.suffix(3), Tuple::empty());
+    }
+
+    #[test]
+    fn starts_with() {
+        let t = tuple!["O1", "P1", 2];
+        assert!(t.starts_with(&[Value::str("O1")]));
+        assert!(t.starts_with(&[Value::str("O1"), Value::str("P1")]));
+        assert!(!t.starts_with(&[Value::str("O2")]));
+        assert!(t.starts_with(&[]));
+    }
+
+    #[test]
+    fn ordering_shorter_first_on_tie() {
+        let a = tuple![1];
+        let b = tuple![1, 0];
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple![1, "x"].to_string(), "(1, \"x\")");
+    }
+}

@@ -1,0 +1,292 @@
+//! The set *Values* of constant values.
+//!
+//! Rel is built on the "things, not strings" paradigm (§2 of the paper):
+//! entities are represented by database-unique identifiers that are disjoint
+//! from ordinary values. [`Value`] therefore carries a dedicated
+//! [`Value::Entity`] variant alongside the primitive value types.
+//!
+//! All values are totally ordered (variant tag first, then payload) so that
+//! relations — which are `BTreeSet`s of tuples — have a deterministic
+//! iteration order, giving reproducible query output.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An IEEE-754 double with a *total* order (via [`f64::total_cmp`]) so it
+/// can participate in ordered sets. NaN sorts after all other floats;
+/// `-0.0 < +0.0`.
+#[derive(Clone, Copy, Debug)]
+pub struct OrdF64(pub f64);
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl std::hash::Hash for OrdF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Normalise -0.0 to +0.0 only for hashing of equal values is NOT
+        // needed: total_cmp distinguishes -0.0 from +0.0, so they are
+        // *different* values and may hash differently.
+        self.0.to_bits().hash(state);
+    }
+}
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.fract() == 0.0 && self.0.is_finite() && self.0.abs() < 1e15 {
+            write!(f, "{:.1}", self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A database-unique entity identifier (§2: the *unique identifier
+/// property*). The `concept` tag records which concept population the
+/// entity was minted for; [`crate::gnf`] uses it to verify that disjoint
+/// concepts never share an identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EntityId {
+    /// Concept tag (index into a [`crate::gnf::Schema`]'s concept table).
+    pub concept: u32,
+    /// Identifier, unique within the whole database.
+    pub id: u64,
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}:{}", self.concept, self.id)
+    }
+}
+
+/// A constant value: an element of the paper's set **Values**.
+///
+/// The ordering across variants is `Int < Float < String < Entity < Symbol`;
+/// within a variant, the natural payload order applies. Mixed-type
+/// comparisons are thus well defined (needed for ordered relations), while
+/// the *arithmetic* comparison built-ins (`<`, `<=`, …) in the engine only
+/// accept numerically comparable operands.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float with total order.
+    Float(OrdF64),
+    /// Immutable UTF-8 string (cheap to clone).
+    String(Arc<str>),
+    /// Entity identifier (things, not strings).
+    Entity(EntityId),
+    /// Relation-name symbol, written `:Name` in Rel source. Used to pass
+    /// relation *names* as parameters, e.g. `insert(:ClosedOrders, x)`.
+    Symbol(Arc<str>),
+}
+
+impl Value {
+    /// Integer constructor.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+    /// Float constructor.
+    pub fn float(x: f64) -> Self {
+        Value::Float(OrdF64(x))
+    }
+    /// String constructor.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::String(Arc::from(s.as_ref()))
+    }
+    /// Symbol (`:Name`) constructor.
+    pub fn sym(s: impl AsRef<str>) -> Self {
+        Value::Symbol(Arc::from(s.as_ref()))
+    }
+    /// Entity constructor.
+    pub fn entity(concept: u32, id: u64) -> Self {
+        Value::Entity(EntityId { concept, id })
+    }
+
+    /// Is this value an integer?
+    pub fn is_int(&self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+    /// Is this value numeric (int or float)?
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+    /// Is this value a string?
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Numeric view as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(OrdF64(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, if a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Compare two values *numerically* (promoting `Int` to `Float` when
+    /// mixed). Returns `None` when either side is not a number and the
+    /// variants differ; same-variant non-numeric values compare by their
+    /// natural order (so `"a" < "b"` is meaningful for strings).
+    pub fn numeric_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => Some(a.cmp(b)),
+            (Int(a), Float(b)) => Some(OrdF64(*a as f64).cmp(b)),
+            (Float(a), Int(b)) => Some(a.cmp(&OrdF64(*b as f64))),
+            (String(a), String(b)) => Some(a.cmp(b)),
+            (Entity(a), Entity(b)) => Some(a.cmp(b)),
+            (Symbol(a), Symbol(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Equality with Int/Float promotion: `1 = 1.0` holds numerically.
+    pub fn numeric_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Float(OrdF64(b))) => (*a as f64) == *b,
+            (Value::Float(OrdF64(a)), Value::Int(b)) => *a == (*b as f64),
+            _ => self == other,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(OrdF64(x))
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::Entity(e) => write!(f, "{e}"),
+            Value::Symbol(s) => write!(f, ":{s}"),
+        }
+    }
+}
+
+// Values appear in every tuple of every relation; keep them small.
+const _: () = assert!(std::mem::size_of::<Value>() <= 24);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_across_variants_is_total() {
+        let vals = [
+            Value::int(-1),
+            Value::int(7),
+            Value::float(0.5),
+            Value::str("a"),
+            Value::str("b"),
+            Value::entity(0, 1),
+            Value::sym("R"),
+        ];
+        for a in &vals {
+            for b in &vals {
+                // total: exactly one of <, =, > holds
+                let ord = a.cmp(b);
+                assert_eq!(ord == std::cmp::Ordering::Equal, a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn int_sorts_before_float_variant() {
+        assert!(Value::int(100) < Value::float(0.0));
+    }
+
+    #[test]
+    fn numeric_cmp_promotes() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::int(1).numeric_cmp(&Value::float(1.5)), Some(Less));
+        assert_eq!(Value::float(2.0).numeric_cmp(&Value::int(1)), Some(Greater));
+        assert_eq!(Value::int(3).numeric_cmp(&Value::int(3)), Some(Equal));
+        assert_eq!(Value::str("x").numeric_cmp(&Value::int(3)), None);
+        assert_eq!(Value::str("a").numeric_cmp(&Value::str("b")), Some(Less));
+    }
+
+    #[test]
+    fn numeric_eq_promotes() {
+        assert!(Value::int(1).numeric_eq(&Value::float(1.0)));
+        assert!(!Value::int(1).numeric_eq(&Value::float(1.5)));
+        assert!(Value::str("s").numeric_eq(&Value::str("s")));
+    }
+
+    #[test]
+    fn nan_is_ordered() {
+        let nan = Value::float(f64::NAN);
+        let one = Value::float(1.0);
+        assert!(one < nan);
+        assert_eq!(nan.cmp(&nan), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::float(2.0).to_string(), "2.0");
+        assert_eq!(Value::float(2.5).to_string(), "2.5");
+        assert_eq!(Value::str("O1").to_string(), "\"O1\"");
+        assert_eq!(Value::sym("ClosedOrders").to_string(), ":ClosedOrders");
+        assert_eq!(Value::entity(1, 9).to_string(), "#1:9");
+    }
+
+    #[test]
+    fn value_is_small() {
+        assert!(std::mem::size_of::<Value>() <= 24);
+    }
+}

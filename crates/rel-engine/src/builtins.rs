@@ -1,0 +1,686 @@
+//! Implementations of the built-in relations declared in
+//! [`rel_sema::builtins`]. Each builtin is *solved* under a binding
+//! pattern: given some argument positions bound, produce the complete
+//! argument tuples consistent with them (0, 1, or finitely many).
+//!
+//! `add(x, y, z)` with `x, z` bound solves `y = z − x` (§3.2's
+//! `DiscountedproductPrice` relies on exactly this inversion).
+
+use rel_core::{RelError, RelResult, Value};
+
+/// Solve a builtin like [`solve_raw`], but with *relational* typing:
+/// a type mismatch means the arguments are simply not in the (infinite,
+/// typed) relation — no tuples, no error. `modulo("O1", 100)` is empty,
+/// exactly as `⟨"O1", 100, v⟩ ∉ modulo` for every `v`. Arithmetic faults
+/// (overflow, division issues) still surface as errors.
+pub fn solve(name: &str, inputs: &[Option<Value>]) -> RelResult<Vec<Vec<Value>>> {
+    match solve_raw(name, inputs) {
+        Err(RelError::Type(_)) => Ok(vec![]),
+        other => other,
+    }
+}
+
+/// Solve a builtin: `inputs[i] = Some(v)` means position `i` is bound to
+/// `v`. Returns complete argument tuples. The caller guarantees (via the
+/// safety analysis / planner) that a supported mode is matched; a binding
+/// pattern no mode supports yields a runtime safety error.
+pub fn solve_raw(name: &str, inputs: &[Option<Value>]) -> RelResult<Vec<Vec<Value>>> {
+    match name {
+        "rel_primitive_add" => arith3(name, inputs, f_add, i_add, i_sub_checked),
+        "rel_primitive_subtract" => arith3(name, inputs, f_sub, i_sub, i_sub_inverse),
+        "rel_primitive_multiply" => arith3(name, inputs, f_mul, i_mul, i_div_exact),
+        "rel_primitive_divide" => divide(inputs),
+        "rel_primitive_modulo" => last_free2(name, inputs, modulo),
+        "rel_primitive_power" => last_free2(name, inputs, power),
+        "rel_primitive_minimum" => last_free2(name, inputs, |a, b| {
+            Ok(if cmp_le(a, b)? { a.clone() } else { b.clone() })
+        }),
+        "rel_primitive_maximum" => last_free2(name, inputs, |a, b| {
+            Ok(if cmp_le(a, b)? { b.clone() } else { a.clone() })
+        }),
+        "rel_primitive_abs" => unary(name, inputs, |v| match v {
+            Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(overflow)?)),
+            _ => float1(v, f64::abs),
+        }),
+        "rel_primitive_natural_log" => unary(name, inputs, |v| float1(v, f64::ln)),
+        "rel_primitive_exp" => unary(name, inputs, |v| float1(v, f64::exp)),
+        "rel_primitive_sqrt" => unary(name, inputs, |v| float1(v, f64::sqrt)),
+        "rel_primitive_sin" => unary(name, inputs, |v| float1(v, f64::sin)),
+        "rel_primitive_cos" => unary(name, inputs, |v| float1(v, f64::cos)),
+        "rel_primitive_tan" => unary(name, inputs, |v| float1(v, f64::tan)),
+        "rel_primitive_floor" => unary(name, inputs, |v| match v {
+            Value::Int(i) => Ok(Value::Int(*i)),
+            _ => Ok(Value::Int(as_f64(v)?.floor() as i64)),
+        }),
+        "rel_primitive_ceil" => unary(name, inputs, |v| match v {
+            Value::Int(i) => Ok(Value::Int(*i)),
+            _ => Ok(Value::Int(as_f64(v)?.ceil() as i64)),
+        }),
+        "rel_primitive_log" => last_free2(name, inputs, |base, x| {
+            Ok(Value::float(as_f64(x)?.log(as_f64(base)?)))
+        }),
+        "rel_primitive_int_to_float" => unary(name, inputs, |v| match v {
+            Value::Int(i) => Ok(Value::float(*i as f64)),
+            other => Err(RelError::type_err(format!("int_to_float on {other}"))),
+        }),
+        "rel_primitive_float_to_int" => unary(name, inputs, |v| match v {
+            Value::Float(f) => Ok(Value::Int(f.0 as i64)),
+            Value::Int(i) => Ok(Value::Int(*i)),
+            other => Err(RelError::type_err(format!("float_to_int on {other}"))),
+        }),
+        "rel_primitive_parse_int" => unary(name, inputs, |v| match v.as_str() {
+            Some(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| RelError::type_err(format!("parse_int({s:?}): {e}"))),
+            None => Err(RelError::type_err("parse_int expects a string")),
+        }),
+        "rel_primitive_parse_float" => unary(name, inputs, |v| match v.as_str() {
+            Some(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::float)
+                .map_err(|e| RelError::type_err(format!("parse_float({s:?}): {e}"))),
+            None => Err(RelError::type_err("parse_float expects a string")),
+        }),
+        "rel_primitive_to_string" => unary(name, inputs, |v| {
+            Ok(Value::str(match v {
+                Value::String(s) => s.to_string(),
+                other => other.to_string(),
+            }))
+        }),
+        "rel_primitive_concat" => last_free2(name, inputs, |a, b| {
+            match (a.as_str(), b.as_str()) {
+                (Some(x), Some(y)) => Ok(Value::str(format!("{x}{y}"))),
+                _ => Err(RelError::type_err("concat expects strings")),
+            }
+        }),
+        "rel_primitive_string_length" => unary(name, inputs, |v| match v.as_str() {
+            Some(s) => Ok(Value::Int(s.chars().count() as i64)),
+            None => Err(RelError::type_err("string_length expects a string")),
+        }),
+        "rel_primitive_uppercase" => unary(name, inputs, |v| match v.as_str() {
+            Some(s) => Ok(Value::str(s.to_uppercase())),
+            None => Err(RelError::type_err("uppercase expects a string")),
+        }),
+        "rel_primitive_lowercase" => unary(name, inputs, |v| match v.as_str() {
+            Some(s) => Ok(Value::str(s.to_lowercase())),
+            None => Err(RelError::type_err("lowercase expects a string")),
+        }),
+        "rel_primitive_starts_with" => check2(name, inputs, |a, b| {
+            Ok(match (a.as_str(), b.as_str()) {
+                (Some(x), Some(y)) => x.starts_with(y),
+                _ => false,
+            })
+        }),
+        "rel_primitive_contains" => check2(name, inputs, |a, b| {
+            Ok(match (a.as_str(), b.as_str()) {
+                (Some(x), Some(y)) => x.contains(y),
+                _ => false,
+            })
+        }),
+        "rel_primitive_like_match" => check2(name, inputs, |s, pat| {
+            Ok(match (s.as_str(), pat.as_str()) {
+                (Some(s), Some(p)) => glob_match(p, s),
+                _ => false,
+            })
+        }),
+        "rel_primitive_substring" => substring(inputs),
+        "range" => range(inputs),
+        // Type tests.
+        "Int" => type_test(inputs, |v| matches!(v, Value::Int(_))),
+        "Float" => type_test(inputs, |v| matches!(v, Value::Float(_))),
+        "Number" => type_test(inputs, Value::is_number),
+        "String" => type_test(inputs, |v| matches!(v, Value::String(_))),
+        "Entity" => type_test(inputs, |v| matches!(v, Value::Entity(_))),
+        other => Err(RelError::internal(format!("unknown builtin `{other}`"))),
+    }
+}
+
+/// Fold step used by `reduce` fast paths: apply a named binary builtin.
+pub fn fold_step(op: &str, acc: &Value, x: &Value) -> RelResult<Value> {
+    let out = solve(op, &[Some(acc.clone()), Some(x.clone()), None])?;
+    out.into_iter()
+        .next()
+        .map(|t| t[2].clone())
+        .ok_or_else(|| RelError::Reduce(format!("`{op}` produced no result in reduce")))
+}
+
+fn overflow() -> RelError {
+    RelError::Arithmetic("integer overflow".into())
+}
+
+fn as_f64(v: &Value) -> RelResult<f64> {
+    v.as_f64()
+        .ok_or_else(|| RelError::type_err(format!("expected a number, got {v}")))
+}
+
+fn float1(v: &Value, f: impl Fn(f64) -> f64) -> RelResult<Value> {
+    Ok(Value::float(f(as_f64(v)?)))
+}
+
+fn cmp_le(a: &Value, b: &Value) -> RelResult<bool> {
+    a.numeric_cmp(b)
+        .map(|o| o != std::cmp::Ordering::Greater)
+        .ok_or_else(|| RelError::type_err(format!("cannot compare {a} and {b}")))
+}
+
+// --- numeric kernels -----------------------------------------------------
+
+fn f_add(a: f64, b: f64) -> f64 {
+    a + b
+}
+fn f_sub(a: f64, b: f64) -> f64 {
+    a - b
+}
+fn f_mul(a: f64, b: f64) -> f64 {
+    a * b
+}
+fn i_add(a: i64, b: i64) -> RelResult<i64> {
+    a.checked_add(b).ok_or_else(overflow)
+}
+fn i_sub(a: i64, b: i64) -> RelResult<i64> {
+    a.checked_sub(b).ok_or_else(overflow)
+}
+/// Inverse solve for add: given result and one operand.
+fn i_sub_checked(z: i64, a: i64) -> RelResult<Option<i64>> {
+    Ok(Some(z.checked_sub(a).ok_or_else(overflow)?))
+}
+/// Inverse solve for subtract in position patterns.
+fn i_sub_inverse(z: i64, a: i64) -> RelResult<Option<i64>> {
+    // subtract(x, y, z): given z and x, y = x − z; given z and y, x = z + y.
+    // The caller distinguishes which operand is known; see `arith3`.
+    Ok(Some(z.checked_add(a).ok_or_else(overflow)?))
+}
+fn i_mul(a: i64, b: i64) -> RelResult<i64> {
+    a.checked_mul(b).ok_or_else(overflow)
+}
+/// Inverse solve for multiply: exact division only (relation semantics:
+/// `multiply(x, y, z)` holds for integers only when the product is exact).
+fn i_div_exact(z: i64, a: i64) -> RelResult<Option<i64>> {
+    if a == 0 {
+        return Ok(None);
+    }
+    if z % a == 0 {
+        Ok(Some(z / a))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Generic ternary arithmetic solver for `op(x, y, z)` with `z = x ⊕ y`.
+///
+/// Handles all two-of-three binding patterns. Integer inputs stay integers;
+/// any float makes the result float.
+fn arith3(
+    name: &str,
+    inputs: &[Option<Value>],
+    ff: fn(f64, f64) -> f64,
+    ii: fn(i64, i64) -> RelResult<i64>,
+    inv: fn(i64, i64) -> RelResult<Option<i64>>,
+) -> RelResult<Vec<Vec<Value>>> {
+    let [x, y, z] = three(name, inputs)?;
+    match (x, y, z) {
+        (Some(x), Some(y), z_opt) => {
+            let r = match (&x, &y) {
+                (Value::Int(a), Value::Int(b)) => {
+                    if name == "rel_primitive_subtract" {
+                        Value::Int(a.checked_sub(*b).ok_or_else(overflow)?)
+                    } else {
+                        Value::Int(ii(*a, *b)?)
+                    }
+                }
+                _ => Value::float(ff(as_f64(&x)?, as_f64(&y)?)),
+            };
+            Ok(match z_opt {
+                Some(z) if !z.numeric_eq(&r) => vec![],
+                _ => vec![vec![x, y, r]],
+            })
+        }
+        (Some(x), None, Some(z)) => {
+            // Solve for y.
+            let y = solve_third(name, &z, &x, true, ff, inv)?;
+            Ok(y.map(|y| vec![vec![x, y, z]]).unwrap_or_default())
+        }
+        (None, Some(y), Some(z)) => {
+            let x = solve_third(name, &z, &y, false, ff, inv)?;
+            Ok(x.map(|x| vec![vec![x, y, z]]).unwrap_or_default())
+        }
+        _ => Err(RelError::unsafe_expr(format!(
+            "builtin `{name}` needs at least two bound arguments"
+        ))),
+    }
+}
+
+/// Solve the missing operand of a ternary arithmetic relation.
+/// `known_is_first` says whether the known operand is `x` (solving `y`).
+fn solve_third(
+    name: &str,
+    z: &Value,
+    known: &Value,
+    known_is_first: bool,
+    ff: fn(f64, f64) -> f64,
+    inv: fn(i64, i64) -> RelResult<Option<i64>>,
+) -> RelResult<Option<Value>> {
+    match (z, known) {
+        (Value::Int(zi), Value::Int(ki)) => match name {
+            "rel_primitive_add" | "rel_primitive_multiply" => {
+                // Commutative: missing = inv(z, known).
+                inv(*zi, *ki).map(|o| o.map(Value::Int))
+            }
+            "rel_primitive_subtract" => {
+                // z = x − y. Known x ⇒ y = x − z; known y ⇒ x = z + y.
+                if known_is_first {
+                    Ok(Some(Value::Int(ki.checked_sub(*zi).ok_or_else(overflow)?)))
+                } else {
+                    Ok(Some(Value::Int(zi.checked_add(*ki).ok_or_else(overflow)?)))
+                }
+            }
+            _ => Err(RelError::unsafe_expr(format!("`{name}` is not invertible"))),
+        },
+        _ => {
+            // Float solving via the inverse float op.
+            let zf = as_f64(z)?;
+            let kf = as_f64(known)?;
+            let missing = match name {
+                "rel_primitive_add" => zf - kf,
+                "rel_primitive_multiply" => {
+                    if kf == 0.0 {
+                        return Ok(None);
+                    }
+                    zf / kf
+                }
+                "rel_primitive_subtract" => {
+                    if known_is_first {
+                        kf - zf
+                    } else {
+                        zf + kf
+                    }
+                }
+                _ => return Err(RelError::unsafe_expr(format!("`{name}` is not invertible"))),
+            };
+            // Verify (guards against float edge cases).
+            let (x, y) = if known_is_first { (kf, missing) } else { (missing, kf) };
+            if ff(x, y) == zf {
+                Ok(Some(Value::float(missing)))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Division: `divide(x, y, z)`, `z = x / y`. Exact integer division stays
+/// integral (the paper's `(x-x%10)/10`); inexact integer division promotes
+/// to float (so `avg` is exact); division by zero yields no tuple.
+fn divide(inputs: &[Option<Value>]) -> RelResult<Vec<Vec<Value>>> {
+    let [x, y, z] = three("rel_primitive_divide", inputs)?;
+    match (x, y, z) {
+        (Some(x), Some(y), z_opt) => {
+            let r = match (&x, &y) {
+                (Value::Int(a), Value::Int(b)) => {
+                    if *b == 0 {
+                        return Ok(vec![]);
+                    }
+                    if a % b == 0 {
+                        Value::Int(a / b)
+                    } else {
+                        Value::float(*a as f64 / *b as f64)
+                    }
+                }
+                _ => {
+                    let d = as_f64(&y)?;
+                    if d == 0.0 {
+                        return Ok(vec![]);
+                    }
+                    Value::float(as_f64(&x)? / d)
+                }
+            };
+            Ok(match z_opt {
+                Some(z) if !z.numeric_eq(&r) => vec![],
+                _ => vec![vec![x, y, r]],
+            })
+        }
+        (Some(x), None, Some(z)) => {
+            // y = x / z (float only; integer inverse is ambiguous).
+            let zf = as_f64(&z)?;
+            if zf == 0.0 {
+                return Ok(vec![]);
+            }
+            let y = Value::float(as_f64(&x)? / zf);
+            Ok(vec![vec![x, y, z]])
+        }
+        (None, Some(y), Some(z)) => {
+            let x = Value::float(as_f64(&z)? * as_f64(&y)?);
+            Ok(vec![vec![x, y, z]])
+        }
+        _ => Err(RelError::unsafe_expr(
+            "`divide` needs at least two bound arguments",
+        )),
+    }
+}
+
+fn modulo(a: &Value, b: &Value) -> RelResult<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => {
+            if *y == 0 {
+                // modulo(x, 0, z) holds for no z.
+                Err(RelError::Type("modulo by zero".into()))
+            } else {
+                Ok(Value::Int(x.rem_euclid(*y)))
+            }
+        }
+        _ => {
+            let d = as_f64(b)?;
+            if d == 0.0 {
+                Err(RelError::Type("modulo by zero".into()))
+            } else {
+                Ok(Value::float(as_f64(a)?.rem_euclid(d)))
+            }
+        }
+    }
+}
+
+fn power(a: &Value, b: &Value) -> RelResult<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) if *y >= 0 && *y <= u32::MAX as i64 => Ok(Value::Int(
+            x.checked_pow(*y as u32).ok_or_else(overflow)?,
+        )),
+        _ => Ok(Value::float(as_f64(a)?.powf(as_f64(b)?))),
+    }
+}
+
+/// `substring(s, from, to, out)` — 1-based inclusive character range.
+fn substring(inputs: &[Option<Value>]) -> RelResult<Vec<Vec<Value>>> {
+    if inputs.len() != 4 {
+        return Err(RelError::internal("substring expects 4 arguments"));
+    }
+    let (Some(s), Some(from), Some(to)) = (&inputs[0], &inputs[1], &inputs[2]) else {
+        return Err(RelError::unsafe_expr("substring needs s, from, to bound"));
+    };
+    let (Some(s), Some(from), Some(to)) = (s.as_str(), from.as_int(), to.as_int()) else {
+        return Err(RelError::type_err("substring expects (string, int, int)"));
+    };
+    if from < 1 || to < from {
+        return Ok(vec![]);
+    }
+    let chars: Vec<char> = s.chars().collect();
+    if to as usize > chars.len() {
+        return Ok(vec![]);
+    }
+    let out: String = chars[(from - 1) as usize..to as usize].iter().collect();
+    let result = Value::str(out);
+    match &inputs[3] {
+        Some(v) if *v != result => Ok(vec![]),
+        _ => Ok(vec![vec![
+            inputs[0].clone().expect("checked"),
+            inputs[1].clone().expect("checked"),
+            inputs[2].clone().expect("checked"),
+            result,
+        ]]),
+    }
+}
+
+/// `range(lo, hi, step, out)`: `out ∈ {lo, lo+step, …} ∩ [lo, hi]`.
+fn range(inputs: &[Option<Value>]) -> RelResult<Vec<Vec<Value>>> {
+    if inputs.len() != 4 {
+        return Err(RelError::internal("range expects 4 arguments"));
+    }
+    let (Some(lo), Some(hi), Some(step)) = (&inputs[0], &inputs[1], &inputs[2]) else {
+        return Err(RelError::unsafe_expr("range needs lo, hi, step bound"));
+    };
+    let (Some(lo), Some(hi), Some(step)) = (lo.as_int(), hi.as_int(), step.as_int()) else {
+        return Err(RelError::type_err("range expects integer bounds"));
+    };
+    if step <= 0 {
+        return Err(RelError::Arithmetic("range step must be positive".into()));
+    }
+    let emit = |v: i64| {
+        vec![
+            Value::Int(lo),
+            Value::Int(hi),
+            Value::Int(step),
+            Value::Int(v),
+        ]
+    };
+    match &inputs[3] {
+        Some(out) => {
+            let Some(o) = out.as_int() else { return Ok(vec![]) };
+            if o >= lo && o <= hi && (o - lo) % step == 0 {
+                Ok(vec![emit(o)])
+            } else {
+                Ok(vec![])
+            }
+        }
+        None => {
+            let mut out = Vec::new();
+            let mut v = lo;
+            while v <= hi {
+                out.push(emit(v));
+                v += step;
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn three(name: &str, inputs: &[Option<Value>]) -> RelResult<[Option<Value>; 3]> {
+    if inputs.len() != 3 {
+        return Err(RelError::internal(format!(
+            "builtin `{name}` expects 3 arguments, got {}",
+            inputs.len()
+        )));
+    }
+    Ok([inputs[0].clone(), inputs[1].clone(), inputs[2].clone()])
+}
+
+/// Binary function with the last position free-or-check.
+fn last_free2(
+    name: &str,
+    inputs: &[Option<Value>],
+    f: impl Fn(&Value, &Value) -> RelResult<Value>,
+) -> RelResult<Vec<Vec<Value>>> {
+    match inputs {
+        [Some(a), Some(b), out] => {
+            let r = f(a, b)?;
+            Ok(match out {
+                Some(z) if !z.numeric_eq(&r) => vec![],
+                _ => vec![vec![a.clone(), b.clone(), r]],
+            })
+        }
+        _ => Err(RelError::unsafe_expr(format!(
+            "builtin `{name}` needs its first two arguments bound"
+        ))),
+    }
+}
+
+/// Unary function: `f(in) = out`.
+fn unary(
+    name: &str,
+    inputs: &[Option<Value>],
+    f: impl Fn(&Value) -> RelResult<Value>,
+) -> RelResult<Vec<Vec<Value>>> {
+    match inputs {
+        [Some(a), out] => {
+            let r = f(a)?;
+            Ok(match out {
+                Some(z) if !z.numeric_eq(&r) => vec![],
+                _ => vec![vec![a.clone(), r]],
+            })
+        }
+        _ => Err(RelError::unsafe_expr(format!(
+            "builtin `{name}` needs its argument bound"
+        ))),
+    }
+}
+
+/// Binary check (no outputs).
+fn check2(
+    name: &str,
+    inputs: &[Option<Value>],
+    f: impl Fn(&Value, &Value) -> RelResult<bool>,
+) -> RelResult<Vec<Vec<Value>>> {
+    match inputs {
+        [Some(a), Some(b)] => Ok(if f(a, b)? {
+            vec![vec![a.clone(), b.clone()]]
+        } else {
+            vec![]
+        }),
+        _ => Err(RelError::unsafe_expr(format!(
+            "builtin `{name}` needs both arguments bound"
+        ))),
+    }
+}
+
+fn type_test(inputs: &[Option<Value>], f: impl Fn(&Value) -> bool) -> RelResult<Vec<Vec<Value>>> {
+    match inputs {
+        [Some(v)] => Ok(if f(v) { vec![vec![v.clone()]] } else { vec![] }),
+        _ => Err(RelError::unsafe_expr(
+            "type tests need their argument bound",
+        )),
+    }
+}
+
+/// Anchored glob matching with `*` (any sequence) and `?` (one char).
+fn glob_match(pattern: &str, s: &str) -> bool {
+    fn rec(p: &[char], s: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some(('*', rest)) => (0..=s.len()).any(|i| rec(rest, &s[i..])),
+            Some(('?', rest)) => !s.is_empty() && rec(rest, &s[1..]),
+            Some((c, rest)) => s.first() == Some(c) && rec(rest, &s[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let sc: Vec<char> = s.chars().collect();
+    rec(&p, &sc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn some(v: i64) -> Option<Value> {
+        Some(Value::Int(v))
+    }
+
+    #[test]
+    fn add_forward_and_inverse() {
+        // add(2, 3, ?) = 5
+        let r = solve("rel_primitive_add", &[some(2), some(3), None]).unwrap();
+        assert_eq!(r, vec![vec![Value::int(2), Value::int(3), Value::int(5)]]);
+        // add(?, 5, 15): x = 10 — the DiscountedproductPrice pattern.
+        let r = solve("rel_primitive_add", &[None, some(5), some(15)]).unwrap();
+        assert_eq!(r[0][0], Value::int(10));
+        // add(2, 3, 6): no tuple.
+        let r = solve("rel_primitive_add", &[some(2), some(3), some(6)]).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn subtract_inverses() {
+        // subtract(j, 1, t): given t=4 solve j=5 (x free: x = z + y).
+        let r = solve("rel_primitive_subtract", &[None, some(1), some(4)]).unwrap();
+        assert_eq!(r[0][0], Value::int(5));
+        // given x=5 solve y: y = x − z = 1.
+        let r = solve("rel_primitive_subtract", &[some(5), None, some(4)]).unwrap();
+        assert_eq!(r[0][1], Value::int(1));
+    }
+
+    #[test]
+    fn multiply_exact_inverse_only() {
+        let r = solve("rel_primitive_multiply", &[some(3), None, some(12)]).unwrap();
+        assert_eq!(r[0][1], Value::int(4));
+        let r = solve("rel_primitive_multiply", &[some(3), None, some(13)]).unwrap();
+        assert!(r.is_empty());
+        let r = solve("rel_primitive_multiply", &[some(0), None, some(5)]).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn mixed_int_float_promotes() {
+        let r = solve(
+            "rel_primitive_add",
+            &[Some(Value::float(0.5)), some(1), None],
+        )
+        .unwrap();
+        assert_eq!(r[0][2], Value::float(1.5));
+    }
+
+    #[test]
+    fn integer_division_truncates() {
+        // (x - x%10)/10 for x = 57: (57-7)/10 = 5.
+        let r = solve("rel_primitive_divide", &[some(50), some(10), None]).unwrap();
+        assert_eq!(r[0][2], Value::int(5));
+        let r = solve("rel_primitive_divide", &[some(1), some(0), None]).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn modulo_psychological_pricing() {
+        // 199 % 100 = 99 (§3.2).
+        let r = solve("rel_primitive_modulo", &[some(199), some(100), None]).unwrap();
+        assert_eq!(r[0][2], Value::int(99));
+    }
+
+    #[test]
+    fn range_enumerates() {
+        let r = range(&[some(1), some(4), some(1), None]).unwrap();
+        let outs: Vec<i64> = r.iter().map(|t| t[3].as_int().unwrap()).collect();
+        assert_eq!(outs, vec![1, 2, 3, 4]);
+        // check mode
+        let r = range(&[some(1), some(4), some(2), some(3)]).unwrap();
+        assert_eq!(r.len(), 1);
+        let r = range(&[some(1), some(4), some(2), some(2)]).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn type_tests() {
+        assert_eq!(solve("Int", &[some(3)]).unwrap().len(), 1);
+        assert!(solve("Int", &[Some(Value::str("x"))]).unwrap().is_empty());
+        assert_eq!(solve("String", &[Some(Value::str("x"))]).unwrap().len(), 1);
+        assert_eq!(solve("Number", &[Some(Value::float(1.0))]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn min_max() {
+        let r = solve("rel_primitive_minimum", &[some(3), some(7), None]).unwrap();
+        assert_eq!(r[0][2], Value::int(3));
+        let r = solve("rel_primitive_maximum", &[some(3), some(7), None]).unwrap();
+        assert_eq!(r[0][2], Value::int(7));
+    }
+
+    #[test]
+    fn strings() {
+        let r = solve(
+            "rel_primitive_concat",
+            &[Some(Value::str("ab")), Some(Value::str("cd")), None],
+        )
+        .unwrap();
+        assert_eq!(r[0][2], Value::str("abcd"));
+        let r = solve("rel_primitive_string_length", &[Some(Value::str("héllo")), None]).unwrap();
+        assert_eq!(r[0][1], Value::int(5));
+    }
+
+    #[test]
+    fn glob() {
+        assert!(glob_match("P*", "Pmt1"));
+        assert!(glob_match("?1", "P1"));
+        assert!(!glob_match("P?", "Pmt1"));
+        assert!(glob_match("*", ""));
+    }
+
+    #[test]
+    fn fold_step_works() {
+        let v = fold_step("rel_primitive_add", &Value::int(10), &Value::int(5)).unwrap();
+        assert_eq!(v, Value::int(15));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let r = solve("rel_primitive_add", &[some(i64::MAX), some(1), None]);
+        assert!(matches!(r, Err(RelError::Arithmetic(_))));
+    }
+}

@@ -1,0 +1,215 @@
+//! Evaluation environments: partial assignments of rule variables to
+//! values (first-order) or sub-tuples (tuple variables, §4.1).
+
+use rel_core::{Tuple, Value};
+use rel_sema::ir::{AbsParam, Term, Var};
+
+/// A binding for one variable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum EnvVal {
+    /// First-order value.
+    Val(Value),
+    /// Tuple-variable binding (any length, including empty).
+    Tup(Vec<Value>),
+}
+
+/// A partial assignment of the rule's variables. Slot `i` holds the
+/// binding of variable `i` (variables are rule-local and densely
+/// numbered).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub struct Env {
+    slots: Vec<Option<EnvVal>>,
+}
+
+impl Env {
+    /// An environment with `n` unbound slots.
+    pub fn new(n: usize) -> Self {
+        Env { slots: vec![None; n] }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when there are no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Get a binding.
+    pub fn get(&self, v: Var) -> Option<&EnvVal> {
+        self.slots.get(v as usize).and_then(Option::as_ref)
+    }
+
+    /// Is `v` bound?
+    pub fn is_bound(&self, v: Var) -> bool {
+        self.get(v).is_some()
+    }
+
+    /// Bind `v` (overwrites; callers check conflicts first).
+    pub fn bind(&mut self, v: Var, val: EnvVal) {
+        let idx = v as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx] = Some(val);
+    }
+
+    /// Remove the binding of `v`.
+    pub fn unbind(&mut self, v: Var) {
+        if let Some(slot) = self.slots.get_mut(v as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Remove every binding in the variable-id range `[lo, hi)` —
+    /// closing a lexical scope (quantifier or abstraction).
+    pub fn unbind_range(&mut self, lo: Var, hi: Var) {
+        for v in lo..hi.min(self.slots.len() as Var) {
+            self.slots[v as usize] = None;
+        }
+    }
+
+    /// First-order value of `v`, if bound to one.
+    pub fn value(&self, v: Var) -> Option<&Value> {
+        match self.get(v) {
+            Some(EnvVal::Val(val)) => Some(val),
+            _ => None,
+        }
+    }
+
+    /// The concrete value of a term under this environment.
+    pub fn term_value(&self, t: &Term) -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => self.value(*v).cloned(),
+            Term::TupleVar(_) => None,
+        }
+    }
+
+    /// Is the term ground under this environment?
+    pub fn term_bound(&self, t: &Term) -> bool {
+        match t {
+            Term::Const(_) => true,
+            Term::Var(v) | Term::TupleVar(v) => self.is_bound(*v),
+        }
+    }
+
+    /// Append the values a term denotes to `out` (tuple variables splice
+    /// their whole sub-tuple). Returns `false` when unbound.
+    pub fn splice_term(&self, t: &Term, out: &mut Vec<Value>) -> bool {
+        match t {
+            Term::Const(c) => {
+                out.push(c.clone());
+                true
+            }
+            Term::Var(v) => match self.get(*v) {
+                Some(EnvVal::Val(val)) => {
+                    out.push(val.clone());
+                    true
+                }
+                _ => false,
+            },
+            Term::TupleVar(v) => match self.get(*v) {
+                Some(EnvVal::Tup(vals)) => {
+                    out.extend(vals.iter().cloned());
+                    true
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Build the head tuple for a parameter list (all parameters must be
+    /// bound). Returns `None` when something is unbound.
+    pub fn head_tuple(&self, params: &[AbsParam]) -> Option<Tuple> {
+        let mut vals = Vec::with_capacity(params.len());
+        for p in params {
+            match p {
+                AbsParam::Fixed(c) => vals.push(c.clone()),
+                AbsParam::Val(v) | AbsParam::In(v, _) => match self.get(*v) {
+                    Some(EnvVal::Val(val)) => vals.push(val.clone()),
+                    _ => return None,
+                },
+                AbsParam::Tup(v) => match self.get(*v) {
+                    Some(EnvVal::Tup(t)) => vals.extend(t.iter().cloned()),
+                    _ => return None,
+                },
+            }
+        }
+        Some(Tuple::from(vals))
+    }
+
+    /// A copy with all bindings in `[lo, hi)` cleared — the group key used
+    /// by scoped open evaluation (aggregation grouping).
+    pub fn cleared(&self, lo: Var, hi: Var) -> Env {
+        let mut e = self.clone();
+        e.unbind_range(lo, hi);
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::Value;
+
+    #[test]
+    fn bind_get_unbind() {
+        let mut e = Env::new(3);
+        assert!(!e.is_bound(1));
+        e.bind(1, EnvVal::Val(Value::int(7)));
+        assert_eq!(e.value(1), Some(&Value::int(7)));
+        e.unbind(1);
+        assert!(!e.is_bound(1));
+    }
+
+    #[test]
+    fn bind_grows() {
+        let mut e = Env::new(1);
+        e.bind(5, EnvVal::Val(Value::int(1)));
+        assert!(e.is_bound(5));
+    }
+
+    #[test]
+    fn unbind_range_clears_scope() {
+        let mut e = Env::new(6);
+        for v in 0..6 {
+            e.bind(v, EnvVal::Val(Value::int(v as i64)));
+        }
+        e.unbind_range(2, 5);
+        assert!(e.is_bound(0) && e.is_bound(1) && e.is_bound(5));
+        assert!(!e.is_bound(2) && !e.is_bound(3) && !e.is_bound(4));
+    }
+
+    #[test]
+    fn splice_tuple_var() {
+        let mut e = Env::new(2);
+        e.bind(0, EnvVal::Tup(vec![Value::int(1), Value::int(2)]));
+        e.bind(1, EnvVal::Val(Value::int(3)));
+        let mut out = Vec::new();
+        assert!(e.splice_term(&Term::TupleVar(0), &mut out));
+        assert!(e.splice_term(&Term::Var(1), &mut out));
+        assert_eq!(out, vec![Value::int(1), Value::int(2), Value::int(3)]);
+    }
+
+    #[test]
+    fn head_tuple_with_fixed() {
+        let mut e = Env::new(1);
+        e.bind(0, EnvVal::Val(Value::str("O1")));
+        let params = vec![AbsParam::Fixed(Value::int(0)), AbsParam::Val(0)];
+        let t = e.head_tuple(&params).unwrap();
+        assert_eq!(t.values(), &[Value::int(0), Value::str("O1")]);
+    }
+
+    #[test]
+    fn cleared_is_group_key() {
+        let mut e = Env::new(4);
+        e.bind(0, EnvVal::Val(Value::int(1)));
+        e.bind(2, EnvVal::Val(Value::int(2)));
+        let g = e.cleared(1, 4);
+        assert!(g.is_bound(0));
+        assert!(!g.is_bound(2));
+    }
+}

@@ -1,0 +1,1831 @@
+//! The core evaluator: formula evaluation over environment batches
+//! (with greedy sideways-information-passing scheduling) and **open
+//! expression evaluation** (relation-valued expressions that may bind
+//! their own free variables — the mechanism behind grouped aggregation,
+//! demand-driven predicates, and generator-style `where`).
+//!
+//! A rule `def p(params) : body` is evaluated by running the body's
+//! generating part as a formula over a seed environment, then evaluating
+//! the value part per resulting environment and emitting
+//! `⟨params⟩ · value-tuple` head tuples (Fig. 3 of the paper).
+
+use crate::builtins;
+use crate::env::{Env, EnvVal};
+use rel_core::{Name, RelError, RelResult, Relation, Tuple, Value};
+use rel_sema::builtins as bsig;
+use rel_sema::ir::{AbsParam, EvalMode, Formula, Module, RExpr, Rule, Term, Var};
+use rel_syntax::ast::CmpOp;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Cap on demand-evaluation recursion depth (`addUp`-style top-down
+/// recursion).
+const DEMAND_DEPTH_CAP: usize = 100_000;
+
+/// Schedulability verdict for one conjunct.
+enum Sched {
+    /// Cannot run yet (needs more bound variables).
+    No,
+    /// Runs without binding anything new — run as early as possible.
+    Filter,
+    /// Runs and binds new variables, with an estimated cost.
+    Generate(u64),
+}
+
+/// Evaluation context: the module, the current state of all materialized
+/// relations, and caches.
+pub struct EvalCtx<'a> {
+    /// Analyzed program.
+    pub module: &'a Module,
+    /// Current relation values: EDB ∪ materialized IDB (plus semi-naive
+    /// `Δp` / `old§p` overlays during fixpoints).
+    pub rels: &'a BTreeMap<Name, Relation>,
+    /// Demand-evaluation memo: (pred, bound prefix) → full head tuples.
+    demand_memo: RefCell<HashMap<DemandKey, Rc<Relation>>>,
+    /// Demand stack for cycle detection.
+    demand_stack: RefCell<Vec<DemandKey>>,
+    /// Lazy hash indexes: (pred, key positions + arity) → key → tuples.
+    indexes: RefCell<IndexCache>,
+}
+
+/// Key of a demand-evaluation memo entry: predicate and bound prefix.
+type DemandKey = (Name, Vec<Value>);
+/// A hash index from key values to matching tuples.
+type TupleIndex = HashMap<Vec<Value>, Vec<Tuple>>;
+/// Cache of per-(predicate, key-positions) indexes.
+type IndexCache = HashMap<(Name, Vec<usize>), Rc<TupleIndex>>;
+
+impl<'a> EvalCtx<'a> {
+    /// New context over the given relation state.
+    pub fn new(module: &'a Module, rels: &'a BTreeMap<Name, Relation>) -> Self {
+        EvalCtx {
+            module,
+            rels,
+            demand_memo: RefCell::new(HashMap::new()),
+            demand_stack: RefCell::new(Vec::new()),
+            indexes: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn relation(&self, pred: &Name) -> Relation {
+        self.rels.get(pred).cloned().unwrap_or_default()
+    }
+
+    fn pred_mode(&self, pred: &Name) -> EvalMode {
+        self.module
+            .pred_info
+            .get(pred)
+            .map(|i| i.mode.clone())
+            .unwrap_or(EvalMode::Materialize)
+    }
+
+    fn is_demand(&self, pred: &Name) -> Option<usize> {
+        match self.pred_mode(pred) {
+            EvalMode::Demand { bound_prefix } => Some(bound_prefix),
+            EvalMode::Materialize => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rules
+    // ------------------------------------------------------------------
+
+    /// Evaluate one rule from a seed environment, returning full head
+    /// tuples.
+    pub fn eval_rule(&self, rule: &Rule, seed: Env) -> RelResult<Relation> {
+        let mut out = Relation::new();
+        self.eval_rule_into(rule, &rule.body, seed, &mut out)?;
+        Ok(out)
+    }
+
+    fn eval_rule_into(
+        &self,
+        rule: &Rule,
+        body: &RExpr,
+        seed: Env,
+        out: &mut Relation,
+    ) -> RelResult<()> {
+        let mut gen: Vec<Formula> = Vec::new();
+        for p in &rule.params {
+            if let AbsParam::In(v, dom) = p {
+                gen.push(Formula::Member { term: Term::Var(*v), of: dom.clone() });
+            }
+        }
+        match body {
+            RExpr::Union(branches) => {
+                for br in branches {
+                    self.eval_rule_into(rule, br, seed.clone(), out)?;
+                }
+                Ok(())
+            }
+            RExpr::OfFormula(f) => {
+                gen.push((**f).clone());
+                let envs = self.eval_formula(&Formula::conj(gen), vec![seed])?;
+                for env in envs {
+                    if let Some(t) = env.head_tuple(&rule.params) {
+                        out.insert(t);
+                    }
+                }
+                Ok(())
+            }
+            RExpr::Where { body: inner, cond } => {
+                gen.push((**cond).clone());
+                let envs = self.eval_formula(&Formula::conj(gen), vec![seed])?;
+                for env in envs {
+                    for (env2, rel) in self.eval_open(inner, &env)? {
+                        self.emit(&rule.params, &env2, &rel, out)?;
+                    }
+                }
+                Ok(())
+            }
+            other => {
+                let envs = self.eval_formula(&Formula::conj(gen), vec![seed])?;
+                for env in envs {
+                    for (env2, rel) in self.eval_open(other, &env)? {
+                        self.emit(&rule.params, &env2, &rel, out)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn emit(
+        &self,
+        params: &[AbsParam],
+        env: &Env,
+        rel: &Relation,
+        out: &mut Relation,
+    ) -> RelResult<()> {
+        if rel.is_empty() {
+            return Ok(());
+        }
+        let Some(head) = env.head_tuple(params) else {
+            return Err(RelError::internal(
+                "rule head variable unbound at emission (safety analysis gap)",
+            ));
+        };
+        for t in rel.iter() {
+            out.insert(head.concat(t));
+        }
+        Ok(())
+    }
+
+    /// Demand-driven (tabled) evaluation of a predicate with a bound
+    /// prefix. Returns full head tuples whose first columns equal `prefix`.
+    pub fn eval_demand(&self, pred: &Name, prefix: &[Value]) -> RelResult<Rc<Relation>> {
+        let key = (pred.clone(), prefix.to_vec());
+        if let Some(hit) = self.demand_memo.borrow().get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        {
+            let stack = self.demand_stack.borrow();
+            if stack.contains(&key) {
+                return Err(RelError::Stratify(format!(
+                    "cyclic demand-driven recursion on `{pred}` with arguments {prefix:?} \
+                     (top-down evaluation requires acyclic demands)"
+                )));
+            }
+            if stack.len() > DEMAND_DEPTH_CAP {
+                return Err(RelError::Divergent {
+                    relation: pred.to_string(),
+                    iterations: DEMAND_DEPTH_CAP,
+                });
+            }
+        }
+        self.demand_stack.borrow_mut().push(key.clone());
+        let result = (|| {
+            let mut out = Relation::new();
+            for rule in self.module.rules_for(pred) {
+                let mut seed = Env::new(rule.vars.len());
+                let mut ok = true;
+                for (p, v) in rule.params.iter().zip(prefix) {
+                    match p {
+                        AbsParam::Fixed(c) => {
+                            if !c.numeric_eq(v) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        AbsParam::Val(var) | AbsParam::In(var, _) => {
+                            // Repeated head variables must receive equal
+                            // prefix values.
+                            if let Some(existing) = seed.value(*var) {
+                                if existing != v {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            seed.bind(*var, EnvVal::Val(v.clone()));
+                        }
+                        AbsParam::Tup(_) => {
+                            return Err(RelError::unsafe_expr(format!(
+                                "demand evaluation of `{pred}` through a tuple-variable \
+                                 parameter is not supported"
+                            )));
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                out.absorb(&self.eval_rule(rule, seed)?);
+            }
+            // Keep only tuples actually matching the prefix (Fixed params
+            // already filtered; In-domains may have narrowed).
+            let filtered: Relation =
+                out.into_tuples().into_iter().filter(|t| t.starts_with(prefix)).collect();
+            Ok(Rc::new(filtered))
+        })();
+        self.demand_stack.borrow_mut().pop();
+        let rel = result?;
+        self.demand_memo.borrow_mut().insert(key, Rc::clone(&rel));
+        Ok(rel)
+    }
+
+    /// Membership check for a demand predicate against a fully ground
+    /// value tuple. Handles tuple-variable parameters by enumerating the
+    /// splits of `values` over the parameter list.
+    fn demand_check(&self, pred: &Name, values: &[Value]) -> RelResult<bool> {
+        let full = Tuple::from(values.to_vec());
+        for rule in self.module.rules_for(pred) {
+            let terms: Vec<Term> = rule
+                .params
+                .iter()
+                .map(|p| match p {
+                    AbsParam::Val(v) | AbsParam::In(v, _) => Term::Var(*v),
+                    AbsParam::Tup(v) => Term::TupleVar(*v),
+                    AbsParam::Fixed(c) => Term::Const(c.clone()),
+                })
+                .collect();
+            let mut seeds = Vec::new();
+            rec_match(&terms, values, &Env::new(rule.vars.len()), &mut seeds);
+            for (seed, suffix) in seeds {
+                if !suffix.is_empty() {
+                    continue;
+                }
+                if self.eval_rule(rule, seed)?.contains(&full) {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Formulas
+    // ------------------------------------------------------------------
+
+    /// Evaluate a formula as a generator/filter over environments.
+    pub fn eval_formula(&self, f: &Formula, envs: Vec<Env>) -> RelResult<Vec<Env>> {
+        if envs.is_empty() {
+            return Ok(envs);
+        }
+        match f {
+            Formula::True => Ok(envs),
+            Formula::False => Ok(vec![]),
+            Formula::Conj(items) => self.eval_conj(items, envs),
+            Formula::Disj(branches) => {
+                let mut out: BTreeSet<Env> = BTreeSet::new();
+                for br in branches {
+                    out.extend(self.eval_formula(br, envs.clone())?);
+                }
+                Ok(out.into_iter().collect())
+            }
+            Formula::Not(inner) => {
+                let mut out = Vec::with_capacity(envs.len());
+                for env in envs {
+                    if self.eval_formula(inner, vec![env.clone()])?.is_empty() {
+                        out.push(env);
+                    }
+                }
+                Ok(out)
+            }
+            Formula::Atom(a) => self.exec_atom(&a.pred, &a.args, envs),
+            Formula::DynAtom { rel, args } => {
+                let mut out = Vec::new();
+                for env in envs {
+                    for (env1, r) in self.eval_open(rel, &env)? {
+                        for t in r.iter() {
+                            for (env2, suffix) in self.match_prefix(args, t, &env1) {
+                                if suffix.is_empty() {
+                                    out.push(env2);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Formula::Member { term, of } => self.exec_member(term, of, envs),
+            Formula::Cmp { op, lhs, rhs } => self.exec_cmp(*op, lhs, rhs, envs),
+            Formula::Exists { body, intro, .. } => {
+                let inner = self.eval_formula(body, envs)?;
+                let mut out: BTreeSet<Env> = BTreeSet::new();
+                for mut env in inner {
+                    env.unbind_range(intro.0, intro.1);
+                    out.insert(env);
+                }
+                Ok(out.into_iter().collect())
+            }
+            Formula::OfExpr(e) => {
+                let mut out = Vec::new();
+                for env in envs {
+                    for (env1, rel) in self.eval_open(e, &env)? {
+                        if rel.is_true() {
+                            out.push(env1);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Greedy scheduling of a conjunction: filters first, then the
+    /// smallest-relation generator; stuck scheduling is a bug the safety
+    /// analysis should have caught.
+    fn eval_conj(&self, items: &[Formula], mut envs: Vec<Env>) -> RelResult<Vec<Env>> {
+        let mut pending: Vec<&Formula> = Vec::with_capacity(items.len());
+        fn flatten<'x>(items: &'x [Formula], out: &mut Vec<&'x Formula>) {
+            for f in items {
+                match f {
+                    Formula::Conj(inner) => flatten(inner, out),
+                    other => out.push(other),
+                }
+            }
+        }
+        flatten(items, &mut pending);
+
+        while !pending.is_empty() {
+            if envs.is_empty() {
+                return Ok(envs);
+            }
+            let bound = batch_bound(&envs);
+            // Choose the next conjunct: prefer pure filters, then the
+            // cheapest generator. Negations must wait until no *other*
+            // pending conjunct can still bind one of their variables —
+            // running `not S(x)` before `R(x)` binds `x` would negate the
+            // wrong thing.
+            let mut choice: Option<(usize, u64)> = None; // (index, cost)
+            for (i, f) in pending.iter().enumerate() {
+                if let Formula::Not(inner) = f {
+                    let mut inner_refs = BTreeSet::new();
+                    formula_refs(inner, &mut inner_refs);
+                    let mut others = BTreeSet::new();
+                    for (j, g) in pending.iter().enumerate() {
+                        if j != i && !matches!(g, Formula::Not(_)) {
+                            formula_refs(g, &mut others);
+                        }
+                    }
+                    if inner_refs.intersection(&others).any(|v| !bound.contains(v)) {
+                        continue; // defer: a shared variable is still free
+                    }
+                }
+                match self.schedule(f, &bound) {
+                    Sched::No => {}
+                    Sched::Filter => {
+                        choice = Some((i, 0));
+                        break;
+                    }
+                    Sched::Generate(cost) => {
+                        if choice.map(|(_, c)| cost < c).unwrap_or(true) {
+                            choice = Some((i, cost.max(1)));
+                        }
+                    }
+                }
+            }
+            let Some((idx, _)) = choice else {
+                return Err(RelError::internal(format!(
+                    "evaluation stuck: no conjunct schedulable among {} pending \
+                     (safety analysis gap)",
+                    pending.len()
+                )));
+            };
+            let f = pending.remove(idx);
+            envs = self.eval_formula(f, envs)?;
+        }
+        Ok(envs)
+    }
+
+    // ------------------------------------------------------------------
+    // Conjunct scheduling (abstract, mirrors rel-sema::safety)
+    // ------------------------------------------------------------------
+
+    fn schedule(&self, f: &Formula, bound: &BTreeSet<Var>) -> Sched {
+        match self.sched_newly(f, bound) {
+            None => Sched::No,
+            Some(newly) if newly.is_empty() => Sched::Filter,
+            Some(_) => Sched::Generate(self.cost_estimate(f)),
+        }
+    }
+
+    fn cost_estimate(&self, f: &Formula) -> u64 {
+        match f {
+            Formula::Atom(a) => match self.rels.get(&a.pred) {
+                Some(r) => r.len() as u64,
+                None => {
+                    if bsig::is_builtin(&a.pred) {
+                        8
+                    } else if self.is_demand(&a.pred).is_some() {
+                        64
+                    } else {
+                        0
+                    }
+                }
+            },
+            Formula::Member { of, .. } => match &**of {
+                RExpr::Pred(p) => self.rels.get(p).map(|r| r.len() as u64).unwrap_or(16),
+                _ => 32,
+            },
+            Formula::Cmp { .. } => 4,
+            _ => 128,
+        }
+    }
+
+    /// Abstract schedulability: `None` = cannot run; `Some(newly)` = runs
+    /// binding `newly`. Mirrors `rel_sema::safety::Cx::try_run`.
+    fn sched_newly(&self, f: &Formula, bound: &BTreeSet<Var>) -> Option<BTreeSet<Var>> {
+        match f {
+            Formula::True | Formula::False => Some(BTreeSet::new()),
+            Formula::Conj(items) => {
+                let mut b = bound.clone();
+                let mut pending: Vec<&Formula> = items.iter().collect();
+                while !pending.is_empty() {
+                    let before = pending.len();
+                    pending.retain(|g| match self.sched_newly(g, &b) {
+                        Some(n) => {
+                            b.extend(n);
+                            false
+                        }
+                        None => true,
+                    });
+                    if pending.len() == before {
+                        return None;
+                    }
+                }
+                Some(&b - bound)
+            }
+            Formula::Disj(branches) => {
+                let mut common: Option<BTreeSet<Var>> = None;
+                for br in branches {
+                    let n = self.sched_newly(br, bound)?;
+                    common = Some(match common {
+                        None => n,
+                        Some(c) => &c & &n,
+                    });
+                }
+                Some(common.unwrap_or_default())
+            }
+            Formula::Not(inner) => {
+                self.sched_newly(inner, bound)?;
+                Some(BTreeSet::new())
+            }
+            Formula::Atom(a) => self.sched_atom(&a.pred, &a.args, bound),
+            Formula::DynAtom { rel, args } => {
+                self.sched_expr(rel, bound)?;
+                Some(new_vars(args, bound))
+            }
+            Formula::Member { term, of } => match &**of {
+                RExpr::Pred(p) => {
+                    if let Some(sig) = bsig::lookup(p) {
+                        return (sig.type_test && term_bound_in(term, bound))
+                            .then(BTreeSet::new);
+                    }
+                    Some(new_vars(std::slice::from_ref(term), bound))
+                }
+                other => {
+                    let mut n = self.sched_expr(other, bound)?;
+                    n.extend(new_vars(std::slice::from_ref(term), bound));
+                    Some(n)
+                }
+            },
+            Formula::Cmp { op, lhs, rhs } => {
+                let l = self.sched_expr(lhs, bound);
+                let r = self.sched_expr(rhs, bound);
+                match (l, r) {
+                    (Some(a), Some(b)) => Some(a.union(&b).copied().collect()),
+                    (l, r) if *op == CmpOp::Eq => {
+                        if let (RExpr::Singleton(ts), Some(rb)) = (&**lhs, &r) {
+                            if let [t] = ts.as_slice() {
+                                let mut out = rb.clone();
+                                out.extend(new_vars(std::slice::from_ref(t), bound));
+                                return Some(out);
+                            }
+                        }
+                        if let (Some(lb), RExpr::Singleton(ts)) = (&l, &**rhs) {
+                            if let [t] = ts.as_slice() {
+                                let mut out = lb.clone();
+                                out.extend(new_vars(std::slice::from_ref(t), bound));
+                                return Some(out);
+                            }
+                        }
+                        None
+                    }
+                    _ => None,
+                }
+            }
+            Formula::Exists { vars, tuple_vars, body, .. } => {
+                let inner = self.sched_newly(body, bound)?;
+                let mut all = bound.clone();
+                all.extend(inner.iter().copied());
+                if !vars.iter().chain(tuple_vars).all(|v| all.contains(v)) {
+                    return None;
+                }
+                let mut newly = inner;
+                for v in vars.iter().chain(tuple_vars) {
+                    newly.remove(v);
+                }
+                Some(newly)
+            }
+            Formula::OfExpr(e) => self.sched_expr(e, bound),
+        }
+    }
+
+    fn sched_atom(&self, pred: &Name, args: &[Term], bound: &BTreeSet<Var>) -> Option<BTreeSet<Var>> {
+        if let Some(sig) = bsig::lookup(pred) {
+            if args.len() + 1 == sig.arity {
+                // Partial application computing the output position:
+                // all provided arguments must be bound.
+                return args
+                    .iter()
+                    .all(|t| term_bound_in(t, bound))
+                    .then(BTreeSet::new);
+            }
+            if args.len() != sig.arity {
+                return None;
+            }
+            'modes: for mode in sig.modes {
+                let mut newly = BTreeSet::new();
+                for (c, t) in mode.chars().zip(args) {
+                    match c {
+                        'b' => {
+                            if !term_bound_in(t, bound) {
+                                continue 'modes;
+                            }
+                        }
+                        _ => {
+                            if let Term::Var(v) = t {
+                                if !bound.contains(v) {
+                                    newly.insert(*v);
+                                }
+                            }
+                        }
+                    }
+                }
+                return Some(newly);
+            }
+            return None;
+        }
+        if let Some(k) = self.is_demand(pred) {
+            if args.iter().any(Term::is_tuple_var) {
+                // Tuple-variable args can't be aligned with the bound
+                // prefix statically: run as a fully-bound filter.
+                return args
+                    .iter()
+                    .all(|t| term_bound_in(t, bound))
+                    .then(BTreeSet::new);
+            }
+            if args.len() < k || !args.iter().take(k).all(|t| term_bound_in(t, bound)) {
+                return None;
+            }
+            return Some(new_vars(&args[k..], bound));
+        }
+        Some(new_vars(args, bound))
+    }
+
+    fn sched_expr(&self, e: &RExpr, bound: &BTreeSet<Var>) -> Option<BTreeSet<Var>> {
+        match e {
+            RExpr::Pred(p) => {
+                // A bare builtin (infinite) or a demand predicate with a
+                // required bound prefix cannot be used whole.
+                let usable = bsig::lookup(p).is_none()
+                    && !self.is_demand(p).map(|k| k > 0).unwrap_or(false);
+                usable.then(BTreeSet::new)
+            }
+            RExpr::PApp { pred, args } => self.sched_atom(pred, args, bound),
+            RExpr::DynPApp { rel, args } => {
+                let mut n = self.sched_expr(rel, bound)?;
+                n.extend(new_vars(args, bound));
+                Some(n)
+            }
+            RExpr::Product(es) => {
+                let mut b = bound.clone();
+                let mut pending: Vec<&RExpr> = es.iter().collect();
+                while !pending.is_empty() {
+                    let before = pending.len();
+                    pending.retain(|x| match self.sched_expr(x, &b) {
+                        Some(n) => {
+                            b.extend(n);
+                            false
+                        }
+                        None => true,
+                    });
+                    if pending.len() == before {
+                        return None;
+                    }
+                }
+                Some(&b - bound)
+            }
+            RExpr::Union(es) => {
+                let mut common: Option<BTreeSet<Var>> = None;
+                for x in es {
+                    let n = self.sched_expr(x, bound)?;
+                    common = Some(match common {
+                        None => n,
+                        Some(c) => &c & &n,
+                    });
+                }
+                Some(common.unwrap_or_default())
+            }
+            RExpr::Singleton(ts) => ts
+                .iter()
+                .all(|t| term_bound_in(t, bound))
+                .then(BTreeSet::new),
+            RExpr::Where { body, cond } => {
+                let n = self.sched_newly(cond, bound)?;
+                let mut b = bound.clone();
+                b.extend(n.iter().copied());
+                let n2 = self.sched_expr(body, &b)?;
+                let mut out = n;
+                out.extend(n2);
+                Some(out)
+            }
+            RExpr::Abstract { params, body, .. } => {
+                let mut members: Vec<Formula> = Vec::new();
+                for p in params {
+                    if let AbsParam::In(v, dom) = p {
+                        members.push(Formula::Member { term: Term::Var(*v), of: dom.clone() });
+                    }
+                }
+                let param_vars: BTreeSet<Var> = params.iter().filter_map(AbsParam::var).collect();
+                let inner = match &**body {
+                    RExpr::OfFormula(f) => {
+                        members.push((**f).clone());
+                        self.sched_newly(&Formula::conj(members), bound)?
+                    }
+                    RExpr::Where { body: vb, cond } => {
+                        members.push((**cond).clone());
+                        let n = self.sched_newly(&Formula::conj(members), bound)?;
+                        let mut b = bound.clone();
+                        b.extend(n.iter().copied());
+                        let n2 = self.sched_expr(vb, &b)?;
+                        n.union(&n2).copied().collect()
+                    }
+                    other => {
+                        let n = self.sched_newly(&Formula::conj(members), bound)?;
+                        let mut b = bound.clone();
+                        b.extend(n.iter().copied());
+                        let n2 = self.sched_expr(other, &b)?;
+                        n.union(&n2).copied().collect()
+                    }
+                };
+                let mut all = bound.clone();
+                all.extend(inner.iter().copied());
+                if !param_vars.iter().all(|v| all.contains(v)) {
+                    return None;
+                }
+                let mut newly = inner;
+                for v in &param_vars {
+                    newly.remove(v);
+                }
+                Some(newly)
+            }
+            RExpr::Reduce { op, input, .. } => {
+                if !matches!(&**op, RExpr::Pred(_)) {
+                    self.sched_expr(op, bound)?;
+                }
+                self.sched_expr(input, bound)
+            }
+            RExpr::BuiltinApp { args, .. } => {
+                let mut newly = BTreeSet::new();
+                for a in args {
+                    let mut b = bound.clone();
+                    b.extend(newly.iter().copied());
+                    newly.extend(self.sched_expr(a, &b)?);
+                }
+                Some(newly)
+            }
+            RExpr::DotJoin(a, b) | RExpr::LeftOverride(a, b) => {
+                let na = self.sched_expr(a, bound)?;
+                let nb = self.sched_expr(b, bound)?;
+                Some(na.union(&nb).copied().collect())
+            }
+            RExpr::OfFormula(f) => self.sched_newly(f, bound),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Atom execution
+    // ------------------------------------------------------------------
+
+    fn exec_atom(&self, pred: &Name, args: &[Term], envs: Vec<Env>) -> RelResult<Vec<Env>> {
+        // Builtins.
+        if bsig::lookup(pred).is_some() {
+            let mut out = Vec::new();
+            for env in envs {
+                let inputs: Vec<Option<Value>> = args.iter().map(|t| env.term_value(t)).collect();
+                for tuple in builtins::solve(bsig::canonical(pred).expect("checked"), &inputs)? {
+                    if let Some(env2) = unify_values(args, &tuple, &env) {
+                        out.push(env2);
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        // Demand-driven predicates.
+        if let Some(k) = self.is_demand(pred) {
+            let mut out = Vec::new();
+            let has_tuple_vars = args.iter().any(Term::is_tuple_var);
+            for env in envs {
+                if has_tuple_vars {
+                    // Fully-bound filter mode: splice all args into a value
+                    // tuple and check membership rule by rule (the callee's
+                    // own parameters may include tuple variables, so the
+                    // positional-prefix table cannot be used).
+                    let mut vals = Vec::new();
+                    for t in args {
+                        if !env.splice_term(t, &mut vals) {
+                            return Err(RelError::internal(format!(
+                                "demand argument of `{pred}` unbound at runtime"
+                            )));
+                        }
+                    }
+                    if self.demand_check(pred, &vals)? {
+                        out.push(env);
+                    }
+                    continue;
+                }
+                let mut prefix = Vec::with_capacity(k);
+                for t in args.iter().take(k) {
+                    match env.term_value(t) {
+                        Some(v) => prefix.push(v),
+                        None => {
+                            return Err(RelError::internal(format!(
+                                "demand argument of `{pred}` unbound at runtime"
+                            )))
+                        }
+                    }
+                }
+                let rel = self.eval_demand(pred, &prefix)?;
+                for t in rel.iter() {
+                    for (env2, suffix) in self.match_prefix(args, t, &env) {
+                        if suffix.is_empty() {
+                            out.push(env2);
+                        }
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        // Materialized relation: index on bound positions when the atom is
+        // tuple-variable-free.
+        let has_tuple_vars = args.iter().any(Term::is_tuple_var);
+        if !has_tuple_vars && !envs.is_empty() {
+            let bound = batch_bound(&envs);
+            let key_positions: Vec<usize> = args
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                    Term::TupleVar(_) => false,
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let index = self.index_for(pred, &key_positions, args.len());
+            let mut out = Vec::new();
+            for env in envs {
+                let mut key = Vec::with_capacity(key_positions.len());
+                let mut ok = true;
+                for &i in &key_positions {
+                    match env.term_value(&args[i]) {
+                        Some(v) => key.push(v),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    // This env lacks a binding the batch generally has —
+                    // fall back to a scan for it.
+                    let rel = self.relation(pred);
+                    for t in rel.iter() {
+                        if let Some(env2) = self.unify_atom(args, t, &env) {
+                            out.push(env2);
+                        }
+                    }
+                    continue;
+                }
+                if let Some(tuples) = index.get(&key) {
+                    for t in tuples {
+                        if let Some(env2) = self.unify_atom(args, t, &env) {
+                            out.push(env2);
+                        }
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        // Tuple-variable matching: scan with split enumeration.
+        let rel = self.relation(pred);
+        let mut out = Vec::new();
+        for env in envs {
+            for t in rel.iter() {
+                for (env2, suffix) in self.match_prefix(args, t, &env) {
+                    if suffix.is_empty() {
+                        out.push(env2);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Build (or fetch) a hash index of `pred` keyed on `positions`,
+    /// restricted to tuples of exactly `arity`.
+    fn index_for(&self, pred: &Name, positions: &[usize], arity: usize) -> Rc<TupleIndex> {
+        let mut key = positions.to_vec();
+        key.push(arity); // include arity in the cache key
+        let cache_key = (pred.clone(), key);
+        if let Some(hit) = self.indexes.borrow().get(&cache_key) {
+            return Rc::clone(hit);
+        }
+        let mut map: TupleIndex = HashMap::new();
+        if let Some(rel) = self.rels.get(pred) {
+            for t in rel.iter() {
+                if t.arity() != arity {
+                    continue;
+                }
+                let k: Vec<Value> = positions.iter().map(|&i| t.values()[i].clone()).collect();
+                map.entry(k).or_default().push(t.clone());
+            }
+        }
+        let rc = Rc::new(map);
+        self.indexes.borrow_mut().insert(cache_key, Rc::clone(&rc));
+        rc
+    }
+
+    /// Unify tuple-variable-free args against a tuple.
+    fn unify_atom(&self, args: &[Term], t: &Tuple, env: &Env) -> Option<Env> {
+        if t.arity() != args.len() {
+            return None;
+        }
+        unify_values(args, t.values(), env)
+    }
+
+    /// Match `args` as a prefix of tuple `t`, enumerating tuple-variable
+    /// splits. Returns `(env, suffix)` pairs (suffix = values beyond the
+    /// matched prefix; empty for full applications).
+    fn match_prefix<'t>(
+        &self,
+        args: &[Term],
+        t: &'t Tuple,
+        env: &Env,
+    ) -> Vec<(Env, &'t [Value])> {
+        let mut out = Vec::new();
+        rec_match(args, t.values(), env, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Member / Cmp
+    // ------------------------------------------------------------------
+
+    fn exec_member(&self, term: &Term, of: &RExpr, envs: Vec<Env>) -> RelResult<Vec<Env>> {
+        // Builtin type tests.
+        if let RExpr::Pred(p) = of {
+            if let Some(sig) = bsig::lookup(p) {
+                if sig.type_test {
+                    let mut out = Vec::new();
+                    for env in envs {
+                        let Some(v) = env.term_value(term) else {
+                            return Err(RelError::internal(
+                                "type-test argument unbound at runtime",
+                            ));
+                        };
+                        if !builtins::solve(sig.name, &[Some(v)])?.is_empty() {
+                            out.push(env);
+                        }
+                    }
+                    return Ok(out);
+                }
+                return Err(RelError::unsafe_expr(format!(
+                    "builtin `{p}` cannot be used as a membership domain"
+                )));
+            }
+            // Finite named relation: behaves like a unary atom.
+            return self.exec_atom(p, std::slice::from_ref(term), envs);
+        }
+        let mut out = Vec::new();
+        for env in envs {
+            for (env1, rel) in self.eval_open(of, &env)? {
+                for t in rel.iter() {
+                    if t.arity() != 1 {
+                        continue;
+                    }
+                    if let Some(env2) =
+                        unify_values(std::slice::from_ref(term), t.values(), &env1)
+                    {
+                        out.push(env2);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn exec_cmp(
+        &self,
+        op: CmpOp,
+        lhs: &RExpr,
+        rhs: &RExpr,
+        envs: Vec<Env>,
+    ) -> RelResult<Vec<Env>> {
+        let mut out = Vec::new();
+        for env in envs {
+            let bound = env_bound(&env);
+            let l_ok = self.sched_expr(lhs, &bound).is_some();
+            let r_ok = self.sched_expr(rhs, &bound).is_some();
+            match (l_ok, r_ok) {
+                (true, true) => {
+                    for (env1, l) in self.eval_open(lhs, &env)? {
+                        for (env2, r) in self.eval_open(rhs, &env1)? {
+                            if rel_cmp_holds(op, &l, &r) {
+                                out.push(env2);
+                            }
+                        }
+                    }
+                }
+                (false, true) if op == CmpOp::Eq => {
+                    let RExpr::Singleton(ts) = lhs else {
+                        return Err(stuck_cmp());
+                    };
+                    let [t] = ts.as_slice() else { return Err(stuck_cmp()) };
+                    for (env1, r) in self.eval_open(rhs, &env)? {
+                        for tup in r.iter() {
+                            if tup.arity() == 1 {
+                                if let Some(env2) =
+                                    unify_values(std::slice::from_ref(t), tup.values(), &env1)
+                                {
+                                    out.push(env2);
+                                }
+                            }
+                        }
+                    }
+                }
+                (true, false) if op == CmpOp::Eq => {
+                    let RExpr::Singleton(ts) = rhs else {
+                        return Err(stuck_cmp());
+                    };
+                    let [t] = ts.as_slice() else { return Err(stuck_cmp()) };
+                    for (env1, l) in self.eval_open(lhs, &env)? {
+                        for tup in l.iter() {
+                            if tup.arity() == 1 {
+                                if let Some(env2) =
+                                    unify_values(std::slice::from_ref(t), tup.values(), &env1)
+                                {
+                                    out.push(env2);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => return Err(stuck_cmp()),
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Open expression evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate a relation-valued expression under `env`, possibly
+    /// extending it (binding free variables). Returns `(env', relation)`
+    /// pairs — one per binding of the expression's outer free variables.
+    pub fn eval_open(&self, e: &RExpr, env: &Env) -> RelResult<Vec<(Env, Relation)>> {
+        match e {
+            RExpr::Pred(p) => {
+                if bsig::lookup(p).is_some() {
+                    return Err(RelError::unsafe_expr(format!(
+                        "builtin relation `{p}` is infinite and cannot be materialized"
+                    )));
+                }
+                if let Some(k) = self.is_demand(p) {
+                    if k == 0 {
+                        return Ok(vec![(env.clone(), (*self.eval_demand(p, &[])?).clone())]);
+                    }
+                    return Err(RelError::unsafe_expr(format!(
+                        "demand-driven relation `{p}` used without bound arguments"
+                    )));
+                }
+                Ok(vec![(env.clone(), self.relation(p))])
+            }
+            RExpr::PApp { pred, args } => self.open_papp(pred, args, env),
+            RExpr::DynPApp { rel, args } => {
+                let mut out = Vec::new();
+                for (env1, r) in self.eval_open(rel, env)? {
+                    let mut grouped: BTreeMap<Env, Relation> = BTreeMap::new();
+                    for t in r.iter() {
+                        for (env2, suffix) in self.match_prefix(args, t, &env1) {
+                            grouped
+                                .entry(env2)
+                                .or_default()
+                                .insert(Tuple::from(suffix.to_vec()));
+                        }
+                    }
+                    out.extend(grouped);
+                }
+                Ok(out)
+            }
+            RExpr::Product(es) => self.open_product(es, env),
+            RExpr::Union(es) => {
+                let mut rel = Relation::new();
+                for x in es {
+                    for (_, r) in self.eval_open(x, env)? {
+                        rel.absorb(&r);
+                    }
+                }
+                Ok(vec![(env.clone(), rel)])
+            }
+            RExpr::Singleton(ts) => {
+                let mut vals = Vec::with_capacity(ts.len());
+                for t in ts {
+                    if !env.splice_term(t, &mut vals) {
+                        return Err(RelError::internal(
+                            "singleton term unbound at runtime (safety analysis gap)",
+                        ));
+                    }
+                }
+                Ok(vec![(env.clone(), Relation::singleton(Tuple::from(vals)))])
+            }
+            RExpr::Where { body, cond } => {
+                let envs = self.eval_formula(cond, vec![env.clone()])?;
+                let mut out = Vec::new();
+                for env1 in envs {
+                    out.extend(self.eval_open(body, &env1)?);
+                }
+                Ok(out)
+            }
+            RExpr::OfFormula(f) => {
+                let envs = self.eval_formula(f, vec![env.clone()])?;
+                Ok(envs.into_iter().map(|e| (e, Relation::true_rel())).collect())
+            }
+            RExpr::Abstract { params, body, intro } => self.open_abstract(params, body, *intro, env),
+            RExpr::Reduce { op, input, intro } => self.open_reduce(op, input, *intro, env),
+            RExpr::BuiltinApp { op, args } => self.open_builtin_app(op, args, env),
+            RExpr::DotJoin(a, b) => {
+                let mut out = Vec::new();
+                for (env1, ra) in self.eval_open(a, env)? {
+                    for (env2, rb) in self.eval_open(b, &env1)? {
+                        let mut rel = Relation::new();
+                        for ta in ra.iter() {
+                            if ta.is_empty() {
+                                continue;
+                            }
+                            let join = &ta.values()[ta.arity() - 1];
+                            for tb in rb.iter() {
+                                if tb.is_empty() {
+                                    continue;
+                                }
+                                if tb.values()[0] == *join {
+                                    let mut vals = ta.values()[..ta.arity() - 1].to_vec();
+                                    vals.extend(tb.values()[1..].iter().cloned());
+                                    rel.insert(Tuple::from(vals));
+                                }
+                            }
+                        }
+                        out.push((env2, rel));
+                    }
+                }
+                Ok(out)
+            }
+            RExpr::LeftOverride(a, b) => {
+                let mut out = Vec::new();
+                for (env1, ra) in self.eval_open(a, env)? {
+                    for (env2, rb) in self.eval_open(b, &env1)? {
+                        let mut rel = ra.clone();
+                        for tb in rb.iter() {
+                            if tb.is_empty() {
+                                continue;
+                            }
+                            let key = &tb.values()[..tb.arity() - 1];
+                            if !ra.iter().any(|ta| ta.starts_with(key)) {
+                                rel.insert(tb.clone());
+                            }
+                        }
+                        out.push((env2, rel));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn open_papp(&self, pred: &Name, args: &[Term], env: &Env) -> RelResult<Vec<(Env, Relation)>> {
+        // Builtins: partial application computes outputs.
+        if let Some(sig) = bsig::lookup(pred) {
+            let canonical = bsig::canonical(pred).expect("checked");
+            let mut inputs: Vec<Option<Value>> =
+                args.iter().map(|t| env.term_value(t)).collect();
+            if args.len() == sig.arity {
+                let results = builtins::solve(canonical, &inputs)?;
+                let rel = if results.is_empty() {
+                    Relation::false_rel()
+                } else {
+                    Relation::true_rel()
+                };
+                return Ok(vec![(env.clone(), rel)]);
+            }
+            if args.len() == sig.arity - 1 {
+                inputs.push(None);
+                let mut rel = Relation::new();
+                for t in builtins::solve(canonical, &inputs)? {
+                    rel.insert(Tuple::from(vec![t[sig.arity - 1].clone()]));
+                }
+                return Ok(vec![(env.clone(), rel)]);
+            }
+            return Err(RelError::unsafe_expr(format!(
+                "partial application of builtin `{pred}` with {} arguments \
+                 (arity {})",
+                args.len(),
+                sig.arity
+            )));
+        }
+        // Demand predicates.
+        if let Some(k) = self.is_demand(pred) {
+            let mut prefix = Vec::with_capacity(k);
+            for t in args.iter().take(k) {
+                match env.term_value(t) {
+                    Some(v) => prefix.push(v),
+                    None => {
+                        return Err(RelError::internal(format!(
+                            "demand argument of `{pred}` unbound at runtime"
+                        )))
+                    }
+                }
+            }
+            let rel = self.eval_demand(pred, &prefix)?;
+            return Ok(self.group_suffixes(args, rel.iter(), env));
+        }
+        // Materialized.
+        let rel = self.relation(pred);
+        Ok(self.group_suffixes(args, rel.iter(), env))
+    }
+
+    /// Match args as prefixes over `tuples`, grouping suffixes by the
+    /// resulting environment extension.
+    fn group_suffixes<'t>(
+        &self,
+        args: &[Term],
+        tuples: impl Iterator<Item = &'t Tuple>,
+        env: &Env,
+    ) -> Vec<(Env, Relation)> {
+        let mut grouped: BTreeMap<Env, Relation> = BTreeMap::new();
+        for t in tuples {
+            for (env2, suffix) in self.match_prefix(args, t, env) {
+                grouped
+                    .entry(env2)
+                    .or_default()
+                    .insert(Tuple::from(suffix.to_vec()));
+            }
+        }
+        if grouped.is_empty() {
+            // A fully-bound application over no matches is simply empty.
+            let all_bound = args.iter().all(|t| env.term_bound(t));
+            if all_bound {
+                return vec![(env.clone(), Relation::new())];
+            }
+        }
+        grouped.into_iter().collect()
+    }
+
+    fn open_product(&self, es: &[RExpr], env: &Env) -> RelResult<Vec<(Env, Relation)>> {
+        // Greedy factor scheduling with per-factor relation parts.
+        let mut states: Vec<(Env, BTreeMap<usize, Relation>)> =
+            vec![(env.clone(), BTreeMap::new())];
+        let mut pending: Vec<usize> = (0..es.len()).collect();
+        while !pending.is_empty() {
+            if states.is_empty() {
+                return Ok(vec![]);
+            }
+            let bound = env_bound(&states[0].0);
+            let pos = pending
+                .iter()
+                .position(|&i| self.sched_expr(&es[i], &bound).is_some())
+                .ok_or_else(|| {
+                    RelError::internal("product factors unschedulable (safety gap)")
+                })?;
+            let i = pending.remove(pos);
+            let mut next = Vec::with_capacity(states.len());
+            for (env1, parts) in states {
+                for (env2, rel) in self.eval_open(&es[i], &env1)? {
+                    let mut p = parts.clone();
+                    p.insert(i, rel);
+                    next.push((env2, p));
+                }
+            }
+            states = next;
+        }
+        Ok(states
+            .into_iter()
+            .map(|(env1, parts)| {
+                let mut rel = Relation::true_rel();
+                for i in 0..es.len() {
+                    rel = rel.product(parts.get(&i).expect("all factors evaluated"));
+                }
+                (env1, rel)
+            })
+            .collect())
+    }
+
+    fn open_abstract(
+        &self,
+        params: &[AbsParam],
+        body: &RExpr,
+        intro: (Var, Var),
+        env: &Env,
+    ) -> RelResult<Vec<(Env, Relation)>> {
+        let mut members: Vec<Formula> = Vec::new();
+        for p in params {
+            if let AbsParam::In(v, dom) = p {
+                members.push(Formula::Member { term: Term::Var(*v), of: dom.clone() });
+            }
+        }
+        let mut grouped: BTreeMap<Env, Relation> = BTreeMap::new();
+        let route = |env2: Env, head_params: &[AbsParam], rel: Relation,
+                         grouped: &mut BTreeMap<Env, Relation>|
+         -> RelResult<()> {
+            if rel.is_empty() {
+                return Ok(());
+            }
+            let Some(head) = env2.head_tuple(head_params) else {
+                return Err(RelError::internal(
+                    "abstraction parameter unbound at emission",
+                ));
+            };
+            let key = env2.cleared(intro.0, intro.1);
+            let slot = grouped.entry(key).or_default();
+            for t in rel.iter() {
+                slot.insert(head.concat(t));
+            }
+            Ok(())
+        };
+        match body {
+            RExpr::OfFormula(f) => {
+                members.push((**f).clone());
+                let envs = self.eval_formula(&Formula::conj(members), vec![env.clone()])?;
+                for env2 in envs {
+                    route(env2, params, Relation::true_rel(), &mut grouped)?;
+                }
+            }
+            RExpr::Where { body: vb, cond } => {
+                members.push((**cond).clone());
+                let envs = self.eval_formula(&Formula::conj(members), vec![env.clone()])?;
+                for env1 in envs {
+                    for (env2, rel) in self.eval_open(vb, &env1)? {
+                        route(env2, params, rel, &mut grouped)?;
+                    }
+                }
+            }
+            RExpr::Union(branches) => {
+                // Evaluate each branch independently under the domains.
+                let envs = self.eval_formula(&Formula::conj(members), vec![env.clone()])?;
+                for env1 in envs {
+                    for br in branches {
+                        for (env2, rel) in self.eval_open(br, &env1)? {
+                            route(env2, params, rel, &mut grouped)?;
+                        }
+                    }
+                }
+            }
+            other => {
+                let envs = self.eval_formula(&Formula::conj(members), vec![env.clone()])?;
+                for env1 in envs {
+                    for (env2, rel) in self.eval_open(other, &env1)? {
+                        route(env2, params, rel, &mut grouped)?;
+                    }
+                }
+            }
+        }
+        if grouped.is_empty() {
+            return Ok(vec![(env.clone(), Relation::new())]);
+        }
+        Ok(grouped.into_iter().collect())
+    }
+
+    fn open_reduce(
+        &self,
+        op: &RExpr,
+        input: &RExpr,
+        intro: (Var, Var),
+        env: &Env,
+    ) -> RelResult<Vec<(Env, Relation)>> {
+        // Group input pieces by the environment outside the input's scope.
+        let mut groups: BTreeMap<Env, Relation> = BTreeMap::new();
+        for (env1, rel) in self.eval_open(input, env)? {
+            let key = env1.cleared(intro.0, intro.1);
+            groups.entry(key).or_default().absorb(&rel);
+        }
+        let mut out = Vec::with_capacity(groups.len());
+        for (genv, rel) in groups {
+            if rel.is_empty() {
+                continue; // reduce over ∅ is ∅ (§5.2: unpaid orders vanish)
+            }
+            let folded = self.fold(op, &rel, &genv)?;
+            out.push((genv, Relation::singleton(Tuple::from(vec![folded]))));
+        }
+        Ok(out)
+    }
+
+    /// Fold the last column of `rel` with `op` (sorted order — deterministic;
+    /// the paper requires associativity/commutativity for order-independence).
+    fn fold(&self, op: &RExpr, rel: &Relation, env: &Env) -> RelResult<Value> {
+        let values = rel.last_column();
+        if values.is_empty() {
+            return Err(RelError::Reduce("reduce over an empty relation".into()));
+        }
+        // Fast path: builtin op by name.
+        if let RExpr::Pred(p) = op {
+            if let Some(canonical) = bsig::canonical(p) {
+                let mut acc = values[0].clone();
+                for v in &values[1..] {
+                    acc = builtins::fold_step(canonical, &acc, v)?;
+                }
+                return Ok(acc);
+            }
+            // User-defined op relation: apply as a binary function via
+            // demand or materialized lookup.
+            let mut acc = values[0].clone();
+            for v in &values[1..] {
+                acc = self.apply_binary(p, &acc, v)?;
+            }
+            return Ok(acc);
+        }
+        // General case: evaluate the op to a finite relation and use it as
+        // a function table.
+        let pairs = self.eval_open(op, env)?;
+        let table: Relation = pairs.into_iter().flat_map(|(_, r)| r.into_tuples()).collect();
+        let mut acc = values[0].clone();
+        for v in &values[1..] {
+            let suffix = table.partial_apply(&[acc.clone(), v.clone()]);
+            let mut it = suffix.iter();
+            match (it.next(), it.next()) {
+                (Some(t), None) if t.arity() == 1 => acc = t.values()[0].clone(),
+                _ => {
+                    return Err(RelError::Reduce(format!(
+                        "reduce op is not a binary function on ({acc}, {v})"
+                    )))
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Apply a named predicate as a binary function: `p(a, b, result)`.
+    fn apply_binary(&self, pred: &Name, a: &Value, b: &Value) -> RelResult<Value> {
+        let prefix = [a.clone(), b.clone()];
+        let suffix: Relation = if let Some(k) = self.is_demand(pred) {
+            if k > 2 {
+                return Err(RelError::Reduce(format!(
+                    "reduce op `{pred}` needs {k} bound arguments"
+                )));
+            }
+            let rel = self.eval_demand(pred, &prefix[..k])?;
+            rel.partial_apply(&prefix)
+        } else {
+            self.relation(pred).partial_apply(&prefix)
+        };
+        let mut it = suffix.iter();
+        match (it.next(), it.next()) {
+            (Some(t), None) if t.arity() == 1 => Ok(t.values()[0].clone()),
+            _ => Err(RelError::Reduce(format!(
+                "reduce op `{pred}` is not a binary function on ({a}, {b})"
+            ))),
+        }
+    }
+
+    fn open_builtin_app(
+        &self,
+        op: &Name,
+        args: &[RExpr],
+        env: &Env,
+    ) -> RelResult<Vec<(Env, Relation)>> {
+        // Evaluate argument sets (each a unary relation), then apply the
+        // builtin to every combination, collecting outputs.
+        fn rec(
+            cx: &EvalCtx<'_>,
+            op: &Name,
+            args: &[RExpr],
+            idx: usize,
+            env: Env,
+            chosen: &mut Vec<Value>,
+            out: &mut Vec<(Env, Relation)>,
+        ) -> RelResult<()> {
+            if idx == args.len() {
+                let mut inputs: Vec<Option<Value>> =
+                    chosen.iter().cloned().map(Some).collect();
+                inputs.push(None);
+                let mut rel = Relation::new();
+                for t in builtins::solve(op, &inputs)? {
+                    rel.insert(Tuple::from(vec![t[t.len() - 1].clone()]));
+                }
+                out.push((env, rel));
+                return Ok(());
+            }
+            for (env1, r) in cx.eval_open(&args[idx], &env)? {
+                for t in r.iter() {
+                    if t.arity() != 1 {
+                        continue;
+                    }
+                    chosen.push(t.values()[0].clone());
+                    rec(cx, op, args, idx + 1, env1.clone(), chosen, out)?;
+                    chosen.pop();
+                }
+            }
+            Ok(())
+        }
+        let mut raw = Vec::new();
+        let mut chosen = Vec::new();
+        rec(self, op, args, 0, env.clone(), &mut chosen, &mut raw)?;
+        // Merge relations per environment.
+        let mut grouped: BTreeMap<Env, Relation> = BTreeMap::new();
+        for (e, r) in raw {
+            grouped.entry(e).or_default().absorb(&r);
+        }
+        if grouped.is_empty() {
+            return Ok(vec![(env.clone(), Relation::new())]);
+        }
+        Ok(grouped.into_iter().collect())
+    }
+}
+
+/// Does the comparison hold between two unary relations (exists-semantics)?
+fn rel_cmp_holds(op: CmpOp, l: &Relation, r: &Relation) -> bool {
+    for a in l.iter().filter(|t| t.arity() == 1) {
+        for b in r.iter().filter(|t| t.arity() == 1) {
+            let x = &a.values()[0];
+            let y = &b.values()[0];
+            let holds = match op {
+                CmpOp::Eq => x.numeric_eq(y),
+                CmpOp::Neq => !x.numeric_eq(y),
+                _ => match x.numeric_cmp(y) {
+                    Some(ord) => match op {
+                        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                        _ => unreachable!(),
+                    },
+                    None => false,
+                },
+            };
+            if holds {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn stuck_cmp() -> RelError {
+    RelError::internal("comparison with unbound sides at runtime (safety analysis gap)")
+}
+
+/// Variables bound in *every* environment of the batch.
+fn batch_bound(envs: &[Env]) -> BTreeSet<Var> {
+    let Some(first) = envs.first() else { return BTreeSet::new() };
+    let mut bound: BTreeSet<Var> =
+        (0..first.len() as Var).filter(|v| first.is_bound(*v)).collect();
+    for env in &envs[1..] {
+        bound.retain(|v| env.is_bound(*v));
+    }
+    bound
+}
+
+fn env_bound(env: &Env) -> BTreeSet<Var> {
+    (0..env.len() as Var).filter(|v| env.is_bound(*v)).collect()
+}
+
+/// All variable references in a formula (conservative, including nested
+/// scopes).
+fn formula_refs(f: &Formula, out: &mut BTreeSet<Var>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Conj(items) | Formula::Disj(items) => {
+            for i in items {
+                formula_refs(i, out);
+            }
+        }
+        Formula::Not(inner) => formula_refs(inner, out),
+        Formula::Atom(a) => term_refs(&a.args, out),
+        Formula::DynAtom { rel, args } => {
+            rexpr_refs(rel, out);
+            term_refs(args, out);
+        }
+        Formula::Cmp { lhs, rhs, .. } => {
+            rexpr_refs(lhs, out);
+            rexpr_refs(rhs, out);
+        }
+        Formula::Member { term, of } => {
+            term_refs(std::slice::from_ref(term), out);
+            rexpr_refs(of, out);
+        }
+        Formula::Exists { body, intro, .. } => {
+            let mut inner = BTreeSet::new();
+            formula_refs(body, &mut inner);
+            out.extend(inner.into_iter().filter(|v| *v < intro.0 || *v >= intro.1));
+        }
+        Formula::OfExpr(e) => rexpr_refs(e, out),
+    }
+}
+
+fn rexpr_refs(e: &RExpr, out: &mut BTreeSet<Var>) {
+    match e {
+        RExpr::Pred(_) => {}
+        RExpr::PApp { args, .. } => term_refs(args, out),
+        RExpr::DynPApp { rel, args } => {
+            rexpr_refs(rel, out);
+            term_refs(args, out);
+        }
+        RExpr::Product(es) | RExpr::Union(es) => {
+            for x in es {
+                rexpr_refs(x, out);
+            }
+        }
+        RExpr::Singleton(ts) => term_refs(ts, out),
+        RExpr::Where { body, cond } => {
+            rexpr_refs(body, out);
+            formula_refs(cond, out);
+        }
+        RExpr::Abstract { params, body, intro } => {
+            let mut inner = BTreeSet::new();
+            for p in params {
+                if let AbsParam::In(_, dom) = p {
+                    rexpr_refs(dom, &mut inner);
+                }
+            }
+            rexpr_refs(body, &mut inner);
+            out.extend(inner.into_iter().filter(|v| *v < intro.0 || *v >= intro.1));
+        }
+        RExpr::Reduce { op, input, intro } => {
+            rexpr_refs(op, out);
+            let mut inner = BTreeSet::new();
+            rexpr_refs(input, &mut inner);
+            out.extend(inner.into_iter().filter(|v| *v < intro.0 || *v >= intro.1));
+        }
+        RExpr::BuiltinApp { args, .. } => {
+            for a in args {
+                rexpr_refs(a, out);
+            }
+        }
+        RExpr::DotJoin(a, b) | RExpr::LeftOverride(a, b) => {
+            rexpr_refs(a, out);
+            rexpr_refs(b, out);
+        }
+        RExpr::OfFormula(f) => formula_refs(f, out),
+    }
+}
+
+fn term_refs(ts: &[Term], out: &mut BTreeSet<Var>) {
+    for t in ts {
+        match t {
+            Term::Var(v) | Term::TupleVar(v) => {
+                out.insert(*v);
+            }
+            Term::Const(_) => {}
+        }
+    }
+}
+
+fn term_bound_in(t: &Term, bound: &BTreeSet<Var>) -> bool {
+    match t {
+        Term::Const(_) => true,
+        Term::Var(v) | Term::TupleVar(v) => bound.contains(v),
+    }
+}
+
+fn new_vars(ts: &[Term], bound: &BTreeSet<Var>) -> BTreeSet<Var> {
+    ts.iter()
+        .filter_map(|t| match t {
+            Term::Var(v) | Term::TupleVar(v) if !bound.contains(v) => Some(*v),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Unify tuple-variable-free terms against exactly matching values.
+fn unify_values(args: &[Term], vals: &[Value], env: &Env) -> Option<Env> {
+    if args.len() != vals.len() {
+        return None;
+    }
+    let mut out = env.clone();
+    for (t, v) in args.iter().zip(vals) {
+        match t {
+            Term::Const(c) => {
+                if !c.numeric_eq(v) {
+                    return None;
+                }
+            }
+            Term::Var(var) => match out.value(*var) {
+                Some(existing) => {
+                    if existing != v {
+                        return None;
+                    }
+                }
+                None => out.bind(*var, EnvVal::Val(v.clone())),
+            },
+            Term::TupleVar(var) => match out.get(*var) {
+                Some(EnvVal::Tup(existing)) => {
+                    if existing.len() != 1 || existing[0] != *v {
+                        return None;
+                    }
+                }
+                Some(EnvVal::Val(_)) => return None,
+                None => out.bind(*var, EnvVal::Tup(vec![v.clone()])),
+            },
+        }
+    }
+    Some(out)
+}
+
+/// Recursive prefix matcher with tuple-variable split enumeration.
+fn rec_match<'t>(args: &[Term], vals: &'t [Value], env: &Env, out: &mut Vec<(Env, &'t [Value])>) {
+    let Some((first, rest)) = args.split_first() else {
+        out.push((env.clone(), vals));
+        return;
+    };
+    match first {
+        Term::Const(c) => {
+            if let Some(v) = vals.first() {
+                if c.numeric_eq(v) {
+                    rec_match(rest, &vals[1..], env, out);
+                }
+            }
+        }
+        Term::Var(var) => {
+            let Some(v) = vals.first() else { return };
+            match env.value(*var) {
+                Some(existing) => {
+                    if existing == v {
+                        rec_match(rest, &vals[1..], env, out);
+                    }
+                }
+                None => {
+                    let mut e = env.clone();
+                    e.bind(*var, EnvVal::Val(v.clone()));
+                    rec_match(rest, &vals[1..], &e, out);
+                }
+            }
+        }
+        Term::TupleVar(var) => match env.get(*var) {
+            Some(EnvVal::Tup(existing)) => {
+                if vals.len() >= existing.len() && vals[..existing.len()] == existing[..] {
+                    let existing_len = existing.len();
+                    rec_match(rest, &vals[existing_len..], env, out);
+                }
+            }
+            Some(EnvVal::Val(_)) => {}
+            None => {
+                // Try every split length; remaining fixed terms need at
+                // least as many values as their count.
+                let min_rest: usize = rest
+                    .iter()
+                    .map(|t| if t.is_tuple_var() { 0 } else { 1 })
+                    .sum();
+                let max_take = vals.len().saturating_sub(min_rest);
+                for take in 0..=max_take {
+                    let mut e = env.clone();
+                    e.bind(*var, EnvVal::Tup(vals[..take].to_vec()));
+                    rec_match(rest, &vals[take..], &e, out);
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::tuple;
+    use rel_sema::ir::Atom;
+
+    fn ctx_fixture() -> (Module, BTreeMap<Name, Relation>) {
+        let module = rel_sema::compile("def Dummy(x) : Nothing(x)").unwrap();
+        let mut rels = BTreeMap::new();
+        rels.insert(
+            rel_core::name("E"),
+            Relation::from_tuples([tuple![1, 2], tuple![2, 3], tuple![1, 3]]),
+        );
+        (module, rels)
+    }
+
+    #[test]
+    fn atom_binds_and_filters() {
+        let (module, rels) = ctx_fixture();
+        let cx = EvalCtx::new(&module, &rels);
+        // E(x, y) over one empty env: 3 results.
+        let atom = Formula::Atom(Atom {
+            pred: rel_core::name("E"),
+            args: vec![Term::Var(0), Term::Var(1)],
+        });
+        let envs = cx.eval_formula(&atom, vec![Env::new(2)]).unwrap();
+        assert_eq!(envs.len(), 3);
+        // E(1, y): 2 results.
+        let atom = Formula::Atom(Atom {
+            pred: rel_core::name("E"),
+            args: vec![Term::Const(Value::int(1)), Term::Var(1)],
+        });
+        let envs = cx.eval_formula(&atom, vec![Env::new(2)]).unwrap();
+        assert_eq!(envs.len(), 2);
+    }
+
+    #[test]
+    fn repeated_var_join() {
+        let (module, rels) = ctx_fixture();
+        let cx = EvalCtx::new(&module, &rels);
+        // E(x, x): no loops in fixture.
+        let atom = Formula::Atom(Atom {
+            pred: rel_core::name("E"),
+            args: vec![Term::Var(0), Term::Var(0)],
+        });
+        let envs = cx.eval_formula(&atom, vec![Env::new(1)]).unwrap();
+        assert!(envs.is_empty());
+    }
+
+    #[test]
+    fn tuple_var_split_enumeration() {
+        let env = Env::new(2);
+        let t = tuple![1, 2, 3];
+        let mut out = Vec::new();
+        // (x..., y...): as a *full* match (empty suffix) there are 4 splits
+        // of a 3-tuple; as a prefix match every partial consumption also
+        // appears (4 + 3 + 2 + 1 = 10).
+        rec_match(
+            &[Term::TupleVar(0), Term::TupleVar(1)],
+            t.values(),
+            &env,
+            &mut out,
+        );
+        assert_eq!(out.len(), 10);
+        let full: Vec<_> = out.iter().filter(|(_, s)| s.is_empty()).collect();
+        assert_eq!(full.len(), 4);
+    }
+
+    #[test]
+    fn builtin_atom_inverse_in_engine() {
+        let (module, rels) = ctx_fixture();
+        let cx = EvalCtx::new(&module, &rels);
+        // add(x, 5, 15) with x free.
+        let mut env = Env::new(1);
+        env.unbind(0);
+        let atom = Formula::Atom(Atom {
+            pred: rel_core::name("rel_primitive_add"),
+            args: vec![
+                Term::Var(0),
+                Term::Const(Value::int(5)),
+                Term::Const(Value::int(15)),
+            ],
+        });
+        let envs = cx.eval_formula(&atom, vec![env]).unwrap();
+        assert_eq!(envs.len(), 1);
+        assert_eq!(envs[0].value(0), Some(&Value::int(10)));
+    }
+
+    #[test]
+    fn negation_filters() {
+        let (module, rels) = ctx_fixture();
+        let cx = EvalCtx::new(&module, &rels);
+        // E(x, y) ∧ ¬E(y, x)
+        let f = Formula::Conj(vec![
+            Formula::Atom(Atom {
+                pred: rel_core::name("E"),
+                args: vec![Term::Var(0), Term::Var(1)],
+            }),
+            Formula::Not(Box::new(Formula::Atom(Atom {
+                pred: rel_core::name("E"),
+                args: vec![Term::Var(1), Term::Var(0)],
+            }))),
+        ]);
+        let envs = cx.eval_formula(&f, vec![Env::new(2)]).unwrap();
+        assert_eq!(envs.len(), 3); // no symmetric edges in fixture
+    }
+
+    #[test]
+    fn partial_apply_groups_by_binding() {
+        let (module, rels) = ctx_fixture();
+        let cx = EvalCtx::new(&module, &rels);
+        // E[x] with x unbound: groups for x=1 (2 suffixes) and x=2 (1).
+        let papp = RExpr::PApp {
+            pred: rel_core::name("E"),
+            args: vec![Term::Var(0)],
+        };
+        let pairs = cx.eval_open(&papp, &Env::new(1)).unwrap();
+        assert_eq!(pairs.len(), 2);
+        let sizes: Vec<usize> = pairs.iter().map(|(_, r)| r.len()).collect();
+        assert_eq!(sizes, vec![2, 1]);
+    }
+}

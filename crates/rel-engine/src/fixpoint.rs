@@ -1,0 +1,472 @@
+//! Stratum-by-stratum materialization.
+//!
+//! * Non-recursive strata: one bottom-up pass per predicate.
+//! * Recursive **monotone** strata: semi-naive evaluation — per iteration,
+//!   each rule is evaluated once per occurrence of an SCC predicate, with
+//!   that occurrence reading the Δ relation (new/full formulation; set
+//!   semantics deduplicates the overlap).
+//! * Recursive **non-monotone** strata (Rel's non-stratified programs,
+//!   Addendum A): partial-fixpoint (PFP) iteration — synchronously
+//!   recompute every SCC predicate from the previous iterate until two
+//!   consecutive iterates agree, with a divergence cap. This gives the
+//!   paper's PageRank and APSP-with-negation programs their intended
+//!   meaning (DESIGN.md §2.3).
+
+use crate::env::Env;
+use crate::eval::EvalCtx;
+use rel_core::{Database, Name, RelError, RelResult, Relation};
+use rel_sema::ir::{AbsParam, EvalMode, Formula, Module, RExpr, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Iteration cap for partial-fixpoint strata.
+pub const PFP_CAP: usize = 10_000;
+/// Iteration cap for semi-naive strata (a safety net; monotone fixpoints
+/// over finite domains terminate on their own).
+pub const SEMI_NAIVE_CAP: usize = 10_000_000;
+
+/// The reserved Δ-relation prefix used during semi-naive evaluation.
+fn delta_name(p: &Name) -> Name {
+    rel_core::name(format!("Δ{p}"))
+}
+
+/// Materialize every `Materialize`-mode predicate of the module, stratum
+/// by stratum, starting from the database's base relations. Returns the
+/// full relation state (EDB ∪ IDB).
+pub fn materialize(module: &Module, db: &Database) -> RelResult<BTreeMap<Name, Relation>> {
+    let mut rels: BTreeMap<Name, Relation> =
+        db.iter().map(|(n, r)| (n.clone(), r.clone())).collect();
+    for stratum in &module.strata {
+        let mats: Vec<&Name> = stratum
+            .preds
+            .iter()
+            .filter(|p| {
+                matches!(
+                    module.pred_info.get(*p).map(|i| &i.mode),
+                    Some(EvalMode::Materialize) | None
+                )
+            })
+            .collect();
+        if mats.is_empty() {
+            continue; // demand-only stratum: evaluated lazily at call sites
+        }
+        if stratum.recursive && mats.len() != stratum.preds.len() {
+            return Err(RelError::Stratify(format!(
+                "stratum {:?} mixes materializable and demand-driven predicates \
+                 in one recursive component",
+                stratum.preds
+            )));
+        }
+        if !stratum.recursive {
+            let p = mats[0];
+            let derived = {
+                let cx = EvalCtx::new(module, &rels);
+                eval_pred_once(&cx, module, p)?
+            };
+            rels.entry(p.clone()).or_default().absorb(&derived);
+        } else if stratum.monotone {
+            semi_naive(module, &mut rels, &stratum.preds)?;
+        } else {
+            pfp(module, &mut rels, &stratum.preds)?;
+        }
+    }
+    Ok(rels)
+}
+
+/// Evaluate all rules of one predicate once.
+fn eval_pred_once(cx: &EvalCtx<'_>, module: &Module, pred: &Name) -> RelResult<Relation> {
+    let mut out = Relation::new();
+    for rule in module.rules_for(pred) {
+        out.absorb(&cx.eval_rule(rule, Env::new(rule.vars.len()))?);
+    }
+    Ok(out)
+}
+
+/// Semi-naive evaluation of a monotone recursive stratum.
+fn semi_naive(
+    module: &Module,
+    rels: &mut BTreeMap<Name, Relation>,
+    preds: &[Name],
+) -> RelResult<()> {
+    let scc: BTreeSet<&Name> = preds.iter().collect();
+
+    // Pre-compute Δ-focused rule variants for each predicate.
+    let mut variants: BTreeMap<&Name, Vec<Rule>> = BTreeMap::new();
+    for p in preds {
+        let mut vs = Vec::new();
+        for rule in module.rules_for(p) {
+            let n = count_scc_refs(rule, &scc);
+            for focus in 0..n {
+                vs.push(delta_variant(rule, &scc, focus));
+            }
+        }
+        variants.insert(p, vs);
+    }
+
+    // Iteration 0: full evaluation (SCC relations start as their EDB
+    // contents, typically empty).
+    let mut delta: BTreeMap<Name, Relation> = BTreeMap::new();
+    {
+        let cx = EvalCtx::new(module, rels);
+        for p in preds {
+            let mut d = eval_pred_once(&cx, module, p)?;
+            if let Some(existing) = rels.get(p) {
+                d.absorb(existing);
+            }
+            delta.insert(p.clone(), d);
+        }
+    }
+    for p in preds {
+        let d = delta[p].clone();
+        rels.insert(p.clone(), d);
+    }
+
+    for _iter in 0..SEMI_NAIVE_CAP {
+        if delta.values().all(Relation::is_empty) {
+            // Remove Δ overlays.
+            for p in preds {
+                rels.remove(&delta_name(p));
+            }
+            return Ok(());
+        }
+        // Install Δ overlays.
+        for p in preds {
+            rels.insert(delta_name(p), delta[p].clone());
+        }
+        let mut new_delta: BTreeMap<Name, Relation> = BTreeMap::new();
+        {
+            let cx = EvalCtx::new(module, rels);
+            for p in preds {
+                let mut fresh = Relation::new();
+                for rule in &variants[p] {
+                    fresh.absorb(&cx.eval_rule(rule, Env::new(rule.vars.len()))?);
+                }
+                let current = rels.get(p).cloned().unwrap_or_default();
+                new_delta.insert(p.clone(), fresh.minus(&current));
+            }
+        }
+        for p in preds {
+            let d = &new_delta[p];
+            if !d.is_empty() {
+                rels.get_mut(p).expect("inserted above").absorb(d);
+            }
+        }
+        delta = new_delta;
+    }
+    Err(RelError::Divergent {
+        relation: preds[0].to_string(),
+        iterations: SEMI_NAIVE_CAP,
+    })
+}
+
+/// Partial-fixpoint evaluation of a non-monotone recursive stratum.
+fn pfp(module: &Module, rels: &mut BTreeMap<Name, Relation>, preds: &[Name]) -> RelResult<()> {
+    // Previous iterate, starting from the EDB contents (usually empty).
+    let mut prev: BTreeMap<Name, Relation> = preds
+        .iter()
+        .map(|p| (p.clone(), rels.get(p).cloned().unwrap_or_default()))
+        .collect();
+    for p in preds {
+        rels.insert(p.clone(), prev[p].clone());
+    }
+    for _iter in 0..PFP_CAP {
+        let mut next: BTreeMap<Name, Relation> = BTreeMap::new();
+        {
+            let cx = EvalCtx::new(module, rels);
+            for p in preds {
+                next.insert(p.clone(), eval_pred_once(&cx, module, p)?);
+            }
+        }
+        if next == prev {
+            return Ok(());
+        }
+        for p in preds {
+            rels.insert(p.clone(), next[p].clone());
+        }
+        prev = next;
+    }
+    Err(RelError::Divergent {
+        relation: preds[0].to_string(),
+        iterations: PFP_CAP,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Δ-variant rewriting
+// ----------------------------------------------------------------------
+
+/// Count references to SCC predicates in a rule.
+pub fn count_scc_refs(rule: &Rule, scc: &BTreeSet<&Name>) -> usize {
+    let mut n = 0;
+    map_rule(&mut rule.clone(), &mut |p| {
+        if scc.contains(p) {
+            n += 1;
+        }
+        p.clone()
+    });
+    n
+}
+
+/// Produce the rule variant whose `focus`-th SCC reference reads the Δ
+/// relation.
+pub fn delta_variant(rule: &Rule, scc: &BTreeSet<&Name>, focus: usize) -> Rule {
+    let mut out = rule.clone();
+    let mut i = 0;
+    map_rule(&mut out, &mut |p| {
+        if scc.contains(p) {
+            let name = if i == focus { delta_name(p) } else { p.clone() };
+            i += 1;
+            name
+        } else {
+            p.clone()
+        }
+    });
+    out
+}
+
+/// Apply `f` to every predicate reference in the rule, in a fixed
+/// traversal order.
+fn map_rule(rule: &mut Rule, f: &mut impl FnMut(&Name) -> Name) {
+    for p in &mut rule.params {
+        if let AbsParam::In(_, dom) = p {
+            map_rexpr(dom, f);
+        }
+    }
+    map_rexpr(&mut rule.body, f);
+}
+
+fn map_formula(x: &mut Formula, f: &mut impl FnMut(&Name) -> Name) {
+    match x {
+        Formula::True | Formula::False => {}
+        Formula::Conj(items) | Formula::Disj(items) => {
+            for i in items {
+                map_formula(i, f);
+            }
+        }
+        Formula::Not(inner) => map_formula(inner, f),
+        Formula::Atom(a) => a.pred = f(&a.pred),
+        Formula::DynAtom { rel, .. } => map_rexpr(rel, f),
+        Formula::Cmp { lhs, rhs, .. } => {
+            map_rexpr(lhs, f);
+            map_rexpr(rhs, f);
+        }
+        Formula::Member { of, .. } => map_rexpr(of, f),
+        Formula::Exists { body, .. } => map_formula(body, f),
+        Formula::OfExpr(e) => map_rexpr(e, f),
+    }
+}
+
+fn map_rexpr(x: &mut RExpr, f: &mut impl FnMut(&Name) -> Name) {
+    match x {
+        RExpr::Pred(p) => *p = f(p),
+        RExpr::PApp { pred, .. } => *pred = f(pred),
+        RExpr::DynPApp { rel, .. } => map_rexpr(rel, f),
+        RExpr::Product(es) | RExpr::Union(es) => {
+            for e in es {
+                map_rexpr(e, f);
+            }
+        }
+        RExpr::Singleton(_) => {}
+        RExpr::Where { body, cond } => {
+            map_rexpr(body, f);
+            map_formula(cond, f);
+        }
+        RExpr::Abstract { params, body, .. } => {
+            for p in params.iter_mut() {
+                if let AbsParam::In(_, dom) = p {
+                    map_rexpr(dom, f);
+                }
+            }
+            map_rexpr(body, f);
+        }
+        RExpr::Reduce { op, input, .. } => {
+            map_rexpr(op, f);
+            map_rexpr(input, f);
+        }
+        RExpr::BuiltinApp { args, .. } => {
+            for a in args {
+                map_rexpr(a, f);
+            }
+        }
+        RExpr::DotJoin(a, b) | RExpr::LeftOverride(a, b) => {
+            map_rexpr(a, f);
+            map_rexpr(b, f);
+        }
+        RExpr::OfFormula(inner) => map_formula(inner, f),
+    }
+}
+
+/// Evaluate *naively* (no deltas): used by the naive-vs-semi-naive
+/// ablation benchmark (E4).
+pub fn materialize_naive(module: &Module, db: &Database) -> RelResult<BTreeMap<Name, Relation>> {
+    let mut rels: BTreeMap<Name, Relation> =
+        db.iter().map(|(n, r)| (n.clone(), r.clone())).collect();
+    for stratum in &module.strata {
+        let mats: Vec<&Name> = stratum
+            .preds
+            .iter()
+            .filter(|p| {
+                matches!(
+                    module.pred_info.get(*p).map(|i| &i.mode),
+                    Some(EvalMode::Materialize) | None
+                )
+            })
+            .collect();
+        if mats.is_empty() {
+            continue;
+        }
+        if !stratum.recursive {
+            let p = mats[0];
+            let derived = {
+                let cx = EvalCtx::new(module, &rels);
+                eval_pred_once(&cx, module, p)?
+            };
+            rels.entry(p.clone()).or_default().absorb(&derived);
+            continue;
+        }
+        if !stratum.monotone {
+            pfp(module, &mut rels, &stratum.preds)?;
+            continue;
+        }
+        // Naive: re-derive everything until nothing changes.
+        for p in &stratum.preds {
+            rels.entry(p.clone()).or_default();
+        }
+        for _ in 0..SEMI_NAIVE_CAP {
+            let mut changed = false;
+            let mut next: BTreeMap<Name, Relation> = BTreeMap::new();
+            {
+                let cx = EvalCtx::new(module, &rels);
+                for p in &stratum.preds {
+                    next.insert(p.clone(), eval_pred_once(&cx, module, p)?);
+                }
+            }
+            for p in &stratum.preds {
+                let added = rels.get_mut(p).expect("seeded").absorb(&next[p]);
+                changed |= added > 0;
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    Ok(rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::tuple;
+
+    fn edge_db() -> Database {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert("E", tuple![a, b]);
+        }
+        db
+    }
+
+    #[test]
+    fn transitive_closure_semi_naive() {
+        let module = rel_sema::compile(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))",
+        )
+        .unwrap();
+        let rels = materialize(&module, &edge_db()).unwrap();
+        let tc = &rels[&rel_core::name("TC")];
+        assert_eq!(tc.len(), 6); // 1→2,1→3,1→4,2→3,2→4,3→4
+        assert!(tc.contains(&tuple![1, 4]));
+        assert!(!tc.contains(&tuple![4, 1]));
+    }
+
+    #[test]
+    fn naive_matches_semi_naive() {
+        let module = rel_sema::compile(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))",
+        )
+        .unwrap();
+        let a = materialize(&module, &edge_db()).unwrap();
+        let b = materialize_naive(&module, &edge_db()).unwrap();
+        assert_eq!(a[&rel_core::name("TC")], b[&rel_core::name("TC")]);
+    }
+
+    #[test]
+    fn nonlinear_recursion() {
+        // TC via doubling: TC(x,y) :- TC(x,z), TC(z,y).
+        let module = rel_sema::compile(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | TC(x,z) and TC(z,y))",
+        )
+        .unwrap();
+        let rels = materialize(&module, &edge_db()).unwrap();
+        assert_eq!(rels[&rel_core::name("TC")].len(), 6);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let module = rel_sema::compile(
+            "def Reach(x) : Start(x)\n\
+             def Reach(y) : exists((x) | Reach(x) and E(x,y))\n\
+             def Unreach(x) : Node(x) and not Reach(x)",
+        )
+        .unwrap();
+        let mut db = edge_db();
+        db.insert("Start", tuple![1]);
+        for n in 1..=5 {
+            db.insert("Node", tuple![n]);
+        }
+        let rels = materialize(&module, &db).unwrap();
+        assert_eq!(rels[&rel_core::name("Reach")].len(), 4);
+        assert_eq!(
+            rels[&rel_core::name("Unreach")],
+            Relation::from_tuples([tuple![5]])
+        );
+    }
+
+    #[test]
+    fn pfp_win_move_game() {
+        // Win(x) :- Move(x,y), not Win(y) — the classic non-stratified
+        // program; on an acyclic game graph PFP reaches the unique fixpoint.
+        let module = rel_sema::compile(
+            "def Win(x) : exists((y) | Move(x,y) and not Win(y))",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert("Move", tuple![a, b]);
+        }
+        let rels = materialize(&module, &db).unwrap();
+        // 4 has no moves: lost. 3 wins (→4). 2 loses (only →3 wins).
+        // 1 wins (→2 loses).
+        assert_eq!(
+            rels[&rel_core::name("Win")],
+            Relation::from_tuples([tuple![1], tuple![3]])
+        );
+    }
+
+    #[test]
+    fn delta_variant_rewrites_one_occurrence() {
+        let module = rel_sema::compile(
+            "def TC(x,y) : exists((z) | TC(x,z) and TC(z,y))",
+        )
+        .unwrap();
+        let rule = &module.rules_for("TC")[0];
+        let tc = rel_core::name("TC");
+        let scc: BTreeSet<&Name> = [&tc].into_iter().collect();
+        assert_eq!(count_scc_refs(rule, &scc), 2);
+        let v0 = delta_variant(rule, &scc, 0);
+        let v1 = delta_variant(rule, &scc, 1);
+        assert_ne!(v0, v1);
+        let refs = |r: &Rule| {
+            let mut names = Vec::new();
+            map_rule(&mut r.clone(), &mut |p| {
+                names.push(p.to_string());
+                p.clone()
+            });
+            names
+        };
+        assert!(refs(&v0).contains(&"ΔTC".to_string()));
+        assert!(refs(&v1).contains(&"ΔTC".to_string()));
+    }
+}

@@ -1,0 +1,424 @@
+//! Leapfrog Triejoin — a worst-case-optimal multiway join
+//! (Veldhuizen, ICDT 2014; cited by the paper in §7 as part of the
+//! toolbox that makes GNF's many-joins style practical).
+//!
+//! Relations are stored as lexicographically sorted tuple arrays and
+//! iterated as tries. The join processes one *join variable* at a time:
+//! all iterators bound to the current variable "leapfrog" (mutually seek)
+//! to their next common key; on agreement the join descends to the next
+//! variable.
+//!
+//! This module is deliberately self-contained (used directly by the E8
+//! triangle benchmark and by tests) rather than wired into the general
+//! rule planner: the paper's engine uses WCOJ selectively for cyclic
+//! joins, and the triangle workload is exactly where the asymptotic
+//! separation from binary hash joins shows.
+
+use rel_core::{Relation, Tuple, Value};
+
+/// A relation stored as a sorted tuple array, viewed as a trie.
+#[derive(Clone, Debug)]
+pub struct SortedRel {
+    tuples: Vec<Tuple>,
+    arity: usize,
+}
+
+impl SortedRel {
+    /// Build from tuples (sorted and deduplicated here). All tuples must
+    /// share one arity.
+    pub fn new(mut tuples: Vec<Tuple>) -> Self {
+        tuples.sort();
+        tuples.dedup();
+        let arity = tuples.first().map(Tuple::arity).unwrap_or(0);
+        assert!(
+            tuples.iter().all(|t| t.arity() == arity),
+            "SortedRel requires uniform arity"
+        );
+        SortedRel { tuples, arity }
+    }
+
+    /// Build from a [`Relation`].
+    pub fn from_relation(rel: &Relation) -> Self {
+        SortedRel::new(rel.iter().cloned().collect())
+    }
+
+    /// Build with columns permuted: output column `i` = input column
+    /// `perm[i]`. Used to align an atom's columns with the global variable
+    /// order.
+    pub fn permuted(rel: &Relation, perm: &[usize]) -> Self {
+        let tuples = rel
+            .iter()
+            .map(|t| {
+                Tuple::from(
+                    perm.iter().map(|&i| t.values()[i].clone()).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        SortedRel::new(tuples)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+/// A trie iterator over a [`SortedRel`]: a cursor at some depth, scoped to
+/// the tuple range matching the current key prefix.
+struct TrieIter<'a> {
+    rel: &'a SortedRel,
+    /// Stack of `(lo, hi)` ranges per open level; `ranges[d]` is the range
+    /// of tuples matching the prefix chosen at levels `< d`. Starts empty
+    /// (at the virtual root): `open()` descends into level 0.
+    ranges: Vec<(usize, usize)>,
+    /// Current position within the top range (points at the current key's
+    /// first tuple).
+    pos: usize,
+    at_end: bool,
+}
+
+impl<'a> TrieIter<'a> {
+    fn new(rel: &'a SortedRel) -> Self {
+        TrieIter { rel, ranges: Vec::new(), pos: 0, at_end: rel.is_empty() }
+    }
+
+    fn depth(&self) -> usize {
+        self.ranges.len() - 1
+    }
+
+    /// The key at the current level.
+    fn key(&self) -> &'a Value {
+        &self.rel.tuples[self.pos].values()[self.depth()]
+    }
+
+    /// End of the keys at this level?
+    fn at_end(&self) -> bool {
+        self.at_end
+    }
+
+    /// Range end of tuples sharing the current key (exclusive).
+    fn key_end(&self) -> usize {
+        let d = self.depth();
+        let (_, hi) = self.ranges[d];
+        let key = self.key();
+        // Gallop to the end of the run of equal keys.
+        let mut step = 1;
+        let mut lo = self.pos;
+        while lo + step < hi && &self.rel.tuples[lo + step].values()[d] == key {
+            lo += step;
+            step *= 2;
+        }
+        let mut hi2 = (lo + step).min(hi);
+        // Binary search in (lo, hi2].
+        while lo + 1 < hi2 {
+            let mid = lo + (hi2 - lo) / 2;
+            if &self.rel.tuples[mid].values()[d] == key {
+                lo = mid;
+            } else {
+                hi2 = mid;
+            }
+        }
+        lo + 1
+    }
+
+    /// Advance to the next distinct key at this level.
+    fn next_key(&mut self) {
+        let (_, hi) = self.ranges[self.depth()];
+        let e = self.key_end();
+        if e >= hi {
+            self.at_end = true;
+        } else {
+            self.pos = e;
+        }
+    }
+
+    /// Seek to the first key ≥ `target` at this level.
+    fn seek(&mut self, target: &Value) {
+        let d = self.depth();
+        let (_, hi) = self.ranges[d];
+        if self.at_end {
+            return;
+        }
+        // Gallop forward.
+        let mut lo = self.pos;
+        let mut step = 1;
+        while lo + step < hi && self.rel.tuples[lo + step].values()[d].cmp(target).is_lt() {
+            lo += step;
+            step *= 2;
+        }
+        let mut hi2 = (lo + step).min(hi);
+        while lo < hi2 {
+            let mid = lo + (hi2 - lo) / 2;
+            if self.rel.tuples[mid].values()[d].cmp(target).is_lt() {
+                lo = mid + 1;
+            } else {
+                hi2 = mid;
+            }
+        }
+        if lo >= hi {
+            self.at_end = true;
+        } else {
+            self.pos = lo;
+        }
+    }
+
+    /// Descend one level: from the virtual root into level 0, or into the
+    /// sub-trie of the current key.
+    fn open(&mut self) {
+        if self.ranges.is_empty() {
+            self.ranges.push((0, self.rel.tuples.len()));
+            self.pos = 0;
+            self.at_end = self.rel.tuples.is_empty();
+        } else {
+            let end = self.key_end();
+            self.ranges.push((self.pos, end));
+            self.at_end = false;
+            // pos stays: first tuple of the range is the first child key.
+        }
+    }
+
+    /// Return to the parent level.
+    fn up(&mut self) {
+        let (lo, _) = self.ranges.pop().expect("up below root");
+        self.pos = lo;
+        self.at_end = false;
+    }
+}
+
+/// One atom of a join query: a relation plus, per trie level, the global
+/// join-variable index that level binds. Levels must be strictly
+/// increasing in the global variable order (permute the relation with
+/// [`SortedRel::permuted`] to arrange this).
+pub struct JoinAtom<'a> {
+    /// The (column-permuted) relation.
+    pub rel: &'a SortedRel,
+    /// `vars[d]` = global variable bound by trie level `d`.
+    pub vars: Vec<usize>,
+}
+
+/// Run a leapfrog triejoin over `atoms` with `nvars` join variables
+/// (numbered `0..nvars` in join order). `emit` receives each result
+/// binding.
+pub fn leapfrog_join(atoms: &mut [JoinAtom<'_>], nvars: usize, emit: &mut dyn FnMut(&[Value])) {
+    for atom in atoms.iter() {
+        assert_eq!(atom.vars.len(), atom.rel.arity(), "vars must cover all columns");
+        assert!(
+            atom.vars.windows(2).all(|w| w[0] < w[1]),
+            "atom variables must be strictly increasing in join order"
+        );
+        if atom.rel.is_empty() {
+            return;
+        }
+    }
+    let mut iters: Vec<TrieIter<'_>> = atoms.iter().map(|a| TrieIter::new(a.rel)).collect();
+    let mut binding: Vec<Option<Value>> = vec![None; nvars];
+    join_level(atoms, &mut iters, 0, nvars, &mut binding, emit);
+}
+
+/// Which iterators participate at variable `v`, by atom index.
+fn participants(atoms: &[JoinAtom<'_>], v: usize) -> Vec<usize> {
+    atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.vars.contains(&v))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn join_level(
+    atoms: &[JoinAtom<'_>],
+    iters: &mut [TrieIter<'_>],
+    var: usize,
+    nvars: usize,
+    binding: &mut [Option<Value>],
+    emit: &mut dyn FnMut(&[Value]),
+) {
+    if var == nvars {
+        let vals: Vec<Value> = binding.iter().map(|b| b.clone().expect("bound")).collect();
+        emit(&vals);
+        return;
+    }
+    let ps = participants(atoms, var);
+    debug_assert!(!ps.is_empty(), "every variable needs at least one atom");
+    // Enter this level: every participant descends one trie level (from
+    // the virtual root for its first variable, from its current key
+    // otherwise).
+    for &i in &ps {
+        iters[i].open();
+    }
+    loop {
+        // Leapfrog search: find a common key or exhaust.
+        if ps.iter().any(|&i| iters[i].at_end()) {
+            break;
+        }
+        let max = ps
+            .iter()
+            .map(|&i| iters[i].key().clone())
+            .max()
+            .expect("nonempty participants");
+        let mut all_equal = true;
+        for &i in &ps {
+            if iters[i].key() != &max {
+                iters[i].seek(&max);
+                all_equal = false;
+            }
+        }
+        if ps.iter().any(|&i| iters[i].at_end()) {
+            break;
+        }
+        if !all_equal {
+            continue;
+        }
+        // Match on `max`: descend to the next join variable.
+        binding[var] = Some(max);
+        join_level(atoms, iters, var + 1, nvars, binding, emit);
+        binding[var] = None;
+        // Advance one participant to continue the search.
+        let first = ps[0];
+        iters[first].next_key();
+        if iters[first].at_end() {
+            break;
+        }
+    }
+    // Leave this level.
+    for &i in &ps {
+        iters[i].up();
+    }
+}
+
+/// Count triangles `E(a,b) ∧ E(b,c) ∧ E(a,c)` with leapfrog triejoin.
+pub fn triangle_count_lftj(edges: &Relation) -> usize {
+    let r_ab = SortedRel::from_relation(edges); // (a, b)
+    let r_bc = SortedRel::from_relation(edges); // (b, c)
+    let r_ac = SortedRel::from_relation(edges); // (a, c)
+    let mut atoms = [
+        JoinAtom { rel: &r_ab, vars: vec![0, 1] },
+        JoinAtom { rel: &r_bc, vars: vec![1, 2] },
+        JoinAtom { rel: &r_ac, vars: vec![0, 2] },
+    ];
+    let mut count = 0usize;
+    leapfrog_join(&mut atoms, 3, &mut |_| count += 1);
+    count
+}
+
+/// Count triangles with a binary hash-join plan: `(E ⋈ E) ⋈ E` — the
+/// baseline whose intermediate result can be Θ(|E|²).
+pub fn triangle_count_hash(edges: &Relation) -> usize {
+    use std::collections::{HashMap, HashSet};
+    let mut by_src: HashMap<&Value, Vec<&Value>> = HashMap::new();
+    let mut edge_set: HashSet<(&Value, &Value)> = HashSet::new();
+    for t in edges.iter() {
+        let (a, b) = (&t.values()[0], &t.values()[1]);
+        by_src.entry(a).or_default().push(b);
+        edge_set.insert((a, b));
+    }
+    let mut count = 0usize;
+    // First join: E(a,b) ⋈ E(b,c) materializes all paths of length 2.
+    for t in edges.iter() {
+        let (a, b) = (&t.values()[0], &t.values()[1]);
+        if let Some(cs) = by_src.get(b) {
+            for c in cs {
+                // Second join: probe E(a,c).
+                if edge_set.contains(&(a, *c)) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::tuple;
+
+    fn edges(pairs: &[(i64, i64)]) -> Relation {
+        Relation::from_tuples(pairs.iter().map(|&(a, b)| tuple![a, b]))
+    }
+
+    #[test]
+    fn trie_iter_walk() {
+        let rel = SortedRel::new(vec![tuple![1, 2], tuple![1, 3], tuple![2, 5]]);
+        let mut it = TrieIter::new(&rel);
+        it.open(); // virtual root → level 0
+        assert_eq!(it.key(), &Value::int(1));
+        it.open();
+        assert_eq!(it.key(), &Value::int(2));
+        it.next_key();
+        assert_eq!(it.key(), &Value::int(3));
+        it.next_key();
+        assert!(it.at_end());
+        it.up();
+        it.next_key();
+        assert_eq!(it.key(), &Value::int(2));
+        it.open();
+        assert_eq!(it.key(), &Value::int(5));
+    }
+
+    #[test]
+    fn seek_gallops() {
+        let rel = SortedRel::new((0..100).step_by(3).map(|i| tuple![i]).collect());
+        let mut it = TrieIter::new(&rel);
+        it.open();
+        it.seek(&Value::int(50));
+        assert_eq!(it.key(), &Value::int(51));
+        it.seek(&Value::int(99));
+        assert_eq!(it.key(), &Value::int(99));
+        it.seek(&Value::int(100));
+        assert!(it.at_end());
+    }
+
+    #[test]
+    fn triangle_simple() {
+        // 1→2→3→1 plus 1→3 gives exactly one directed triangle 1,2,3.
+        let e = edges(&[(1, 2), (2, 3), (1, 3)]);
+        assert_eq!(triangle_count_lftj(&e), 1);
+        assert_eq!(triangle_count_hash(&e), 1);
+    }
+
+    #[test]
+    fn no_triangles() {
+        let e = edges(&[(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(triangle_count_lftj(&e), 0);
+        assert_eq!(triangle_count_hash(&e), 0);
+    }
+
+    #[test]
+    fn lftj_matches_hash_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let n = 30i64;
+            let pairs: Vec<(i64, i64)> = (0..200)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .filter(|(a, b)| a != b)
+                .collect();
+            let e = edges(&pairs);
+            assert_eq!(triangle_count_lftj(&e), triangle_count_hash(&e));
+        }
+    }
+
+    #[test]
+    fn two_way_join_is_intersection() {
+        let a = SortedRel::new(vec![tuple![1], tuple![2], tuple![3]]);
+        let b = SortedRel::new(vec![tuple![2], tuple![3], tuple![4]]);
+        let mut atoms = [
+            JoinAtom { rel: &a, vars: vec![0] },
+            JoinAtom { rel: &b, vars: vec![0] },
+        ];
+        let mut out = Vec::new();
+        leapfrog_join(&mut atoms, 1, &mut |vals| out.push(vals[0].clone()));
+        assert_eq!(out, vec![Value::int(2), Value::int(3)]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # rel-engine
+//!
+//! Bottom-up evaluation engine for Rel:
+//!
+//! * [`eval`] — formula evaluation over environment batches with greedy
+//!   sideways-information-passing, open expression evaluation (grouped
+//!   aggregation, generator `where`), tuple-variable matching, and
+//!   demand-driven (tabled) predicate evaluation;
+//! * [`fixpoint`] — stratum materialization: semi-naive for monotone
+//!   recursion, partial-fixpoint iteration for Rel's non-stratified
+//!   programs (Addendum A);
+//! * [`session`] — transactions with `output` / `insert` / `delete`
+//!   control relations and integrity-constraint enforcement (§3.4–3.5);
+//! * [`builtins`] — implementations of the infinite built-in relations
+//!   with invertible modes (`add(x, 5, z)` solves for `x`);
+//! * [`leapfrog`] — a leapfrog-triejoin worst-case-optimal join kernel
+//!   (the substrate the paper credits for making GNF practical, §7).
+
+pub mod builtins;
+pub mod env;
+pub mod eval;
+pub mod fixpoint;
+pub mod leapfrog;
+pub mod session;
+
+pub use eval::EvalCtx;
+pub use fixpoint::{materialize, materialize_naive};
+pub use session::{Session, TxnOutcome};

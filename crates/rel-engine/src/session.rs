@@ -1,0 +1,292 @@
+//! Sessions and transactions (§3.4–3.5 of the paper).
+//!
+//! A [`Session`] owns a [`Database`] plus installed library source (the
+//! standard library and any user libraries). Executing a query is a
+//! *transaction*: the program (library + query) is compiled and
+//! materialized; the control relations `output`, `insert` and `delete`
+//! steer the result; integrity constraints are checked against the
+//! post-state and abort the transaction when violated.
+
+use crate::env::Env;
+use crate::eval::EvalCtx;
+use crate::fixpoint::materialize;
+use rel_core::database::Delta;
+use rel_core::{Database, Name, RelError, RelResult, Relation, Tuple, Value};
+use rel_sema::ir::{ConstraintIr, Module, Rule};
+use std::collections::BTreeMap;
+
+/// Result of a committed transaction.
+#[derive(Clone, Debug, Default)]
+pub struct TxnOutcome {
+    /// Contents of the `output` control relation.
+    pub output: Relation,
+    /// Number of tuples inserted into base relations.
+    pub inserted: usize,
+    /// Number of tuples deleted from base relations.
+    pub deleted: usize,
+}
+
+/// An interactive session: a database plus library code.
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    db: Database,
+    library: String,
+}
+
+impl Session {
+    /// A session over a database, with no library installed.
+    pub fn new(db: Database) -> Self {
+        Session { db, library: String::new() }
+    }
+
+    /// Append library source (e.g. the standard library) that is compiled
+    /// in front of every query.
+    pub fn install_library(&mut self, src: &str) {
+        self.library.push_str(src);
+        self.library.push('\n');
+    }
+
+    /// Builder-style library installation.
+    pub fn with_library(mut self, src: &str) -> Self {
+        self.install_library(src);
+        self
+    }
+
+    /// The current database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (e.g. for loading data).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Compile a query against the installed library.
+    pub fn compile(&self, src: &str) -> RelResult<Module> {
+        let full = format!("{}\n{}", self.library, src);
+        rel_sema::compile(&full)
+    }
+
+    /// Run a read-only query: returns the `output` relation. Integrity
+    /// constraints in scope are checked; `insert`/`delete` rules are
+    /// evaluated but **not** applied.
+    pub fn query(&self, src: &str) -> RelResult<Relation> {
+        let module = self.compile(src)?;
+        check_control_materializable(&module)?;
+        let rels = materialize(&module, &self.db)?;
+        check_constraints(&module, &rels)?;
+        Ok(rels.get("output").cloned().unwrap_or_default())
+    }
+
+    /// Evaluate a query and return an arbitrary derived relation (useful
+    /// for tests and tooling). Demand-driven relations cannot be fetched
+    /// whole.
+    pub fn eval(&self, src: &str, relation: &str) -> RelResult<Relation> {
+        let module = self.compile(src)?;
+        let rels = materialize(&module, &self.db)?;
+        Ok(rels.get(relation).cloned().unwrap_or_default())
+    }
+
+    /// Execute a transaction: evaluate, build the delta from the `insert`
+    /// and `delete` control relations, check integrity constraints against
+    /// the post-state, and commit (or abort, leaving the database
+    /// untouched).
+    pub fn transact(&mut self, src: &str) -> RelResult<TxnOutcome> {
+        let module = self.compile(src)?;
+        check_control_materializable(&module)?;
+        let rels = materialize(&module, &self.db)?;
+        let delta = extract_delta(&rels)?;
+        let output = rels.get("output").cloned().unwrap_or_default();
+
+        if delta.is_empty() {
+            check_constraints(&module, &rels)?;
+            return Ok(TxnOutcome { output, inserted: 0, deleted: 0 });
+        }
+
+        // Apply to a candidate state and re-check constraints there: "when
+        // a transaction terminates, changes are persisted, unless the
+        // transaction is aborted" (§3.4).
+        let mut candidate = self.db.clone();
+        candidate.apply(&delta);
+        let post = materialize(&module, &candidate)?;
+        check_constraints(&module, &post)?;
+
+        let inserted: usize = delta.inserts.values().map(Vec::len).sum();
+        let deleted: usize = delta.deletes.values().map(Vec::len).sum();
+        self.db = candidate;
+        Ok(TxnOutcome { output, inserted, deleted })
+    }
+}
+
+/// Control relations must be fully materializable: a demand-driven
+/// `output` would silently evaluate to nothing.
+fn check_control_materializable(module: &Module) -> RelResult<()> {
+    for control in ["output", "insert", "delete"] {
+        if let Some(info) = module.pred_info.get(control) {
+            if let rel_sema::ir::EvalMode::Demand { bound_prefix } = info.mode {
+                return Err(RelError::unsafe_expr(format!(
+                    "`{control}` is not materializable: its first {bound_prefix}                      argument(s) would need to be bound externally — some rule                      cannot ground them"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Build a [`Delta`] from the `insert`/`delete` control relations: each
+/// tuple is `⟨:RelName, v₁, …, vₙ⟩` (§3.4).
+fn extract_delta(rels: &BTreeMap<Name, Relation>) -> RelResult<Delta> {
+    let mut delta = Delta::default();
+    for (control, is_insert) in [("insert", true), ("delete", false)] {
+        let Some(rel) = rels.get(control) else { continue };
+        for t in rel.iter() {
+            let Some(Value::Symbol(target)) = t.get(0) else {
+                return Err(RelError::type_err(format!(
+                    "`{control}` tuples must start with a :RelationName symbol, got {t}"
+                )));
+            };
+            let rest = Tuple::from(t.values()[1..].to_vec());
+            if is_insert {
+                delta.insert(target.as_ref(), rest);
+            } else {
+                delta.delete(target.as_ref(), rest);
+            }
+        }
+    }
+    Ok(delta)
+}
+
+/// Evaluate every integrity constraint's violation query; the first
+/// non-empty one aborts.
+pub fn check_constraints(module: &Module, rels: &BTreeMap<Name, Relation>) -> RelResult<()> {
+    let cx = EvalCtx::new(module, rels);
+    for c in &module.constraints {
+        let witnesses = eval_constraint(&cx, c)?;
+        if !witnesses.is_empty() {
+            let rendered: Vec<String> =
+                witnesses.iter().take(5).map(|t| t.to_string()).collect();
+            return Err(RelError::ConstraintViolation {
+                name: c.name.to_string(),
+                witnesses: format!("{{{}}}", rendered.join("; ")),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate one constraint's violation query as a synthetic rule.
+pub fn eval_constraint(cx: &EvalCtx<'_>, c: &ConstraintIr) -> RelResult<Relation> {
+    let rule = Rule {
+        pred: c.name.clone(),
+        params: c.params.clone(),
+        body: c.body.clone(),
+        vars: c.vars.clone(),
+    };
+    cx.eval_rule(&rule, Env::new(rule.vars.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::database::figure1_database;
+    use rel_core::tuple;
+
+    fn session() -> Session {
+        Session::new(figure1_database())
+    }
+
+    #[test]
+    fn basic_query_output() {
+        // §3.4: products whose price exceeds 30.
+        let out = session()
+            .query("def output(x) : exists( (y) | ProductPrice(x,y) and y > 30)")
+            .unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple!["P4"]]));
+    }
+
+    #[test]
+    fn order_with_payment() {
+        // §3.1 — set semantics: "O1" appears once despite two payments.
+        let out = session()
+            .query("def output(y) : exists((x) | PaymentOrder(x,y))")
+            .unwrap();
+        assert_eq!(
+            out,
+            Relation::from_tuples([tuple!["O1"], tuple!["O2"], tuple!["O3"]])
+        );
+    }
+
+    #[test]
+    fn transact_insert_creates_relation() {
+        let mut s = session();
+        let outcome = s
+            .transact("def insert(:ClosedOrders, x) : PaymentOrder(_, x)")
+            .unwrap();
+        assert_eq!(outcome.inserted, 3);
+        assert_eq!(s.db().get("ClosedOrders").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn transact_delete() {
+        let mut s = session();
+        let outcome = s
+            .transact("def delete(:ProductPrice, x, y) : ProductPrice(x, y) and y > 30")
+            .unwrap();
+        assert_eq!(outcome.deleted, 1);
+        assert_eq!(s.db().get("ProductPrice").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn violated_constraint_aborts() {
+        let mut s = session();
+        let err = s
+            .transact(
+                "def insert(:OrderProductQuantity, x, y, z) : \
+                   x = \"O9\" and y = \"P9\" and z = 1\n\
+                 ic valid_products(p) requires \
+                   OrderProductQuantity(_,p,_) implies ProductPrice(p,_)",
+            )
+            .unwrap_err();
+        assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+        // Aborted: database unchanged.
+        assert_eq!(s.db().get("OrderProductQuantity").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn satisfied_constraint_commits() {
+        let mut s = session();
+        s.transact(
+            "def insert(:OrderProductQuantity, x, y, z) : \
+               x = \"O9\" and y = \"P1\" and z = 1\n\
+             ic valid_products(p) requires \
+               OrderProductQuantity(_,p,_) implies ProductPrice(p,_)",
+        )
+        .unwrap();
+        assert_eq!(s.db().get("OrderProductQuantity").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn boolean_constraint_checked() {
+        let s = session();
+        let err = s
+            .query(
+                "def output(x) : ProductPrice(x, _)\n\
+                 ic impossible() requires ProductPrice(\"P1\", 11)",
+            )
+            .unwrap_err();
+        assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn integer_quantities_ic_holds() {
+        // §3.5 with the Figure 1 data: all quantities are integers.
+        let s = session();
+        s.query(
+            "def output(x) : ProductPrice(x, _)\n\
+             ic integer_quantities() requires \
+               forall((x) | OrderProductQuantity(_,_,x) implies Int(x))",
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! Random graph and workload generators for tests and benchmarks.
+
+use crate::native::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rel_core::{Database, Relation, Tuple, Value};
+
+/// A random directed graph with `n` vertices and ~`n · avg_degree` edges
+/// (no self-loops, deduplicated).
+pub fn random_graph(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = (n as f64 * avg_degree) as usize;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// A skewed graph: a few hub vertices participate in most edges —
+/// the regime where binary join plans explode (E8).
+pub fn skewed_graph(n: usize, hubs: usize, edges_per_hub: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for h in 0..hubs.min(n) as u32 {
+        for _ in 0..edges_per_hub {
+            let v = rng.gen_range(0..n) as u32;
+            if v != h {
+                edges.push((h, v));
+                edges.push((v, h));
+            }
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// A simple directed path `0 → 1 → … → n−1` (worst case for TC depth).
+pub fn path_graph(n: usize) -> Graph {
+    Graph::new(n, (0..n as u32 - 1).map(|i| (i, i + 1)).collect())
+}
+
+/// The edge relation `E` of a graph (integer vertex ids).
+pub fn edge_relation(g: &Graph) -> Relation {
+    Relation::from_tuples(
+        g.edges
+            .iter()
+            .map(|&(u, v)| Tuple::from(vec![Value::Int(u as i64), Value::Int(v as i64)])),
+    )
+}
+
+/// The vertex relation `V` of a graph.
+pub fn vertex_relation(g: &Graph) -> Relation {
+    Relation::from_values((0..g.n as i64).map(Value::Int))
+}
+
+/// A database holding `V` and `E` for a graph.
+pub fn graph_database(g: &Graph) -> Database {
+    let mut db = Database::new();
+    db.set("V", vertex_relation(g));
+    db.set("E", edge_relation(g));
+    db
+}
+
+/// The 1-based column-stochastic transition matrix of `g` as the ternary
+/// relation `M(row, col, value)` — the Rel encoding of §5.3.2.
+pub fn transition_matrix_relation(g: &Graph) -> Relation {
+    let m = crate::native::transition_matrix(g);
+    Relation::from_tuples(m.into_iter().map(|((i, j), v)| {
+        Tuple::from(vec![
+            Value::Int(i as i64),
+            Value::Int(j as i64),
+            Value::float(v),
+        ])
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_reproducible() {
+        let a = random_graph(50, 3.0, 42);
+        let b = random_graph(50, 3.0, 42);
+        assert_eq!(a.edges, b.edges);
+        assert!(a.edges.len() > 100);
+    }
+
+    #[test]
+    fn relations_match_graph() {
+        let g = path_graph(5);
+        assert_eq!(edge_relation(&g).len(), 4);
+        assert_eq!(vertex_relation(&g).len(), 5);
+        let db = graph_database(&g);
+        assert!(db.get("E").is_some());
+        assert!(db.get("V").is_some());
+    }
+
+    #[test]
+    fn transition_relation_has_floats() {
+        let g = path_graph(3);
+        let m = transition_matrix_relation(&g);
+        assert!(m.iter().all(|t| t.arity() == 3));
+        // Vertex 2 (last) has no successors → self-loop.
+        assert!(m.len() >= 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! # rel-graph
+//!
+//! The Rel **graph library** of §5.4 of the paper — transitive closure,
+//! reachability, degrees, both APSP variants, SSSP, the paper's PageRank
+//! program (non-stratified, evaluated by partial fixpoint), triangle
+//! queries, and connected components — written in Rel ([`GRAPH_LIB`]),
+//! plus hand-written Rust baselines ([`native`]) used as correctness
+//! oracles and as the imperative comparison in the benchmarks, and
+//! random-graph generators ([`gen`]).
+
+pub mod gen;
+pub mod native;
+
+use rel_core::Database;
+use rel_engine::Session;
+
+/// The graph library source (Rel).
+pub const GRAPH_LIB: &str = include_str!("../rel/graph.rel");
+
+/// A session with the standard library *and* the graph library installed.
+pub fn with_graph_lib(db: Database) -> Session {
+    rel_stdlib::with_stdlib(db).with_library(GRAPH_LIB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::*;
+    use rel_core::{tuple, Relation, Value};
+
+    fn graph_session(g: &native::Graph) -> Session {
+        with_graph_lib(graph_database(g))
+    }
+
+    #[test]
+    fn tc_matches_native_on_random_graphs() {
+        for seed in [1, 2, 3] {
+            let g = random_graph(25, 2.0, seed);
+            let s = graph_session(&g);
+            let out = s.query("def output(x, y) : TC(E, x, y)").unwrap();
+            let native: Relation = native::transitive_closure(&g)
+                .into_iter()
+                .map(|(u, v)| tuple![u as i64, v as i64])
+                .collect();
+            assert_eq!(out, native, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reach_from_source() {
+        let g = path_graph(5);
+        let mut db = graph_database(&g);
+        db.insert("S", tuple![2]);
+        let s = with_graph_lib(db);
+        let out = s.query("def output(x) : ReachFrom(S, E, x)").unwrap();
+        assert_eq!(
+            out,
+            Relation::from_tuples([tuple![2], tuple![3], tuple![4]])
+        );
+    }
+
+    #[test]
+    fn degrees_match() {
+        let g = native::Graph::new(3, vec![(0, 1), (0, 2), (1, 2)]);
+        let s = graph_session(&g);
+        let out = s.query("def output(x, d) : OutDegree(V, E, x, d)").unwrap();
+        assert_eq!(
+            out,
+            Relation::from_tuples([tuple![0, 2], tuple![1, 1], tuple![2, 0]])
+        );
+        let ind = s.query("def output(x, d) : InDegree(V, E, x, d)").unwrap();
+        assert_eq!(
+            ind,
+            Relation::from_tuples([tuple![0, 0], tuple![1, 1], tuple![2, 2]])
+        );
+    }
+
+    #[test]
+    fn apsp_aggregation_variant_matches_bfs() {
+        let g = random_graph(12, 1.8, 7);
+        let s = graph_session(&g);
+        let out = s.query("def output(x, y, d) : APSP2(V, E, x, y, d)").unwrap();
+        let native: Relation = native::apsp(&g)
+            .into_iter()
+            .map(|((u, v), d)| tuple![u as i64, v as i64, d as i64])
+            .collect();
+        assert_eq!(out, native);
+    }
+
+    #[test]
+    fn apsp_negation_variant_matches_bfs() {
+        let g = random_graph(10, 1.5, 11);
+        let s = graph_session(&g);
+        let out = s.query("def output(x, y, d) : APSP(V, E, x, y, d)").unwrap();
+        let native: Relation = native::apsp(&g)
+            .into_iter()
+            .map(|((u, v), d)| tuple![u as i64, v as i64, d as i64])
+            .collect();
+        assert_eq!(out, native);
+    }
+
+    #[test]
+    fn sssp_matches_bfs() {
+        let g = random_graph(15, 2.0, 3);
+        let mut db = graph_database(&g);
+        db.insert("S", tuple![0]);
+        let s = with_graph_lib(db);
+        let out = s.query("def output(x, d) : SSSP(S, E, x, d)").unwrap();
+        let native: Relation = native::sssp(&g, &[0])
+            .into_iter()
+            .map(|(v, d)| tuple![v as i64, d as i64])
+            .collect();
+        assert_eq!(out, native);
+    }
+
+    #[test]
+    fn pagerank_matches_native_iteration() {
+        let g = random_graph(8, 2.0, 5);
+        let mut db = graph_database(&g);
+        db.set("M", transition_matrix_relation(&g));
+        let s = with_graph_lib(db);
+        let out = s.query("def output(i, v) : PageRank[M](i, v)").unwrap();
+        let m = native::transition_matrix(&g);
+        let expected = native::pagerank_iterate(g.n, &m, 0.005, 10_000);
+        assert_eq!(out.len(), expected.len(), "same sparse support: {out}");
+        for t in out.iter() {
+            let i = t.values()[0].as_int().unwrap() as usize;
+            let v = t.values()[1].as_f64().unwrap();
+            let want = expected[&i];
+            assert!(
+                (v - want).abs() < 1e-9,
+                "rank of {i}: rel {v} vs native {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_count_matches() {
+        let g = random_graph(15, 2.5, 9);
+        let s = graph_session(&g);
+        let out = s.query("def output[c] : c = TriangleCount[E]").unwrap();
+        let count = out.iter().next().unwrap().values()[0].as_int().unwrap();
+        assert_eq!(count as usize, native::triangle_count(&g));
+    }
+
+    #[test]
+    fn components_match_native() {
+        let g = native::Graph::new(6, vec![(0, 1), (1, 2), (4, 5)]);
+        let s = graph_session(&g);
+        let out = s.query("def output(x, c) : ComponentOf(V, E, x, c)").unwrap();
+        let native: Relation = native::connected_components(&g)
+            .into_iter()
+            .map(|(v, c)| tuple![v as i64, c as i64])
+            .collect();
+        assert_eq!(out, native);
+    }
+
+    #[test]
+    fn symm_and_noloops() {
+        let g = native::Graph::new(3, vec![(0, 1), (1, 1)]);
+        let s = graph_session(&g);
+        let out = s.query("def output(x,y) : Symm(E, x, y)").unwrap();
+        assert!(out.contains(&tuple![1, 0]));
+        let out = s.query("def output(x,y) : NoLoops(E, x, y)").unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![0, 1]]));
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        // On a directed cycle the stationary distribution is uniform; the
+        // initial vector is already the fixpoint, so the program stops
+        // immediately.
+        let g = native::Graph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut db = graph_database(&g);
+        db.set("M", transition_matrix_relation(&g));
+        let s = with_graph_lib(db);
+        let out = s.query("def output(i, v) : PageRank[M](i, v)").unwrap();
+        let quarter = Value::float(0.25);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|t| t.values()[1] == quarter), "{out}");
+    }
+}

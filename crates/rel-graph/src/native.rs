@@ -1,0 +1,275 @@
+//! Hand-written Rust baselines for the graph algorithms in the Rel
+//! library. These serve two purposes: (a) correctness oracles for the
+//! Rel programs (differential tests), and (b) the "legacy imperative
+//! implementation" side of the paper's §7 comparison (performance and
+//! code size), used by the E4–E6 benchmarks.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A directed graph as an adjacency list over vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edge list.
+    pub edges: Vec<(u32, u32)>,
+    /// Adjacency: `adj[u]` = successors of `u`.
+    pub adj: Vec<Vec<u32>>,
+}
+
+impl Graph {
+    /// Build from an edge list over vertices `0..n`.
+    pub fn new(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            adj[u as usize].push(v);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        Graph { n, edges, adj }
+    }
+}
+
+/// Transitive closure by BFS from every vertex: the set of `(u, v)` with a
+/// non-empty path `u ⇝ v`.
+pub fn transitive_closure(g: &Graph) -> HashSet<(u32, u32)> {
+    let mut out = HashSet::new();
+    for s in 0..g.n as u32 {
+        let mut seen = vec![false; g.n];
+        let mut queue: VecDeque<u32> = g.adj[s as usize].iter().copied().collect();
+        for &v in &g.adj[s as usize] {
+            seen[v as usize] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            out.insert((s, v));
+            for &w in &g.adj[v as usize] {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All-pairs shortest path lengths in hops (BFS per source), including
+/// the trivial `(v, v) → 0` paths — matching the Rel `APSP` definition.
+pub fn apsp(g: &Graph) -> HashMap<(u32, u32), u32> {
+    let mut out = HashMap::new();
+    for s in 0..g.n as u32 {
+        let mut dist = vec![u32::MAX; g.n];
+        dist[s as usize] = 0;
+        out.insert((s, s), 0);
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &w in &g.adj[v as usize] {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    out.insert((s, w), dist[w as usize]);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Single-source shortest hop counts from a source set.
+pub fn sssp(g: &Graph, sources: &[u32]) -> HashMap<u32, u32> {
+    let mut dist: HashMap<u32, u32> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        dist.insert(s, 0);
+        queue.push_back(s);
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        for &w in &g.adj[v as usize] {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The PageRank iteration exactly as the paper's Rel program runs it,
+/// with Rel's **sparse** vector semantics: vector entries are relation
+/// tuples, so positions whose sum is over an empty set simply vanish
+/// (rather than holding 0), and the convergence `delta` only ranges over
+/// positions present in *both* vectors. Starts from the uniform vector
+/// over `1..=d`, repeats `P ← G·P` while `max_k |(G·P)_k − P_k| > eps`,
+/// and returns the first `P` within `eps`. `g_matrix` maps
+/// `(row, col) → value` (1-based, matching the Rel encoding).
+pub fn pagerank_iterate(
+    d: usize,
+    g_matrix: &HashMap<(usize, usize), f64>,
+    eps: f64,
+    max_iters: usize,
+) -> HashMap<usize, f64> {
+    let mut p: HashMap<usize, f64> = (1..=d).map(|k| (k, 1.0 / d as f64)).collect();
+    for _ in 0..max_iters {
+        let next = mat_vec(g_matrix, &p);
+        let delta = next
+            .iter()
+            .filter_map(|(k, a)| p.get(k).map(|b| (a - b).abs()))
+            .fold(0.0f64, f64::max);
+        if delta <= eps {
+            return p;
+        }
+        p = next;
+    }
+    p
+}
+
+/// Sparse matrix–vector product over relation-style encodings: an output
+/// position appears only when some matrix entry meets some vector entry.
+fn mat_vec(m: &HashMap<(usize, usize), f64>, v: &HashMap<usize, f64>) -> HashMap<usize, f64> {
+    let mut out: HashMap<usize, f64> = HashMap::new();
+    for (&(i, j), &val) in m {
+        if let Some(x) = v.get(&j) {
+            *out.entry(i).or_insert(0.0) += val * x;
+        }
+    }
+    out
+}
+
+/// Column-stochastic transition matrix of a graph, 1-based, as used by
+/// PageRank: `G[i][j] = 1/outdeg(j)` for each edge `j → i`; vertices
+/// without successors get a self-loop (so the matrix stays stochastic).
+pub fn transition_matrix(g: &Graph) -> HashMap<(usize, usize), f64> {
+    let mut m = HashMap::new();
+    for u in 0..g.n {
+        let outs = &g.adj[u];
+        if outs.is_empty() {
+            m.insert((u + 1, u + 1), 1.0);
+        } else {
+            let w = 1.0 / outs.len() as f64;
+            for &v in outs {
+                *m.entry((v as usize + 1, u + 1)).or_insert(0.0) += w;
+            }
+        }
+    }
+    m
+}
+
+/// Directed triangle count: `E(a,b) ∧ E(b,c) ∧ E(a,c)`.
+pub fn triangle_count(g: &Graph) -> usize {
+    let set: HashSet<(u32, u32)> = g.edges.iter().copied().collect();
+    let mut count = 0;
+    for &(a, b) in &set {
+        for &c in &g.adj[b as usize] {
+            if set.contains(&(a, c)) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Weakly connected components: vertex → smallest vertex id in its
+/// component (matching the Rel `ComponentOf` labelling).
+pub fn connected_components(g: &Graph) -> HashMap<u32, u32> {
+    let mut undirected = vec![Vec::new(); g.n];
+    for &(u, v) in &g.edges {
+        undirected[u as usize].push(v);
+        undirected[v as usize].push(u);
+    }
+    let mut label: HashMap<u32, u32> = HashMap::new();
+    for s in 0..g.n as u32 {
+        if label.contains_key(&s) {
+            continue;
+        }
+        // BFS the whole component, label with its minimum.
+        let mut members = vec![s];
+        let mut seen = HashSet::from([s]);
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &w in &undirected[v as usize] {
+                if seen.insert(w) {
+                    members.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        let min = *members.iter().min().expect("nonempty");
+        for m in members {
+            label.insert(m, min);
+        }
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Graph {
+        Graph::new(4, vec![(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn tc_of_path() {
+        let tc = transitive_closure(&path_graph());
+        assert_eq!(tc.len(), 6);
+        assert!(tc.contains(&(0, 3)));
+        assert!(!tc.contains(&(3, 0)));
+    }
+
+    #[test]
+    fn apsp_of_path() {
+        let d = apsp(&path_graph());
+        assert_eq!(d[&(0, 3)], 3);
+        assert_eq!(d[&(1, 1)], 0);
+        assert!(!d.contains_key(&(3, 0)));
+    }
+
+    #[test]
+    fn sssp_multi_source() {
+        let d = sssp(&path_graph(), &[0, 2]);
+        assert_eq!(d[&1], 1);
+        assert_eq!(d[&3], 1); // closer via source 2
+    }
+
+    #[test]
+    fn transition_matrix_is_stochastic() {
+        let g = Graph::new(3, vec![(0, 1), (0, 2), (1, 2)]);
+        let m = transition_matrix(&g);
+        // Column sums = 1.
+        for j in 1..=3 {
+            let sum: f64 = m.iter().filter(|((_, c), _)| *c == j).map(|(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "column {j} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn pagerank_converges_on_cycle() {
+        let g = Graph::new(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let m = transition_matrix(&g);
+        let p = pagerank_iterate(3, &m, 1e-9, 10_000);
+        for k in 1..=3 {
+            assert!((p[&k] - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn triangles() {
+        let g = Graph::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn components() {
+        let g = Graph::new(5, vec![(0, 1), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c[&0], 0);
+        assert_eq!(c[&1], 0);
+        assert_eq!(c[&2], 2);
+        assert_eq!(c[&3], 3);
+        assert_eq!(c[&4], 3);
+    }
+}

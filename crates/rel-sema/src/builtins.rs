@@ -1,0 +1,174 @@
+//! Catalogue of built-in (conceptually infinite) relations — §3.2.
+//!
+//! Each builtin carries a set of **modes**: strings over `b` (argument must
+//! be bound) and `f` (argument may be free and is produced). `add` has
+//! modes `bbf`, `bfb`, `fbb` and `bbb`: any two bound arguments determine
+//! the third, and with all three bound it is a check. The safety analysis
+//! (`crate::safety`) and the engine's conjunct planner both consult this
+//! table; the *implementations* live in `rel-engine::builtins`.
+//!
+//! Following §5.1 of the paper, user-visible relations such as `add` are
+//! defined in the standard library as wrappers over `rel_primitive_*`
+//! names; both spellings are registered here so programs work with or
+//! without the library loaded.
+
+/// Signature of one builtin relation.
+#[derive(Clone, Copy, Debug)]
+pub struct BuiltinSig {
+    /// Relation name.
+    pub name: &'static str,
+    /// Arity.
+    pub arity: usize,
+    /// Accepted modes (`b` = must be bound, `f` = produced).
+    pub modes: &'static [&'static str],
+    /// True for type-test predicates that are *checks only* and can never
+    /// enumerate (e.g. `Int`).
+    pub type_test: bool,
+}
+
+/// Arithmetic: any two of three bound.
+const MODES_2OF3: &[&str] = &["bbf", "bfb", "fbb", "bbb"];
+/// Last argument computed from the others.
+const MODES_LASTF: &[&str] = &["bbf", "bbb"];
+/// Binary function: output last.
+const MODES_BF: &[&str] = &["bf", "bb"];
+/// Pure check.
+const MODES_B: &[&str] = &["b"];
+
+/// The builtin table.
+pub const BUILTINS: &[BuiltinSig] = &[
+    // --- arithmetic (ternary, relational views of + - * / % ^) ---
+    BuiltinSig { name: "rel_primitive_add", arity: 3, modes: MODES_2OF3, type_test: false },
+    BuiltinSig { name: "rel_primitive_subtract", arity: 3, modes: MODES_2OF3, type_test: false },
+    BuiltinSig { name: "rel_primitive_multiply", arity: 3, modes: MODES_2OF3, type_test: false },
+    BuiltinSig { name: "rel_primitive_divide", arity: 3, modes: MODES_2OF3, type_test: false },
+    BuiltinSig { name: "rel_primitive_modulo", arity: 3, modes: MODES_LASTF, type_test: false },
+    BuiltinSig { name: "rel_primitive_power", arity: 3, modes: MODES_LASTF, type_test: false },
+    // min/max of two numbers (used by reduce for min/max aggregates)
+    BuiltinSig { name: "rel_primitive_minimum", arity: 3, modes: MODES_LASTF, type_test: false },
+    BuiltinSig { name: "rel_primitive_maximum", arity: 3, modes: MODES_LASTF, type_test: false },
+    // --- unary-ish numeric functions (binary relations: input, output) ---
+    BuiltinSig { name: "rel_primitive_abs", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_natural_log", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_exp", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_sqrt", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_sin", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_cos", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_tan", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_floor", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_ceil", arity: 2, modes: MODES_BF, type_test: false },
+    // log[base, x] = result (ternary per §5.1's `def log[x, y] = …`)
+    BuiltinSig { name: "rel_primitive_log", arity: 3, modes: MODES_LASTF, type_test: false },
+    // --- conversions ---
+    BuiltinSig { name: "rel_primitive_int_to_float", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_float_to_int", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_parse_int", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_parse_float", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_to_string", arity: 2, modes: MODES_BF, type_test: false },
+    // --- strings ---
+    BuiltinSig { name: "rel_primitive_concat", arity: 3, modes: MODES_LASTF, type_test: false },
+    BuiltinSig { name: "rel_primitive_string_length", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_uppercase", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_lowercase", arity: 2, modes: MODES_BF, type_test: false },
+    BuiltinSig { name: "rel_primitive_starts_with", arity: 2, modes: &["bb"], type_test: false },
+    BuiltinSig { name: "rel_primitive_contains", arity: 2, modes: &["bb"], type_test: false },
+    BuiltinSig { name: "rel_primitive_substring", arity: 4, modes: &["bbbf", "bbbb"], type_test: false },
+    // regex-lite matching (anchored glob-style `*`/`?` patterns)
+    BuiltinSig { name: "rel_primitive_like_match", arity: 2, modes: &["bb"], type_test: false },
+    // --- type tests (infinite, check-only) ---
+    BuiltinSig { name: "Int", arity: 1, modes: MODES_B, type_test: true },
+    BuiltinSig { name: "Float", arity: 1, modes: MODES_B, type_test: true },
+    BuiltinSig { name: "Number", arity: 1, modes: MODES_B, type_test: true },
+    BuiltinSig { name: "String", arity: 1, modes: MODES_B, type_test: true },
+    BuiltinSig { name: "Entity", arity: 1, modes: MODES_B, type_test: true },
+    // --- enumeration ---
+    // range(lo, hi, step, out): out = lo, lo+step, …, ≤ hi (§5.4 PageRank).
+    BuiltinSig { name: "range", arity: 4, modes: &["bbbf", "bbbb"], type_test: false },
+];
+
+/// Aliases: the library-level names (`add`, …) double as builtins so that
+/// programs run even without the standard library loaded, exactly like the
+/// `rel_primitive_*` forms (§5.1 note: "These could be treated as language
+/// primitives, but in Rel we prefer to think about them as library
+/// functions"). When the standard library *is* loaded, its definitions
+/// shadow nothing — they are wrappers resolving to the same primitives.
+pub const ALIASES: &[(&str, &str)] = &[
+    ("add", "rel_primitive_add"),
+    ("subtract", "rel_primitive_subtract"),
+    ("multiply", "rel_primitive_multiply"),
+    ("divide", "rel_primitive_divide"),
+    ("modulo", "rel_primitive_modulo"),
+    ("power", "rel_primitive_power"),
+    ("minimum", "rel_primitive_minimum"),
+    ("maximum", "rel_primitive_maximum"),
+    ("concat", "rel_primitive_concat"),
+    ("string_length", "rel_primitive_string_length"),
+    ("abs_value", "rel_primitive_abs"),
+];
+
+/// Look up a builtin by name (resolving aliases).
+pub fn lookup(name: &str) -> Option<&'static BuiltinSig> {
+    let resolved = ALIASES
+        .iter()
+        .find(|(a, _)| *a == name)
+        .map(|(_, target)| *target)
+        .unwrap_or(name);
+    BUILTINS.iter().find(|b| b.name == resolved)
+}
+
+/// Is this name a builtin (or alias of one)?
+pub fn is_builtin(name: &str) -> bool {
+    lookup(name).is_some()
+}
+
+/// The canonical (primitive) name for a builtin or alias.
+pub fn canonical(name: &str) -> Option<&'static str> {
+    lookup(name).map(|b| b.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_direct_and_alias() {
+        assert!(is_builtin("rel_primitive_add"));
+        assert!(is_builtin("add"));
+        assert_eq!(canonical("add"), Some("rel_primitive_add"));
+        assert_eq!(canonical("multiply"), Some("rel_primitive_multiply"));
+        assert!(!is_builtin("no_such_builtin"));
+    }
+
+    #[test]
+    fn arithmetic_modes_allow_inversion() {
+        let add = lookup("add").unwrap();
+        assert!(add.modes.contains(&"bfb")); // add(x, ?, z) solves y
+        assert!(add.modes.contains(&"fbb"));
+    }
+
+    #[test]
+    fn type_tests_are_check_only() {
+        let int = lookup("Int").unwrap();
+        assert!(int.type_test);
+        assert_eq!(int.modes, &["b"]);
+    }
+
+    #[test]
+    fn arities_match_modes() {
+        for b in BUILTINS {
+            for m in b.modes {
+                assert_eq!(m.len(), b.arity, "mode {m} of {}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        for (alias, target) in ALIASES {
+            assert!(
+                BUILTINS.iter().any(|b| b.name == *target),
+                "alias {alias} targets unknown {target}"
+            );
+        }
+    }
+}

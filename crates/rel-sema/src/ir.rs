@@ -1,0 +1,404 @@
+//! Lowered intermediate representation.
+//!
+//! After second-order **specialization** (see [`crate::specialize`]) every
+//! predicate is first-order. Rules are lowered from the AST into this IR:
+//!
+//! * all variables are numbered ([`Var`]), with names kept in a side table
+//!   for diagnostics;
+//! * `implies`/`iff`/`xor`/`forall` are desugared into `and`/`or`/`not`/
+//!   `exists`;
+//! * infix arithmetic in *term positions* is flattened into built-in atoms
+//!   over fresh variables (`R(x, y-1)` ⇒ `subtract(y,1,t) ∧ R(x,t)`);
+//! * `x in E` domains become explicit [`Formula::Member`] conjuncts;
+//! * applications of *predicates* become [`Atom`]s / [`RExpr::PApp`]s;
+//!   applications of computed relations become `DynAtom` / `DynPApp`.
+//!
+//! A rule `def p(params) : body` evaluates to
+//! `{ ⟨params(µ)⟩ · t | µ ∈ envs(body), t ∈ ⟦value-part⟧µ }` — for formula
+//! bodies the value part is `{⟨⟩}`, so heads alone produce the tuples.
+
+use rel_core::{Name, Value};
+use rel_syntax::ast::CmpOp;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A numbered variable. Names live in [`VarTable`].
+pub type Var = u32;
+
+/// Side table mapping variable numbers to source names (for diagnostics).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VarTable {
+    names: Vec<String>,
+}
+
+impl VarTable {
+    /// Allocate a fresh variable with the given display name.
+    pub fn fresh(&mut self, name: impl Into<String>) -> Var {
+        self.names.push(name.into());
+        (self.names.len() - 1) as Var
+    }
+
+    /// Display name of `v`.
+    pub fn name(&self, v: Var) -> &str {
+        self.names.get(v as usize).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Number of variables allocated.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no variables were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A term in an atom-argument or head position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// First-order variable.
+    Var(Var),
+    /// Tuple variable (binds to a sub-tuple of any length).
+    TupleVar(Var),
+    /// Constant.
+    Const(Value),
+}
+
+impl Term {
+    /// Is this a tuple variable?
+    pub fn is_tuple_var(&self) -> bool {
+        matches!(self, Term::TupleVar(_))
+    }
+}
+
+/// A positive atom `pred(args…)` over a named predicate.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Atom {
+    /// Predicate name (EDB, IDB instance, or builtin).
+    pub pred: Name,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+/// Boolean-valued IR (the grammar's `Formula`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Formula {
+    /// `{()}`.
+    True,
+    /// `{}`.
+    False,
+    /// Conjunction (empty = true).
+    Conj(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Disj(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Full application of a named predicate; free variables in `args` are
+    /// *bound* by matching (relational application, §4.3).
+    Atom(Atom),
+    /// Full application of a computed relation.
+    DynAtom {
+        /// Expression producing the relation to match against.
+        rel: Box<RExpr>,
+        /// Argument terms (may bind).
+        args: Vec<Term>,
+    },
+    /// Comparison; the sides are expressions evaluating to unary relations
+    /// (typically singleton values). `=` can bind a free variable on one
+    /// side; other operators only filter.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left side.
+        lhs: Box<RExpr>,
+        /// Right side.
+        rhs: Box<RExpr>,
+    },
+    /// `term ∈ unary-relation` (lowered `x in E` domains).
+    Member {
+        /// The member term.
+        term: Term,
+        /// The domain expression.
+        of: Box<RExpr>,
+    },
+    /// Existential quantification. Domains were lowered to `Member`
+    /// conjuncts in `body`.
+    Exists {
+        /// Quantified first-order variables.
+        vars: Vec<Var>,
+        /// Quantified tuple variables.
+        tuple_vars: Vec<Var>,
+        /// Scope.
+        body: Box<Formula>,
+        /// Variable-id range `[lo, hi)` allocated while lowering this
+        /// scope: every binding in the range is *local* and is discarded
+        /// (projected away) when the quantifier closes. Bindings of outer
+        /// variables established inside the scope survive.
+        intro: (Var, Var),
+    },
+    /// An arbitrary expression used in formula position: holds iff the
+    /// relation contains the empty tuple.
+    OfExpr(Box<RExpr>),
+}
+
+impl Formula {
+    /// Build a conjunction, flattening nested `Conj`s and dropping `True`s
+    /// recursively.
+    pub fn conj(items: Vec<Formula>) -> Formula {
+        fn flatten(items: Vec<Formula>, out: &mut Vec<Formula>) {
+            for f in items {
+                match f {
+                    Formula::True => {}
+                    Formula::Conj(inner) => flatten(inner, out),
+                    other => out.push(other),
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(items.len());
+        flatten(items, &mut out);
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Conj(out),
+        }
+    }
+}
+
+/// Relation-valued IR (the grammar's `Expr`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum RExpr {
+    /// Whole named relation.
+    Pred(Name),
+    /// Partial application `pred[args…]`; argument terms must be bound at
+    /// evaluation time; evaluates to the suffix relation.
+    PApp {
+        /// Predicate.
+        pred: Name,
+        /// Bound-prefix terms.
+        args: Vec<Term>,
+    },
+    /// Partial application of a computed relation.
+    DynPApp {
+        /// Relation expression.
+        rel: Box<RExpr>,
+        /// Bound-prefix terms.
+        args: Vec<Term>,
+    },
+    /// Cartesian product (empty = `{()}` i.e. true).
+    Product(Vec<RExpr>),
+    /// Union (empty = `{}` i.e. false).
+    Union(Vec<RExpr>),
+    /// Singleton tuple `{⟨t₁ … tₙ⟩}`; tuple-variable terms splice their
+    /// bound sub-tuple.
+    Singleton(Vec<Term>),
+    /// `body where cond`.
+    Where {
+        /// Value part.
+        body: Box<RExpr>,
+        /// Condition.
+        cond: Box<Formula>,
+    },
+    /// Abstraction `[params] : body` — for each binding of `params`
+    /// (satisfying domains) emit `⟨params⟩ · t` for `t ∈ body`.
+    Abstract {
+        /// Bound parameters.
+        params: Vec<AbsParam>,
+        /// Body.
+        body: Box<RExpr>,
+        /// Variable-id range allocated while lowering this abstraction
+        /// (params and everything below). Open evaluation groups results
+        /// by bindings of variables *outside* this range — those are the
+        /// outer free variables (e.g. the group-by variables of an
+        /// aggregation input).
+        intro: (Var, Var),
+    },
+    /// The `reduce` primitive (§5.2): fold the last column of `input`
+    /// with the binary operation denoted by `op`.
+    Reduce {
+        /// Operation relation (e.g. `add`).
+        op: Box<RExpr>,
+        /// Relation whose last column is folded.
+        input: Box<RExpr>,
+        /// Variable-id range allocated while lowering `input`; bindings
+        /// outside the range are group keys (grouped aggregation, §5.2).
+        intro: (Var, Var),
+    },
+    /// Application of a builtin operation to unary-relation-valued
+    /// arguments (lowered infix arithmetic): the result is the set of
+    /// outputs for every combination of argument values — empty operands
+    /// propagate emptiness (`sum[∅] + 1 = ∅`), matching the first-order
+    /// application semantics of Fig. 3.
+    BuiltinApp {
+        /// Canonical builtin name (e.g. `rel_primitive_add`).
+        op: Name,
+        /// Input argument expressions (the builtin's last position is the
+        /// produced output).
+        args: Vec<RExpr>,
+    },
+    /// Dot-join `a . b` (join last column of `a` with first of `b`,
+    /// dropping the join position).
+    DotJoin(Box<RExpr>, Box<RExpr>),
+    /// Left override `a <++ b`.
+    LeftOverride(Box<RExpr>, Box<RExpr>),
+    /// A formula in expression position: `{()}` if it holds, else `{}`.
+    OfFormula(Box<Formula>),
+}
+
+/// A parameter of an abstraction or rule head.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AbsParam {
+    /// Plain first-order variable — must be grounded by the body (safety).
+    Val(Var),
+    /// Tuple variable.
+    Tup(Var),
+    /// Domain-restricted variable `x in E`.
+    In(Var, Box<RExpr>),
+    /// Fixed constant position (e.g. the `0` in `APSP(…,0)`).
+    Fixed(Value),
+}
+
+impl AbsParam {
+    /// The variable introduced, if any.
+    pub fn var(&self) -> Option<Var> {
+        match self {
+            AbsParam::Val(v) | AbsParam::Tup(v) | AbsParam::In(v, _) => Some(*v),
+            AbsParam::Fixed(_) => None,
+        }
+    }
+}
+
+/// A lowered rule.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Rule {
+    /// Head predicate.
+    pub pred: Name,
+    /// Head parameters in order.
+    pub params: Vec<AbsParam>,
+    /// Body; its tuples are appended to the head parameters' values.
+    pub body: RExpr,
+    /// Variable name table for this rule.
+    pub vars: VarTable,
+}
+
+/// A lowered integrity constraint: violation witnesses are the tuples of a
+/// rule-like query; the constraint holds iff that query is empty (for
+/// parameterless constraints the body formula must hold).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConstraintIr {
+    /// Constraint name.
+    pub name: Name,
+    /// Witness parameters (empty = boolean constraint).
+    pub params: Vec<AbsParam>,
+    /// For parameterised constraints: the *violation* formula (already
+    /// negated as needed). For boolean constraints: the requirement itself.
+    pub body: RExpr,
+    /// True when `body` computes violations (non-empty ⇒ abort); false when
+    /// `body` is the requirement (false ⇒ abort).
+    pub is_violation_query: bool,
+    /// Variable table.
+    pub vars: VarTable,
+}
+
+/// How a predicate may be evaluated (assigned by safety analysis).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalMode {
+    /// Fully materialisable bottom-up with no external bindings.
+    Materialize,
+    /// Requires the first `bound_prefix` arguments bound at call sites;
+    /// evaluated on demand with tabling.
+    Demand {
+        /// Number of leading arguments that must be bound.
+        bound_prefix: usize,
+    },
+}
+
+/// Per-predicate metadata.
+#[derive(Clone, Debug)]
+pub struct PredInfo {
+    /// Evaluation mode.
+    pub mode: EvalMode,
+    /// Stratum index (position in [`Module::strata`]).
+    pub stratum: usize,
+}
+
+/// One stratum: a set of mutually recursive predicates (an SCC of the
+/// dependency graph), evaluated together.
+#[derive(Clone, Debug)]
+pub struct Stratum {
+    /// Predicates in this stratum.
+    pub preds: Vec<Name>,
+    /// Whether any member depends on itself (directly or mutually).
+    pub recursive: bool,
+    /// Whether all intra-stratum dependencies are monotone (no negation /
+    /// aggregation / emptiness through the cycle). Monotone strata use
+    /// semi-naive evaluation; non-monotone ones use partial-fixpoint
+    /// iteration (see DESIGN.md §2.3).
+    pub monotone: bool,
+}
+
+/// A fully analysed program, ready for the engine.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Rules grouped by head predicate.
+    pub rules: BTreeMap<Name, Vec<Rule>>,
+    /// Integrity constraints.
+    pub constraints: Vec<ConstraintIr>,
+    /// Evaluation strata in dependency order.
+    pub strata: Vec<Stratum>,
+    /// Per-predicate info.
+    pub pred_info: BTreeMap<Name, PredInfo>,
+}
+
+impl Module {
+    /// All IDB predicate names (those with rules).
+    pub fn idb_preds(&self) -> impl Iterator<Item = &Name> {
+        self.rules.keys()
+    }
+
+    /// Rules for one predicate (empty slice if none).
+    pub fn rules_for(&self, pred: &str) -> &[Rule] {
+        self.rules.get(pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "v{v}"),
+            Term::TupleVar(v) => write!(f, "v{v}..."),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_table() {
+        let mut t = VarTable::default();
+        let x = t.fresh("x");
+        let y = t.fresh("y");
+        assert_eq!(t.name(x), "x");
+        assert_eq!(t.name(y), "y");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn conj_flattens() {
+        let f = Formula::conj(vec![
+            Formula::True,
+            Formula::Conj(vec![Formula::False, Formula::True]),
+        ]);
+        assert_eq!(f, Formula::False);
+        assert_eq!(Formula::conj(vec![]), Formula::True);
+    }
+
+    #[test]
+    fn abs_param_vars() {
+        assert_eq!(AbsParam::Val(3).var(), Some(3));
+        assert_eq!(AbsParam::Fixed(Value::int(0)).var(), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! # rel-sema
+//!
+//! Semantic analysis for Rel: turns a parsed [`rel_syntax::Program`] into an
+//! executable [`ir::Module`] through four passes:
+//!
+//! 1. **Specialization** ([`specialize`]) — eliminates second-order relation
+//!    variables by HiLog-style instantiation with lambda lifting (§4.2–4.4
+//!    of the paper; DESIGN.md §2.1);
+//! 2. **Lowering** ([`lower`]) — desugars to a first-order IR in negation
+//!    normal form with numbered variables;
+//! 3. **Safety analysis** ([`safety`]) — mode-based range-restriction
+//!    checking over infinite built-ins (§3.1–3.2; [28]), assigning each
+//!    predicate a bottom-up or demand-driven evaluation mode;
+//! 4. **Stratification** ([`strata`]) — SCC condensation of the dependency
+//!    graph, marking each stratum monotone (semi-naive) or non-monotone
+//!    (partial fixpoint, for the non-stratified programs Rel permits).
+
+pub mod builtins;
+pub mod ir;
+pub mod lower;
+pub mod safety;
+pub mod specialize;
+pub mod strata;
+
+use ir::{Module, PredInfo};
+use rel_core::RelResult;
+use rel_syntax::Program;
+
+/// Run the full analysis pipeline on a parsed program.
+pub fn analyze(program: &Program) -> RelResult<Module> {
+    let sp = specialize::specialize(program)?;
+    let (rules, constraints) = lower::lower(&sp)?;
+    let modes = safety::infer_modes(&rules)?;
+    let strata = strata::stratify(&rules);
+    let mut pred_info = std::collections::BTreeMap::new();
+    for (i, s) in strata.iter().enumerate() {
+        for p in &s.preds {
+            pred_info.insert(
+                p.clone(),
+                PredInfo { mode: modes[p].clone(), stratum: i },
+            );
+        }
+    }
+    Ok(Module { rules, constraints, strata, pred_info })
+}
+
+/// Parse and analyze in one step.
+pub fn compile(src: &str) -> RelResult<Module> {
+    analyze(&rel_syntax::parse_program(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_small_program() {
+        let m = compile(
+            "def OrderWithPayment(y) : exists((x) | PaymentOrder(x,y))\n\
+             def output(y) : OrderWithPayment(y)",
+        )
+        .unwrap();
+        assert_eq!(m.rules.len(), 2);
+        assert_eq!(m.strata.len(), 2);
+        assert!(m.pred_info.contains_key(&rel_core::name("output")));
+    }
+
+    #[test]
+    fn compile_reports_unsafe() {
+        let err = compile("def Bad() : exists((x) | not R(x))").unwrap_err();
+        assert!(matches!(err, rel_core::RelError::Unsafe(_)), "{err}");
+    }
+
+    #[test]
+    fn compile_full_paper_pipeline() {
+        // The APSP program end to end.
+        let m = compile(
+            "def min[{A}] : reduce[minimum,A]\n\
+             def APSP({V},{E},x,y,0) : V(x) and V(y) and x = y\n\
+             def APSP({V},{E},x,y,i) :\n\
+               i = min[(j) : exists((z) | E(x,z) and APSP[V,E](z,y,j-1))]\n\
+             def output(x,y,d) : APSP(N, NN, x, y, d)",
+        )
+        .unwrap();
+        // Strata: APSP instance must be recursive + non-monotone.
+        let apsp_stratum = m
+            .strata
+            .iter()
+            .find(|s| s.preds.iter().any(|p| p.starts_with("APSP@")))
+            .expect("APSP stratum");
+        assert!(apsp_stratum.recursive);
+        assert!(!apsp_stratum.monotone);
+    }
+}

@@ -1,0 +1,706 @@
+//! Lowering from the (specialized, first-order) AST to the IR.
+//!
+//! Performed here:
+//!
+//! * variable numbering and scope resolution (idents not in scope are
+//!   relation references);
+//! * desugaring: `implies`/`iff`/`xor` to and/or/not; `forall` to
+//!   `not exists not`; `x in E` domains to `Member` conjuncts;
+//! * negation normal form (negations pushed to literals) so the engine's
+//!   planner sees generators early;
+//! * flattening of application chains `p[a](b)` to single atoms;
+//! * conversion of complex argument expressions into fresh variables plus
+//!   `Member` constraints (the first-order application semantics of
+//!   Fig. 3: `R(E)` ≡ `∃v ∈ E. R(v)`);
+//! * infix arithmetic to [`RExpr::BuiltinApp`] (expression position) or
+//!   builtin atoms via `Member` (formula position);
+//! * `reduce[F, R]` to the dedicated [`RExpr::Reduce`] node.
+
+use crate::builtins;
+use crate::ir::{self, AbsParam, Atom, Formula, RExpr, Rule, Term, VarTable};
+use crate::specialize::Specialized;
+use rel_core::{name, Name, RelError, RelResult, Value};
+use rel_syntax::ast::{self, AppStyle, Arg, BindStyle, Binding, CmpOp, Expr};
+use std::collections::BTreeMap;
+
+/// Rules grouped by predicate name.
+pub type RuleSet = BTreeMap<Name, Vec<Rule>>;
+
+/// Lower a specialized program into IR rules and constraints.
+pub fn lower(sp: &Specialized) -> RelResult<(RuleSet, Vec<ir::ConstraintIr>)> {
+    let mut rules: BTreeMap<Name, Vec<Rule>> = BTreeMap::new();
+    for (pred, defs) in &sp.defs {
+        for def in defs {
+            let rule = lower_def(def)?;
+            rules.entry(name(pred)).or_default().push(rule);
+        }
+    }
+    let mut constraints = Vec::new();
+    for c in &sp.constraints {
+        constraints.push(lower_constraint(c)?);
+    }
+    Ok((rules, constraints))
+}
+
+/// Lower one definition into a rule.
+pub fn lower_def(def: &ast::Def) -> RelResult<Rule> {
+    let mut cx = Cx::default();
+    let params = cx.lower_params(&def.params)?;
+    let body = match def.style {
+        BindStyle::Paren => {
+            let f = cx.lower_formula(&def.body)?;
+            RExpr::OfFormula(Box::new(f))
+        }
+        BindStyle::Bracket => cx.lower_rexpr(&def.body)?,
+    };
+    Ok(Rule { pred: name(&def.name), params, body, vars: cx.vars })
+}
+
+/// Lower a constraint. The stored body is the **violation query**: for
+/// parameterised constraints, witnesses are parameter bindings where the
+/// requirement fails; for boolean constraints, the violation is `{()}`
+/// when the requirement is false.
+fn lower_constraint(c: &ast::Constraint) -> RelResult<ir::ConstraintIr> {
+    let mut cx = Cx::default();
+    let params = cx.lower_params(&c.params)?;
+    let req = cx.lower_formula(&c.body)?;
+    let violation = negate(req);
+    Ok(ir::ConstraintIr {
+        name: name(&c.name),
+        params,
+        body: RExpr::OfFormula(Box::new(violation)),
+        is_violation_query: true,
+        vars: cx.vars,
+    })
+}
+
+/// Lowering context: the scope stack and variable table.
+#[derive(Default)]
+struct Cx {
+    vars: VarTable,
+    /// Scope stack: name → (var, is_tuple).
+    scopes: Vec<BTreeMap<String, (ir::Var, bool)>>,
+}
+
+impl Cx {
+    fn lookup(&self, n: &str) -> Option<(ir::Var, bool)> {
+        self.scopes.iter().rev().find_map(|s| s.get(n)).copied()
+    }
+
+    fn bind(&mut self, n: &str, tuple: bool) -> ir::Var {
+        // A repeated variable in one binding list (`def R(x, x)`) denotes
+        // the *same* variable — reuse it so both positions unify.
+        if let Some(&(v, t)) = self
+            .scopes
+            .last()
+            .expect("scope stack never empty during binding")
+            .get(n)
+        {
+            if t == tuple {
+                return v;
+            }
+        }
+        let v = self.vars.fresh(n);
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty during binding")
+            .insert(n.to_string(), (v, tuple));
+        v
+    }
+
+    fn fresh(&mut self, hint: &str) -> ir::Var {
+        self.vars.fresh(format!("_{hint}"))
+    }
+
+    /// Lower a head/abstraction binding list, pushing a scope. The caller
+    /// is responsible for popping (we keep the scope open for the body —
+    /// rule heads never pop).
+    fn lower_params(&mut self, params: &[Binding]) -> RelResult<Vec<AbsParam>> {
+        self.scopes.push(BTreeMap::new());
+        let mut out = Vec::with_capacity(params.len());
+        for p in params {
+            out.push(match p {
+                Binding::Var(v) => AbsParam::Val(self.bind(v, false)),
+                Binding::TupleVar(v) => AbsParam::Tup(self.bind(v, true)),
+                Binding::In(v, dom) => {
+                    let d = self.lower_rexpr(dom)?;
+                    AbsParam::In(self.bind(v, false), Box::new(d))
+                }
+                Binding::Lit(c) => AbsParam::Fixed(c.clone()),
+                Binding::Wildcard => AbsParam::Val(self.fresh("w")),
+                Binding::RelVar(n) => {
+                    return Err(RelError::resolve(format!(
+                        "relation variable `{{{n}}}` survived specialization \
+                         (unused second-order definition reached lowering)"
+                    )))
+                }
+            });
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Formulas
+    // ------------------------------------------------------------------
+
+    fn lower_formula(&mut self, e: &Expr) -> RelResult<Formula> {
+        Ok(match e {
+            Expr::And(a, b) => {
+                Formula::conj(vec![self.lower_formula(a)?, self.lower_formula(b)?])
+            }
+            Expr::Or(a, b) => {
+                Formula::Disj(vec![self.lower_formula(a)?, self.lower_formula(b)?])
+            }
+            Expr::Not(a) => negate(self.lower_formula(a)?),
+            Expr::Implies(a, b) => {
+                let na = negate(self.lower_formula(a)?);
+                Formula::Disj(vec![na, self.lower_formula(b)?])
+            }
+            Expr::Iff(a, b) => {
+                let fa = self.lower_formula(a)?;
+                let fb = self.lower_formula(b)?;
+                Formula::conj(vec![
+                    Formula::Disj(vec![negate(fa.clone()), fb.clone()]),
+                    Formula::Disj(vec![negate(fb), fa]),
+                ])
+            }
+            Expr::Xor(a, b) => {
+                let fa = self.lower_formula(a)?;
+                let fb = self.lower_formula(b)?;
+                Formula::Disj(vec![
+                    Formula::conj(vec![fa.clone(), negate(fb.clone())]),
+                    Formula::conj(vec![negate(fa), fb]),
+                ])
+            }
+            Expr::Exists { bindings, body } => self.lower_exists(bindings, body)?,
+            Expr::Forall { bindings, body } => {
+                // forall xs: F  ≡  not exists xs: not F  (domains stay
+                // positive inside the existential).
+                let inner = Expr::Not(body.clone());
+                let ex = self.lower_exists(bindings, &inner)?;
+                negate(ex)
+            }
+            Expr::Cmp(op, a, b) => {
+                let lhs = self.lower_rexpr(a)?;
+                let rhs = self.lower_rexpr(b)?;
+                Formula::Cmp { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+            }
+            Expr::App { .. } => self.lower_app_formula(e)?,
+            // `true` / `false` literals.
+            Expr::Product(es) if es.is_empty() => Formula::True,
+            Expr::Union(es) if es.is_empty() => Formula::False,
+            // Anything else used as a formula: holds iff its relation
+            // contains the empty tuple (J{Expr}()K = JExprK ∩ {⟨⟩}).
+            other => Formula::OfExpr(Box::new(self.lower_rexpr(other)?)),
+        })
+    }
+
+    fn lower_exists(&mut self, bindings: &[Binding], body: &Expr) -> RelResult<Formula> {
+        let lo = self.vars.len() as ir::Var;
+        self.scopes.push(BTreeMap::new());
+        let mut vars = Vec::new();
+        let mut tuple_vars = Vec::new();
+        let mut members = Vec::new();
+        for b in bindings {
+            match b {
+                Binding::Var(v) => vars.push(self.bind(v, false)),
+                Binding::TupleVar(v) => tuple_vars.push(self.bind(v, true)),
+                Binding::In(v, dom) => {
+                    let d = self.lower_rexpr(dom)?;
+                    let var = self.bind(v, false);
+                    vars.push(var);
+                    members.push(Formula::Member { term: Term::Var(var), of: Box::new(d) });
+                }
+                Binding::Wildcard => vars.push(self.fresh("w")),
+                Binding::Lit(_) | Binding::RelVar(_) => {
+                    return Err(RelError::resolve(
+                        "only variables may be bound by quantifiers",
+                    ))
+                }
+            }
+        }
+        let mut inner = members;
+        inner.push(self.lower_formula(body)?);
+        self.scopes.pop();
+        let hi = self.vars.len() as ir::Var;
+        Ok(Formula::Exists {
+            vars,
+            tuple_vars,
+            body: Box::new(Formula::conj(inner)),
+            intro: (lo, hi),
+        })
+    }
+
+    /// Lower a full application in formula position.
+    fn lower_app_formula(&mut self, e: &Expr) -> RelResult<Formula> {
+        let (base, all_args, style) = flatten_app(e);
+        match style {
+            AppStyle::Full => {}
+            AppStyle::Partial => {
+                // A partial application used as a formula holds iff its
+                // result contains the empty tuple.
+                return Ok(Formula::OfExpr(Box::new(self.lower_rexpr(e)?)));
+            }
+        }
+        if let Expr::Ident(fname) = &base {
+            if self.lookup(fname).is_none() {
+                // reduce(&F, &R, v): v = reduce[F, R].
+                if fname == "reduce" && all_args.len() == 3 {
+                    let op = self.lower_rexpr(&all_args[0].expr)?;
+                    let lo = self.vars.len() as ir::Var;
+                    let input = self.lower_rexpr(&all_args[1].expr)?;
+                    let hi = self.vars.len() as ir::Var;
+                    let val = self.lower_rexpr(&all_args[2].expr)?;
+                    return Ok(Formula::Cmp {
+                        op: CmpOp::Eq,
+                        lhs: Box::new(val),
+                        rhs: Box::new(RExpr::Reduce {
+                            op: Box::new(op),
+                            input: Box::new(input),
+                            intro: (lo, hi),
+                        }),
+                    });
+                }
+                let pred = resolve_pred(fname);
+                let mut pre = Vec::new();
+                let mut args = Vec::with_capacity(all_args.len());
+                for a in &all_args {
+                    args.push(self.lower_term(&a.expr, &mut pre)?);
+                }
+                let atom = Formula::Atom(Atom { pred, args });
+                pre.push(atom);
+                return Ok(Formula::conj(pre));
+            }
+        }
+        // Dynamic: applying a computed relation.
+        let rel = self.lower_rexpr(&base)?;
+        let mut pre = Vec::new();
+        let mut args = Vec::with_capacity(all_args.len());
+        for a in &all_args {
+            args.push(self.lower_term(&a.expr, &mut pre)?);
+        }
+        pre.push(Formula::DynAtom { rel: Box::new(rel), args });
+        Ok(Formula::conj(pre))
+    }
+
+    /// Lower an argument expression into a [`Term`], emitting auxiliary
+    /// `Member` conjuncts for complex expressions.
+    fn lower_term(&mut self, e: &Expr, pre: &mut Vec<Formula>) -> RelResult<Term> {
+        Ok(match e {
+            Expr::Lit(v) => Term::Const(v.clone()),
+            Expr::Wildcard => Term::Var(self.fresh("w")),
+            Expr::TupleWildcard => Term::TupleVar(self.fresh("tw")),
+            Expr::Ident(n) => match self.lookup(n) {
+                Some((v, false)) => Term::Var(v),
+                Some((v, true)) => Term::TupleVar(v),
+                None => {
+                    // A relation name in argument position: first-order
+                    // application semantics — join against its values.
+                    let t = self.fresh(n);
+                    pre.push(Formula::Member {
+                        term: Term::Var(t),
+                        of: Box::new(RExpr::Pred(resolve_pred(n))),
+                    });
+                    Term::Var(t)
+                }
+            },
+            Expr::TupleVar(n) => match self.lookup(n) {
+                Some((v, _)) => Term::TupleVar(v),
+                None => {
+                    return Err(RelError::resolve(format!(
+                        "unbound tuple variable `{n}...`"
+                    )))
+                }
+            },
+            // Arithmetic arguments flatten into *builtin atoms* rather than
+            // `Member` constraints so the planner can invert them
+            // (`R(x, j-1)` lets `j` be solved from R's third column via
+            // `subtract`'s `fbb` mode).
+            Expr::Arith(op, a, b) => {
+                let ta = self.lower_term(a, pre)?;
+                let tb = self.lower_term(b, pre)?;
+                let t = self.fresh("t");
+                pre.push(Formula::Atom(Atom {
+                    pred: name(op_builtin(*op)),
+                    args: vec![ta, tb, Term::Var(t)],
+                }));
+                Term::Var(t)
+            }
+            Expr::Neg(a) => {
+                let ta = self.lower_term(a, pre)?;
+                let t = self.fresh("t");
+                pre.push(Formula::Atom(Atom {
+                    pred: name("rel_primitive_multiply"),
+                    args: vec![Term::Const(Value::Int(-1)), ta, Term::Var(t)],
+                }));
+                Term::Var(t)
+            }
+            other => {
+                // Complex argument: fresh variable constrained to range
+                // over the argument expression's (unary) value set.
+                let rel = self.lower_rexpr(other)?;
+                let t = self.fresh("a");
+                pre.push(Formula::Member { term: Term::Var(t), of: Box::new(rel) });
+                Term::Var(t)
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Relation expressions
+    // ------------------------------------------------------------------
+
+    fn lower_rexpr(&mut self, e: &Expr) -> RelResult<RExpr> {
+        Ok(match e {
+            Expr::Lit(v) => RExpr::Singleton(vec![Term::Const(v.clone())]),
+            Expr::Ident(n) => match self.lookup(n) {
+                Some((v, false)) => RExpr::Singleton(vec![Term::Var(v)]),
+                Some((v, true)) => RExpr::Singleton(vec![Term::TupleVar(v)]),
+                None => RExpr::Pred(resolve_pred(n)),
+            },
+            Expr::TupleVar(n) => match self.lookup(n) {
+                Some((v, _)) => RExpr::Singleton(vec![Term::TupleVar(v)]),
+                None => {
+                    return Err(RelError::resolve(format!(
+                        "unbound tuple variable `{n}...`"
+                    )))
+                }
+            },
+            Expr::Wildcard => {
+                return Err(RelError::unsafe_expr(
+                    "`_` denotes all values and cannot be used as a standalone \
+                     expression",
+                ))
+            }
+            Expr::TupleWildcard => {
+                return Err(RelError::unsafe_expr(
+                    "`_...` denotes all tuples and cannot be used as a standalone \
+                     expression",
+                ))
+            }
+            Expr::Product(es) => {
+                RExpr::Product(es.iter().map(|x| self.lower_rexpr(x)).collect::<RelResult<_>>()?)
+            }
+            Expr::Union(es) => {
+                RExpr::Union(es.iter().map(|x| self.lower_rexpr(x)).collect::<RelResult<_>>()?)
+            }
+            Expr::Where(a, b) => {
+                let cond = self.lower_formula(b)?;
+                let body = self.lower_rexpr(a)?;
+                RExpr::Where { body: Box::new(body), cond: Box::new(cond) }
+            }
+            Expr::Abstraction { bindings, style, body } => {
+                let lo = self.vars.len() as ir::Var;
+                let params = self.lower_params(bindings)?;
+                let inner = match style {
+                    BindStyle::Paren => {
+                        RExpr::OfFormula(Box::new(self.lower_formula(body)?))
+                    }
+                    BindStyle::Bracket => self.lower_rexpr(body)?,
+                };
+                self.scopes.pop();
+                let hi = self.vars.len() as ir::Var;
+                RExpr::Abstract { params, body: Box::new(inner), intro: (lo, hi) }
+            }
+            Expr::App { .. } => self.lower_app_rexpr(e)?,
+            Expr::Arith(op, a, b) => {
+                let la = self.lower_rexpr(a)?;
+                let lb = self.lower_rexpr(b)?;
+                RExpr::BuiltinApp {
+                    op: name(op_builtin(*op)),
+                    args: vec![la, lb],
+                }
+            }
+            Expr::Neg(a) => {
+                let la = self.lower_rexpr(a)?;
+                RExpr::BuiltinApp {
+                    op: name("rel_primitive_multiply"),
+                    args: vec![
+                        RExpr::Singleton(vec![Term::Const(Value::Int(-1))]),
+                        la,
+                    ],
+                }
+            }
+            Expr::DotJoin(a, b) => RExpr::DotJoin(
+                Box::new(self.lower_rexpr(a)?),
+                Box::new(self.lower_rexpr(b)?),
+            ),
+            Expr::LeftOverride(a, b) => RExpr::LeftOverride(
+                Box::new(self.lower_rexpr(a)?),
+                Box::new(self.lower_rexpr(b)?),
+            ),
+            // Formulas in expression position.
+            Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(..)
+            | Expr::Implies(..)
+            | Expr::Iff(..)
+            | Expr::Xor(..)
+            | Expr::Exists { .. }
+            | Expr::Forall { .. }
+            | Expr::Cmp(..) => RExpr::OfFormula(Box::new(self.lower_formula(e)?)),
+        })
+    }
+
+    /// Lower an application in expression position.
+    fn lower_app_rexpr(&mut self, e: &Expr) -> RelResult<RExpr> {
+        let (base, all_args, style) = flatten_app(e);
+        if style == AppStyle::Full {
+            // Full application evaluates to a boolean.
+            return Ok(RExpr::OfFormula(Box::new(self.lower_app_formula(e)?)));
+        }
+        if let Expr::Ident(fname) = &base {
+            if self.lookup(fname).is_none() {
+                if fname == "reduce" && all_args.len() == 2 {
+                    let op = self.lower_rexpr(&all_args[0].expr)?;
+                    let lo = self.vars.len() as ir::Var;
+                    let input = self.lower_rexpr(&all_args[1].expr)?;
+                    let hi = self.vars.len() as ir::Var;
+                    return Ok(RExpr::Reduce {
+                        op: Box::new(op),
+                        input: Box::new(input),
+                        intro: (lo, hi),
+                    });
+                }
+                let pred = resolve_pred(fname);
+                let mut pre = Vec::new();
+                let mut args = Vec::with_capacity(all_args.len());
+                for a in &all_args {
+                    args.push(self.lower_term(&a.expr, &mut pre)?);
+                }
+                let app = RExpr::PApp { pred, args };
+                return Ok(wrap_members(app, pre));
+            }
+        }
+        let rel = self.lower_rexpr(&base)?;
+        let mut pre = Vec::new();
+        let mut args = Vec::with_capacity(all_args.len());
+        for a in &all_args {
+            args.push(self.lower_term(&a.expr, &mut pre)?);
+        }
+        Ok(wrap_members(RExpr::DynPApp { rel: Box::new(rel), args }, pre))
+    }
+}
+
+/// Wrap an expression in `Where` conditions that bind auxiliary variables
+/// introduced for complex arguments.
+fn wrap_members(body: RExpr, pre: Vec<Formula>) -> RExpr {
+    if pre.is_empty() {
+        body
+    } else {
+        RExpr::Where { body: Box::new(body), cond: Box::new(Formula::conj(pre)) }
+    }
+}
+
+/// Flatten chained applications `p[a](b)` / `p[a][b]` into a single
+/// argument list over the base functor.
+fn flatten_app(e: &Expr) -> (Expr, Vec<Arg>, AppStyle) {
+    match e {
+        Expr::App { func, args, style } => {
+            match &**func {
+                Expr::App { style: AppStyle::Partial, .. } => {
+                    let (base, mut inner_args, _) = flatten_app(func);
+                    inner_args.extend(args.iter().cloned());
+                    (base, inner_args, *style)
+                }
+                _ => ((**func).clone(), args.clone(), *style),
+            }
+        }
+        other => (other.clone(), Vec::new(), AppStyle::Partial),
+    }
+}
+
+/// Resolve a relation name: builtins map to their canonical primitive
+/// names; everything else is an EDB/IDB name.
+pub fn resolve_pred(n: &str) -> Name {
+    match builtins::canonical(n) {
+        Some(c) => name(c),
+        None => name(n),
+    }
+}
+
+/// The builtin implementing an arithmetic operator.
+fn op_builtin(op: ast::ArithOp) -> &'static str {
+    match op {
+        ast::ArithOp::Add => "rel_primitive_add",
+        ast::ArithOp::Sub => "rel_primitive_subtract",
+        ast::ArithOp::Mul => "rel_primitive_multiply",
+        ast::ArithOp::Div => "rel_primitive_divide",
+        ast::ArithOp::Mod => "rel_primitive_modulo",
+        ast::ArithOp::Pow => "rel_primitive_power",
+    }
+}
+
+/// Push negation to the leaves (negation normal form). Leaves are atoms,
+/// comparisons, membership and `OfExpr`; quantifier-free residual `Not`s
+/// remain only directly above leaves or `Exists`.
+pub fn negate(f: Formula) -> Formula {
+    match f {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Not(inner) => *inner,
+        Formula::Conj(items) => Formula::Disj(items.into_iter().map(negate).collect()),
+        Formula::Disj(items) => Formula::conj(items.into_iter().map(negate).collect()),
+        Formula::Cmp { op, lhs, rhs } => {
+            let flipped = match op {
+                CmpOp::Eq => CmpOp::Neq,
+                CmpOp::Neq => CmpOp::Eq,
+                CmpOp::Lt => CmpOp::Ge,
+                CmpOp::Le => CmpOp::Gt,
+                CmpOp::Gt => CmpOp::Le,
+                CmpOp::Ge => CmpOp::Lt,
+            };
+            Formula::Cmp { op: flipped, lhs, rhs }
+        }
+        other @ (Formula::Atom(_)
+        | Formula::DynAtom { .. }
+        | Formula::Member { .. }
+        | Formula::Exists { .. }
+        | Formula::OfExpr(_)) => Formula::Not(Box::new(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specialize::specialize;
+    use rel_syntax::parse_program;
+
+    fn lower_src(src: &str) -> BTreeMap<Name, Vec<Rule>> {
+        let sp = specialize(&parse_program(src).unwrap()).unwrap();
+        lower(&sp).unwrap().0
+    }
+
+    #[test]
+    fn simple_rule() {
+        let rules = lower_src("def F(x) : R(x) and not S(x)");
+        let rule = &rules[&name("F")][0];
+        assert_eq!(rule.params.len(), 1);
+        match &rule.body {
+            RExpr::OfFormula(f) => match &**f {
+                Formula::Conj(items) => {
+                    assert_eq!(items.len(), 2);
+                    assert!(matches!(items[0], Formula::Atom(_)));
+                    assert!(matches!(items[1], Formula::Not(_)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arith_in_arg_becomes_builtin_atom() {
+        let rules = lower_src("def F(x,j) : R(x, j-1)");
+        let rule = &rules[&name("F")][0];
+        // Body: subtract(j, 1, t) ∧ R(x, t) — invertible builtin atom.
+        let RExpr::OfFormula(f) = &rule.body else { panic!() };
+        let Formula::Conj(items) = &**f else { panic!("{f:?}") };
+        let preds: Vec<_> = items
+            .iter()
+            .filter_map(|i| match i {
+                Formula::Atom(a) => Some(a.pred.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(preds, vec!["rel_primitive_subtract".to_string(), "R".to_string()]);
+    }
+
+    #[test]
+    fn forall_desugars_to_not_exists_not() {
+        let rules =
+            lower_src("def F(x) : P(x) and forall((o in V) | Q(o,x))");
+        let rule = &rules[&name("F")][0];
+        let RExpr::OfFormula(f) = &rule.body else { panic!() };
+        let Formula::Conj(items) = &**f else { panic!() };
+        // Second conjunct: Not(Exists(...)).
+        assert!(matches!(&items[1], Formula::Not(inner) if matches!(**inner, Formula::Exists { .. })));
+    }
+
+    #[test]
+    fn infix_ops_resolve_to_primitives() {
+        let rules = lower_src("def F[x] : x + 1");
+        let rule = &rules[&name("F")][0];
+        match &rule.body {
+            RExpr::BuiltinApp { op, args } => {
+                assert_eq!(&**op, "rel_primitive_add");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_add_resolves() {
+        let rules = lower_src("def F(x,y) : add(x,5,y)");
+        let rule = &rules[&name("F")][0];
+        let RExpr::OfFormula(f) = &rule.body else { panic!() };
+        match &**f {
+            Formula::Atom(a) => assert_eq!(&*a.pred, "rel_primitive_add"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_lowering() {
+        let rules = lower_src("def s[{A}] : reduce[add,A]\ndef out[] : s[R]");
+        // instance of s.
+        let inst = rules.keys().find(|k| k.starts_with("s@")).unwrap();
+        let rule = &rules[inst][0];
+        assert!(matches!(rule.body, RExpr::Reduce { .. }), "{:?}", rule.body);
+    }
+
+    #[test]
+    fn nnf_pushes_through_implies() {
+        // ic violation body: not (A implies B) = A and not B.
+        let sp = specialize(
+            &parse_program("ic c(x) requires R(x) implies S(x)").unwrap(),
+        )
+        .unwrap();
+        let (_, constraints) = lower(&sp).unwrap();
+        let RExpr::OfFormula(f) = &constraints[0].body else { panic!() };
+        let Formula::Conj(items) = &**f else { panic!("{f:?}") };
+        assert!(matches!(items[0], Formula::Atom(_)));
+        assert!(matches!(items[1], Formula::Not(_)));
+    }
+
+    #[test]
+    fn negate_is_involutive_on_leaves() {
+        let f = Formula::Atom(Atom { pred: name("R"), args: vec![] });
+        assert_eq!(negate(negate(f.clone())), f);
+    }
+
+    #[test]
+    fn cmp_negation_flips_operator() {
+        let f = Formula::Cmp {
+            op: CmpOp::Lt,
+            lhs: Box::new(RExpr::Singleton(vec![Term::Var(0)])),
+            rhs: Box::new(RExpr::Singleton(vec![Term::Var(1)])),
+        };
+        match negate(f) {
+            Formula::Cmp { op, .. } => assert_eq!(op, CmpOp::Ge),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcards_become_fresh_vars() {
+        let rules = lower_src("def P(y) : OPQ(_,y,_)");
+        let rule = &rules[&name("P")][0];
+        let RExpr::OfFormula(f) = &rule.body else { panic!() };
+        let Formula::Atom(a) = &**f else { panic!() };
+        assert_eq!(a.args.len(), 3);
+        // All three args are variables, two of them fresh.
+        assert!(a.args.iter().all(|t| matches!(t, Term::Var(_))));
+    }
+
+    #[test]
+    fn tuple_wildcard_in_atom() {
+        let rules = lower_src("def Prefix(x...) : R(x...,_...)");
+        let rule = &rules[&name("Prefix")][0];
+        let RExpr::OfFormula(f) = &rule.body else { panic!() };
+        let Formula::Atom(a) = &**f else { panic!() };
+        assert!(matches!(a.args[0], Term::TupleVar(_)));
+        assert!(matches!(a.args[1], Term::TupleVar(_)));
+    }
+}

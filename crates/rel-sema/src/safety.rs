@@ -1,0 +1,661 @@
+//! Safety (range-restriction) analysis — §3.1–3.2 of the paper,
+//! following the mode-based approach of "Queries with External
+//! Predicates" [28]: built-in relations are infinite but evaluable under
+//! *modes*, and an expression is safe when some conjunct ordering grounds
+//! every variable from finite sources or mode outputs rooted in finite
+//! sources.
+//!
+//! The analysis is an abstract interpretation of the engine's greedy
+//! planner over *sets of bound variables*. A central notion is **open
+//! evaluation**: a relation-valued expression may ground its own free
+//! variables from its internal structure — e.g. the aggregation input
+//! `min[(j): exists((z) | E(x,z) ∧ APSP(z,y,j-1))]` grounds the group
+//! variables `x, y` from `E` and `APSP`. This is how grouped aggregation
+//! generates its groups.
+//!
+//! The output is an [`EvalMode`] per predicate:
+//!
+//! * [`EvalMode::Materialize`] — every rule grounds all head variables with
+//!   no outside help: the predicate can be computed bottom-up.
+//! * [`EvalMode::Demand`] — rules become safe once a prefix of the head
+//!   parameters is bound: the predicate is evaluated on demand (tabled),
+//!   like `vector[d, i]` (needs `d`) or the digit-summing `addUp` of
+//!   Addendum A (needs its argument). This matches the paper's stance that
+//!   unsafe expressions "can be written and used in other queries" as long
+//!   as the context grounds them.
+//!
+//! Predicates with no safe mode at all are rejected, mirroring "the engine
+//! never attempts to evaluate an expression that could be unsafe".
+
+use crate::builtins;
+use crate::ir::{AbsParam, EvalMode, Formula, RExpr, Rule, Term, Var};
+use rel_core::{Name, RelError, RelResult};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-predicate evaluation modes, inferred to a fixpoint.
+pub fn infer_modes(rules: &BTreeMap<Name, Vec<Rule>>) -> RelResult<BTreeMap<Name, EvalMode>> {
+    let mut modes: BTreeMap<Name, EvalMode> = rules
+        .keys()
+        .map(|k| (k.clone(), EvalMode::Materialize))
+        .collect();
+    // Iterate to a fixpoint: demand requirements propagate through call
+    // chains (bounded: prefixes only grow, capped by arity).
+    for _round in 0..rules.len() + 2 {
+        let mut changed = false;
+        for (pred, rs) in rules {
+            let mut needed = match &modes[pred] {
+                EvalMode::Materialize => 0,
+                EvalMode::Demand { bound_prefix } => *bound_prefix,
+            };
+            for rule in rs {
+                let k = minimal_prefix(rule, &modes).ok_or_else(|| {
+                    RelError::unsafe_expr(format!(
+                        "no safe evaluation order for a rule of `{pred}`: some \
+                         variable cannot be grounded even with all parameters bound"
+                    ))
+                })?;
+                needed = needed.max(k);
+            }
+            let new_mode = if needed == 0 {
+                EvalMode::Materialize
+            } else {
+                EvalMode::Demand { bound_prefix: needed }
+            };
+            if new_mode != modes[pred] {
+                modes.insert(pred.clone(), new_mode);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(modes);
+        }
+    }
+    Ok(modes)
+}
+
+/// Smallest `k` such that binding the first `k` head parameters makes the
+/// rule safe, or `None` if no `k` works.
+fn minimal_prefix(rule: &Rule, modes: &BTreeMap<Name, EvalMode>) -> Option<usize> {
+    for k in 0..=rule.params.len() {
+        let mut bound = BTreeSet::new();
+        for p in rule.params.iter().take(k) {
+            if let Some(v) = p.var() {
+                bound.insert(v);
+            }
+        }
+        if rule_safe(rule, bound, modes) {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Is the rule fully groundable starting from `bound`?
+fn rule_safe(rule: &Rule, bound: BTreeSet<Var>, modes: &BTreeMap<Name, EvalMode>) -> bool {
+    let cx = Cx { modes };
+    let mut gen: Vec<Formula> = Vec::new();
+    for p in &rule.params {
+        if let AbsParam::In(v, dom) = p {
+            gen.push(Formula::Member { term: Term::Var(*v), of: dom.clone() });
+        }
+    }
+    let head_vars: BTreeSet<Var> = rule.params.iter().filter_map(AbsParam::var).collect();
+    cx.check_body(&rule.body, gen, bound, &head_vars)
+}
+
+struct Cx<'a> {
+    modes: &'a BTreeMap<Name, EvalMode>,
+}
+
+impl Cx<'_> {
+    /// Check one rule/abstraction body given pre-collected generator
+    /// conjuncts. All `need` variables must end up bound, and the value
+    /// part must be (openly) evaluable.
+    fn check_body(
+        &self,
+        body: &RExpr,
+        mut gen: Vec<Formula>,
+        bound: BTreeSet<Var>,
+        need: &BTreeSet<Var>,
+    ) -> bool {
+        match body {
+            RExpr::OfFormula(f) => {
+                gen.push((**f).clone());
+                match self.run_conj(&gen, bound) {
+                    Some(b) => need.iter().all(|v| b.contains(v)),
+                    None => false,
+                }
+            }
+            RExpr::Where { body: inner, cond } => {
+                gen.push((**cond).clone());
+                match self.run_conj(&gen, bound) {
+                    Some(b) => match self.expr_open(inner, &b) {
+                        Some(newly) => {
+                            let all: BTreeSet<Var> = b.union(&newly).copied().collect();
+                            need.iter().all(|v| all.contains(v))
+                        }
+                        None => false,
+                    },
+                    None => false,
+                }
+            }
+            RExpr::Union(branches) => branches
+                .iter()
+                .all(|br| self.check_body(br, gen.clone(), bound.clone(), need)),
+            other => match self.run_conj(&gen, bound) {
+                Some(b) => match self.expr_open(other, &b) {
+                    Some(newly) => {
+                        let all: BTreeSet<Var> = b.union(&newly).copied().collect();
+                        need.iter().all(|v| all.contains(v))
+                    }
+                    None => false,
+                },
+                None => false,
+            },
+        }
+    }
+
+    /// Greedy abstract scheduling of a conjunction. Returns the bound set
+    /// on success.
+    fn run_conj(&self, conjuncts: &[Formula], mut bound: BTreeSet<Var>) -> Option<BTreeSet<Var>> {
+        let mut pending: Vec<&Formula> = conjuncts.iter().collect();
+        flatten_pending(&mut pending);
+        while !pending.is_empty() {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < pending.len() {
+                if let Some(newly) = self.try_run(pending[i], &bound) {
+                    bound.extend(newly);
+                    pending.remove(i);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                return None;
+            }
+        }
+        Some(bound)
+    }
+
+    /// Can this conjunct run under `bound`? Returns newly bound vars.
+    fn try_run(&self, f: &Formula, bound: &BTreeSet<Var>) -> Option<BTreeSet<Var>> {
+        match f {
+            Formula::True | Formula::False => Some(BTreeSet::new()),
+            Formula::Conj(items) => {
+                let b = self.run_conj(items, bound.clone())?;
+                Some(&b - bound)
+            }
+            Formula::Disj(branches) => {
+                let mut common: Option<BTreeSet<Var>> = None;
+                for br in branches {
+                    let b = self.run_conj(std::slice::from_ref(br), bound.clone())?;
+                    let newly = &b - bound;
+                    common = Some(match common {
+                        None => newly,
+                        Some(c) => &c & &newly,
+                    });
+                }
+                Some(common.unwrap_or_default())
+            }
+            Formula::Not(inner) => {
+                // Negation is a filter; the subformula must be evaluable
+                // (it may bind its own local variables internally).
+                self.try_run(inner, bound)?;
+                Some(BTreeSet::new())
+            }
+            Formula::Atom(a) => self.atom_newly(&a.pred, &a.args, bound),
+            Formula::DynAtom { rel, args } => {
+                self.expr_open(rel, bound)?;
+                Some(new_vars_of(args, bound))
+            }
+            Formula::Member { term, of } => {
+                match &**of {
+                    RExpr::Pred(p) => {
+                        if let Some(b) = builtins::lookup(p) {
+                            // Infinite builtin as a domain: check-only
+                            // (type tests with the term already bound);
+                            // anything else cannot be enumerated.
+                            return (b.type_test && term_bound(term, bound))
+                                .then(BTreeSet::new);
+                        }
+                        // Finite relation: generates.
+                        Some(new_vars_of(std::slice::from_ref(term), bound))
+                    }
+                    other => {
+                        let newly = self.expr_open(other, bound)?;
+                        let mut out = newly;
+                        out.extend(new_vars_of(std::slice::from_ref(term), bound));
+                        Some(out)
+                    }
+                }
+            }
+            Formula::Cmp { op, lhs, rhs } => {
+                let l_open = self.expr_open(lhs, bound);
+                let r_open = self.expr_open(rhs, bound);
+                match (l_open, r_open) {
+                    (Some(a), Some(b)) => Some(a.union(&b).copied().collect()),
+                    (l, r) if *op == rel_syntax::ast::CmpOp::Eq => {
+                        // `x = E` binds x when E is evaluable.
+                        if let (RExpr::Singleton(ts), Some(rb)) = (&**lhs, &r) {
+                            if let [t] = ts.as_slice() {
+                                let mut out = rb.clone();
+                                out.extend(new_vars_of(std::slice::from_ref(t), bound));
+                                return Some(out);
+                            }
+                        }
+                        if let (Some(lb), RExpr::Singleton(ts)) = (&l, &**rhs) {
+                            if let [t] = ts.as_slice() {
+                                let mut out = lb.clone();
+                                out.extend(new_vars_of(std::slice::from_ref(t), bound));
+                                return Some(out);
+                            }
+                        }
+                        None
+                    }
+                    _ => None,
+                }
+            }
+            Formula::Exists { vars, tuple_vars, body, .. } => {
+                let inner = self.run_conj(std::slice::from_ref(&**body), bound.clone())?;
+                // All quantified variables must be grounded inside the
+                // scope, otherwise the existential ranges over an infinite
+                // universe.
+                if !vars.iter().chain(tuple_vars).all(|v| inner.contains(v)) {
+                    return None;
+                }
+                let mut newly = &inner - bound;
+                for v in vars.iter().chain(tuple_vars) {
+                    newly.remove(v);
+                }
+                Some(newly)
+            }
+            Formula::OfExpr(e) => self.expr_open(e, bound),
+        }
+    }
+
+    /// Newly bound vars from an atom over `pred`, or `None` if unschedulable.
+    fn atom_newly(
+        &self,
+        pred: &Name,
+        args: &[Term],
+        bound: &BTreeSet<Var>,
+    ) -> Option<BTreeSet<Var>> {
+        if let Some(sig) = builtins::lookup(pred) {
+            if args.len() + 1 == sig.arity {
+                // Partial application computing the output position:
+                // all provided arguments must be bound.
+                return args
+                    .iter()
+                    .all(|t| term_bound(t, bound))
+                    .then(BTreeSet::new);
+            }
+            if args.len() != sig.arity {
+                return None;
+            }
+            'modes: for mode in sig.modes {
+                let mut newly = BTreeSet::new();
+                for (c, t) in mode.chars().zip(args) {
+                    match c {
+                        'b' => {
+                            if !term_bound(t, bound) {
+                                continue 'modes;
+                            }
+                        }
+                        _ => {
+                            if let Term::Var(v) = t {
+                                if !bound.contains(v) {
+                                    newly.insert(*v);
+                                }
+                            }
+                        }
+                    }
+                }
+                return Some(newly);
+            }
+            return None;
+        }
+        match self.modes.get(pred) {
+            Some(EvalMode::Demand { bound_prefix }) => {
+                if args.iter().any(|t| matches!(t, Term::TupleVar(_))) {
+                    // Tuple-variable args over a demand predicate: only a
+                    // fully-bound filter is supported.
+                    return args
+                        .iter()
+                        .all(|t| term_bound(t, bound))
+                        .then(BTreeSet::new);
+                }
+                if args.len() < *bound_prefix {
+                    return None;
+                }
+                if !args.iter().take(*bound_prefix).all(|t| term_bound(t, bound)) {
+                    return None;
+                }
+                Some(new_vars_of(&args[*bound_prefix..], bound))
+            }
+            // Materialized IDB or EDB (unknown names are empty EDBs):
+            // binds everything.
+            _ => Some(new_vars_of(args, bound)),
+        }
+    }
+
+    /// **Open evaluation** check: is this expression evaluable under
+    /// `bound`, and which of its free variables does it ground? Returns
+    /// `None` when unevaluable.
+    fn expr_open(&self, e: &RExpr, bound: &BTreeSet<Var>) -> Option<BTreeSet<Var>> {
+        match e {
+            // A bare builtin is an infinite relation and cannot be
+            // materialized; finite EDB/IDB relations are fine.
+            RExpr::Pred(p) => {
+                if builtins::lookup(p).is_some() {
+                    None
+                } else {
+                    Some(BTreeSet::new())
+                }
+            }
+            RExpr::PApp { pred, args } => self.atom_newly(pred, args, bound),
+            RExpr::DynPApp { rel, args } => {
+                let mut newly = self.expr_open(rel, bound)?;
+                newly.extend(new_vars_of(args, bound));
+                Some(newly)
+            }
+            RExpr::Product(es) => {
+                // Sequential: later factors may use variables ground by
+                // earlier ones (and vice versa — iterate greedily).
+                let mut b = bound.clone();
+                let mut pending: Vec<&RExpr> = es.iter().collect();
+                while !pending.is_empty() {
+                    let mut progressed = false;
+                    let mut i = 0;
+                    while i < pending.len() {
+                        if let Some(n) = self.expr_open(pending[i], &b) {
+                            b.extend(n);
+                            pending.remove(i);
+                            progressed = true;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if !progressed {
+                        return None;
+                    }
+                }
+                Some(&b - bound)
+            }
+            RExpr::Union(es) => {
+                let mut common: Option<BTreeSet<Var>> = None;
+                for x in es {
+                    let n = self.expr_open(x, bound)?;
+                    common = Some(match common {
+                        None => n,
+                        Some(c) => &c & &n,
+                    });
+                }
+                Some(common.unwrap_or_default())
+            }
+            RExpr::Singleton(ts) => {
+                if ts.iter().all(|t| term_bound(t, bound)) {
+                    Some(BTreeSet::new())
+                } else {
+                    None
+                }
+            }
+            RExpr::Where { body, cond } => {
+                let b = self.run_conj(std::slice::from_ref(&**cond), bound.clone())?;
+                let n = self.expr_open(body, &b)?;
+                let mut out = &b - bound;
+                out.extend(n);
+                Some(out)
+            }
+            RExpr::Abstract { params, body, .. } => {
+                // A mini-rule: domains + the body's generating part must
+                // ground the parameters; free outer variables ground too
+                // and propagate out.
+                let mut members: Vec<Formula> = Vec::new();
+                for p in params {
+                    if let AbsParam::In(v, dom) = p {
+                        members.push(Formula::Member { term: Term::Var(*v), of: dom.clone() });
+                    }
+                }
+                let param_vars: BTreeSet<Var> =
+                    params.iter().filter_map(AbsParam::var).collect();
+                let inner_bound = match &**body {
+                    RExpr::OfFormula(f) => {
+                        members.push((**f).clone());
+                        self.run_conj(&members, bound.clone())?
+                    }
+                    RExpr::Where { body: vb, cond } => {
+                        members.push((**cond).clone());
+                        let b = self.run_conj(&members, bound.clone())?;
+                        let n = self.expr_open(vb, &b)?;
+                        b.union(&n).copied().collect()
+                    }
+                    other => {
+                        let b = self.run_conj(&members, bound.clone())?;
+                        let n = self.expr_open(other, &b)?;
+                        b.union(&n).copied().collect()
+                    }
+                };
+                if !param_vars.iter().all(|v| inner_bound.contains(v)) {
+                    return None;
+                }
+                let mut newly = &inner_bound - bound;
+                for v in &param_vars {
+                    newly.remove(v);
+                }
+                Some(newly)
+            }
+            RExpr::Reduce { op, input, .. } => {
+                // The op is applied as a binary operation, never
+                // materialized — a builtin name (e.g. `add`) is fine.
+                if !matches!(&**op, RExpr::Pred(_)) {
+                    self.expr_open(op, bound)?;
+                }
+                self.expr_open(input, bound)
+            }
+            RExpr::BuiltinApp { args, .. } => {
+                let mut newly = BTreeSet::new();
+                for a in args {
+                    let mut b = bound.clone();
+                    b.extend(newly.iter().copied());
+                    newly.extend(self.expr_open(a, &b)?);
+                }
+                Some(newly)
+            }
+            RExpr::DotJoin(a, b) | RExpr::LeftOverride(a, b) => {
+                let na = self.expr_open(a, bound)?;
+                let nb = self.expr_open(b, bound)?;
+                Some(na.union(&nb).copied().collect())
+            }
+            RExpr::OfFormula(f) => self.try_run(f, bound),
+        }
+    }
+}
+
+fn term_bound(t: &Term, bound: &BTreeSet<Var>) -> bool {
+    match t {
+        Term::Const(_) => true,
+        Term::Var(v) | Term::TupleVar(v) => bound.contains(v),
+    }
+}
+
+fn new_vars_of(ts: &[Term], bound: &BTreeSet<Var>) -> BTreeSet<Var> {
+    ts.iter()
+        .filter_map(|t| match t {
+            Term::Var(v) | Term::TupleVar(v) if !bound.contains(v) => Some(*v),
+            _ => None,
+        })
+        .collect()
+}
+
+fn flatten_pending(pending: &mut Vec<&Formula>) {
+    let mut i = 0;
+    while i < pending.len() {
+        if let Formula::Conj(items) = pending[i] {
+            let rest: Vec<&Formula> = items.iter().collect();
+            pending.remove(i);
+            for (j, it) in rest.into_iter().enumerate() {
+                pending.insert(i + j, it);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::specialize::specialize;
+    use rel_syntax::parse_program;
+
+    fn modes_of(src: &str) -> RelResult<BTreeMap<Name, EvalMode>> {
+        let sp = specialize(&parse_program(src).unwrap()).unwrap();
+        let (rules, _) = lower(&sp).unwrap();
+        infer_modes(&rules)
+    }
+
+    #[test]
+    fn plain_rules_materialize() {
+        let m = modes_of("def F(x) : R(x) and not S(x)").unwrap();
+        assert_eq!(m[&rel_core::name("F")], EvalMode::Materialize);
+    }
+
+    #[test]
+    fn tc_materializes() {
+        let m = modes_of(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))",
+        )
+        .unwrap();
+        assert_eq!(m[&rel_core::name("TC")], EvalMode::Materialize);
+    }
+
+    #[test]
+    fn negated_price_becomes_demand() {
+        // NotP1Price is unsafe standalone but fine when its argument is
+        // bound by context (§3.1) — it becomes demand-driven.
+        let m = modes_of("def NotP1Price(x) : not ProductPrice(\"P1\",x)").unwrap();
+        assert_eq!(
+            m[&rel_core::name("NotP1Price")],
+            EvalMode::Demand { bound_prefix: 1 }
+        );
+    }
+
+    #[test]
+    fn additive_inverse_becomes_demand() {
+        // Infinite standalone; evaluable once x is bound (§3.2: "such
+        // expressions can be written and used in other queries").
+        let m =
+            modes_of("def AdditiveInverse(x,y) : Int(x) and Int(y) and add(x,y,0)").unwrap();
+        assert_eq!(
+            m[&rel_core::name("AdditiveInverse")],
+            EvalMode::Demand { bound_prefix: 1 }
+        );
+    }
+
+    #[test]
+    fn truly_ungroundable_is_rejected() {
+        // The quantified variable can never be grounded.
+        let err = modes_of("def Bad() : exists((x) | not R(x))").unwrap_err();
+        assert!(matches!(err, RelError::Unsafe(_)), "{err}");
+    }
+
+    #[test]
+    fn intersection_with_finite_is_safe() {
+        let m = modes_of(
+            "def Fin2(x,y) : FinA(x) and FinB(y)\n\
+             def Safe(x,y) : Fin2(x,y) and Int(x) and Int(y) and add(x,y,0)",
+        )
+        .unwrap();
+        assert_eq!(m[&rel_core::name("Safe")], EvalMode::Materialize);
+    }
+
+    #[test]
+    fn inverted_arithmetic_mode() {
+        // DiscountedproductPrice: add(y,5,z) with z bound solves y (§3.2).
+        let m = modes_of(
+            "def D(x,y) : exists((z) | ProductPrice(x,z) and add(y,5,z))",
+        )
+        .unwrap();
+        assert_eq!(m[&rel_core::name("D")], EvalMode::Materialize);
+    }
+
+    #[test]
+    fn inverted_arith_in_argument_position() {
+        // R(x, j-1): j is solved from R's second column.
+        let m = modes_of("def F(x,j) : R(x, j-1) and Int(j)").unwrap();
+        assert_eq!(m[&rel_core::name("F")], EvalMode::Materialize);
+    }
+
+    #[test]
+    fn vector_needs_demand() {
+        let m = modes_of("def vector[d,i] : 1.0/d where range(1,d,1,i)").unwrap();
+        assert_eq!(
+            m[&rel_core::name("vector")],
+            EvalMode::Demand { bound_prefix: 1 }
+        );
+    }
+
+    #[test]
+    fn addup_needs_demand() {
+        let m = modes_of(
+            "def addUp[x in Int] : x%10 + addUp[(x-x%10)/10] where x >= 0",
+        )
+        .unwrap();
+        assert_eq!(
+            m[&rel_core::name("addUp")],
+            EvalMode::Demand { bound_prefix: 1 }
+        );
+    }
+
+    #[test]
+    fn grouped_aggregation_materializes() {
+        // The sum instance grounds its group variable from the aggregation
+        // input (open evaluation).
+        let m = modes_of(
+            "def sum[{A}] : reduce[add,A]\n\
+             def OrderPaymentAmount(x,y,z) : PaymentOrder(y,x) and PaymentAmount(y,z)\n\
+             def Ord(x) : OrderProductQuantity(x,_,_)\n\
+             def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]]",
+        )
+        .unwrap();
+        assert_eq!(m[&rel_core::name("OrderPaid")], EvalMode::Materialize);
+    }
+
+    #[test]
+    fn matmul_materializes() {
+        let m = modes_of(
+            "def sum[{A}] : reduce[add,A]\n\
+             def MatrixMult[{A},{B},i,j] : { sum[[k] : A[i,k]*B[k,j]] }\n\
+             def output(i,j,v) : MatrixMult(M1, M2, i, j, v)",
+        )
+        .unwrap();
+        assert_eq!(m[&rel_core::name("output")], EvalMode::Materialize);
+        let mm = m.iter().find(|(k, _)| k.starts_with("MatrixMult@")).unwrap();
+        assert_eq!(*mm.1, EvalMode::Materialize);
+    }
+
+    #[test]
+    fn demand_propagates_to_callers() {
+        let m = modes_of(
+            "def g[x] : x + 1\n\
+             def f(y) : exists((x) | R(x) and g(x, y))",
+        )
+        .unwrap();
+        assert_eq!(m[&rel_core::name("g")], EvalMode::Demand { bound_prefix: 1 });
+        assert_eq!(m[&rel_core::name("f")], EvalMode::Materialize);
+    }
+
+    #[test]
+    fn caller_without_binding_becomes_demand() {
+        let m = modes_of(
+            "def g[x] : x + 1\n\
+             def f(x, y) : g(x, y)",
+        )
+        .unwrap();
+        assert_eq!(m[&rel_core::name("f")], EvalMode::Demand { bound_prefix: 1 });
+    }
+}

@@ -1,0 +1,343 @@
+//! Predicate dependency analysis and stratification.
+//!
+//! The dependency graph has an edge `p → q` when a rule for `p` mentions
+//! `q` in its body. Edges are **negative** when the mention sits under
+//! negation, inside a `reduce` input (aggregation), or on either side of a
+//! left-override (which hides an implicit negation). The graph is condensed
+//! into SCCs (Tarjan); each SCC becomes a [`Stratum`], ordered dependencies
+//! first.
+//!
+//! Unlike textbook Datalog, a negative edge *inside* an SCC is not an
+//! error: per §3.3/Addendum A, Rel admits non-stratified programs. Such
+//! strata are marked non-monotone and the engine evaluates them with
+//! partial-fixpoint iteration instead of semi-naive (DESIGN.md §2.3).
+
+use crate::builtins;
+use crate::ir::{Formula, RExpr, Rule, Stratum};
+use rel_core::Name;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Edge polarity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Polarity {
+    /// Monotone dependency.
+    Positive,
+    /// Non-monotone dependency (negation / aggregation / override).
+    Negative,
+}
+
+/// Collect `(dependency, polarity)` pairs from one rule body.
+pub fn rule_deps(rule: &Rule) -> BTreeSet<(Name, Polarity)> {
+    let mut out = BTreeSet::new();
+    for p in &rule.params {
+        if let crate::ir::AbsParam::In(_, dom) = p {
+            rexpr_deps(dom, Polarity::Positive, &mut out);
+        }
+    }
+    rexpr_deps(&rule.body, Polarity::Positive, &mut out);
+    out
+}
+
+fn flip(p: Polarity) -> Polarity {
+    match p {
+        Polarity::Positive => Polarity::Negative,
+        Polarity::Negative => Polarity::Negative, // stay conservative
+    }
+}
+
+fn add(pred: &Name, pol: Polarity, out: &mut BTreeSet<(Name, Polarity)>) {
+    if !builtins::is_builtin(pred) {
+        out.insert((pred.clone(), pol));
+    }
+}
+
+fn formula_deps(f: &Formula, pol: Polarity, out: &mut BTreeSet<(Name, Polarity)>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Conj(items) | Formula::Disj(items) => {
+            for i in items {
+                formula_deps(i, pol, out);
+            }
+        }
+        Formula::Not(inner) => formula_deps(inner, flip(pol), out),
+        Formula::Atom(a) => add(&a.pred, pol, out),
+        Formula::DynAtom { rel, .. } => rexpr_deps(rel, pol, out),
+        Formula::Cmp { lhs, rhs, .. } => {
+            rexpr_deps(lhs, pol, out);
+            rexpr_deps(rhs, pol, out);
+        }
+        Formula::Member { of, .. } => rexpr_deps(of, pol, out),
+        Formula::Exists { body, .. } => formula_deps(body, pol, out),
+        Formula::OfExpr(e) => rexpr_deps(e, pol, out),
+    }
+}
+
+fn rexpr_deps(e: &RExpr, pol: Polarity, out: &mut BTreeSet<(Name, Polarity)>) {
+    match e {
+        RExpr::Pred(p) => add(p, pol, out),
+        RExpr::PApp { pred, .. } => add(pred, pol, out),
+        RExpr::DynPApp { rel, .. } => rexpr_deps(rel, pol, out),
+        RExpr::Product(es) | RExpr::Union(es) => {
+            for x in es {
+                rexpr_deps(x, pol, out);
+            }
+        }
+        RExpr::Singleton(_) => {}
+        RExpr::Where { body, cond } => {
+            rexpr_deps(body, pol, out);
+            formula_deps(cond, pol, out);
+        }
+        RExpr::Abstract { params, body, .. } => {
+            for p in params {
+                if let crate::ir::AbsParam::In(_, dom) = p {
+                    rexpr_deps(dom, pol, out);
+                }
+            }
+            rexpr_deps(body, pol, out);
+        }
+        RExpr::Reduce { op, input, .. } => {
+            // Aggregation is non-monotone in its input.
+            rexpr_deps(op, pol, out);
+            rexpr_deps(input, flip(pol), out);
+        }
+        RExpr::BuiltinApp { args, .. } => {
+            for a in args {
+                rexpr_deps(a, pol, out);
+            }
+        }
+        RExpr::DotJoin(a, b) => {
+            rexpr_deps(a, pol, out);
+            rexpr_deps(b, pol, out);
+        }
+        RExpr::LeftOverride(a, b) => {
+            // `a <++ b` contains `… and not a(…)` — treat both sides as
+            // non-monotone to be safe.
+            rexpr_deps(a, flip(pol), out);
+            rexpr_deps(b, flip(pol), out);
+        }
+        RExpr::OfFormula(f) => formula_deps(f, pol, out),
+    }
+}
+
+/// Compute strata for a rule set: Tarjan SCC condensation in dependency
+/// order (dependencies first).
+pub fn stratify(rules: &BTreeMap<Name, Vec<Rule>>) -> Vec<Stratum> {
+    // Adjacency: pred → (dep, polarity), restricted to IDB preds.
+    let idb: BTreeSet<&Name> = rules.keys().collect();
+    let mut adj: BTreeMap<&Name, Vec<(&Name, Polarity)>> = BTreeMap::new();
+    let mut dep_store: BTreeMap<&Name, BTreeSet<(Name, Polarity)>> = BTreeMap::new();
+    for (pred, rs) in rules {
+        let mut deps = BTreeSet::new();
+        for r in rs {
+            deps.extend(rule_deps(r));
+        }
+        dep_store.insert(pred, deps);
+    }
+    for (pred, deps) in &dep_store {
+        let entry = adj.entry(pred).or_default();
+        for (d, pol) in deps.iter() {
+            if let Some(key) = idb.get(d) {
+                entry.push((key, *pol));
+            }
+        }
+    }
+
+    // Iterative Tarjan.
+    struct T<'a> {
+        index: BTreeMap<&'a Name, usize>,
+        low: BTreeMap<&'a Name, usize>,
+        on_stack: BTreeSet<&'a Name>,
+        stack: Vec<&'a Name>,
+        next: usize,
+        sccs: Vec<Vec<&'a Name>>,
+    }
+    let mut t = T {
+        index: BTreeMap::new(),
+        low: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        sccs: Vec::new(),
+    };
+
+    // Explicit DFS stack frames: (node, child cursor).
+    for start in rules.keys() {
+        if t.index.contains_key(start) {
+            continue;
+        }
+        let mut frames: Vec<(&Name, usize)> = vec![(start, 0)];
+        t.index.insert(start, t.next);
+        t.low.insert(start, t.next);
+        t.next += 1;
+        t.stack.push(start);
+        t.on_stack.insert(start);
+        while let Some((node, cursor)) = frames.last().copied() {
+            let children = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if cursor < children.len() {
+                frames.last_mut().expect("nonempty").1 += 1;
+                let (child, _) = children[cursor];
+                if !t.index.contains_key(child) {
+                    t.index.insert(child, t.next);
+                    t.low.insert(child, t.next);
+                    t.next += 1;
+                    t.stack.push(child);
+                    t.on_stack.insert(child);
+                    frames.push((child, 0));
+                } else if t.on_stack.contains(child) {
+                    let cl = t.index[child];
+                    let nl = t.low[&node].min(cl);
+                    t.low.insert(node, nl);
+                }
+            } else {
+                frames.pop();
+                if let Some((parent, _)) = frames.last() {
+                    let nl = t.low[parent].min(t.low[&node]);
+                    t.low.insert(parent, nl);
+                }
+                if t.low[&node] == t.index[&node] {
+                    let mut scc = Vec::new();
+                    while let Some(top) = t.stack.pop() {
+                        t.on_stack.remove(top);
+                        scc.push(top);
+                        if top == node {
+                            break;
+                        }
+                    }
+                    scc.sort();
+                    t.sccs.push(scc);
+                }
+            }
+        }
+    }
+
+    // Tarjan emits SCCs with all (transitive) dependencies already emitted
+    // (successors complete first), which is exactly evaluation order.
+    t.sccs
+        .into_iter()
+        .map(|members| {
+            let set: BTreeSet<&&Name> = members.iter().collect();
+            let mut recursive = members.len() > 1;
+            let mut monotone = true;
+            for m in &members {
+                for (d, pol) in adj.get(*m).map(Vec::as_slice).unwrap_or(&[]) {
+                    if set.contains(d) {
+                        if *d == *m || members.len() > 1 {
+                            recursive = true;
+                        }
+                        if *pol == Polarity::Negative {
+                            monotone = false;
+                        }
+                    }
+                }
+            }
+            Stratum {
+                preds: members.into_iter().cloned().collect(),
+                recursive,
+                monotone: !recursive || monotone,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::specialize::specialize;
+    use rel_syntax::parse_program;
+
+    fn strata_of(src: &str) -> Vec<Stratum> {
+        let sp = specialize(&parse_program(src).unwrap()).unwrap();
+        let (rules, _) = lower(&sp).unwrap();
+        stratify(&rules)
+    }
+
+    #[test]
+    fn linear_chain() {
+        let s = strata_of(
+            "def A(x) : E(x)\n\
+             def B(x) : A(x)\n\
+             def C(x) : B(x)",
+        );
+        assert_eq!(s.len(), 3);
+        assert_eq!(&*s[0].preds[0], "A");
+        assert_eq!(&*s[1].preds[0], "B");
+        assert_eq!(&*s[2].preds[0], "C");
+        assert!(s.iter().all(|st| !st.recursive && st.monotone));
+    }
+
+    #[test]
+    fn tc_is_recursive_monotone() {
+        let s = strata_of(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))",
+        );
+        assert_eq!(s.len(), 1);
+        assert!(s[0].recursive);
+        assert!(s[0].monotone);
+    }
+
+    #[test]
+    fn negation_between_strata_is_fine() {
+        let s = strata_of(
+            "def A(x) : E(x)\n\
+             def B(x) : V(x) and not A(x)",
+        );
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|st| st.monotone));
+    }
+
+    #[test]
+    fn negation_through_recursion_is_nonmonotone() {
+        let s = strata_of(
+            "def Win(x) : exists((y) | Move(x,y) and not Win(y))",
+        );
+        assert_eq!(s.len(), 1);
+        assert!(s[0].recursive);
+        assert!(!s[0].monotone);
+    }
+
+    #[test]
+    fn aggregation_through_recursion_is_nonmonotone() {
+        let s = strata_of(
+            "def D({V},{E},x,y,0) : V(x) and V(y) and x = y\n\
+             def D({V},{E},x,y,i) : i = min[(j) : exists((z) | E(x,z) and D[V,E](z,y,j-1))]\n\
+             def min[{A}] : reduce[minimum,A]\n\
+             def out(x,y,d) : D(N, NN, x, y, d)",
+        );
+        let apsp = s
+            .iter()
+            .find(|st| st.preds.iter().any(|p| p.starts_with("D@")))
+            .expect("instance stratum");
+        assert!(apsp.recursive);
+        assert!(!apsp.monotone, "aggregation inside recursion must force PFP");
+    }
+
+    #[test]
+    fn mutual_recursion_single_scc() {
+        let s = strata_of(
+            "def Even(x) : Zero(x)\n\
+             def Even(x) : exists((y) | Succ(y,x) and Odd(y))\n\
+             def Odd(x) : exists((y) | Succ(y,x) and Even(y))",
+        );
+        let scc = s.iter().find(|st| st.preds.len() == 2).expect("mutual SCC");
+        assert!(scc.recursive);
+        assert!(scc.monotone);
+    }
+
+    #[test]
+    fn dependencies_precede_dependents() {
+        let s = strata_of(
+            "def Out(x) : Mid(x)\n\
+             def Mid(x) : Base(x)\n\
+             def Base(x) : E(x)",
+        );
+        let pos = |n: &str| {
+            s.iter()
+                .position(|st| st.preds.iter().any(|p| &**p == n))
+                .unwrap()
+        };
+        assert!(pos("Base") < pos("Mid"));
+        assert!(pos("Mid") < pos("Out"));
+    }
+}

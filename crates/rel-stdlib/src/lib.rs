@@ -1,0 +1,301 @@
+//! # rel-stdlib
+//!
+//! The Rel standard library (§5 of the paper), written **in Rel** and
+//! embedded in this crate:
+//!
+//! * [`STDLIB`] — arithmetic wrappers, infix operator relations,
+//!   `dot_join`, `left_override`, `empty`, and the aggregation library
+//!   (`sum`/`count`/`min`/`max`/`avg`/`Argmin`/`Argmax`) built on the
+//!   single `reduce` primitive (§5.1–5.2);
+//! * [`RA_LIB`] — point-free relational algebra (§5.3.1);
+//! * [`LA_LIB`] — linear algebra over relation-encoded vectors and
+//!   matrices (§5.3.2).
+//!
+//! Library definitions are second-order (or demand-driven), so installing
+//! them costs nothing until a query instantiates them.
+//!
+//! ```
+//! use rel_core::database::figure1_database;
+//! use rel_stdlib::SessionExt;
+//! use rel_engine::Session;
+//!
+//! let s = Session::with_stdlib(figure1_database());
+//! // §5.2: total payments per order.
+//! let out = s.query(
+//!     "def Ord(x) : OrderProductQuantity(x,_,_)\n\
+//!      def OrderPaymentAmount(x,y,z) : PaymentOrder(y,x) and PaymentAmount(y,z)\n\
+//!      def output[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0",
+//! ).unwrap();
+//! assert_eq!(out.to_string(), r#"{("O1", 30); ("O2", 10); ("O3", 90)}"#);
+//! ```
+
+use rel_core::Database;
+use rel_engine::Session;
+
+/// Core standard library source (§5.1–5.2).
+pub const STDLIB: &str = include_str!("../rel/stdlib.rel");
+/// Relational-algebra library source (§5.3.1).
+pub const RA_LIB: &str = include_str!("../rel/ra.rel");
+/// Linear-algebra library source (§5.3.2).
+pub const LA_LIB: &str = include_str!("../rel/la.rel");
+
+/// The complete library: stdlib + RA + LA.
+pub fn full_library() -> String {
+    format!("{STDLIB}\n{RA_LIB}\n{LA_LIB}")
+}
+
+/// Build a session with the full standard library installed.
+pub fn with_stdlib(db: Database) -> Session {
+    Session::new(db).with_library(&full_library())
+}
+
+/// Extension trait adding `Session::with_stdlib`.
+pub trait SessionExt {
+    /// A session over `db` with the standard library installed.
+    fn with_stdlib(db: Database) -> Session;
+}
+
+impl SessionExt for Session {
+    fn with_stdlib(db: Database) -> Session {
+        with_stdlib(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::database::figure1_database;
+    use rel_core::{tuple, Relation, Value};
+
+    fn s() -> Session {
+        with_stdlib(figure1_database())
+    }
+
+    #[test]
+    fn library_parses_and_compiles() {
+        // Compiling an empty query against the library exercises every
+        // first-order definition end to end.
+        s().query("def output(x) : ProductPrice(x, _)").unwrap();
+    }
+
+    #[test]
+    fn sum_per_order_paper_example() {
+        // §5.2 — OrderPaid with orders lacking payments excluded.
+        let out = s()
+            .query(
+                "def Ord(x) : OrderProductQuantity(x,_,_)\n\
+                 def OrderPaymentAmount(x,y,z) : PaymentOrder(y,x) and PaymentAmount(y,z)\n\
+                 def output[x in Ord] : sum[OrderPaymentAmount[x]]",
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            Relation::from_tuples([
+                tuple!["O1", 30],
+                tuple!["O2", 10],
+                tuple!["O3", 90],
+            ])
+        );
+    }
+
+    #[test]
+    fn left_override_supplies_default() {
+        // §5.2 — orders without payments get 0 via `<++ 0`.
+        let mut db = figure1_database();
+        db.insert("OrderProductQuantity", tuple!["O4", "P4", 1]);
+        let s = with_stdlib(db);
+        let out = s
+            .query(
+                "def Ord(x) : OrderProductQuantity(x,_,_)\n\
+                 def OrderPaymentAmount(x,y,z) : PaymentOrder(y,x) and PaymentAmount(y,z)\n\
+                 def output[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0",
+            )
+            .unwrap();
+        assert!(out.contains(&tuple!["O4", 0]));
+        assert!(out.contains(&tuple!["O1", 30]));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn count_min_max_avg() {
+        let out = s()
+            .query("def output[v] : v = count[ProductPrice]")
+            .unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![4]]));
+        let out = s().query("def output[v] : v = min[ProductPrice]").unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![10]]));
+        let out = s().query("def output[v] : v = max[ProductPrice]").unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![40]]));
+        let out = s().query("def output[v] : v = avg[ProductPrice]").unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![25]]));
+    }
+
+    #[test]
+    fn argmin_argmax() {
+        // Cheapest product (§5.2's Argmin).
+        let out = s().query("def output : Argmin[ProductPrice]").unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple!["P1"]]));
+        let out = s().query("def output : Argmax[ProductPrice]").unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple!["P4"]]));
+    }
+
+    #[test]
+    fn dot_join_operator() {
+        // PaymentOrder . OrderProductQuantity joins payments to products.
+        let out = s()
+            .query("def output(p, prod, q) : dot_join(PaymentOrder, OrderProductQuantity, p, prod, q)")
+            .unwrap();
+        assert!(out.contains(&tuple!["Pmt1", "P1", 2]));
+        // Same thing via the infix operator.
+        let out2 = s()
+            .query("def output : PaymentOrder.OrderProductQuantity")
+            .unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn ra_union_product_minus() {
+        let src = "def R(x, y) : {(1, 2); (3, 4)}(x, y)\n\
+                   def S(x, y) : {(5, 6)}(x, y)\n";
+        // Product (§4.1): two tuples.
+        let out = s()
+            .query(&format!("{src}def output : Product[R, S]"))
+            .unwrap();
+        assert_eq!(
+            out,
+            Relation::from_tuples([tuple![1, 2, 5, 6], tuple![3, 4, 5, 6]])
+        );
+        // Union.
+        let out = s().query(&format!("{src}def output : Union[R, S]")).unwrap();
+        assert_eq!(out.len(), 3);
+        // Minus.
+        let out = s()
+            .query(&format!("{src}def output : Minus[Union[R, S], S]"))
+            .unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![1, 2], tuple![3, 4]]));
+    }
+
+    #[test]
+    fn ra_select_with_infinite_condition() {
+        // §5.3.1: σ_{A1=A2}(R × S) ∪ B as Union[Select[Product[R,S],Cond12],B].
+        let src = "def R(x) : {(1); (2)}(x)\n\
+                   def S(x) : {(2); (3)}(x)\n\
+                   def B(x, y) : {(9, 9)}(x, y)\n\
+                   def output : Union[Select[Product[R, S], Cond12], B]";
+        let out = s().query(src).unwrap();
+        assert_eq!(
+            out,
+            Relation::from_tuples([tuple![2, 2], tuple![9, 9]])
+        );
+    }
+
+    #[test]
+    fn scalar_product_paper_example() {
+        // §5.3.2: u = (4,2), v = (3,6) ⇒ u·v = 24.
+        let src = "def U(i, x) : {(1, 4); (2, 2)}(i, x)\n\
+                   def V(i, x) : {(1, 3); (2, 6)}(i, x)\n\
+                   def output[v] : v = ScalarProd[U, V]";
+        let out = s().query(src).unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![24]]));
+    }
+
+    #[test]
+    fn matrix_mult_2x2() {
+        // [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]].
+        let src = "def A(i, j, v) : {(1,1,1); (1,2,2); (2,1,3); (2,2,4)}(i, j, v)\n\
+                   def B(i, j, v) : {(1,1,5); (1,2,6); (2,1,7); (2,2,8)}(i, j, v)\n\
+                   def output : MatrixMult[A, B]";
+        let out = s().query(src).unwrap();
+        assert_eq!(
+            out,
+            Relation::from_tuples([
+                tuple![1, 1, 19],
+                tuple![1, 2, 22],
+                tuple![2, 1, 43],
+                tuple![2, 2, 50],
+            ])
+        );
+    }
+
+    #[test]
+    fn matrix_vector_product() {
+        let src = "def A(i, j, v) : {(1,1,1); (1,2,2); (2,1,3); (2,2,4)}(i, j, v)\n\
+                   def V(i, x) : {(1, 1); (2, 1)}(i, x)\n\
+                   def output : MatrixVector[A, V]";
+        let out = s().query(src).unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![1, 3], tuple![2, 7]]));
+    }
+
+    #[test]
+    fn dimension_and_transpose() {
+        let src = "def A(i, j, v) : {(1,1,1); (2,2,5)}(i, j, v)\n";
+        let out = s()
+            .query(&format!("{src}def output[d] : d = dimension[A]"))
+            .unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![2]]));
+        let out = s()
+            .query(&format!("{src}def output(i,j,v) : transpose(A, i, j, v)"))
+            .unwrap();
+        assert!(out.contains(&tuple![1, 1, 1]));
+        assert!(out.contains(&tuple![2, 2, 5]));
+    }
+
+    #[test]
+    fn uniform_vector_via_range() {
+        let out = s().query("def output(i, v) : vector(3, i, v)").unwrap();
+        assert_eq!(out.len(), 3);
+        let third = Value::float(1.0 / 3.0);
+        assert!(out.iter().all(|t| t.values()[1] == third));
+    }
+
+    #[test]
+    fn delta_max_abs_difference() {
+        let src = "def U(i, x) : {(1, 1.0); (2, 5.0)}(i, x)\n\
+                   def V(i, x) : {(1, 2.5); (2, 4.0)}(i, x)\n\
+                   def output[d] : d = delta[U, V]";
+        let out = s().query(src).unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![1.5]]));
+    }
+
+    #[test]
+    fn prefixes_and_perms() {
+        let src = "def R(x, y, z) : {(1, 2, 3)}(x, y, z)\n";
+        let out = s()
+            .query(&format!("{src}def output : Prefixes[R]"))
+            .unwrap();
+        // Prefixes of (1,2,3): (), (1), (1,2), (1,2,3).
+        assert_eq!(out.len(), 4);
+        let out = s().query(&format!("{src}def output : Perms[R]")).unwrap();
+        assert_eq!(out.len(), 6); // 3! permutations
+    }
+
+    #[test]
+    fn string_functions() {
+        let out = s()
+            .query("def output[v] : v = string_concat[\"Pmt\", \"1\"]")
+            .unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple!["Pmt1"]]));
+        let out = s()
+            .query("def output(p) : PaymentOrder(p, _) and like_match(p, \"Pmt*\")")
+            .unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn empty_test() {
+        let out = s()
+            .query("def Nothing(x) : {}(x)\ndef output() : empty(Nothing)")
+            .unwrap();
+        assert!(out.is_true());
+        let out = s().query("def output() : empty(ProductPrice)").unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn trace_of_matrix() {
+        let src = "def A(i, j, v) : {(1,1,10); (1,2,99); (2,2,20)}(i, j, v)\n\
+                   def output[t] : t = trace[A]";
+        let out = s().query(src).unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple![30]]));
+    }
+}

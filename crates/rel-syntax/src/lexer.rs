@@ -1,0 +1,474 @@
+//! Hand-written lexer for Rel.
+//!
+//! Notable decisions:
+//!
+//! * `x...` lexes as a single *tuple variable* token (trailing-dot syntax
+//!   of §4.1); `_...` is the anonymous tuple wildcard.
+//! * `1.5` is a float, but `A.B` is a dot-join: a `.` is part of a number
+//!   only when directly between digits.
+//! * `:Name` (no space) lexes as a relation-name symbol (used to pass
+//!   relation names, e.g. `insert(:ClosedOrders, x)`); a lone `:` is the
+//!   def/abstraction separator.
+//! * `//` line comments and `/* ... */` block comments (nesting allowed).
+
+use crate::token::{Pos, Token, TokenKind};
+use rel_core::{RelError, RelResult};
+
+/// Lex a complete source string into tokens (ending with `Eof`).
+pub fn lex(src: &str) -> RelResult<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Vec::with_capacity(src.len() / 4),
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> RelError {
+        RelError::Lex { line: self.line, col: self.col, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        self.chars.get(self.i + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn emit(&mut self, kind: TokenKind, pos: Pos) {
+        self.out.push(Token { kind, pos });
+    }
+
+    fn run(mut self) -> RelResult<Vec<Token>> {
+        while let Some(c) = self.peek() {
+            let pos = self.pos();
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '/' if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    self.block_comment()?;
+                }
+                c if c.is_ascii_digit() => self.number(pos)?,
+                c if c.is_alphabetic() || c == '_' => self.ident_or_keyword(pos),
+                '"' => self.string(pos)?,
+                ':' => {
+                    self.bump();
+                    // `:Name` symbol only when a letter follows immediately.
+                    match self.peek() {
+                        Some(c2) if c2.is_alphabetic() || c2 == '_' => {
+                            let name = self.take_ident_text();
+                            self.emit(TokenKind::Symbol(name), pos);
+                        }
+                        _ => self.emit(TokenKind::Colon, pos),
+                    }
+                }
+                '(' => self.single(TokenKind::LParen, pos),
+                ')' => self.single(TokenKind::RParen, pos),
+                '[' => self.single(TokenKind::LBracket, pos),
+                ']' => self.single(TokenKind::RBracket, pos),
+                '{' => self.single(TokenKind::LBrace, pos),
+                '}' => self.single(TokenKind::RBrace, pos),
+                ',' => self.single(TokenKind::Comma, pos),
+                ';' => self.single(TokenKind::Semi, pos),
+                '|' => self.single(TokenKind::Pipe, pos),
+                '.' => self.single(TokenKind::Dot, pos),
+                '+' => self.single(TokenKind::Plus, pos),
+                '-' => self.single(TokenKind::Minus, pos),
+                '*' => self.single(TokenKind::Star, pos),
+                '/' => self.single(TokenKind::Slash, pos),
+                '%' => self.single(TokenKind::Percent, pos),
+                '^' => self.single(TokenKind::Caret, pos),
+                '?' => self.single(TokenKind::Question, pos),
+                '&' => self.single(TokenKind::Ampersand, pos),
+                '=' => self.single(TokenKind::Eq, pos),
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.emit(TokenKind::Neq, pos);
+                    } else {
+                        return Err(self.err("expected `!=`"));
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    match (self.peek(), self.peek2()) {
+                        (Some('+'), Some('+')) => {
+                            self.bump();
+                            self.bump();
+                            self.emit(TokenKind::LeftOverride, pos);
+                        }
+                        (Some('='), _) => {
+                            self.bump();
+                            self.emit(TokenKind::Le, pos);
+                        }
+                        _ => self.emit(TokenKind::Lt, pos),
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.emit(TokenKind::Ge, pos);
+                    } else {
+                        self.emit(TokenKind::Gt, pos);
+                    }
+                }
+                other => return Err(self.err(format!("unexpected character `{other}`"))),
+            }
+        }
+        let pos = self.pos();
+        self.emit(TokenKind::Eof, pos);
+        Ok(self.out)
+    }
+
+    fn single(&mut self, kind: TokenKind, pos: Pos) {
+        self.bump();
+        self.emit(kind, pos);
+    }
+
+    fn block_comment(&mut self) -> RelResult<()> {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek2()) {
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return Err(self.err("unterminated block comment")),
+            }
+        }
+        Ok(())
+    }
+
+    fn take_ident_text(&mut self) -> String {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.chars[start..self.i].iter().collect()
+    }
+
+    /// Consume `...` if present (tuple-variable suffix). Exactly three dots.
+    fn take_dots(&mut self) -> bool {
+        if self.peek() == Some('.') && self.peek2() == Some('.') && self.peek3() == Some('.') {
+            self.bump();
+            self.bump();
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident_or_keyword(&mut self, pos: Pos) {
+        let text = self.take_ident_text();
+        if text == "_" {
+            if self.take_dots() {
+                self.emit(TokenKind::UnderscoreDots, pos);
+            } else {
+                self.emit(TokenKind::Underscore, pos);
+            }
+            return;
+        }
+        if self.take_dots() {
+            self.emit(TokenKind::TupleVar(text), pos);
+            return;
+        }
+        match TokenKind::keyword(&text) {
+            Some(kw) => self.emit(kw, pos),
+            None => self.emit(TokenKind::Ident(text), pos),
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> RelResult<()> {
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        // A fractional part exists only when `.` is directly followed by a
+        // digit — `2.` and `A.B` stay out of float territory, and `1..` /
+        // `R(x...)`-adjacent text is not misread.
+        let mut is_float = false;
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump(); // '.'
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E'))
+            && (self.peek2().is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek2(), Some('+') | Some('-'))
+                    && self.peek3().is_some_and(|c| c.is_ascii_digit())))
+        {
+            is_float = true;
+            self.bump(); // e
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                self.bump();
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        if is_float {
+            let x: f64 = text
+                .parse()
+                .map_err(|e| self.err(format!("bad float literal `{text}`: {e}")))?;
+            self.emit(TokenKind::Float(x), pos);
+        } else {
+            let n: i64 = text
+                .parse()
+                .map_err(|e| self.err(format!("bad integer literal `{text}`: {e}")))?;
+            self.emit(TokenKind::Int(n), pos);
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, pos: Pos) -> RelResult<()> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some('0') => s.push('\0'),
+                    Some(other) => {
+                        return Err(self.err(format!("unknown escape `\\{other}`")))
+                    }
+                    None => return Err(self.err("unterminated string literal")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        self.emit(TokenKind::Str(s), pos);
+        Ok(())
+    }
+}
+
+// Silence "field `src` is never read" while keeping it for future
+// span-based diagnostics.
+impl std::fmt::Debug for Lexer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lexer at {} of {} chars (src len {})", self.i, self.chars.len(), self.src.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut v: Vec<_> = lex(src).unwrap().into_iter().map(|t| t.kind).collect();
+        assert_eq!(v.pop(), Some(Eof));
+        v
+    }
+
+    #[test]
+    fn simple_def() {
+        assert_eq!(
+            kinds("def F(x) : R(x)"),
+            vec![
+                Def,
+                Ident("F".into()),
+                LParen,
+                Ident("x".into()),
+                RParen,
+                Colon,
+                Ident("R".into()),
+                LParen,
+                Ident("x".into()),
+                RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_vars_and_wildcards() {
+        assert_eq!(
+            kinds("R(x..., _, _...)"),
+            vec![
+                Ident("R".into()),
+                LParen,
+                TupleVar("x".into()),
+                Comma,
+                Underscore,
+                Comma,
+                UnderscoreDots,
+                RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_vs_dot_join() {
+        assert_eq!(kinds("1.5"), vec![Float(1.5)]);
+        assert_eq!(
+            kinds("A.B"),
+            vec![Ident("A".into()), Dot, Ident("B".into())]
+        );
+        assert_eq!(kinds("1.0/d"), vec![Float(1.0), Slash, Ident("d".into())]);
+        assert_eq!(kinds("2e3"), vec![Float(2000.0)]);
+        assert_eq!(kinds("2e-3"), vec![Float(0.002)]);
+    }
+
+    #[test]
+    fn symbols_vs_colon() {
+        assert_eq!(
+            kinds("(:ClosedOrders, x)"),
+            vec![
+                LParen,
+                Symbol("ClosedOrders".into()),
+                Comma,
+                Ident("x".into()),
+                RParen,
+            ]
+        );
+        assert_eq!(kinds("F : x"), vec![Ident("F".into()), Colon, Ident("x".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <++ b <= c != d >= e"),
+            vec![
+                Ident("a".into()),
+                LeftOverride,
+                Ident("b".into()),
+                Le,
+                Ident("c".into()),
+                Neq,
+                Ident("d".into()),
+                Ge,
+                Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\"b\n""#), vec![Str("a\"b\n".into())]);
+    }
+
+    #[test]
+    fn comments() {
+        assert_eq!(
+            kinds("x // line\n y /* block /* nested */ done */ z"),
+            vec![Ident("x".into()), Ident("y".into()), Ident("z".into())]
+        );
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(
+            kinds("exists forall not and or implies iff xor where in def ic requires"),
+            vec![Exists, Forall, Not, And, Or, Implies, Iff, Xor, Where, In, Def, Ic, Requires]
+        );
+    }
+
+    #[test]
+    fn annotations() {
+        assert_eq!(
+            kinds("reduce[&{F}, ?{R}]"),
+            vec![
+                Ident("reduce".into()),
+                LBracket,
+                Ampersand,
+                LBrace,
+                Ident("F".into()),
+                RBrace,
+                Comma,
+                Question,
+                LBrace,
+                Ident("R".into()),
+                RBrace,
+                RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = lex("x\n  @").unwrap_err();
+        match err {
+            rel_core::RelError::Lex { line, col, .. } => {
+                assert_eq!((line, col), (2, 3));
+            }
+            other => panic!("expected lex error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn negative_handled_by_parser_not_lexer() {
+        assert_eq!(kinds("-3"), vec![Minus, Int(3)]);
+    }
+}

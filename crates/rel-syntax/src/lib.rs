@@ -1,0 +1,31 @@
+//! # rel-syntax
+//!
+//! Lexer, parser, abstract syntax tree and pretty-printer for the Rel
+//! language of Aref et al. (SIGMOD 2025). The grammar implemented here is
+//! Figure 2 of the paper plus the concrete notation its examples use:
+//! infix arithmetic and comparison operators, `<++` (left override),
+//! dot-join, `:Name` relation-name symbols, `x...` tuple variables, `{A}`
+//! relation variables, `?{}`/`&{}` order annotations, and `ic … requires`
+//! integrity constraints.
+//!
+//! ```
+//! use rel_syntax::parse_program;
+//!
+//! let prog = parse_program(
+//!     "def OrderWithPayment(y) : exists((x) | PaymentOrder(x, y))",
+//! ).unwrap();
+//! assert_eq!(prog.items.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::{
+    AppStyle, Arg, ArgAnnotation, ArithOp, BindStyle, Binding, CmpOp, Constraint, Def, Expr,
+    Item, Program,
+};
+pub use lexer::lex;
+pub use parser::{parse_expr, parse_program};

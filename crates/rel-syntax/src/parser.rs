@@ -1,0 +1,1050 @@
+//! Recursive-descent parser for Rel.
+//!
+//! Precedence (loosest → tightest):
+//!
+//! 1. `where`
+//! 2. `implies`, `iff`, `xor`
+//! 3. `or`
+//! 4. `and`
+//! 5. `not` (prefix)
+//! 6. comparisons `= != < <= > >=` (non-associative)
+//! 7. `<++` (left override)
+//! 8. `+ -`
+//! 9. `* / %`
+//! 10. `^`
+//! 11. unary `-`
+//! 12. postfix: application `f(...)` / `f[...]` and dot-join `a.b`
+//!
+//! Ambiguity between a parenthesised product `(x, y)` and a paren
+//! abstraction `(x, y) : F` is resolved by lookahead for the `:` after the
+//! closing parenthesis; elements are then re-interpreted as bindings.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Pos, Token, TokenKind};
+use rel_core::{RelError, RelResult, Value};
+
+/// Parse a complete Rel program.
+pub fn parse_program(src: &str) -> RelResult<Program> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    p.program()
+}
+
+/// Parse a single expression (useful for tests and the REPL).
+pub fn parse_expr(src: &str) -> RelResult<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    let e = p.expr()?;
+    p.expect(&TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+/// An element inside parentheses that may be a plain expression or a
+/// binding-ish form (`x in E`, `{A}`); disambiguated once we know whether a
+/// `:` follows.
+enum Elem {
+    Expr(Expr),
+    In(String, Expr),
+    RelVar(String),
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.i].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let idx = (self.i + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.i].kind.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> RelError {
+        let pos = self.pos();
+        RelError::Parse { line: pos.line, col: pos.col, msg: msg.into() }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> RelResult<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> RelResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> RelResult<Program> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Def => items.push(Item::Def(self.def()?)),
+                TokenKind::Ic => items.push(Item::Constraint(self.constraint()?)),
+                other => {
+                    return Err(self.err(format!(
+                        "expected `def` or `ic`, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        Ok(Program { items })
+    }
+
+    /// `def Name(params) : body` | `def Name[params] : body` |
+    /// `def (op)(params) : body` | `def Name : body` | `def Name {Expr}`.
+    /// `=` is accepted in place of `:` (§5.1: `def log[x, y] = …`).
+    fn def(&mut self) -> RelResult<Def> {
+        self.expect(&TokenKind::Def)?;
+        let name = self.def_name()?;
+        let (params, style) = match self.peek() {
+            TokenKind::LParen => {
+                self.bump();
+                let params = self.binding_list(&TokenKind::RParen)?;
+                self.expect(&TokenKind::RParen)?;
+                (params, BindStyle::Paren)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let params = self.binding_list(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::RBracket)?;
+                (params, BindStyle::Bracket)
+            }
+            // `def ID {Expr}` — no explicit head.
+            _ => (Vec::new(), BindStyle::Bracket),
+        };
+        let body = if self.eat(&TokenKind::Colon) || self.eat(&TokenKind::Eq) {
+            self.expr()?
+        } else if *self.peek() == TokenKind::LBrace {
+            // `def ID {Expr}` form (2) of the paper.
+            self.expr()?
+        } else {
+            return Err(self.err(format!(
+                "expected `:`, `=` or `{{` to start the body of `def {name}`, found {}",
+                self.peek().describe()
+            )));
+        };
+        Ok(Def { name, params, style, body })
+    }
+
+    /// A definition name: identifier or parenthesised operator
+    /// (`def (+)(x,y,z) : …`).
+    fn def_name(&mut self) -> RelResult<String> {
+        if *self.peek() == TokenKind::LParen {
+            let op = match self.peek_at(1) {
+                TokenKind::Plus => "+",
+                TokenKind::Minus => "-",
+                TokenKind::Star => "*",
+                TokenKind::Slash => "/",
+                TokenKind::Percent => "%",
+                TokenKind::Caret => "^",
+                TokenKind::Dot => ".",
+                TokenKind::LeftOverride => "<++",
+                TokenKind::Eq => "=",
+                TokenKind::Neq => "!=",
+                TokenKind::Lt => "<",
+                TokenKind::Le => "<=",
+                TokenKind::Gt => ">",
+                TokenKind::Ge => ">=",
+                _ => return self.expect_ident(),
+            };
+            if *self.peek_at(2) == TokenKind::RParen {
+                self.bump(); // (
+                self.bump(); // op
+                self.bump(); // )
+                return Ok(op.to_string());
+            }
+        }
+        self.expect_ident()
+    }
+
+    /// `ic name(params) requires F`.
+    fn constraint(&mut self) -> RelResult<Constraint> {
+        self.expect(&TokenKind::Ic)?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let params = self.binding_list(&TokenKind::RParen)?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::Requires)?;
+        let body = self.expr()?;
+        Ok(Constraint { name, params, body })
+    }
+
+    // ------------------------------------------------------------------
+    // Bindings
+    // ------------------------------------------------------------------
+
+    /// A comma-separated list of bindings, stopping before `end`.
+    fn binding_list(&mut self, end: &TokenKind) -> RelResult<Vec<Binding>> {
+        let mut out = Vec::new();
+        if self.peek() == end {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.binding()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn binding(&mut self) -> RelResult<Binding> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::In) {
+                    let dom = self.cmp_level()?;
+                    Ok(Binding::In(name, dom))
+                } else {
+                    Ok(Binding::Var(name))
+                }
+            }
+            TokenKind::TupleVar(name) => {
+                self.bump();
+                Ok(Binding::TupleVar(name))
+            }
+            TokenKind::Underscore => {
+                self.bump();
+                Ok(Binding::Wildcard)
+            }
+            TokenKind::LBrace => {
+                // `{A}` relation variable.
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::RBrace)?;
+                Ok(Binding::RelVar(name))
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Binding::Lit(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Binding::Lit(Value::float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Binding::Lit(Value::str(s)))
+            }
+            TokenKind::Symbol(s) => {
+                self.bump();
+                Ok(Binding::Lit(Value::sym(s)))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                match self.bump() {
+                    TokenKind::Int(v) => Ok(Binding::Lit(Value::Int(-v))),
+                    TokenKind::Float(v) => Ok(Binding::Lit(Value::float(-v))),
+                    other => Err(self.err(format!(
+                        "expected numeric literal after `-` in binding, found {}",
+                        other.describe()
+                    ))),
+                }
+            }
+            other => Err(self.err(format!("expected binding, found {}", other.describe()))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// Full expression: the `where` level.
+    fn expr(&mut self) -> RelResult<Expr> {
+        let mut e = self.implies_level()?;
+        while self.eat(&TokenKind::Where) {
+            let cond = self.implies_level()?;
+            e = Expr::Where(Box::new(e), Box::new(cond));
+        }
+        Ok(e)
+    }
+
+    fn implies_level(&mut self) -> RelResult<Expr> {
+        let mut e = self.or_level()?;
+        loop {
+            if self.eat(&TokenKind::Implies) {
+                let rhs = self.or_level()?;
+                e = Expr::Implies(Box::new(e), Box::new(rhs));
+            } else if self.eat(&TokenKind::Iff) {
+                let rhs = self.or_level()?;
+                e = Expr::Iff(Box::new(e), Box::new(rhs));
+            } else if self.eat(&TokenKind::Xor) {
+                let rhs = self.or_level()?;
+                e = Expr::Xor(Box::new(e), Box::new(rhs));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn or_level(&mut self) -> RelResult<Expr> {
+        let mut e = self.and_level()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.and_level()?;
+            e = Expr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_level(&mut self) -> RelResult<Expr> {
+        let mut e = self.not_level()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.not_level()?;
+            e = Expr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn not_level(&mut self) -> RelResult<Expr> {
+        if self.eat(&TokenKind::Not) {
+            let e = self.not_level()?;
+            Ok(Expr::Not(Box::new(e)))
+        } else {
+            self.cmp_level()
+        }
+    }
+
+    fn cmp_level(&mut self) -> RelResult<Expr> {
+        let lhs = self.override_level()?;
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Neq => CmpOp::Neq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.override_level()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn override_level(&mut self) -> RelResult<Expr> {
+        let mut e = self.add_level()?;
+        while self.eat(&TokenKind::LeftOverride) {
+            let rhs = self.add_level()?;
+            e = Expr::LeftOverride(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn add_level(&mut self) -> RelResult<Expr> {
+        let mut e = self.mul_level()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => return Ok(e),
+            };
+            self.bump();
+            let rhs = self.mul_level()?;
+            e = Expr::Arith(op, Box::new(e), Box::new(rhs));
+        }
+    }
+
+    fn mul_level(&mut self) -> RelResult<Expr> {
+        let mut e = self.pow_level()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                TokenKind::Percent => ArithOp::Mod,
+                _ => return Ok(e),
+            };
+            self.bump();
+            let rhs = self.pow_level()?;
+            e = Expr::Arith(op, Box::new(e), Box::new(rhs));
+        }
+    }
+
+    fn pow_level(&mut self) -> RelResult<Expr> {
+        let e = self.unary_level()?;
+        if self.eat(&TokenKind::Caret) {
+            // Right-associative.
+            let rhs = self.pow_level()?;
+            Ok(Expr::Arith(ArithOp::Pow, Box::new(e), Box::new(rhs)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn unary_level(&mut self) -> RelResult<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary_level()?;
+            // Fold numeric negation into the literal immediately.
+            match e {
+                Expr::Lit(Value::Int(i)) => Ok(Expr::Lit(Value::Int(-i))),
+                Expr::Lit(Value::Float(f)) => Ok(Expr::Lit(Value::float(-f.0))),
+                other => Ok(Expr::Neg(Box::new(other))),
+            }
+        } else {
+            self.postfix_level()
+        }
+    }
+
+    fn postfix_level(&mut self) -> RelResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LParen => {
+                    self.bump();
+                    let args = self.arg_list(&TokenKind::RParen)?;
+                    self.expect(&TokenKind::RParen)?;
+                    e = Expr::App { func: Box::new(e), args, style: AppStyle::Full };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let args = self.arg_list(&TokenKind::RBracket)?;
+                    self.expect(&TokenKind::RBracket)?;
+                    e = Expr::App { func: Box::new(e), args, style: AppStyle::Partial };
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    let rhs = self.primary()?;
+                    // Allow application on the right of a dot: `A.B[x]`.
+                    let rhs = self.postfix_of(rhs)?;
+                    e = Expr::DotJoin(Box::new(e), Box::new(rhs));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    /// Continue postfix application chains on an already-parsed primary,
+    /// but without consuming dots (so `A.B.C` associates left).
+    fn postfix_of(&mut self, mut e: Expr) -> RelResult<Expr> {
+        loop {
+            match self.peek() {
+                TokenKind::LParen => {
+                    self.bump();
+                    let args = self.arg_list(&TokenKind::RParen)?;
+                    self.expect(&TokenKind::RParen)?;
+                    e = Expr::App { func: Box::new(e), args, style: AppStyle::Full };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let args = self.arg_list(&TokenKind::RBracket)?;
+                    self.expect(&TokenKind::RBracket)?;
+                    e = Expr::App { func: Box::new(e), args, style: AppStyle::Partial };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    /// Argument list for applications; supports wildcards and `?`/`&`
+    /// annotations.
+    fn arg_list(&mut self, end: &TokenKind) -> RelResult<Vec<Arg>> {
+        let mut out = Vec::new();
+        if self.peek() == end {
+            return Ok(out);
+        }
+        loop {
+            let ann = if self.eat(&TokenKind::Question) {
+                ArgAnnotation::First
+            } else if self.eat(&TokenKind::Ampersand) {
+                ArgAnnotation::Second
+            } else {
+                ArgAnnotation::None
+            };
+            let expr = self.expr()?;
+            out.push(Arg { expr, ann });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn primary(&mut self) -> RelResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Lit(Value::float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Value::str(s)))
+            }
+            TokenKind::Symbol(s) => {
+                self.bump();
+                Ok(Expr::Lit(Value::sym(s)))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name))
+            }
+            TokenKind::TupleVar(name) => {
+                self.bump();
+                Ok(Expr::TupleVar(name))
+            }
+            TokenKind::Underscore => {
+                self.bump();
+                Ok(Expr::Wildcard)
+            }
+            TokenKind::UnderscoreDots => {
+                self.bump();
+                Ok(Expr::TupleWildcard)
+            }
+            TokenKind::Exists => {
+                self.bump();
+                self.quantifier(true)
+            }
+            TokenKind::Forall => {
+                self.bump();
+                self.quantifier(false)
+            }
+            TokenKind::LParen => self.paren_expr(),
+            TokenKind::LBracket => self.bracket_abstraction(),
+            TokenKind::LBrace => self.brace_expr(),
+            other => Err(self.err(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+
+    /// `exists((bindings) | F)` / `forall((bindings) | F)`.
+    fn quantifier(&mut self, is_exists: bool) -> RelResult<Expr> {
+        self.expect(&TokenKind::LParen)?;
+        self.expect(&TokenKind::LParen)?;
+        let bindings = self.binding_list(&TokenKind::RParen)?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::Pipe)?;
+        let body = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(if is_exists {
+            Expr::Exists { bindings, body: Box::new(body) }
+        } else {
+            Expr::Forall { bindings, body: Box::new(body) }
+        })
+    }
+
+    /// `[bindings] : Expr` — bracket abstraction.
+    fn bracket_abstraction(&mut self) -> RelResult<Expr> {
+        self.expect(&TokenKind::LBracket)?;
+        let bindings = self.binding_list(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::Colon)?;
+        let body = self.expr()?;
+        Ok(Expr::Abstraction { bindings, style: BindStyle::Bracket, body: Box::new(body) })
+    }
+
+    /// `(` … `)` — grouping, Cartesian product, or paren abstraction
+    /// `(bindings) : F`.
+    fn paren_expr(&mut self) -> RelResult<Expr> {
+        self.expect(&TokenKind::LParen)?;
+        if self.eat(&TokenKind::RParen) {
+            // `()` — the empty product, i.e. `true`; `{()}` reads naturally.
+            return Ok(Expr::Product(vec![]));
+        }
+        let mut elems = Vec::new();
+        loop {
+            elems.push(self.elem()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        if self.eat(&TokenKind::Colon) {
+            // Abstraction `(bindings) : F`.
+            let bindings = elems
+                .into_iter()
+                .map(|el| self.elem_to_binding(el))
+                .collect::<RelResult<Vec<_>>>()?;
+            let body = self.expr()?;
+            return Ok(Expr::Abstraction {
+                bindings,
+                style: BindStyle::Paren,
+                body: Box::new(body),
+            });
+        }
+        let exprs = elems
+            .into_iter()
+            .map(|el| match el {
+                Elem::Expr(e) => Ok(e),
+                Elem::In(v, _) => Err(self.err(format!(
+                    "`{v} in …` binding is only allowed before a `:` or in quantifiers"
+                ))),
+                Elem::RelVar(v) => Ok(Expr::Ident(v)),
+            })
+            .collect::<RelResult<Vec<_>>>()?;
+        if exprs.len() == 1 {
+            let mut it = exprs.into_iter();
+            Ok(it.next().expect("len checked"))
+        } else {
+            Ok(Expr::Product(exprs))
+        }
+    }
+
+    /// An element inside parens that may be an expression or a binding.
+    fn elem(&mut self) -> RelResult<Elem> {
+        // `{A}` can be a rel-var binding *or* the start of a brace
+        // expression; only a lone identifier inside braces is binding-like,
+        // and only when a `:` will follow the paren group. Parse `{Ident}`
+        // as RelVar-elem and convert back to expression if needed.
+        if *self.peek() == TokenKind::LBrace {
+            if let (TokenKind::Ident(name), TokenKind::RBrace) =
+                (self.peek_at(1).clone(), self.peek_at(2).clone())
+            {
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(Elem::RelVar(name));
+            }
+        }
+        let e = self.expr()?;
+        if let Expr::Ident(name) = &e {
+            if self.eat(&TokenKind::In) {
+                let dom = self.cmp_level()?;
+                return Ok(Elem::In(name.clone(), dom));
+            }
+        }
+        Ok(Elem::Expr(e))
+    }
+
+    fn elem_to_binding(&self, el: Elem) -> RelResult<Binding> {
+        Ok(match el {
+            Elem::In(v, dom) => Binding::In(v, dom),
+            Elem::RelVar(v) => Binding::RelVar(v),
+            Elem::Expr(Expr::Ident(v)) => Binding::Var(v),
+            Elem::Expr(Expr::TupleVar(v)) => Binding::TupleVar(v),
+            Elem::Expr(Expr::Wildcard) => Binding::Wildcard,
+            Elem::Expr(Expr::Lit(v)) => Binding::Lit(v),
+            Elem::Expr(other) => {
+                return Err(self.err(format!(
+                    "expression {other:?} cannot be used as an abstraction binding"
+                )))
+            }
+        })
+    }
+
+    /// `{` … `}` — `{}` (false), union `{e₁; …}`, or a braced expression /
+    /// abstraction.
+    fn brace_expr(&mut self) -> RelResult<Expr> {
+        self.expect(&TokenKind::LBrace)?;
+        if self.eat(&TokenKind::RBrace) {
+            return Ok(Expr::false_());
+        }
+        let mut elems = vec![self.expr()?];
+        while self.eat(&TokenKind::Semi) {
+            if *self.peek() == TokenKind::RBrace {
+                break; // allow trailing `;`
+            }
+            elems.push(self.expr()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        if elems.len() == 1 {
+            let mut it = elems.into_iter();
+            Ok(it.next().expect("len checked"))
+        } else {
+            Ok(Expr::Union(elems))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Program {
+        parse_program(src).unwrap_or_else(|e| panic!("parse failed for {src:?}: {e}"))
+    }
+
+    fn e(src: &str) -> Expr {
+        parse_expr(src).unwrap_or_else(|e| panic!("parse failed for {src:?}: {e}"))
+    }
+
+    #[test]
+    fn basic_def() {
+        let prog = p("def OrderWithPayment(y) : exists((x) | PaymentOrder(x,y))");
+        assert_eq!(prog.items.len(), 1);
+        let Item::Def(d) = &prog.items[0] else { panic!() };
+        assert_eq!(d.name, "OrderWithPayment");
+        assert_eq!(d.params, vec![Binding::Var("y".into())]);
+        assert_eq!(d.style, BindStyle::Paren);
+        match &d.body {
+            Expr::Exists { bindings, .. } => assert_eq!(bindings.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_def() {
+        let prog = p("def OrderedProducts(y) : OrderProductQuantity(_,y,_)");
+        let Item::Def(d) = &prog.items[0] else { panic!() };
+        match &d.body {
+            Expr::App { args, style: AppStyle::Full, .. } => {
+                assert_eq!(args.len(), 3);
+                assert_eq!(args[0].expr, Expr::Wildcard);
+                assert_eq!(args[2].expr, Expr::Wildcard);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_order_head() {
+        let prog = p("def Product({A},{B},x...,y...) : A(x...) and B(y...)");
+        let Item::Def(d) = &prog.items[0] else { panic!() };
+        assert_eq!(
+            d.params,
+            vec![
+                Binding::RelVar("A".into()),
+                Binding::RelVar("B".into()),
+                Binding::TupleVar("x".into()),
+                Binding::TupleVar("y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn constant_in_head() {
+        let prog = p("def APSP({V},{E},x,y,0) : V(x) and V(y) and x = y");
+        let Item::Def(d) = &prog.items[0] else { panic!() };
+        assert_eq!(d.params[4], Binding::Lit(Value::Int(0)));
+    }
+
+    #[test]
+    fn symbol_in_head() {
+        let prog = p("def delete(:OrderProductQuantity,x,y,z) : OrderProductQuantity(x,y,z)");
+        let Item::Def(d) = &prog.items[0] else { panic!() };
+        assert_eq!(d.params[0], Binding::Lit(Value::sym("OrderProductQuantity")));
+    }
+
+    #[test]
+    fn bracket_head_with_in() {
+        let prog = p("def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0");
+        let Item::Def(d) = &prog.items[0] else { panic!() };
+        assert_eq!(d.style, BindStyle::Bracket);
+        match &d.params[0] {
+            Binding::In(v, dom) => {
+                assert_eq!(v, "x");
+                assert_eq!(*dom, Expr::ident("Ord"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(d.body, Expr::LeftOverride(_, _)));
+    }
+
+    #[test]
+    fn paren_abstraction_vs_product() {
+        // Product.
+        assert!(matches!(e("(a, b)"), Expr::Product(v) if v.len() == 2));
+        // Abstraction.
+        match e("(x, y) : R(x, _, y, _...)") {
+            Expr::Abstraction { bindings, style: BindStyle::Paren, .. } => {
+                assert_eq!(bindings.len(), 2)
+            }
+            other => panic!("{other:?}"),
+        }
+        // Grouping.
+        assert_eq!(e("(a)"), Expr::ident("a"));
+    }
+
+    #[test]
+    fn bracket_abstraction_inside_app() {
+        // sum[[k] : U[k]*V[k]]  (§5.3.2)
+        match e("sum[[k] : U[k]*V[k]]") {
+            Expr::App { args, style: AppStyle::Partial, .. } => {
+                assert_eq!(args.len(), 1);
+                match &args[0].expr {
+                    Expr::Abstraction { bindings, style: BindStyle::Bracket, body } => {
+                        assert_eq!(bindings.len(), 1);
+                        assert!(matches!(**body, Expr::Arith(ArithOp::Mul, _, _)));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_and_true_false() {
+        assert_eq!(e("{}"), Expr::false_());
+        assert_eq!(e("{()}"), Expr::true_());
+        match e("{(1,2,3) ; (4,5,6) ; (7,8,9)}") {
+            Expr::Union(v) => assert_eq!(v.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // y % 100 = 99 parses as (y % 100) = 99
+        match e("y % 100 = 99") {
+            Expr::Cmp(CmpOp::Eq, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Arith(ArithOp::Mod, _, _)))
+            }
+            other => panic!("{other:?}"),
+        }
+        // a and b or c parses as (a and b) or c
+        assert!(matches!(e("a and b or c"), Expr::Or(_, _)));
+        // not a and b parses as (not a) and b
+        assert!(matches!(e("not a and b"), Expr::And(_, _)));
+        // 1 + 2 * 3
+        match e("1 + 2 * 3") {
+            Expr::Arith(ArithOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Arith(ArithOp::Mul, _, _)))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_level_is_loosest() {
+        match e("1.0/d where range(1,d,1,i)") {
+            Expr::Where(lhs, _) => assert!(matches!(*lhs, Expr::Arith(ArithOp::Div, _, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_then_full_application() {
+        // APSP[V,E](z,y,j-1)
+        match e("APSP[V,E](z,y,j-1)") {
+            Expr::App { func, style: AppStyle::Full, args } => {
+                assert_eq!(args.len(), 3);
+                assert!(matches!(*func, Expr::App { style: AppStyle::Partial, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_join_and_left_override() {
+        assert!(matches!(e("A.B"), Expr::DotJoin(_, _)));
+        match e("A.(min[A])") {
+            Expr::DotJoin(_, rhs) => {
+                assert!(matches!(*rhs, Expr::App { style: AppStyle::Partial, .. }))
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(e("x <++ 0"), Expr::LeftOverride(_, _)));
+    }
+
+    #[test]
+    fn quantifier_with_in_and_tuplevar() {
+        match e("exists((x in Expensive) | SameOrderDiffProduct(x, p))") {
+            Expr::Exists { bindings, .. } => {
+                assert!(matches!(&bindings[0], Binding::In(v, _) if v == "x"))
+            }
+            other => panic!("{other:?}"),
+        }
+        match e("exists((x...) | R(x...))") {
+            Expr::Exists { bindings, .. } => {
+                assert_eq!(bindings[0], Binding::TupleVar("x".into()))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ic_parses() {
+        let prog = p(
+            "ic valid_products(x) requires OrderProductQuantity(_,x,_) implies ProductPrice(x,_)",
+        );
+        let Item::Constraint(c) = &prog.items[0] else { panic!() };
+        assert_eq!(c.name, "valid_products");
+        assert_eq!(c.params.len(), 1);
+        assert!(matches!(c.body, Expr::Implies(_, _)));
+    }
+
+    #[test]
+    fn operator_def() {
+        let prog = p("def (+)(x,y,z) : add(x,y,z)");
+        let Item::Def(d) = &prog.items[0] else { panic!() };
+        assert_eq!(d.name, "+");
+        assert_eq!(d.params.len(), 3);
+    }
+
+    #[test]
+    fn def_with_eq_body() {
+        let prog = p("def log[x, y] = rel_primitive_log[x, y]");
+        let Item::Def(d) = &prog.items[0] else { panic!() };
+        assert_eq!(d.name, "log");
+        assert!(matches!(d.body, Expr::App { .. }));
+    }
+
+    #[test]
+    fn annotations_in_args() {
+        match e("addUp[?{11;22}]") {
+            Expr::App { args, .. } => {
+                assert_eq!(args[0].ann, ArgAnnotation::First);
+                assert!(matches!(args[0].expr, Expr::Union(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match e("reduce[&{F},&{R}]") {
+            Expr::App { args, .. } => {
+                assert_eq!(args.len(), 2);
+                assert!(args.iter().all(|a| a.ann == ArgAnnotation::Second));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn braced_formula_body() {
+        let prog = p("def Cond12(x1,x2,x...) : {x1=x2}");
+        let Item::Def(d) = &prog.items[0] else { panic!() };
+        assert!(matches!(d.body, Expr::Cmp(CmpOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn negative_literals() {
+        assert_eq!(e("-3"), Expr::Lit(Value::Int(-3)));
+        match e("-1 * x") {
+            Expr::Arith(ArithOp::Mul, lhs, _) => assert_eq!(*lhs, Expr::Lit(Value::Int(-1))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_paper_programs_parse() {
+        // Every listing from the paper in one program.
+        let src = r#"
+def OrderWithPayment(y) : PaymentOrder(_,y)
+def OrderedProducts(y) : OrderProductQuantity(_,y,_)
+def OrderedProductPrice(x,y) :
+    OrderProductQuantity(_,x,_) and ProductPrice(x,y)
+def NotOrdered(x) : ProductPrice(x,_) and
+    not exists ((y1,y2) | OrderProductQuantity(y1,x,y2))
+def NotOrdered2(x) : ProductPrice(x,_) and
+    forall ((y1,y2) | not OrderProductQuantity(y1,x,y2))
+def AlwaysOrdered(x) : ProductPrice(x,_) and
+    forall ((o in V) | OrderProductQuantity(o,x,_))
+def NotP1Price(x) : not ProductPrice("P1",x)
+def DiscountedproductPrice(x,y) :
+    exists ((z) | ProductPrice(x,z) and add(y,5,z))
+def AdditiveInverse(x,y) : Int(x) and Int(y) and add(x,y,0)
+def PsychologicallyPriced(x) :
+    exists ((y) | ProductPrice(x,y) and y % 100 = 99)
+def SameOrder(p1, p2) :
+    exists((order) | OrderProductQuantity(order, p1, _)
+    and OrderProductQuantity(order, p2, _))
+def SameOrderDiffProduct(p1, p2) : SameOrder(p1, p2) and p1 != p2
+def Expensive(p) :
+    exists ((price) | ProductPrice(p,price) and price > 15)
+def BoughtWithExpensiveProduct(p) :
+    exists((x in Expensive) | SameOrderDiffProduct(x, p))
+def TC_E(x,y) : E(x,y)
+def TC_E(x,y) : exists((z) | E(x,z) and TC_E(z,y))
+def output (x) : exists( (y) | ProductPrice(x,y) and y > 30)
+def delete (:OrderProductQuantity,x,y,z) :
+    OrderProductQuantity(x,y,z) and
+    exists( (u) | OrderPaid(x,u) and OrderTotal(x,u) )
+def insert (:ClosedOrders,x) :
+    exists( (u) | OrderPaid(x,u) and OrderTotal(x,u))
+ic integer_quantities() requires
+    forall((x) | OrderProductQuantity(_,_,x) implies Int(x))
+ic integer_quantities2(x) requires
+    OrderProductQuantity(_,_,x) implies Int(x)
+ic valid_products(x) requires
+    OrderProductQuantity(_,x,_) implies ProductPrice(x,_)
+def ProductRS(a,b,c,d) : R(a,b) and S(c,d)
+def ProductRS2(x...,y...) : R(x...) and S(y...)
+def Prefix(x...) : R(x...,_...)
+def Perm(x...) : R(x...)
+def Perm(x...,a,y...,b,z...) : Perm(x...,b,y...,a,z...)
+def Product({A},{B},x...,y...) : A(x...) and B(y...)
+def dot_join({A},{B},x...,y...) :
+    exists((t) | A(x...,t) and B(t,y...))
+def left_override({A},{B},x...) : A(x...)
+def left_override({A},{B},x...,v) : B(x...,v) and not A(x...,_)
+def log[x, y] = rel_primitive_log[x, y]
+def (+)(x,y,z) : add(x,y,z)
+def (*)(x,y,z) : multiply(x,y,z)
+def sum[{A}] : reduce[add,A]
+def count[{A}] : reduce[add,(A,1)]
+def min[{A}] : reduce[minimum,A]
+def max[{A}] : reduce[maximum,A]
+def avg[{A}] : sum[A] / count[A]
+def Argmin[{A}] : {A.(min[A])}
+def Ord(x) : OrderProductQuantity(x,_,_)
+def OrderPaymentAmount(x,y,z) : PaymentOrder(y,x) and PaymentAmount(y,z)
+def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]]
+def OrderPaid2[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0
+def Union({A},{B},x...) : A(x...) or B(x...)
+def Minus({A},{B},x...) : A(x...) and not B(x...)
+def Select({A},{Cond},x...) : A(x...) and Cond(x...)
+def Cond12(x1,x2,x...) : {x1=x2}
+def ScalarProd[{U},{V}] : { sum[[k] : U[k]*V[k]] }
+def MatrixMult[{A},{B},i,j] : { sum[[k] : A[i,k]*B[k,j]] }
+def MatrixVector[{A},{V},i] : { sum[[k] : A[i,k]*V[k]] }
+def APSP({V},{E},x,y,0) : V(x) and V(y) and x = y
+def APSP({V},{E},x,y,i) :
+    exists ((z in V) | E(x,z) and APSP[V,E](z,y,i-1)) and
+    not exists ((j in Int) | j < i and APSP[V,E](x,y,j))
+def APSP2({V},{E},x,y,i) :
+    i = min[(j) : exists((z) | E(x,z) and APSP2[V,E](z,y,j-1))]
+def dimension[{Matrix}] : max[(k) : Matrix(k,_,_)]
+def vector[d,i] : 1.0/d where range(1,d,1,i)
+def abs(x,y) : (x >= 0 and y = x) or (x < 0 and y = -1 * x)
+def delta[{Vec1},{Vec2}] : max[[k] : abs[Vec1[k] - Vec2[k]]]
+def next[{G},{P}]: {MatrixVector[G,P]}
+def stop({G},{P}): {delta[next[G,P],P] > 0.005}
+def PageRank[{G}] : {vector[dimension[G]] where empty (PageRank[G])}
+def PageRank[{G}] : {next[G,PageRank[G]]
+    where not empty (PageRank[G]) and stop(G,PageRank[G])}
+def PageRank[{G}] : {PageRank[G] where
+    not empty (PageRank[G]) and not stop(G,PageRank[G])}
+def empty(R) : not exists( (x...) | R(x...))
+def addUp[{A}] : sum[A]
+def addUp[x in Int] : x%10 + addUp[(x-x%10)/10] where x >= 0
+def MatrixMult2[{A},{B},i,j] : sum[ [k] : A[i,k]*B[k,j] ]
+def APSP3({V},{E},x,y,i) :
+    i = min[ {(j): exists((z) | E(x,z) and APSP3(V,E,z,y,j-1))}]
+"#;
+        let prog = p(src);
+        assert!(prog.items.len() >= 60, "parsed {} items", prog.items.len());
+    }
+}

@@ -1,0 +1,286 @@
+//! Pretty-printer producing canonical, re-parseable Rel source.
+//!
+//! The printer is precedence-aware: it inserts parentheses exactly where
+//! the parser would otherwise associate differently, so that
+//! `parse(print(ast))` reproduces the AST (property-tested in the root
+//! test suite).
+
+use crate::ast::*;
+use std::fmt;
+
+/// Precedence levels mirroring the parser (higher binds tighter).
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Where(..) => 1,
+        Expr::Implies(..) | Expr::Iff(..) | Expr::Xor(..) => 2,
+        Expr::Or(..) => 3,
+        Expr::And(..) => 4,
+        Expr::Not(..) => 5,
+        Expr::Cmp(..) => 6,
+        Expr::LeftOverride(..) => 7,
+        Expr::Arith(ArithOp::Add | ArithOp::Sub, ..) => 8,
+        Expr::Arith(ArithOp::Mul | ArithOp::Div | ArithOp::Mod, ..) => 9,
+        Expr::Arith(ArithOp::Pow, ..) => 10,
+        Expr::Neg(..) => 11,
+        Expr::App { .. } | Expr::DotJoin(..) => 12,
+        // Abstractions swallow everything to their right; they must be
+        // parenthesised (braced) whenever they appear as an operand.
+        Expr::Abstraction { .. } => 0,
+        _ => 13, // atoms
+    }
+}
+
+struct P<'a>(&'a Expr, u8);
+
+impl fmt::Display for P<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let my = prec(self.0);
+        if my < self.1 {
+            write!(f, "({})", ExprPrinter(self.0))
+        } else {
+            write!(f, "{}", ExprPrinter(self.0))
+        }
+    }
+}
+
+/// Displays an expression in canonical concrete syntax.
+pub struct ExprPrinter<'a>(pub &'a Expr);
+
+impl fmt::Display for ExprPrinter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let e = self.0;
+        match e {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Ident(s) => write!(f, "{s}"),
+            Expr::TupleVar(s) => write!(f, "{s}..."),
+            Expr::Wildcard => write!(f, "_"),
+            Expr::TupleWildcard => write!(f, "_..."),
+            Expr::Product(es) => {
+                write!(f, "(")?;
+                for (i, x) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", ExprPrinter(x))?;
+                }
+                write!(f, ")")
+            }
+            Expr::Union(es) => {
+                write!(f, "{{")?;
+                for (i, x) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}", ExprPrinter(x))?;
+                }
+                write!(f, "}}")
+            }
+            Expr::Where(a, b) => {
+                write!(f, "{} where {}", P(a, 1), P(b, 2))
+            }
+            Expr::Abstraction { bindings, style, body } => {
+                let (open, close) = match style {
+                    BindStyle::Paren => ("(", ")"),
+                    BindStyle::Bracket => ("[", "]"),
+                };
+                write!(f, "{{{open}")?;
+                print_bindings(f, bindings)?;
+                write!(f, "{close} : {}}}", ExprPrinter(body))
+            }
+            Expr::App { func, args, style } => {
+                let (open, close) = match style {
+                    AppStyle::Full => ("(", ")"),
+                    AppStyle::Partial => ("[", "]"),
+                };
+                write!(f, "{}{open}", P(func, 12))?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match a.ann {
+                        ArgAnnotation::None => write!(f, "{}", ExprPrinter(&a.expr))?,
+                        ArgAnnotation::First => write!(f, "?{{{}}}", ExprPrinter(&a.expr))?,
+                        ArgAnnotation::Second => write!(f, "&{{{}}}", ExprPrinter(&a.expr))?,
+                    }
+                }
+                write!(f, "{close}")
+            }
+            Expr::And(a, b) => write!(f, "{} and {}", P(a, 4), P(b, 5)),
+            Expr::Or(a, b) => write!(f, "{} or {}", P(a, 3), P(b, 4)),
+            Expr::Not(a) => write!(f, "not {}", P(a, 5)),
+            Expr::Implies(a, b) => write!(f, "{} implies {}", P(a, 3), P(b, 3)),
+            Expr::Iff(a, b) => write!(f, "{} iff {}", P(a, 3), P(b, 3)),
+            Expr::Xor(a, b) => write!(f, "{} xor {}", P(a, 3), P(b, 3)),
+            Expr::Exists { bindings, body } => {
+                write!(f, "exists((")?;
+                print_bindings(f, bindings)?;
+                write!(f, ") | {})", ExprPrinter(body))
+            }
+            Expr::Forall { bindings, body } => {
+                write!(f, "forall((")?;
+                print_bindings(f, bindings)?;
+                write!(f, ") | {})", ExprPrinter(body))
+            }
+            Expr::Cmp(op, a, b) => {
+                write!(f, "{} {} {}", P(a, 7), op.symbol(), P(b, 7))
+            }
+            Expr::Arith(op, a, b) => {
+                let (lp, rp) = match op {
+                    ArithOp::Add | ArithOp::Sub => (8, 9),
+                    ArithOp::Mul | ArithOp::Div | ArithOp::Mod => (9, 10),
+                    ArithOp::Pow => (11, 10),
+                };
+                write!(f, "{} {} {}", P(a, lp), op.symbol(), P(b, rp))
+            }
+            Expr::Neg(a) => write!(f, "-{}", P(a, 12)),
+            Expr::DotJoin(a, b) => write!(f, "{}.{}", P(a, 12), P(b, 13)),
+            Expr::LeftOverride(a, b) => {
+                write!(f, "{} <++ {}", P(a, 7), P(b, 8))
+            }
+        }
+    }
+}
+
+fn print_bindings(f: &mut fmt::Formatter<'_>, bindings: &[Binding]) -> fmt::Result {
+    for (i, b) in bindings.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}", BindingPrinter(b))?;
+    }
+    Ok(())
+}
+
+/// Displays a binding in concrete syntax.
+pub struct BindingPrinter<'a>(pub &'a Binding);
+
+impl fmt::Display for BindingPrinter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Binding::Var(v) => write!(f, "{v}"),
+            Binding::TupleVar(v) => write!(f, "{v}..."),
+            Binding::RelVar(v) => write!(f, "{{{v}}}"),
+            Binding::In(v, dom) => write!(f, "{v} in {}", P(dom, 6)),
+            Binding::Lit(v) => write!(f, "{v}"),
+            Binding::Wildcard => write!(f, "_"),
+        }
+    }
+}
+
+impl fmt::Display for Def {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name: &str = if self.name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            &self.name
+        } else {
+            // Operator definitions print as `def (+) ...`.
+            return {
+                write!(f, "def ({})", self.name)?;
+                print_def_tail(f, self)
+            };
+        };
+        write!(f, "def {name}")?;
+        print_def_tail(f, self)
+    }
+}
+
+fn print_def_tail(f: &mut fmt::Formatter<'_>, d: &Def) -> fmt::Result {
+    if !d.params.is_empty() || d.style == BindStyle::Paren {
+        let (open, close) = match d.style {
+            BindStyle::Paren => ("(", ")"),
+            BindStyle::Bracket => ("[", "]"),
+        };
+        write!(f, "{open}")?;
+        print_bindings(f, &d.params)?;
+        write!(f, "{close}")?;
+    }
+    write!(f, " : {}", ExprPrinter(&d.body))
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ic {}(", self.name)?;
+        print_bindings(f, &self.params)?;
+        write!(f, ") requires {}", ExprPrinter(&self.body))
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Def(d) => write!(f, "{d}"),
+            Item::Constraint(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for item in &self.items {
+            writeln!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_expr, parse_program};
+
+    /// Round-trip: parse, print, re-parse, compare ASTs.
+    fn rt_expr(src: &str) {
+        let ast = parse_expr(src).unwrap();
+        let printed = crate::pretty::ExprPrinter(&ast).to_string();
+        let ast2 = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
+        assert_eq!(ast, ast2, "round-trip mismatch for {src:?} -> {printed:?}");
+    }
+
+    fn rt_prog(src: &str) {
+        let ast = parse_program(src).unwrap();
+        let printed = ast.to_string();
+        let ast2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
+        assert_eq!(ast, ast2, "round-trip mismatch for {src:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn expr_round_trips() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "x where y > 0",
+            "a and (b or c)",
+            "not a and b",
+            "not (a and b)",
+            "R(x, _, y, _...)",
+            "R[x][y](z)",
+            "{(1, 2); (3, 4)}",
+            "{}",
+            "{()}",
+            "sum[[k] : U[k] * V[k]]",
+            "A.B",
+            "A.(min[A])",
+            "x <++ 0",
+            "exists((x in V) | R(x))",
+            "forall((x..., y) | R(x..., y))",
+            "reduce[&{add}, &{A}]",
+            "addUp[?{11; 22}]",
+            "a = b",
+            "-x + 3",
+            "x implies y implies z",
+        ] {
+            rt_expr(src);
+        }
+    }
+
+    #[test]
+    fn program_round_trips() {
+        rt_prog("def F(x) : R(x) and not S(x)\nic c(x) requires R(x) implies S(x)");
+        rt_prog("def APSP({V},{E},x,y,0) : V(x) and V(y) and x = y");
+        rt_prog("def (+)(x,y,z) : add(x,y,z)");
+        rt_prog("def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0");
+        rt_prog("def Perm(x...,a,y...,b,z...) : Perm(x...,b,y...,a,z...)");
+        rt_prog("def delete(:R, x) : R(x)");
+    }
+}

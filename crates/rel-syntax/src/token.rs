@@ -1,0 +1,211 @@
+//! Tokens of the Rel surface syntax (Figure 2 of the paper, plus the
+//! concrete notation used throughout §3–§5: infix arithmetic, `<++`,
+//! dot-join, `:Name` symbols, `x...` tuple variables, …).
+
+use std::fmt;
+
+/// Source position (1-based line and column) for diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier: relation name or variable.
+    Ident(String),
+    /// Tuple variable `x...` (identifier with trailing dots).
+    TupleVar(String),
+    /// Anonymous variable `_`.
+    Underscore,
+    /// Anonymous tuple variable `_...`.
+    UnderscoreDots,
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Relation-name symbol `:Name`.
+    Symbol(String),
+
+    // Keywords.
+    /// `def`
+    Def,
+    /// `ic`
+    Ic,
+    /// `requires`
+    Requires,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `implies`
+    Implies,
+    /// `iff`
+    Iff,
+    /// `xor`
+    Xor,
+    /// `exists`
+    Exists,
+    /// `forall`
+    Forall,
+    /// `where`
+    Where,
+    /// `in`
+    In,
+
+    // Punctuation / operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `|`
+    Pipe,
+    /// `.` (dot-join)
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^` (power)
+    Caret,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<++` (left override)
+    LeftOverride,
+    /// `?` (first-order argument annotation)
+    Question,
+    /// `&` (second-order argument annotation)
+    Ampersand,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier's text.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        Some(match s {
+            "def" => TokenKind::Def,
+            "ic" => TokenKind::Ic,
+            "requires" => TokenKind::Requires,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            "implies" => TokenKind::Implies,
+            "iff" => TokenKind::Iff,
+            "xor" => TokenKind::Xor,
+            "exists" => TokenKind::Exists,
+            "forall" => TokenKind::Forall,
+            "where" => TokenKind::Where,
+            "in" => TokenKind::In,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(s) => format!("identifier `{s}`"),
+            TupleVar(s) => format!("tuple variable `{s}...`"),
+            Underscore => "`_`".into(),
+            UnderscoreDots => "`_...`".into(),
+            Int(i) => format!("integer `{i}`"),
+            Float(x) => format!("float `{x}`"),
+            Str(s) => format!("string {s:?}"),
+            Symbol(s) => format!("symbol `:{s}`"),
+            Def => "`def`".into(),
+            Ic => "`ic`".into(),
+            Requires => "`requires`".into(),
+            And => "`and`".into(),
+            Or => "`or`".into(),
+            Not => "`not`".into(),
+            Implies => "`implies`".into(),
+            Iff => "`iff`".into(),
+            Xor => "`xor`".into(),
+            Exists => "`exists`".into(),
+            Forall => "`forall`".into(),
+            Where => "`where`".into(),
+            In => "`in`".into(),
+            LParen => "`(`".into(),
+            RParen => "`)`".into(),
+            LBracket => "`[`".into(),
+            RBracket => "`]`".into(),
+            LBrace => "`{`".into(),
+            RBrace => "`}`".into(),
+            Comma => "`,`".into(),
+            Semi => "`;`".into(),
+            Colon => "`:`".into(),
+            Pipe => "`|`".into(),
+            Dot => "`.`".into(),
+            Plus => "`+`".into(),
+            Minus => "`-`".into(),
+            Star => "`*`".into(),
+            Slash => "`/`".into(),
+            Percent => "`%`".into(),
+            Caret => "`^`".into(),
+            Eq => "`=`".into(),
+            Neq => "`!=`".into(),
+            Lt => "`<`".into(),
+            Le => "`<=`".into(),
+            Gt => "`>`".into(),
+            Ge => "`>=`".into(),
+            LeftOverride => "`<++`".into(),
+            Question => "`?`".into(),
+            Ampersand => "`&`".into(),
+            Eof => "end of input".into(),
+        }
+    }
+}

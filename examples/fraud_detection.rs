@@ -1,0 +1,116 @@
+//! Fraud detection over a relational knowledge graph — one of the §7
+//! application domains ("Many large enterprises are using Rel to build
+//! applications that include fraud detection, taxation, and supply chain
+//! management. The entire business logic for these applications is
+//! modeled in Rel.").
+//!
+//! The *whole* detection logic below is Rel: recursive money-flow
+//! closure, aggregation, ring detection through cycles, and an integrity
+//! constraint quarantining risky transfers — no host-language logic.
+//!
+//! ```sh
+//! cargo run --example fraud_detection
+//! ```
+
+use rel::prelude::*;
+
+fn main() -> RelResult<()> {
+    // Accounts and transfers (account, account, amount). A laundering ring
+    // a1 → a2 → a3 → a1 cycles funds; mule accounts fan in small amounts
+    // and forward them in one large hop.
+    let mut db = Database::new();
+    for a in ["a1", "a2", "a3", "mule", "shop", "payroll", "alice", "bob"] {
+        db.insert("Account", Tuple::from(vec![Value::str(a)]));
+    }
+    let transfers: &[(&str, &str, i64)] = &[
+        // the ring
+        ("a1", "a2", 9_500),
+        ("a2", "a3", 9_400),
+        ("a3", "a1", 9_300),
+        // structuring into a mule
+        ("alice", "mule", 900),
+        ("bob", "mule", 950),
+        ("shop", "mule", 980),
+        ("mule", "a1", 2_700),
+        // ordinary traffic
+        ("payroll", "alice", 3_000),
+        ("payroll", "bob", 3_000),
+        ("alice", "shop", 120),
+    ];
+    for (i, (from, to, amt)) in transfers.iter().enumerate() {
+        db.insert(
+            "Transfer",
+            Tuple::from(vec![
+                Value::Int(i as i64),
+                Value::str(from),
+                Value::str(to),
+                Value::Int(*amt),
+            ]),
+        );
+    }
+
+    let session = Session::with_stdlib(db);
+
+    // The detection library — pure Rel.
+    let library = r#"
+        def Edge(x, y) : Transfer(_, x, y, _)
+
+        // Recursive money flow: who can funds from x reach?
+        def Flows(x, y) : Edge(x, y)
+        def Flows(x, y) : exists((z) | Edge(x, z) and Flows(z, y))
+
+        // A laundering ring: money flows from x back to x.
+        def InRing(x) : Flows(x, x)
+
+        // Total in/out volume per account.
+        def InAmount(y, t, a) : Transfer(t, _, y, a)
+        def OutAmount(x, t, a) : Transfer(t, x, _, a)
+        def TotalIn[x in Account] : sum[InAmount[x]] <++ 0
+        def TotalOut[x in Account] : sum[OutAmount[x]] <++ 0
+
+        // Structuring: at least 3 incoming transfers, each just under a
+        // 1000 reporting threshold.
+        def SmallIn(y, t) : exists((a) | Transfer(t, _, y, a) and a < 1000 and a >= 900)
+        def Structuring(y) : exists((c) | c = count[SmallIn[y]] and c >= 3)
+
+        // Risk score: ring membership is worth 10, structuring 5,
+        // forwarding >90% of inflow 3.
+        def RiskFactor(x, 10) : InRing(x)
+        def RiskFactor(x, 5)  : Structuring(x)
+        def RiskFactor(x, 3)  : exists((i, o) | TotalIn(x, i) and TotalOut(x, o)
+                                   and i > 0 and o * 10 > i * 9)
+        def RiskScore[x in Account] : sum[RiskFactor[x]] <++ 0
+        def Suspicious(x) : exists((s) | RiskScore(x, s) and s >= 5)
+    "#;
+    let session = session.with_library(library);
+
+    let rings = session.query("def output(x) : InRing(x)")?;
+    println!("ring members:        {rings}");
+
+    let structuring = session.query("def output(x) : Structuring(x)")?;
+    println!("structuring:         {structuring}");
+
+    let scores = session.query("def output : RiskScore")?;
+    println!("risk scores:         {scores}");
+
+    let suspicious = session.query("def output(x) : Suspicious(x)")?;
+    println!("suspicious accounts: {suspicious}");
+
+    // Case management as a transaction: quarantine suspicious accounts.
+    let mut session = session;
+    let outcome = session.transact("def insert(:Quarantined, x) : Suspicious(x)")?;
+    println!("quarantined:         {} accounts", outcome.inserted);
+
+    // A constraint keeps future transfers away from quarantined accounts:
+    // inserting one aborts.
+    let err = session
+        .transact(
+            "def insert(:Transfer, 99, \"payroll\", \"mule\", x) : x = 5000\n\
+             ic no_quarantined_counterparty(t, y) requires \
+                 Transfer(t, _, y, _) implies not Quarantined(y)",
+        )
+        .unwrap_err();
+    println!("blocked transfer:    {err}");
+
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! "Growing a language" (§5): user-defined second-order libraries,
+//! tuple-variable generic code, demand-driven recursion — the features
+//! that let Rel grow from a small core without language extensions.
+//!
+//! ```sh
+//! cargo run --example growing_the_language
+//! ```
+
+use rel::prelude::*;
+
+fn main() -> RelResult<()> {
+    let db = rel::core::database::figure1_database();
+    let session = Session::with_stdlib(db);
+
+    // A user library: generic relational operators over *any* arity,
+    // written with tuple variables (§4.1–4.2).
+    let library = r#"
+        // Symmetric difference of two relations, arity-generic.
+        def SymDiff({A}, {B}, x...) : (A(x...) and not B(x...)) or
+                                      (B(x...) and not A(x...))
+
+        // K-prefix: all prefixes of tuples in A (§4.1).
+        def AllPrefixes({A}, x...) : A(x..., _...)
+
+        // The addUp function of Addendum A: sums the digits of a
+        // non-negative integer — demand-driven recursion.
+        def addUp[x in Int] : x % 10 + addUp[(x - x % 10) / 10] where x > 0
+        def addUp[x in Int] : 0 where x = 0
+    "#;
+    let session = session.with_library(library);
+
+    // Symmetric difference of two product sets.
+    let out = session.query(
+        "def Cheap(x) : exists((p) | ProductPrice(x, p) and p <= 20)\n\
+         def Ordered(x) : OrderProductQuantity(_, x, _)\n\
+         def output : SymDiff[Cheap, Ordered]",
+    )?;
+    println!("cheap XOR ordered:    {out}");
+
+    // Arity-generic prefixes of a ternary relation.
+    let out = session.query("def output : AllPrefixes[OrderProductQuantity]")?;
+    println!("prefixes:             {} tuples (all arities 0..=3)", out.len());
+
+    // Demand-driven digit sums: addUp is unsafe bottom-up (it would
+    // enumerate all integers) but runs top-down once its argument is
+    // bound — the engine tables it.
+    let out = session.query(
+        "def Nums(n) : {(09); (99); (1234)}(n)\n\
+         def output(n, s) : Nums(n) and addUp(n, s)",
+    )?;
+    println!("digit sums:           {out}");
+
+    // Permutations via tuple-variable recursion (§4.1).
+    let out = session.query(
+        "def R(x, y, z) : {(1, 2, 3)}(x, y, z)\n\
+         def output : Perms[R]",
+    )?;
+    println!("perms of (1,2,3):     {out}");
+
+    Ok(())
+}

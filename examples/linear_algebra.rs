@@ -1,0 +1,72 @@
+//! Linear algebra as relations (§1 and §5.3.2): the same Rel code runs on
+//! dense and sparse matrices — Codd's data independence at work.
+//!
+//! ```sh
+//! cargo run --example linear_algebra
+//! ```
+
+use rel::prelude::*;
+
+fn matrix_relation(entries: &[(i64, i64, f64)]) -> Relation {
+    entries
+        .iter()
+        .map(|&(i, j, v)| {
+            Tuple::from(vec![Value::Int(i), Value::Int(j), Value::float(v)])
+        })
+        .collect()
+}
+
+fn main() -> RelResult<()> {
+    let mut db = Database::new();
+    // A dense 3×3 matrix…
+    let mut dense = Vec::new();
+    for i in 1..=3 {
+        for j in 1..=3 {
+            dense.push((i, j, (i * 10 + j) as f64));
+        }
+    }
+    db.set("A", matrix_relation(&dense));
+    // …and a sparse one (only 3 of 9 entries).
+    db.set("B", matrix_relation(&[(1, 1, 1.0), (2, 3, 2.0), (3, 2, 4.0)]));
+    db.set(
+        "U",
+        [(1i64, 4.0), (2, 2.0)]
+            .iter()
+            .map(|&(i, v)| Tuple::from(vec![Value::Int(i), Value::float(v)]))
+            .collect(),
+    );
+    db.set(
+        "Vv",
+        [(1i64, 3.0), (2, 6.0)]
+            .iter()
+            .map(|&(i, v)| Tuple::from(vec![Value::Int(i), Value::float(v)]))
+            .collect(),
+    );
+
+    let session = Session::with_stdlib(db);
+
+    // §5.3.2 — scalar product: u = (4,2), v = (3,6) ⇒ 24.
+    let out = session.query("def output : ScalarProd[U, Vv]")?;
+    println!("u · v              = {out}");
+
+    // §1 — matrix multiplication, the paper's opening example. The same
+    // MatrixMult works for the dense and the sparse matrix.
+    let out = session.query("def output : MatrixMult[A, B]")?;
+    println!("A · B (sparse B)   = {out}");
+
+    let out = session.query("def output : MatrixMult[A, A]")?;
+    println!("A · A (dense)      : {} entries", out.len());
+
+    // Library composition: trace of a product, defined on the spot.
+    let out = session.query(
+        "def AB(i, j, v) : MatrixMult(A, B, i, j, v)\n\
+         def output[t] : t = trace[AB]",
+    )?;
+    println!("trace(A · B)       = {out}");
+
+    // Transpose + dimension.
+    let out = session.query("def output[d] : d = dimension[B]")?;
+    println!("dim(B)             = {out}");
+
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the paper's Figure 1 database and the basic queries of §3.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rel::prelude::*;
+
+fn main() -> RelResult<()> {
+    // The example database of Figure 1: payments, orders, products.
+    let db = rel::core::database::figure1_database();
+    let mut session = Session::with_stdlib(db);
+
+    // §3.1 — orders that received at least one payment. Set semantics:
+    // "O1" appears once even though it received two payments.
+    let out = session.query("def output(y) : exists((x) | PaymentOrder(x, y))")?;
+    println!("orders with payments:      {out}");
+
+    // §3.1 — products that were never ordered (negation).
+    let out = session.query(
+        "def output(x) : ProductPrice(x,_) and not OrderProductQuantity(_,x,_)",
+    )?;
+    println!("never ordered:             {out}");
+
+    // §3.2 — inverted arithmetic: discounted prices via add(y, 5, z).
+    let out = session.query(
+        "def output(x,y) : exists((z) | ProductPrice(x,z) and add(y,5,z))",
+    )?;
+    println!("discounted prices:         {out}");
+
+    // §4.3 — partial application: what does order O1 contain?
+    let out = session.query("def output : OrderProductQuantity[\"O1\"]")?;
+    println!("contents of O1:            {out}");
+
+    // §5.2 — aggregation with defaults: total paid per order.
+    let out = session.query(
+        "def Ord(x) : OrderProductQuantity(x,_,_)\n\
+         def OrderPaymentAmount(x,y,z) : PaymentOrder(y,x) and PaymentAmount(y,z)\n\
+         def output[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0",
+    )?;
+    println!("total paid per order:      {out}");
+
+    // §3.4 — a transaction: record orders that received payments.
+    let outcome = session.transact(
+        "def Ord(x) : OrderProductQuantity(x,_,_)\n\
+         def insert(:ClosedOrders, x) : Ord(x) and exists((p) | PaymentOrder(p, x))",
+    )?;
+    println!("transaction inserted:      {} tuples", outcome.inserted);
+    println!(
+        "closed orders now:         {}",
+        session.db().get("ClosedOrders").map(|r| r.to_string()).unwrap_or_default()
+    );
+
+    Ok(())
+}

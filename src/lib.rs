@@ -1,0 +1,49 @@
+//! # rel
+//!
+//! A from-scratch Rust implementation of **Rel**, the programming language
+//! for relational data described in *"Rel: A Programming Language for
+//! Relational Data"* (Aref et al., SIGMOD 2025, arXiv:2504.10323).
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `rel-core` | values, tuples, relations, databases, GNF |
+//! | [`syntax`] | `rel-syntax` | lexer, parser, AST, pretty-printer |
+//! | [`sema`] | `rel-sema` | resolution, specialization, safety, strata |
+//! | [`engine`] | `rel-engine` | bottom-up evaluation, transactions, reduce |
+//! | [`interp`] | `rel-interp` | reference denotational interpreter (Figs. 3–4) |
+//! | [`stdlib`] | `rel-stdlib` | standard library + RA/LA libraries |
+//! | [`graph`] | `rel-graph` | graph library (TC, APSP, PageRank, …) |
+//! | [`kg`] | `rel-kg` | relational knowledge graphs |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rel::prelude::*;
+//!
+//! // The Figure 1 database from the paper.
+//! let db = rel::core::database::figure1_database();
+//!
+//! // Orders that received at least one payment (§3.1).
+//! let out = Session::with_stdlib(db)
+//!     .query("def output(y) : exists((x) | PaymentOrder(x, y))")
+//!     .unwrap();
+//! assert_eq!(out.to_string(), r#"{("O1"); ("O2"); ("O3")}"#);
+//! ```
+
+pub use rel_core as core;
+pub use rel_engine as engine;
+pub use rel_graph as graph;
+pub use rel_interp as interp;
+pub use rel_kg as kg;
+pub use rel_sema as sema;
+pub use rel_stdlib as stdlib;
+pub use rel_syntax as syntax;
+
+/// The most commonly used items, for `use rel::prelude::*`.
+pub mod prelude {
+    pub use rel_core::{name, Database, Relation, RelError, RelResult, Tuple, Value};
+    pub use rel_engine::session::{Session, TxnOutcome};
+    pub use rel_stdlib::{with_stdlib, SessionExt};
+}

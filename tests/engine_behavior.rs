@@ -1,0 +1,221 @@
+//! Cross-crate behavioral tests: failure injection (divergence caps,
+//! demand cycles, runtime guards), transaction atomicity across aborts,
+//! and end-to-end knowledge-graph workflows.
+
+use rel::prelude::*;
+
+fn figure1() -> Session {
+    Session::with_stdlib(rel::core::database::figure1_database())
+}
+
+// ------------------------------------------------------------------
+// Failure injection
+// ------------------------------------------------------------------
+
+#[test]
+fn divergent_pfp_is_capped() {
+    // Flip(x) :- E(x), not Flip(x): the partial fixpoint oscillates and
+    // must hit the divergence cap rather than hang.
+    let mut db = Database::new();
+    db.insert("E", Tuple::from(vec![Value::Int(1)]));
+    let err = Session::new(db)
+        .query("def Flip(x) : E(x) and not Flip(x)\ndef output(x) : Flip(x)")
+        .unwrap_err();
+    assert!(matches!(err, RelError::Divergent { .. }), "{err}");
+}
+
+#[test]
+fn cyclic_demand_is_detected() {
+    // f[x] = f[x] demands itself with the same argument.
+    let mut db = Database::new();
+    db.insert("T", Tuple::from(vec![Value::Int(1)]));
+    let err = Session::with_stdlib(db)
+        .query(
+            "def f[x in Int] : f[x] + 0\n\
+             def output(v) : exists((x) | T(x) and f(x, v))",
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, RelError::Stratify(_) | RelError::Unsafe(_)),
+        "{err}"
+    );
+}
+
+#[test]
+fn unsafe_output_is_rejected_not_empty() {
+    // A demand-only output must error loudly, not return {}.
+    let err = figure1()
+        .query("def output[x] : x + 1")
+        .unwrap_err();
+    assert!(matches!(err, RelError::Unsafe(_)), "{err}");
+}
+
+#[test]
+fn overflow_surfaces_as_arithmetic_error() {
+    let mut db = Database::new();
+    db.insert("N", Tuple::from(vec![Value::Int(i64::MAX)]));
+    let err = Session::with_stdlib(db)
+        .query("def output(y) : exists((x) | N(x) and y = x + 1)")
+        .unwrap_err();
+    assert!(matches!(err, RelError::Arithmetic(_)), "{err}");
+}
+
+#[test]
+fn type_mismatches_are_filtering_not_errors() {
+    // modulo on a string column: the tuples are simply not in the
+    // (typed, infinite) builtin relation.
+    let out = figure1()
+        .query("def output(x) : exists((y) | PaymentOrder(x, y) and y % 2 = 0)")
+        .unwrap();
+    assert!(out.is_empty());
+}
+
+#[test]
+fn second_order_instantiation_cap() {
+    // A second-order definition that manufactures a new instance on every
+    // recursive call must hit the instantiation cap.
+    let err = figure1()
+        .query(
+            "def Blow({A}, x) : A(x) or Blow(Union[A, A], x)\n\
+             def output(x) : Blow(ProductPrice, x)",
+        )
+        .unwrap_err();
+    // Either the instantiation cap or a resolve error is acceptable; the
+    // point is compile-time rejection, not divergence.
+    assert!(
+        matches!(err, RelError::Stratify(_) | RelError::Resolve(_)),
+        "{err}"
+    );
+}
+
+// ------------------------------------------------------------------
+// Transaction atomicity
+// ------------------------------------------------------------------
+
+#[test]
+fn aborted_transaction_changes_nothing() {
+    let mut s = figure1();
+    let before = s.db().clone();
+    let err = s
+        .transact(
+            "def insert(:ClosedOrders, x) : PaymentOrder(_, x)\n\
+             def delete(:ProductPrice, x, y) : ProductPrice(x, y)\n\
+             ic keep_prices() requires exists((x, y) | ProductPrice(x, y))",
+        )
+        .unwrap_err();
+    assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+    // Neither the insert nor the delete happened.
+    assert_eq!(s.db(), &before);
+}
+
+#[test]
+fn delete_and_reinsert_same_tuple_survives() {
+    let mut s = figure1();
+    s.transact(
+        "def delete(:ProductPrice, x, y) : ProductPrice(x, y) and x = \"P1\"\n\
+         def insert(:ProductPrice, x, y) : x = \"P1\" and y = 10",
+    )
+    .unwrap();
+    assert!(s
+        .db()
+        .get("ProductPrice")
+        .unwrap()
+        .contains(&Tuple::from(vec![Value::str("P1"), Value::Int(10)])));
+}
+
+#[test]
+fn inserts_visible_to_next_transaction_only() {
+    let mut s = figure1();
+    // During the same transaction, derived relations see the *old* state.
+    let outcome = s
+        .transact(
+            "def insert(:Marker, x) : x = 1\n\
+             def output(x) : Marker(x)",
+        )
+        .unwrap();
+    assert!(outcome.output.is_empty(), "insert not visible mid-txn");
+    let out = s.query("def output(x) : Marker(x)").unwrap();
+    assert_eq!(out, Relation::from_values([Value::Int(1)]));
+}
+
+// ------------------------------------------------------------------
+// End-to-end knowledge-graph flow
+// ------------------------------------------------------------------
+
+#[test]
+fn csv_to_kg_to_query() {
+    let csv = "id,price,name\nP1,10,apple\nP2,20,pear\nP3,,mystery\n";
+    let records = rel::kg::parse_csv(csv).unwrap();
+    let mut db = Database::new();
+    let mut reg = rel::kg::EntityRegistry::new();
+    rel::kg::ingest_records(&mut db, &mut reg, "Product", &records).unwrap();
+    let s = Session::with_stdlib(db);
+    // P3 has no price fact (no nulls), so avg is over two products.
+    let out = s.query("def output[v] : v = avg[ProductPrice]").unwrap();
+    assert_eq!(out, Relation::from_values([Value::Int(15)]));
+    let named = s.query("def output[v] : v = count[ProductName]").unwrap();
+    assert_eq!(named, Relation::from_values([Value::Int(3)]));
+}
+
+#[test]
+fn library_composition_across_sessions() {
+    // Libraries stack: stdlib + graph + user library all in one session.
+    let g = rel::graph::gen::random_graph(10, 1.5, 99);
+    let s = rel::graph::with_graph_lib(rel::graph::gen::graph_database(&g))
+        .with_library("def BigOut(x) : exists((d) | OutDegree(V, E, x, d) and d >= 2)");
+    let out = s.query("def output(x) : BigOut(x)").unwrap();
+    let expected: Relation = (0..g.n)
+        .filter(|&v| g.adj[v].len() >= 2)
+        .map(|v| Tuple::from(vec![Value::Int(v as i64)]))
+        .collect();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn output_can_mix_arities() {
+    // Relations (including output) may hold tuples of different arities.
+    let out = figure1()
+        .query(
+            "def output(x) : ProductPrice(x, 40)\n\
+             def output(x, y) : PaymentOrder(x, y) and x = \"Pmt4\"",
+        )
+        .unwrap();
+    assert_eq!(out.arities().into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn deep_recursion_long_chain() {
+    // 300-long chain: semi-naive handles deep recursion without stack or
+    // iteration issues.
+    let mut db = Database::new();
+    for v in 0..300i64 {
+        db.insert("E", Tuple::from(vec![Value::Int(v), Value::Int(v + 1)]));
+    }
+    db.insert("Start", Tuple::from(vec![Value::Int(0)]));
+    let out = Session::new(db)
+        .query(
+            "def Reach(x) : Start(x)\n\
+             def Reach(y) : exists((x) | Reach(x) and E(x, y))\n\
+             def output[c] : c = reduce[add, (Reach, 1)]",
+        )
+        .unwrap();
+    assert_eq!(out, Relation::from_values([Value::Int(301)]));
+}
+
+#[test]
+fn demand_memoization_handles_fanout() {
+    // Fibonacci via demand evaluation: exponential without memoization,
+    // instant with it.
+    let mut db = Database::new();
+    db.insert("Q", Tuple::from(vec![Value::Int(30)]));
+    let out = Session::with_stdlib(db)
+        .query(
+            "def fib[n in Int] : 0 where n = 0\n\
+             def fib[n in Int] : 1 where n = 1\n\
+             def fib[n in Int] : fib[n-1] + fib[n-2] where n > 1\n\
+             def output(v) : exists((n) | Q(n) and fib(n, v))",
+        )
+        .unwrap();
+    assert_eq!(out, Relation::from_values([Value::Int(832_040)]));
+}

@@ -1,0 +1,120 @@
+//! E2 — grammar conformance (Figure 2): every production and every code
+//! listing in the paper parses; pretty-print ∘ parse is the identity.
+
+use rel::syntax::{parse_expr, parse_program};
+
+/// Every code listing from the paper, §1 through Addendum A.
+const PAPER_LISTINGS: &[&str] = &[
+    "def MatrixMult[{A},{B},i,j] : sum[ [k] : A[i,k]*B[k,j] ]",
+    "def APSP({V},{E},x,y,0) : V(x) and V(y) and x = y",
+    "def APSP({V},{E},x,y,i) :\n  i = min[ {(j): exists((z) | E(x,z) and APSP(V,E,z,y,j-1))}]",
+    "def OrderWithPayment(y) : exists ((x) | PaymentOrder(x,y))",
+    "def OrderWithPayment(y) : PaymentOrder(_,y)",
+    "def OrderedProducts(y) : OrderProductQuantity(_,y,_)",
+    "def OrderedProductPrice(x,y) :\n  OrderProductQuantity(_,x,_) and ProductPrice(x,y)",
+    "def NotOrdered(x) : ProductPrice(x,_) and\n  not exists ((y1,y2) | OrderProductQuantity(y1,x,y2))",
+    "def NotOrdered(x) : ProductPrice(x,_) and\n  forall ((y1,y2) | not OrderProductQuantity(y1,x,y2))",
+    "def AlwaysOrdered(x) : ProductPrice(x,_) and\n  forall ((o in V) | OrderProductQuantity(o,x,_))",
+    "def NotP1Price(x) : not ProductPrice(\"P1\",x)",
+    "def DiscountedproductPrice(x,y) :\n  exists ((z) | ProductPrice(x,z) and add(y,5,z))",
+    "def AdditiveInverse(x,y) : Int(x) and Int(y) and add(x,y,0)",
+    "def PsychologicallyPriced(x) :\n  exists ((y) | ProductPrice(x,y) and y % 100 = 99)",
+    "def TC_E(x,y) : E(x,y)\ndef TC_E(x,y) : exists((z) | E(x,z) and TC_E(z,y))",
+    "def output (x) : exists( (y) | ProductPrice(x,y) and y > 30)",
+    "def delete (:OrderProductQuantity,x,y,z) :\n  OrderProductQuantity(x,y,z) and\n  exists( (u) | OrderPaid(x,u) and OrderTotal(x,u) )",
+    "def insert (:ClosedOrders,x) :\n  exists( (u) | OrderPaid(x,u) and OrderTotal(x,u))",
+    "ic integer_quantities() requires\n  forall((x) | OrderProductQuantity(_,_,x) implies Int(x))",
+    "ic integer_quantities(x) requires\n  OrderProductQuantity(_,_,x) implies Int(x)",
+    "ic valid_products(x) requires\n  OrderProductQuantity(_,x,_) implies ProductPrice(x,_)",
+    "def ProductRS(a,b,c,d) : R(a,b) and S(c,d)",
+    "def ProductRS(x...,y...) : R(x...) and S(y...)",
+    "def Prefix(x...) : R(x...,_...)",
+    "def Perm(x...) : R(x...)\ndef Perm(x...,a,y...,b,z...) : Perm(x...,b,y...,a,z...)",
+    "def Product({A},{B},x...,y...) : A(x...) and B(y...)",
+    "def dot_join({A},{B},x...,y...) :\n  exists((t) | A(x...,t) and B(t,y...))",
+    "def left_override({A},{B},x...) : A(x...)\ndef left_override({A},{B},x...,v) :\n  B(x...,v) and not A(x...,_)",
+    "def log[x, y] = rel_primitive_log[x, y]",
+    "def (+)(x,y,z) : add(x,y,z)\ndef (*)(x,y,z) : multiply(x,y,z)",
+    "def sum[{A}] : reduce[add,A]\ndef count[{A}] : reduce[add,(A,1)]\ndef min[{A}] : reduce[minimum,A]\ndef max[{A}] : reduce[maximum,A]\ndef avg[{A}] : sum[A] / count[A]",
+    "def Argmin[{A}] : {A.(min[A])}",
+    "def Ord(x) : OrderProductQuantity(x,_,_)\ndef OrderPaymentAmount(x,y,z) :\n  PaymentOrder(y,x) and PaymentAmount(y,z)\ndef OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]]",
+    "def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0",
+    "def Union({A},{B},x...) : A(x...) or B(x...)",
+    "def Minus({A},{B},x...) : A(x...) and not B(x...)",
+    "def Select({A},{Cond},x...) : A(x...) and Cond(x...)",
+    "def Cond12(x1,x2,x...) : {x1=x2}",
+    "def ScalarProd[{U},{V}] : { sum[[k] : U[k]*V[k]] }",
+    "def MatrixVector[{A},{V},i] : { sum[[k] : A[i,k]*V[k]] }",
+    "def APSP2({V},{E},x,y,i) :\n  exists ((z in V) | E(x,z) and APSP2[V,E](z,y,i-1)) and\n  not exists ((j in Int) | j < i and APSP2[V,E](x,y,j))",
+    "def dimension[{Matrix}] : max[(k) : Matrix(k,_,_)]",
+    "def vector[d,i] : 1.0/d where range(1,d,1,i)",
+    "def abs(x,y) : (x >= 0 and y = x) or (x < 0 and y = -1 * x)",
+    "def delta[{Vec1},{Vec2}] : max[[k] : abs[Vec1[k] - Vec2[k]]]",
+    "def next[{G},{P}]: {MatrixVector[G,P]}",
+    "def stop({G},{P}): {delta[next[G,P],P] > 0.005}",
+    "def PageRank[{G}] :\n  {vector[dimension[G]] where empty (PageRank[G])}\ndef PageRank[{G}] : {next[G,PageRank[G]]\n  where not empty (PageRank[G]) and stop(G,PageRank[G])}\ndef PageRank[{G}] : {PageRank[G] where\n  not empty (PageRank[G]) and not stop(G,PageRank[G])}",
+    "def empty(R) : not exists( (x...) | R(x...))",
+    "def addUp[{A}] : sum[A]\ndef addUp[x in Int] : x%10 + addUp[(x-x%10)/10] where x >= 0",
+];
+
+#[test]
+fn every_paper_listing_parses() {
+    for (i, src) in PAPER_LISTINGS.iter().enumerate() {
+        parse_program(src).unwrap_or_else(|e| panic!("listing {i} failed: {e}\n{src}"));
+    }
+}
+
+#[test]
+fn every_paper_listing_round_trips() {
+    for src in PAPER_LISTINGS {
+        let ast = parse_program(src).unwrap();
+        let printed = ast.to_string();
+        let again = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        assert_eq!(ast, again, "round-trip mismatch for {src:?}");
+    }
+}
+
+#[test]
+fn grammar_productions_covered() {
+    // Every Expr / Formula / Argument production of Figure 2.
+    for src in [
+        // Literal | ID | ID...
+        "c",
+        "x...",
+        // (Expr, ..., Expr)
+        "(a, b, c)",
+        // Expr where Formula
+        "a where R(x)",
+        // {Expr; ...; Expr}
+        "{a; b; c}",
+        // [Binding,...] : Expr and (Binding,...) : Formula
+        "[x, y in R, {A}, z...] : x",
+        "(x, y) : R(x, y)",
+        // {Expr}[Arg,...] with _ , _..., ID..., ?{E}, &{E}
+        "R[_, _..., x..., ?{S}, &{T}]",
+        // reduce[&{E},&{E}] and reduce(&{E},&{E},?{E})
+        "reduce[&{add}, &{A}]",
+        "reduce(&{add}, &{A}, ?{v})",
+        // {} | {()}
+        "{}",
+        "{()}",
+        // Formula connectives and quantifiers
+        "R(x) and S(x) or not T(x)",
+        "exists((x, y...) | R(x, y...))",
+        "forall((x in V) | R(x))",
+        "(R(x))",
+    ] {
+        parse_expr(src).unwrap_or_else(|e| panic!("production {src:?} failed: {e}"));
+    }
+}
+
+#[test]
+fn keywords_and_flexibility() {
+    // "braces around a rule's body can be omitted if the body is an
+    // abstraction" and `def ID {Expr}`.
+    parse_program("def F {(x) : R(x)}").unwrap();
+    parse_program("def F(x) : R(x)").unwrap();
+    // implies / iff / xor sugar (§3.1).
+    parse_expr("a implies b iff c xor d").unwrap();
+}
