@@ -1,0 +1,220 @@
+//! `bench_report` — the perf-trajectory runner.
+//!
+//! Runs the TC, triangles, revenue-aggregation, and PageRank workloads at
+//! two scales each, and writes a JSON report (default `BENCH_1.json`) so
+//! the engine's performance is tracked from PR 1 onward.
+//!
+//! ```text
+//! bench_report [--out PATH] [--baseline PATH] [--runs N]
+//! ```
+//!
+//! `--baseline` points at a report produced by a *previous* build (e.g.
+//! the pre-optimization engine compiled in the same profile); its
+//! `median_ms` figures are embedded as `baseline_ms` with a computed
+//! `speedup`, making regressions and wins visible in one file.
+
+use rel_bench::{programs, OrderWorkload};
+use rel_graph::gen;
+use rel_stdlib::SessionExt;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    name: &'static str,
+    scale: String,
+    median_ms: f64,
+    result_size: usize,
+}
+
+fn median_ms(runs: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut times = Vec::with_capacity(runs);
+    let mut size = 0;
+    for _ in 0..runs {
+        let t = Instant::now();
+        size = f();
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (times[times.len() / 2], size)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_1.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut runs = 3usize;
+    let usage = || -> ! {
+        eprintln!("usage: bench_report [--out PATH] [--baseline PATH] [--runs N]");
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = || {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("bench_report: {} expects a value", args[i]);
+                usage();
+            })
+        };
+        match args[i].as_str() {
+            "--out" => out_path = value(),
+            "--baseline" => baseline_path = Some(value()),
+            "--runs" => {
+                runs = value().parse().unwrap_or(0);
+                if runs == 0 {
+                    eprintln!("bench_report: --runs expects a positive number");
+                    usage();
+                }
+            }
+            other => {
+                eprintln!("bench_report: unknown argument {other}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+
+    let mut results: Vec<Measurement> = Vec::new();
+
+    // --- TC: semi-naive transitive closure over random digraphs ---------
+    for n in [100usize, 300] {
+        let g = gen::random_graph(n, 3.0, 42);
+        let db = gen::graph_database(&g);
+        let module = rel_sema::compile(programs::TC).expect("TC compiles");
+        let (ms, size) = median_ms(runs, || {
+            let rels = rel_engine::materialize(&module, &db).expect("TC evaluates");
+            rels.get("TC").map(rel_core::Relation::len).unwrap_or(0)
+        });
+        results.push(Measurement {
+            name: "tc_semi_naive",
+            scale: format!("n={n},deg=3"),
+            median_ms: ms,
+            result_size: size,
+        });
+    }
+
+    // --- Triangles: three-way join through the generic evaluator --------
+    for n in [150usize, 300] {
+        let g = gen::random_graph(n, 6.0, 13);
+        let session = rel_graph::with_graph_lib(gen::graph_database(&g));
+        let (ms, size) = median_ms(runs, || {
+            session.query(programs::TRIANGLES).expect("triangles").len()
+        });
+        results.push(Measurement {
+            name: "triangles",
+            scale: format!("n={n},deg=6"),
+            median_ms: ms,
+            result_size: size,
+        });
+    }
+
+    // --- Revenue: grouped aggregation over the order workload -----------
+    for orders in [200usize, 600] {
+        let w = OrderWorkload::generate(orders, 50, 1);
+        let session = rel_engine::Session::with_stdlib(w.db.clone());
+        let (ms, size) = median_ms(runs, || {
+            session.query(programs::REVENUE).expect("revenue").len()
+        });
+        results.push(Measurement {
+            name: "revenue_aggregation",
+            scale: format!("orders={orders}"),
+            median_ms: ms,
+            result_size: size,
+        });
+    }
+
+    // --- PageRank: the paper's PFP program ------------------------------
+    for n in [32usize, 64] {
+        let g = gen::random_graph(n, 3.0, 11);
+        let mut db = gen::graph_database(&g);
+        db.set("M", gen::transition_matrix_relation(&g));
+        let session = rel_graph::with_graph_lib(db);
+        let (ms, size) = median_ms(runs, || {
+            session.query(programs::PAGERANK).expect("pagerank").len()
+        });
+        results.push(Measurement {
+            name: "pagerank_pfp",
+            scale: format!("n={n},deg=3"),
+            median_ms: ms,
+            result_size: size,
+        });
+    }
+
+    let baseline = baseline_path.map(|p| {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+            eprintln!("bench_report: cannot read baseline {p}: {e}");
+            std::process::exit(2);
+        });
+        parse_medians(&text)
+    });
+
+    let report_name = std::path::Path::new(&out_path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "BENCH".to_string());
+    let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"report\": \"{report_name}\",");
+    let _ = writeln!(json, "  \"profile\": \"{profile}\",");
+    let _ = writeln!(json, "  \"runs_per_workload\": {runs},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let key = format!("{}@{}", m.name, m.scale);
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"scale\": \"{}\", \"median_ms\": {:.3}, \"result_size\": {}",
+            m.name, m.scale, m.median_ms, m.result_size
+        );
+        if let Some(base) = &baseline {
+            if let Some(b) = base.iter().find(|(k, _)| *k == key).map(|(_, v)| *v) {
+                let _ = write!(
+                    json,
+                    ", \"baseline_ms\": {:.3}, \"speedup\": {:.2}",
+                    b,
+                    b / m.median_ms
+                );
+            }
+        }
+        json.push('}');
+        if i + 1 < results.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write report");
+
+    println!("{:<24} {:>16} {:>12} {:>10}", "workload", "scale", "median_ms", "size");
+    for m in &results {
+        println!(
+            "{:<24} {:>16} {:>12.2} {:>10}",
+            m.name, m.scale, m.median_ms, m.result_size
+        );
+    }
+    println!("wrote {out_path}");
+}
+
+/// Extract `(name@scale, median_ms)` pairs from a previous report without
+/// a JSON dependency: one workload object per line, fixed key order (the
+/// format this binary itself writes).
+fn parse_medians(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = extract(line, "\"name\": \"", "\"") else { continue };
+        let Some(scale) = extract(line, "\"scale\": \"", "\"") else { continue };
+        let Some(ms) = extract(line, "\"median_ms\": ", ",").or_else(|| extract(line, "\"median_ms\": ", "}"))
+        else {
+            continue;
+        };
+        if let Ok(v) = ms.trim().parse::<f64>() {
+            out.push((format!("{name}@{scale}"), v));
+        }
+    }
+    out
+}
+
+fn extract<'a>(line: &'a str, prefix: &str, terminator: &str) -> Option<&'a str> {
+    let start = line.find(prefix)? + prefix.len();
+    let rest = &line[start..];
+    let end = rest.find(terminator)?;
+    Some(&rest[..end])
+}

@@ -6,17 +6,104 @@
 //! iteration — and therefore all query output — is deterministic.
 //!
 //! Boolean encoding (§4.3): `true` is `{⟨⟩}` and `false` is `{}`.
+//!
+//! # Copy-on-write invariants
+//!
+//! Storage is shared behind an [`Arc`], so **cloning a relation is O(1)**:
+//! the fixpoint engine installs Δ overlays, snapshots iterates, and seeds
+//! its relation map from the database with pointer bumps instead of deep
+//! copies. The invariants every mutating method maintains:
+//!
+//! 1. Mutation goes through [`Relation::tuples_mut`], which `Arc::make_mut`s
+//!    the storage (copying it only when shared) and stamps a **fresh
+//!    generation** from a global counter. Generations are never reused, so
+//!    `a.generation() == b.generation()` implies `a` and `b` hold the same
+//!    tuple set — the engine's index cache keys on it for invalidation.
+//! 2. A mutation that turns out to be a no-op (inserting a duplicate,
+//!    retaining everything) restores the previous generation: equal content
+//!    keeps its generation so caches stay warm.
+//! 3. Equality and iteration are content-based; generation and sharing are
+//!    invisible to semantics. [`Relation::shares_storage`] exposes sharing
+//!    for tests and diagnostics only.
+//! 4. The per-storage fingerprint (a commutative XOR of tuple hashes,
+//!    computed lazily and cached) is cleared whenever storage is rewritten;
+//!    it is a pure function of the tuple set.
 
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// A set of first-order tuples.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
-pub struct Relation {
-    tuples: BTreeSet<Tuple>,
+/// Monotone source of relation generations. Generation 0 is reserved for
+/// the shared empty relation.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
 }
+
+/// Shared storage: the tuple set plus a lazily computed content
+/// fingerprint (order-independent XOR of per-tuple hashes).
+#[derive(Debug, Default)]
+struct Storage {
+    tuples: BTreeSet<Tuple>,
+    fingerprint: OnceLock<u64>,
+}
+
+impl Storage {
+    fn new(tuples: BTreeSet<Tuple>) -> Self {
+        Storage { tuples, fingerprint: OnceLock::new() }
+    }
+}
+
+impl Clone for Storage {
+    fn clone(&self) -> Self {
+        // Cloned for mutation (`Arc::make_mut`): drop the fingerprint, the
+        // copy is about to change.
+        Storage { tuples: self.tuples.clone(), fingerprint: OnceLock::new() }
+    }
+}
+
+/// A set of first-order tuples with O(1) copy-on-write cloning.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    storage: Arc<Storage>,
+    generation: u64,
+}
+
+impl Default for Relation {
+    fn default() -> Self {
+        static EMPTY: OnceLock<Arc<Storage>> = OnceLock::new();
+        Relation {
+            storage: Arc::clone(EMPTY.get_or_init(|| Arc::new(Storage::default()))),
+            generation: 0,
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.storage, &other.storage) || self.generation == other.generation {
+            return true;
+        }
+        if self.len() != other.len() {
+            return false;
+        }
+        if let (Some(a), Some(b)) =
+            (self.storage.fingerprint.get(), other.storage.fingerprint.get())
+        {
+            if a != b {
+                return false;
+            }
+        }
+        self.storage.tuples == other.storage.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// The empty relation `{}` — the encoding of `false`.
@@ -38,16 +125,12 @@ impl Relation {
 
     /// Build from an iterator of tuples.
     pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
-        Relation {
-            tuples: tuples.into_iter().collect(),
-        }
+        Relation::from_set(tuples.into_iter().collect())
     }
 
     /// Build a unary relation from values.
     pub fn from_values(values: impl IntoIterator<Item = Value>) -> Self {
-        Relation {
-            tuples: values.into_iter().map(|v| Tuple::from(vec![v])).collect(),
-        }
+        Relation::from_set(values.into_iter().map(|v| Tuple::from(vec![v])).collect())
     }
 
     /// A relation holding a single tuple.
@@ -55,50 +138,125 @@ impl Relation {
         Relation::from_tuples([t])
     }
 
+    fn from_set(tuples: BTreeSet<Tuple>) -> Self {
+        if tuples.is_empty() {
+            return Relation::default();
+        }
+        Relation { storage: Arc::new(Storage::new(tuples)), generation: fresh_generation() }
+    }
+
+    /// Mutable storage access: copies the set when shared and stamps a
+    /// fresh generation. Callers that detect a no-op mutation should
+    /// restore the prior generation (invariant 2 of the module docs).
+    fn tuples_mut(&mut self) -> &mut BTreeSet<Tuple> {
+        self.generation = fresh_generation();
+        let storage = Arc::make_mut(&mut self.storage);
+        storage.fingerprint = OnceLock::new();
+        &mut storage.tuples
+    }
+
+    /// The content generation: changes exactly when the tuple set does.
+    /// Two relations with equal generations hold equal tuple sets (the
+    /// converse does not hold). Used by the engine's index cache.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Do two relations share the same backing storage (i.e. was one
+    /// cloned from the other with no intervening mutation)? Test/diagnostic
+    /// introspection of the copy-on-write representation.
+    pub fn shares_storage(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.storage, &other.storage)
+    }
+
+    /// Order-independent content fingerprint (XOR of per-tuple hashes),
+    /// computed lazily and cached on the shared storage. Equal relations
+    /// have equal fingerprints; the converse can fail (hash collision), so
+    /// callers use it only as an inequality fast path.
+    pub fn fingerprint(&self) -> u64 {
+        *self.storage.fingerprint.get_or_init(|| {
+            let mut acc = 0u64;
+            for t in &self.storage.tuples {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                t.hash(&mut h);
+                acc ^= h.finish();
+            }
+            acc
+        })
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.storage.tuples.len()
     }
 
     /// Is the relation empty (i.e. `false`)?
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.storage.tuples.is_empty()
     }
 
     /// Is this the `true` relation `{⟨⟩}` (or does it at least contain `⟨⟩`)?
     pub fn is_true(&self) -> bool {
-        self.tuples.contains(&Tuple::empty())
+        self.storage.tuples.contains(&Tuple::empty())
     }
 
     /// Insert a tuple; returns `true` if it was new (set semantics).
     pub fn insert(&mut self, t: Tuple) -> bool {
-        self.tuples.insert(t)
+        if Arc::strong_count(&self.storage) > 1 {
+            // Shared storage: pre-check so a duplicate insert neither
+            // unshares nor changes the generation.
+            if self.storage.tuples.contains(&t) {
+                return false;
+            }
+            self.tuples_mut().insert(t)
+        } else {
+            // Exclusive storage: single tree probe, restore the
+            // generation when the tuple was already present.
+            let prev = self.generation;
+            let inserted = self.tuples_mut().insert(t);
+            if !inserted {
+                self.generation = prev;
+            }
+            inserted
+        }
     }
 
     /// Remove a tuple; returns `true` if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        self.tuples.remove(t)
+        if Arc::strong_count(&self.storage) > 1 {
+            if !self.storage.tuples.contains(t) {
+                return false;
+            }
+            self.tuples_mut().remove(t)
+        } else {
+            let prev = self.generation;
+            let removed = self.tuples_mut().remove(t);
+            if !removed {
+                self.generation = prev;
+            }
+            removed
+        }
     }
 
     /// Membership test (full application `R(a, …)`).
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.contains(t)
+        self.storage.tuples.contains(t)
     }
 
     /// Iterate tuples in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + Clone + '_ {
-        self.tuples.iter()
+        self.storage.tuples.iter()
     }
 
     /// The set of distinct arities present.
     pub fn arities(&self) -> BTreeSet<usize> {
-        self.tuples.iter().map(|t| t.arity()).collect()
+        self.iter().map(|t| t.arity()).collect()
     }
 
     /// If all tuples share one arity, return it; an empty relation reports
     /// `Some(0)`? No — it reports `None` (no tuples, no arity evidence).
     pub fn uniform_arity(&self) -> Option<usize> {
-        let mut it = self.tuples.iter();
+        let mut it = self.iter();
         let first = it.next()?.arity();
         it.all(|t| t.arity() == first).then_some(first)
     }
@@ -107,7 +265,7 @@ impl Relation {
     /// start with `prefix`. `R["O1"]` over `OrderProductQuantity` yields
     /// `{⟨"P1",2⟩, ⟨"P2",1⟩}`.
     pub fn partial_apply(&self, prefix: &[Value]) -> Relation {
-        let mut out = Relation::new();
+        let mut out = BTreeSet::new();
         // Tuples sharing a prefix are contiguous in BTreeSet order only
         // within an arity class; mixed arities still compare lexicographically
         // so prefix-sharing tuples cluster. We use a range scan from the
@@ -116,72 +274,246 @@ impl Relation {
         // log n) in the common case is a full range scan with early exit on
         // the sorted order.
         let start = Tuple::from(prefix.to_vec());
-        for t in self.tuples.range(start..) {
+        for t in self.storage.tuples.range(start..) {
             if !t.starts_with(prefix) {
                 break;
             }
             out.insert(t.suffix(prefix.len()));
         }
-        out
+        Relation::from_set(out)
     }
 
-    /// Set union (the `{A; B}` / `or` operator).
+    /// Set union (the `{A; B}` / `or` operator): O(1) when either side is
+    /// empty, merge-walk over both sorted sets otherwise.
     pub fn union(&self, other: &Relation) -> Relation {
-        Relation {
-            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        if self.shares_storage(other) || other.is_empty() {
+            return self.clone();
         }
+        if self.is_empty() {
+            return other.clone();
+        }
+        let merged = MergeWalk::new(self.iter(), other.iter())
+            .map(|side| match side {
+                Side::Left(t) | Side::Right(t) | Side::Both(t) => t.clone(),
+            })
+            .collect();
+        Relation::from_set(merged)
     }
 
-    /// Set intersection (`and` on formulas, `Select` on conditions).
+    /// Set intersection (`and` on formulas, `Select` on conditions):
+    /// merge-walk over both sorted sets.
     pub fn intersect(&self, other: &Relation) -> Relation {
-        Relation {
-            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        if self.shares_storage(other) {
+            return self.clone();
+        }
+        if self.is_empty() || other.is_empty() {
+            return Relation::new();
+        }
+        let merged = MergeWalk::new(self.iter(), other.iter())
+            .filter_map(|side| match side {
+                Side::Both(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        Relation::from_set(merged)
+    }
+
+    /// Set difference (`Minus`): merge-walk over both sorted sets, O(1)
+    /// when the subtrahend is empty.
+    pub fn minus(&self, other: &Relation) -> Relation {
+        if self.shares_storage(other) {
+            return Relation::new();
+        }
+        if other.is_empty() || self.is_empty() {
+            return self.clone();
+        }
+        let merged = MergeWalk::new(self.iter(), other.iter())
+            .filter_map(|side| match side {
+                Side::Left(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        Relation::from_set(merged)
+    }
+
+    /// Remove, in place, every tuple of `other` that is present in
+    /// `self` — the in-place companion of [`Relation::minus`] for callers
+    /// that own the left side and want no intermediate allocation.
+    pub fn minus_in_place(&mut self, other: &Relation) {
+        if self.is_empty() || other.is_empty() {
+            return;
+        }
+        if self.shares_storage(other) {
+            *self = Relation::new();
+            return;
+        }
+        if other.len() < self.len() / 4 {
+            // Few removals: delete them individually.
+            for t in other.iter() {
+                self.remove(t);
+            }
+        } else if self.len() * 16 >= other.len() {
+            // Comparable sizes: one linear merge-walk.
+            *self = self.minus(other);
+        } else {
+            // self is tiny next to other: per-tuple probes.
+            self.retain(|t| !other.contains(t));
         }
     }
 
-    /// Set difference (`Minus`).
-    pub fn minus(&self, other: &Relation) -> Relation {
-        Relation {
-            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+    /// Keep only the tuples satisfying the predicate; a no-op (everything
+    /// retained) keeps storage shared and the generation stable. The
+    /// predicate may be called more than once per tuple when storage is
+    /// shared (a pre-scan avoids unsharing on no-ops).
+    pub fn retain(&mut self, mut keep: impl FnMut(&Tuple) -> bool) {
+        if self.is_empty() {
+            return;
+        }
+        if Arc::strong_count(&self.storage) > 1 && self.iter().all(&mut keep) {
+            return; // no-op: stay shared
+        }
+        let prev = self.generation;
+        let set = self.tuples_mut();
+        let before = set.len();
+        set.retain(|t| keep(t));
+        if set.len() == before {
+            self.generation = prev;
+        }
+        if self.is_empty() {
+            *self = Relation::new();
         }
     }
 
     /// Cartesian product `(A, B)` — pairwise tuple concatenation.
     pub fn product(&self, other: &Relation) -> Relation {
         let mut out = BTreeSet::new();
-        for a in &self.tuples {
-            for b in &other.tuples {
+        for a in self.iter() {
+            for b in other.iter() {
                 out.insert(a.concat(b));
             }
         }
-        Relation { tuples: out }
+        Relation::from_set(out)
     }
 
     /// Extend with tuples from an iterator.
     pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
-        self.tuples.extend(tuples);
+        let new: Vec<Tuple> = tuples
+            .into_iter()
+            .filter(|t| !self.storage.tuples.contains(t))
+            .collect();
+        if !new.is_empty() {
+            self.tuples_mut().extend(new);
+        }
     }
 
     /// Union in place; returns the number of newly inserted tuples.
+    /// O(1) when `self` is empty (adopts the other side's storage); a
+    /// merge-walk rebuild when both sides are of comparable size; plain
+    /// inserts when `other` is small.
     pub fn absorb(&mut self, other: &Relation) -> usize {
-        let before = self.tuples.len();
-        self.tuples.extend(other.tuples.iter().cloned());
-        self.tuples.len() - before
+        if other.is_empty() || self.shares_storage(other) {
+            return 0;
+        }
+        if self.is_empty() {
+            let added = other.len();
+            *self = other.clone();
+            return added;
+        }
+        let before = self.len();
+        if other.len() * 4 >= self.len() {
+            // Comparable sizes: one linear merge beats per-element inserts.
+            let merged: BTreeSet<Tuple> = MergeWalk::new(self.iter(), other.iter())
+                .map(|side| match side {
+                    Side::Left(t) | Side::Right(t) | Side::Both(t) => t.clone(),
+                })
+                .collect();
+            if merged.len() == before {
+                return 0; // other ⊆ self: keep storage and generation
+            }
+            let added = merged.len() - before;
+            *self = Relation::from_set(merged);
+            added
+        } else {
+            let new: Vec<&Tuple> = other
+                .iter()
+                .filter(|t| !self.storage.tuples.contains(*t))
+                .collect();
+            if new.is_empty() {
+                return 0;
+            }
+            let added = new.len();
+            self.tuples_mut().extend(new.into_iter().cloned());
+            debug_assert_eq!(self.len(), before + added);
+            added
+        }
     }
 
     /// Drain all tuples into a sorted `Vec`.
     pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples.into_iter().collect()
+        match Arc::try_unwrap(self.storage) {
+            Ok(storage) => storage.tuples.into_iter().collect(),
+            Err(shared) => shared.tuples.iter().cloned().collect(),
+        }
     }
 
     /// Last-column values (the "value" column of a GNF key→value relation),
     /// in relation order. Used by `reduce` (§5.2).
     pub fn last_column(&self) -> Vec<Value> {
-        self.tuples
-            .iter()
+        self.iter()
             .filter(|t| !t.is_empty())
             .map(|t| t.values()[t.arity() - 1].clone())
             .collect()
+    }
+}
+
+/// One step of a sorted merge-walk over two tuple iterators.
+enum Side<'a> {
+    Left(&'a Tuple),
+    Right(&'a Tuple),
+    Both(&'a Tuple),
+}
+
+/// Sorted merge of two ascending tuple streams, classifying each element
+/// by which side(s) it occurs on. Drives `union`/`intersect`/`minus`
+/// without re-traversing either tree per element.
+struct MergeWalk<L: Iterator, R: Iterator> {
+    left: std::iter::Peekable<L>,
+    right: std::iter::Peekable<R>,
+}
+
+impl<'a, L, R> MergeWalk<L, R>
+where
+    L: Iterator<Item = &'a Tuple>,
+    R: Iterator<Item = &'a Tuple>,
+{
+    fn new(left: L, right: R) -> Self {
+        MergeWalk { left: left.peekable(), right: right.peekable() }
+    }
+}
+
+impl<'a, L, R> Iterator for MergeWalk<L, R>
+where
+    L: Iterator<Item = &'a Tuple>,
+    R: Iterator<Item = &'a Tuple>,
+{
+    type Item = Side<'a>;
+
+    fn next(&mut self) -> Option<Side<'a>> {
+        match (self.left.peek(), self.right.peek()) {
+            (Some(l), Some(r)) => match l.cmp(r) {
+                std::cmp::Ordering::Less => Some(Side::Left(self.left.next().expect("peeked"))),
+                std::cmp::Ordering::Greater => {
+                    Some(Side::Right(self.right.next().expect("peeked")))
+                }
+                std::cmp::Ordering::Equal => {
+                    self.right.next();
+                    Some(Side::Both(self.left.next().expect("peeked")))
+                }
+            },
+            (Some(_), None) => Some(Side::Left(self.left.next().expect("peeked"))),
+            (None, Some(_)) => Some(Side::Right(self.right.next().expect("peeked"))),
+            (None, None) => None,
+        }
     }
 }
 
@@ -195,7 +527,7 @@ impl<'a> IntoIterator for &'a Relation {
     type Item = &'a Tuple;
     type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.iter()
+        self.storage.tuples.iter()
     }
 }
 
@@ -203,14 +535,17 @@ impl IntoIterator for Relation {
     type Item = Tuple;
     type IntoIter = std::collections::btree_set::IntoIter<Tuple>;
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.into_iter()
+        match Arc::try_unwrap(self.storage) {
+            Ok(storage) => storage.tuples.into_iter(),
+            Err(shared) => shared.tuples.clone().into_iter(),
+        }
     }
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, t) in self.tuples.iter().enumerate() {
+        for (i, t) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, "; ")?;
             }
@@ -329,5 +664,111 @@ mod tests {
         let v1: Vec<_> = r1.iter().cloned().collect();
         let v2: Vec<_> = r2.iter().cloned().collect();
         assert_eq!(v1, v2);
+    }
+
+    // --- copy-on-write behavior ------------------------------------------
+
+    #[test]
+    fn clone_is_shared_until_mutation() {
+        let a = opq();
+        let b = a.clone();
+        assert!(a.shares_storage(&b));
+        assert_eq!(a.generation(), b.generation());
+        let mut c = b.clone();
+        c.insert(tuple!["O9", "P9", 9]);
+        assert!(!a.shares_storage(&c));
+        assert_ne!(a.generation(), c.generation());
+        // The original is untouched.
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn noop_mutations_keep_generation() {
+        let mut r = opq();
+        let before = r.generation();
+        let shared = r.clone();
+        assert!(!r.insert(tuple!["O1", "P1", 2])); // duplicate
+        assert!(!r.remove(&tuple!["nope", "nope", 0]));
+        assert_eq!(r.absorb(&opq()), 0); // subset absorb
+        r.retain(|_| true);
+        r.extend(std::iter::empty());
+        assert_eq!(r.generation(), before);
+        assert!(r.shares_storage(&shared), "no-ops must not unshare");
+    }
+
+    #[test]
+    fn empty_relations_share_the_static_storage() {
+        let a = Relation::new();
+        let b = Relation::false_rel();
+        assert!(a.shares_storage(&b));
+        assert_eq!(a.generation(), 0);
+    }
+
+    #[test]
+    fn absorb_into_empty_is_adoption() {
+        let mut a = Relation::new();
+        let b = opq();
+        assert_eq!(a.absorb(&b), 4);
+        assert!(a.shares_storage(&b));
+    }
+
+    #[test]
+    fn minus_in_place_matches_minus() {
+        let a = Relation::from_tuples([tuple![1], tuple![2], tuple![3], tuple![4]]);
+        let b = Relation::from_tuples([tuple![2], tuple![4], tuple![9]]);
+        let expected = a.minus(&b);
+        let mut c = a.clone();
+        c.minus_in_place(&b);
+        assert_eq!(c, expected);
+        // Self-difference empties.
+        let mut d = a.clone();
+        d.minus_in_place(&a.clone());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn retain_filters_and_restores_empty_storage() {
+        let mut r = opq();
+        r.retain(|t| t.values()[0] == Value::str("O1"));
+        assert_eq!(r.len(), 2);
+        r.retain(|_| false);
+        assert!(r.is_empty());
+        assert!(r.shares_storage(&Relation::new()), "emptied → shared empty");
+    }
+
+    #[test]
+    fn fingerprint_is_content_based() {
+        let a = Relation::from_tuples([tuple![1], tuple![2]]);
+        let mut b = Relation::new();
+        b.insert(tuple![2]);
+        b.insert(tuple![1]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.insert(tuple![3]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn generation_equality_implies_content_equality() {
+        let a = opq();
+        let b = a.clone();
+        assert_eq!(a.generation(), b.generation());
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.insert(tuple!["O4", "P4", 4]);
+        c.remove(&tuple!["O4", "P4", 4]);
+        // Same content again, but a fresh generation: eq still holds.
+        assert_ne!(a.generation(), c.generation());
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn union_adopts_empty_sides() {
+        let a = opq();
+        let e = Relation::new();
+        assert!(a.union(&e).shares_storage(&a));
+        assert!(e.union(&a).shares_storage(&a));
+        assert!(a.minus(&e).shares_storage(&a));
     }
 }

@@ -45,26 +45,79 @@ pub struct EvalCtx<'a> {
     demand_memo: RefCell<HashMap<DemandKey, Rc<Relation>>>,
     /// Demand stack for cycle detection.
     demand_stack: RefCell<Vec<DemandKey>>,
-    /// Lazy hash indexes: (pred, key positions + arity) → key → tuples.
-    indexes: RefCell<IndexCache>,
+    /// Lazy hash indexes, possibly shared across contexts (and hence
+    /// across fixpoint iterations): see [`SharedIndexCache`].
+    indexes: SharedIndexCache,
 }
 
 /// Key of a demand-evaluation memo entry: predicate and bound prefix.
 type DemandKey = (Name, Vec<Value>);
 /// A hash index from key values to matching tuples.
 type TupleIndex = HashMap<Vec<Value>, Vec<Tuple>>;
-/// Cache of per-(predicate, key-positions) indexes.
-type IndexCache = HashMap<(Name, Vec<usize>), Rc<TupleIndex>>;
+/// Cache of per-(predicate, key-positions, arity) indexes. Each entry
+/// remembers the relation generation it was built from; a lookup against
+/// a relation with a different generation rebuilds and replaces the
+/// entry, so stale indexes are evicted in place rather than accumulated.
+type IndexCache = HashMap<(Name, Vec<usize>, usize), (u64, Rc<TupleIndex>)>;
+
+/// A cloneable handle to an index cache that outlives any single
+/// [`EvalCtx`]. The fixpoint engine threads one handle through every
+/// iteration's context, so indexes over *unchanged* relations (the EDB,
+/// already-materialized strata, stable SCC members) are built once and
+/// reused; only indexes over relations whose generation moved are
+/// rebuilt. Cloning the handle shares the cache.
+#[derive(Clone, Default)]
+pub struct SharedIndexCache(Rc<RefCell<IndexCache>>);
+
+impl std::fmt::Debug for SharedIndexCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedIndexCache({} entries)", self.0.borrow().len())
+    }
+}
+
+impl SharedIndexCache {
+    /// Number of cached indexes (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// Drop every entry that no longer matches the given relation state
+    /// (the relation is gone — e.g. a Δ overlay — or its generation has
+    /// moved on). The fixpoint engine calls this when a materialize run
+    /// finishes, so a long-lived session retains only indexes that the
+    /// *next* run can actually hit, instead of accumulating dead ones.
+    pub fn prune_stale(&self, rels: &BTreeMap<Name, Relation>) {
+        self.0.borrow_mut().retain(|(name, _, _), (built_gen, _)| {
+            rels.get(name).map(Relation::generation) == Some(*built_gen)
+        });
+    }
+}
 
 impl<'a> EvalCtx<'a> {
-    /// New context over the given relation state.
+    /// New context over the given relation state, with a private index
+    /// cache.
     pub fn new(module: &'a Module, rels: &'a BTreeMap<Name, Relation>) -> Self {
+        EvalCtx::with_cache(module, rels, SharedIndexCache::default())
+    }
+
+    /// New context sharing a caller-owned index cache (generation-keyed,
+    /// so it is safe to reuse across different relation states).
+    pub fn with_cache(
+        module: &'a Module,
+        rels: &'a BTreeMap<Name, Relation>,
+        cache: SharedIndexCache,
+    ) -> Self {
         EvalCtx {
             module,
             rels,
             demand_memo: RefCell::new(HashMap::new()),
             demand_stack: RefCell::new(Vec::new()),
-            indexes: RefCell::new(HashMap::new()),
+            indexes: cache,
         }
     }
 
@@ -92,11 +145,12 @@ impl<'a> EvalCtx<'a> {
     // ------------------------------------------------------------------
 
     /// Evaluate one rule from a seed environment, returning full head
-    /// tuples.
+    /// tuples. Derived tuples are buffered and the relation is built once
+    /// (sort + dedup bulk construction) instead of tree-inserting each.
     pub fn eval_rule(&self, rule: &Rule, seed: Env) -> RelResult<Relation> {
-        let mut out = Relation::new();
+        let mut out = Vec::new();
         self.eval_rule_into(rule, &rule.body, seed, &mut out)?;
-        Ok(out)
+        Ok(Relation::from_tuples(out))
     }
 
     fn eval_rule_into(
@@ -104,7 +158,7 @@ impl<'a> EvalCtx<'a> {
         rule: &Rule,
         body: &RExpr,
         seed: Env,
-        out: &mut Relation,
+        out: &mut Vec<Tuple>,
     ) -> RelResult<()> {
         let mut gen: Vec<Formula> = Vec::new();
         for p in &rule.params {
@@ -124,7 +178,7 @@ impl<'a> EvalCtx<'a> {
                 let envs = self.eval_formula(&Formula::conj(gen), vec![seed])?;
                 for env in envs {
                     if let Some(t) = env.head_tuple(&rule.params) {
-                        out.insert(t);
+                        out.push(t);
                     }
                 }
                 Ok(())
@@ -156,7 +210,7 @@ impl<'a> EvalCtx<'a> {
         params: &[AbsParam],
         env: &Env,
         rel: &Relation,
-        out: &mut Relation,
+        out: &mut Vec<Tuple>,
     ) -> RelResult<()> {
         if rel.is_empty() {
             return Ok(());
@@ -167,7 +221,7 @@ impl<'a> EvalCtx<'a> {
             ));
         };
         for t in rel.iter() {
-            out.insert(head.concat(t));
+            out.push(head.concat(t));
         }
         Ok(())
     }
@@ -287,11 +341,15 @@ impl<'a> EvalCtx<'a> {
             Formula::False => Ok(vec![]),
             Formula::Conj(items) => self.eval_conj(items, envs),
             Formula::Disj(branches) => {
-                let mut out: BTreeSet<Env> = BTreeSet::new();
+                // Sort + dedup matches the previous BTreeSet order exactly
+                // (deterministic iteration) at a fraction of the cost.
+                let mut out: Vec<Env> = Vec::new();
                 for br in branches {
                     out.extend(self.eval_formula(br, envs.clone())?);
                 }
-                Ok(out.into_iter().collect())
+                out.sort_unstable();
+                out.dedup();
+                Ok(out)
             }
             Formula::Not(inner) => {
                 let mut out = Vec::with_capacity(envs.len());
@@ -322,12 +380,16 @@ impl<'a> EvalCtx<'a> {
             Formula::Cmp { op, lhs, rhs } => self.exec_cmp(*op, lhs, rhs, envs),
             Formula::Exists { body, intro, .. } => {
                 let inner = self.eval_formula(body, envs)?;
-                let mut out: BTreeSet<Env> = BTreeSet::new();
-                for mut env in inner {
-                    env.unbind_range(intro.0, intro.1);
-                    out.insert(env);
-                }
-                Ok(out.into_iter().collect())
+                let mut out: Vec<Env> = inner
+                    .into_iter()
+                    .map(|mut env| {
+                        env.unbind_range(intro.0, intro.1);
+                        env
+                    })
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                Ok(out)
             }
             Formula::OfExpr(e) => {
                 let mut out = Vec::new();
@@ -845,16 +907,21 @@ impl<'a> EvalCtx<'a> {
     }
 
     /// Build (or fetch) a hash index of `pred` keyed on `positions`,
-    /// restricted to tuples of exactly `arity`.
+    /// restricted to tuples of exactly `arity`. Cached entries are keyed
+    /// on the relation's generation, so an index survives for as long as
+    /// the relation is unchanged — across fixpoint iterations and even
+    /// across materialize calls when the cache handle is shared.
     fn index_for(&self, pred: &Name, positions: &[usize], arity: usize) -> Rc<TupleIndex> {
-        let mut key = positions.to_vec();
-        key.push(arity); // include arity in the cache key
-        let cache_key = (pred.clone(), key);
-        if let Some(hit) = self.indexes.borrow().get(&cache_key) {
-            return Rc::clone(hit);
+        let rel = self.rels.get(pred);
+        let generation = rel.map(Relation::generation).unwrap_or(0);
+        let cache_key = (pred.clone(), positions.to_vec(), arity);
+        if let Some((built_gen, hit)) = self.indexes.0.borrow().get(&cache_key) {
+            if *built_gen == generation {
+                return Rc::clone(hit);
+            }
         }
         let mut map: TupleIndex = HashMap::new();
-        if let Some(rel) = self.rels.get(pred) {
+        if let Some(rel) = rel {
             for t in rel.iter() {
                 if t.arity() != arity {
                     continue;
@@ -864,7 +931,10 @@ impl<'a> EvalCtx<'a> {
             }
         }
         let rc = Rc::new(map);
-        self.indexes.borrow_mut().insert(cache_key, Rc::clone(&rc));
+        self.indexes
+            .0
+            .borrow_mut()
+            .insert(cache_key, (generation, Rc::clone(&rc)));
         rc
     }
 

@@ -13,7 +13,7 @@
 //!   meaning (DESIGN.md §2.3).
 
 use crate::env::Env;
-use crate::eval::EvalCtx;
+use crate::eval::{EvalCtx, SharedIndexCache};
 use rel_core::{Database, Name, RelError, RelResult, Relation};
 use rel_sema::ir::{AbsParam, EvalMode, Formula, Module, RExpr, Rule};
 use std::collections::{BTreeMap, BTreeSet};
@@ -33,6 +33,21 @@ fn delta_name(p: &Name) -> Name {
 /// by stratum, starting from the database's base relations. Returns the
 /// full relation state (EDB ∪ IDB).
 pub fn materialize(module: &Module, db: &Database) -> RelResult<BTreeMap<Name, Relation>> {
+    materialize_with_cache(module, db, SharedIndexCache::default())
+}
+
+/// [`materialize`] with a caller-owned index cache, so lazily built hash
+/// indexes survive across fixpoint iterations *and* across materialize
+/// calls (e.g. a session's repeated queries over the same base data).
+/// Entries are keyed on relation generations, so stale indexes are
+/// replaced automatically when a relation changes.
+pub fn materialize_with_cache(
+    module: &Module,
+    db: &Database,
+    cache: SharedIndexCache,
+) -> RelResult<BTreeMap<Name, Relation>> {
+    // CoW relations make this initial map O(#relations) pointer bumps —
+    // no tuple is copied until somebody mutates a base relation.
     let mut rels: BTreeMap<Name, Relation> =
         db.iter().map(|(n, r)| (n.clone(), r.clone())).collect();
     for stratum in &module.strata {
@@ -59,16 +74,20 @@ pub fn materialize(module: &Module, db: &Database) -> RelResult<BTreeMap<Name, R
         if !stratum.recursive {
             let p = mats[0];
             let derived = {
-                let cx = EvalCtx::new(module, &rels);
+                let cx = EvalCtx::with_cache(module, &rels, cache.clone());
                 eval_pred_once(&cx, module, p)?
             };
             rels.entry(p.clone()).or_default().absorb(&derived);
         } else if stratum.monotone {
-            semi_naive(module, &mut rels, &stratum.preds)?;
+            semi_naive(module, &mut rels, &stratum.preds, &cache)?;
         } else {
-            pfp(module, &mut rels, &stratum.preds)?;
+            pfp(module, &mut rels, &stratum.preds, &cache)?;
         }
     }
+    // Keep the cache bounded for long-lived sessions: only indexes that
+    // still match the final relation state (EDB + fixpoint results) can
+    // be hit again; Δ-overlay and superseded-iteration indexes cannot.
+    cache.prune_stale(&rels);
     Ok(rels)
 }
 
@@ -86,6 +105,7 @@ fn semi_naive(
     module: &Module,
     rels: &mut BTreeMap<Name, Relation>,
     preds: &[Name],
+    cache: &SharedIndexCache,
 ) -> RelResult<()> {
     let scc: BTreeSet<&Name> = preds.iter().collect();
 
@@ -106,7 +126,7 @@ fn semi_naive(
     // contents, typically empty).
     let mut delta: BTreeMap<Name, Relation> = BTreeMap::new();
     {
-        let cx = EvalCtx::new(module, rels);
+        let cx = EvalCtx::with_cache(module, rels, cache.clone());
         for p in preds {
             let mut d = eval_pred_once(&cx, module, p)?;
             if let Some(existing) = rels.get(p) {
@@ -116,7 +136,7 @@ fn semi_naive(
         }
     }
     for p in preds {
-        let d = delta[p].clone();
+        let d = delta[p].clone(); // O(1): CoW handle
         rels.insert(p.clone(), d);
     }
 
@@ -128,20 +148,24 @@ fn semi_naive(
             }
             return Ok(());
         }
-        // Install Δ overlays.
+        // Install Δ overlays — O(1) CoW clones, not deep copies.
         for p in preds {
             rels.insert(delta_name(p), delta[p].clone());
         }
         let mut new_delta: BTreeMap<Name, Relation> = BTreeMap::new();
         {
-            let cx = EvalCtx::new(module, rels);
+            let cx = EvalCtx::with_cache(module, rels, cache.clone());
             for p in preds {
                 let mut fresh = Relation::new();
                 for rule in &variants[p] {
                     fresh.absorb(&cx.eval_rule(rule, Env::new(rule.vars.len()))?);
                 }
-                let current = rels.get(p).cloned().unwrap_or_default();
-                new_delta.insert(p.clone(), fresh.minus(&current));
+                // Δ = fresh ∖ current without copying the (large)
+                // accumulated relation.
+                if let Some(current) = rels.get(p) {
+                    fresh.minus_in_place(current);
+                }
+                new_delta.insert(p.clone(), fresh);
             }
         }
         for p in preds {
@@ -159,8 +183,14 @@ fn semi_naive(
 }
 
 /// Partial-fixpoint evaluation of a non-monotone recursive stratum.
-fn pfp(module: &Module, rels: &mut BTreeMap<Name, Relation>, preds: &[Name]) -> RelResult<()> {
+fn pfp(
+    module: &Module,
+    rels: &mut BTreeMap<Name, Relation>,
+    preds: &[Name],
+    cache: &SharedIndexCache,
+) -> RelResult<()> {
     // Previous iterate, starting from the EDB contents (usually empty).
+    // All snapshots below are O(1) CoW clones.
     let mut prev: BTreeMap<Name, Relation> = preds
         .iter()
         .map(|p| (p.clone(), rels.get(p).cloned().unwrap_or_default()))
@@ -171,12 +201,12 @@ fn pfp(module: &Module, rels: &mut BTreeMap<Name, Relation>, preds: &[Name]) -> 
     for _iter in 0..PFP_CAP {
         let mut next: BTreeMap<Name, Relation> = BTreeMap::new();
         {
-            let cx = EvalCtx::new(module, rels);
+            let cx = EvalCtx::with_cache(module, rels, cache.clone());
             for p in preds {
                 next.insert(p.clone(), eval_pred_once(&cx, module, p)?);
             }
         }
-        if next == prev {
+        if converged(&prev, &next) {
             return Ok(());
         }
         for p in preds {
@@ -190,20 +220,103 @@ fn pfp(module: &Module, rels: &mut BTreeMap<Name, Relation>, preds: &[Name]) -> 
     })
 }
 
+/// Have two PFP iterates converged? Checked per predicate with cheap
+/// short-circuits — shared storage / equal generation, then length, then
+/// the cached content fingerprint — before any element-wise comparison.
+fn converged(prev: &BTreeMap<Name, Relation>, next: &BTreeMap<Name, Relation>) -> bool {
+    debug_assert_eq!(prev.len(), next.len());
+    prev.iter().all(|(p, a)| {
+        let b = &next[p];
+        a.len() == b.len() && a.fingerprint() == b.fingerprint() && a == b
+    })
+}
+
 // ----------------------------------------------------------------------
 // Δ-variant rewriting
 // ----------------------------------------------------------------------
 
-/// Count references to SCC predicates in a rule.
+/// Count references to SCC predicates in a rule — a read-only walk, no
+/// clone of the rule.
 pub fn count_scc_refs(rule: &Rule, scc: &BTreeSet<&Name>) -> usize {
     let mut n = 0;
-    map_rule(&mut rule.clone(), &mut |p| {
+    visit_rule(rule, &mut |p| {
         if scc.contains(p) {
             n += 1;
         }
-        p.clone()
     });
     n
+}
+
+/// Apply `f` to every predicate reference in the rule, read-only, in the
+/// same traversal order as [`map_rule`].
+pub fn visit_rule(rule: &Rule, f: &mut impl FnMut(&Name)) {
+    for p in &rule.params {
+        if let AbsParam::In(_, dom) = p {
+            visit_rexpr(dom, f);
+        }
+    }
+    visit_rexpr(&rule.body, f);
+}
+
+fn visit_formula(x: &Formula, f: &mut impl FnMut(&Name)) {
+    match x {
+        Formula::True | Formula::False => {}
+        Formula::Conj(items) | Formula::Disj(items) => {
+            for i in items {
+                visit_formula(i, f);
+            }
+        }
+        Formula::Not(inner) => visit_formula(inner, f),
+        Formula::Atom(a) => f(&a.pred),
+        Formula::DynAtom { rel, .. } => visit_rexpr(rel, f),
+        Formula::Cmp { lhs, rhs, .. } => {
+            visit_rexpr(lhs, f);
+            visit_rexpr(rhs, f);
+        }
+        Formula::Member { of, .. } => visit_rexpr(of, f),
+        Formula::Exists { body, .. } => visit_formula(body, f),
+        Formula::OfExpr(e) => visit_rexpr(e, f),
+    }
+}
+
+fn visit_rexpr(x: &RExpr, f: &mut impl FnMut(&Name)) {
+    match x {
+        RExpr::Pred(p) => f(p),
+        RExpr::PApp { pred, .. } => f(pred),
+        RExpr::DynPApp { rel, .. } => visit_rexpr(rel, f),
+        RExpr::Product(es) | RExpr::Union(es) => {
+            for e in es {
+                visit_rexpr(e, f);
+            }
+        }
+        RExpr::Singleton(_) => {}
+        RExpr::Where { body, cond } => {
+            visit_rexpr(body, f);
+            visit_formula(cond, f);
+        }
+        RExpr::Abstract { params, body, .. } => {
+            for p in params.iter() {
+                if let AbsParam::In(_, dom) = p {
+                    visit_rexpr(dom, f);
+                }
+            }
+            visit_rexpr(body, f);
+        }
+        RExpr::Reduce { op, input, .. } => {
+            visit_rexpr(op, f);
+            visit_rexpr(input, f);
+        }
+        RExpr::BuiltinApp { args, .. } => {
+            for a in args {
+                visit_rexpr(a, f);
+            }
+        }
+        RExpr::DotJoin(a, b) | RExpr::LeftOverride(a, b) => {
+            visit_rexpr(a, f);
+            visit_rexpr(b, f);
+        }
+        RExpr::OfFormula(inner) => visit_formula(inner, f),
+    }
 }
 
 /// Produce the rule variant whose `focus`-th SCC reference reads the Δ
@@ -324,7 +437,7 @@ pub fn materialize_naive(module: &Module, db: &Database) -> RelResult<BTreeMap<N
             continue;
         }
         if !stratum.monotone {
-            pfp(module, &mut rels, &stratum.preds)?;
+            pfp(module, &mut rels, &stratum.preds, &SharedIndexCache::default())?;
             continue;
         }
         // Naive: re-derive everything until nothing changes.
@@ -460,13 +573,89 @@ mod tests {
         assert_ne!(v0, v1);
         let refs = |r: &Rule| {
             let mut names = Vec::new();
-            map_rule(&mut r.clone(), &mut |p| {
-                names.push(p.to_string());
-                p.clone()
-            });
+            visit_rule(r, &mut |p| names.push(p.to_string()));
             names
         };
         assert!(refs(&v0).contains(&"ΔTC".to_string()));
         assert!(refs(&v1).contains(&"ΔTC".to_string()));
+    }
+
+    #[test]
+    fn visit_rule_matches_map_rule_order() {
+        let module = rel_sema::compile(
+            "def P(x,y) : exists((z) | E(x,z) and (Q(z,y) or not R(z)) \
+             and S[z](y))",
+        )
+        .unwrap();
+        for rule in module.rules.values().flatten() {
+            let mut visited = Vec::new();
+            visit_rule(rule, &mut |p| visited.push(p.clone()));
+            let mut mapped = Vec::new();
+            map_rule(&mut rule.clone(), &mut |p| {
+                mapped.push(p.clone());
+                p.clone()
+            });
+            assert_eq!(visited, mapped, "traversal orders diverged");
+        }
+    }
+
+    #[test]
+    fn materialize_shares_edb_storage() {
+        // The initial relation map is built from O(1) CoW clones: a base
+        // relation the program never mutates still shares storage with
+        // the database after materialization.
+        let module = rel_sema::compile(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))",
+        )
+        .unwrap();
+        let db = edge_db();
+        let rels = materialize(&module, &db).unwrap();
+        let e = rels.get(&rel_core::name("E")).expect("EDB relation present");
+        assert!(
+            e.shares_storage(db.get("E").unwrap()),
+            "EDB relation was deep-copied into the fixpoint state"
+        );
+        assert_eq!(e.generation(), db.get("E").unwrap().generation());
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic_across_strategies() {
+        // The same fixpoint reached semi-naively, naively, or twice in a
+        // row yields the identical tuple sequence, not just the same set.
+        let module = rel_sema::compile(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))",
+        )
+        .unwrap();
+        let db = edge_db();
+        let order = |rels: &BTreeMap<Name, Relation>| -> Vec<rel_core::Tuple> {
+            rels[&rel_core::name("TC")].iter().cloned().collect()
+        };
+        let a = order(&materialize(&module, &db).unwrap());
+        let b = order(&materialize(&module, &db).unwrap());
+        let c = order(&materialize_naive(&module, &db).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn pfp_convergence_short_circuit_is_sound() {
+        // Two maps that differ only in content (same lengths) must not be
+        // declared converged.
+        let a: BTreeMap<Name, Relation> = [(
+            rel_core::name("P"),
+            Relation::from_tuples([tuple![1]]),
+        )]
+        .into_iter()
+        .collect();
+        let b: BTreeMap<Name, Relation> = [(
+            rel_core::name("P"),
+            Relation::from_tuples([tuple![2]]),
+        )]
+        .into_iter()
+        .collect();
+        assert!(!converged(&a, &b));
+        assert!(converged(&a, &a.clone()));
     }
 }

@@ -4,11 +4,14 @@
 //!
 //! * [`eval`] — formula evaluation over environment batches with greedy
 //!   sideways-information-passing, open expression evaluation (grouped
-//!   aggregation, generator `where`), tuple-variable matching, and
-//!   demand-driven (tabled) predicate evaluation;
+//!   aggregation, generator `where`), tuple-variable matching,
+//!   demand-driven (tabled) predicate evaluation, and a generation-keyed
+//!   hash-index cache ([`eval::SharedIndexCache`]) that survives across
+//!   fixpoint iterations and session queries;
 //! * [`fixpoint`] — stratum materialization: semi-naive for monotone
 //!   recursion, partial-fixpoint iteration for Rel's non-stratified
-//!   programs (Addendum A);
+//!   programs (Addendum A); zero-copy over the CoW relations of
+//!   `rel-core` (Δ overlays and iterate snapshots are O(1) clones);
 //! * [`session`] — transactions with `output` / `insert` / `delete`
 //!   control relations and integrity-constraint enforcement (§3.4–3.5);
 //! * [`builtins`] — implementations of the infinite built-in relations

@@ -8,8 +8,8 @@
 //! post-state and abort the transaction when violated.
 
 use crate::env::Env;
-use crate::eval::EvalCtx;
-use crate::fixpoint::materialize;
+use crate::eval::{EvalCtx, SharedIndexCache};
+use crate::fixpoint::materialize_with_cache;
 use rel_core::database::Delta;
 use rel_core::{Database, Name, RelError, RelResult, Relation, Tuple, Value};
 use rel_sema::ir::{ConstraintIr, Module, Rule};
@@ -27,16 +27,28 @@ pub struct TxnOutcome {
 }
 
 /// An interactive session: a database plus library code.
+///
+/// The session also owns a [`SharedIndexCache`]: hash indexes built while
+/// evaluating one query are keyed by relation generation, so they are
+/// reused verbatim by later queries/transactions over the unchanged base
+/// relations (and invalidated per relation as transactions commit).
+///
+/// Note: the cache handle is `Rc`-based (like the evaluator's other
+/// interior state), so `Session` is deliberately `!Send`/`!Sync` — one
+/// session per thread. Cross-thread serving is the "parallel strata"
+/// ROADMAP item; the CoW `Relation` storage is already `Arc`-shared in
+/// preparation.
 #[derive(Clone, Debug, Default)]
 pub struct Session {
     db: Database,
     library: String,
+    index_cache: SharedIndexCache,
 }
 
 impl Session {
     /// A session over a database, with no library installed.
     pub fn new(db: Database) -> Self {
-        Session { db, library: String::new() }
+        Session { db, library: String::new(), index_cache: SharedIndexCache::default() }
     }
 
     /// Append library source (e.g. the standard library) that is compiled
@@ -74,7 +86,7 @@ impl Session {
     pub fn query(&self, src: &str) -> RelResult<Relation> {
         let module = self.compile(src)?;
         check_control_materializable(&module)?;
-        let rels = materialize(&module, &self.db)?;
+        let rels = materialize_with_cache(&module, &self.db, self.index_cache.clone())?;
         check_constraints(&module, &rels)?;
         Ok(rels.get("output").cloned().unwrap_or_default())
     }
@@ -84,7 +96,7 @@ impl Session {
     /// whole.
     pub fn eval(&self, src: &str, relation: &str) -> RelResult<Relation> {
         let module = self.compile(src)?;
-        let rels = materialize(&module, &self.db)?;
+        let rels = materialize_with_cache(&module, &self.db, self.index_cache.clone())?;
         Ok(rels.get(relation).cloned().unwrap_or_default())
     }
 
@@ -95,7 +107,7 @@ impl Session {
     pub fn transact(&mut self, src: &str) -> RelResult<TxnOutcome> {
         let module = self.compile(src)?;
         check_control_materializable(&module)?;
-        let rels = materialize(&module, &self.db)?;
+        let rels = materialize_with_cache(&module, &self.db, self.index_cache.clone())?;
         let delta = extract_delta(&rels)?;
         let output = rels.get("output").cloned().unwrap_or_default();
 
@@ -106,10 +118,13 @@ impl Session {
 
         // Apply to a candidate state and re-check constraints there: "when
         // a transaction terminates, changes are persisted, unless the
-        // transaction is aborted" (§3.4).
+        // transaction is aborted" (§3.4). Cloning the database is cheap
+        // (CoW relations); `apply` unshares only the touched relations,
+        // whose generations move — so the shared index cache stays valid
+        // for everything else.
         let mut candidate = self.db.clone();
         candidate.apply(&delta);
-        let post = materialize(&module, &candidate)?;
+        let post = materialize_with_cache(&module, &candidate, self.index_cache.clone())?;
         check_constraints(&module, &post)?;
 
         let inserted: usize = delta.inserts.values().map(Vec::len).sum();

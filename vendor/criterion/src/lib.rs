@@ -1,0 +1,107 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment has no network access; this vendored crate
+//! provides `Criterion`, `BenchmarkGroup`, `Bencher`, and the
+//! `criterion_group!` / `criterion_main!` macros so the workspace's
+//! benches compile and produce simple wall-clock measurements (median of
+//! `sample_size` runs after one warm-up) on stdout. No statistics,
+//! plotting, or CLI filtering.
+
+use std::time::{Duration, Instant};
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _c: self, name, sample_size: 10 }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_bench(&id.into(), 10, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, f);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b); // warm-up
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        if b.iters > 0 {
+            times.push(b.elapsed / b.iters as u32);
+        }
+    }
+    times.sort();
+    let median = times.get(times.len() / 2).copied().unwrap_or_default();
+    println!("bench {id}: median {median:?} over {samples} samples");
+}
+
+/// Per-sample measurement handle.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Time one closure invocation (the closure's return value is dropped
+    /// after timing, like criterion's `iter`).
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Opaque black box — best-effort inlining barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

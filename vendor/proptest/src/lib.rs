@@ -1,0 +1,402 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build environment has no network access; this vendored crate
+//! implements the strategy combinators the workspace's property tests
+//! use: ranges and `&str` character-class patterns as strategies, tuple
+//! strategies, `Just`, `prop_map`, `prop_recursive`, `prop_oneof!`,
+//! `proptest::collection::vec`, and the `proptest!` macro with
+//! `ProptestConfig::with_cases`. Inputs are generated from a fixed seed
+//! (deterministic runs); there is **no shrinking** — failures report the
+//! generated input via the panic message instead.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::rc::Rc;
+
+/// Test-runner configuration (`cases` only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic RNG used by the `proptest!` macro expansion.
+    pub struct TestRng(pub rand::rngs::StdRng);
+
+    impl TestRng {
+        pub fn deterministic() -> Self {
+            use rand::SeedableRng;
+            TestRng(rand::rngs::StdRng::seed_from_u64(0x9E3779B97F4A7C15))
+        }
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Recursive strategies: `f` maps a strategy for depth-`d` values to
+    /// one for depth-`d+1` values; generation picks a depth ≤ `depth`
+    /// uniformly, so both leaves and deep values occur.
+    fn prop_recursive<S2, F>(self, depth: u32, _desired_size: u32, _expected_branch: u32, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut layers: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let prev = Union { arms: layers.clone() }.boxed();
+            layers.push(f(prev).boxed());
+        }
+        Union { arms: layers }.boxed()
+    }
+}
+
+/// Object-safe view of a strategy, for boxing.
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A reference-counted type-erased strategy (cloneable, as `prop_recursive`
+/// closures clone their inner strategy freely).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among strategies (the `prop_oneof!` expansion).
+pub struct Union<T> {
+    pub arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i32, i64, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+/// `&str` strategies: a tiny character-class pattern language covering
+/// the workspace's usage — concatenations of `[class]` atoms (with `a-z`
+/// ranges) and literal characters, each optionally repeated `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pat: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+            let mut cs = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    for c in chars[j]..=chars[j + 2] {
+                        cs.push(c);
+                    }
+                    j += 3;
+                } else {
+                    cs.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            cs
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional {m,n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match spec.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let n: usize = spec.parse().unwrap();
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, lo: len.start, hi: len.end }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.lo..self.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    impl<S: Strategy + 'static> VecStrategy<S>
+    where
+        S::Value: 'static,
+    {
+        pub fn boxed(self) -> BoxedStrategy<Vec<S::Value>> {
+            Strategy::boxed(self)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @expand ($cfg) $($rest)* }
+    };
+    // Note: the attribute list captures `#[test]` itself and re-emits it
+    // on the generated zero-argument function.
+    (@expand ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($argpat:pat in $argstrat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = {
+                    let $crate::test_runner::TestRng(inner) =
+                        $crate::test_runner::TestRng::deterministic();
+                    inner
+                };
+                for _case in 0..config.cases {
+                    $(let $argpat = $crate::Strategy::generate(&($argstrat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @expand ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec() {
+        let mut rng = {
+            let TestRng(inner) = TestRng::deterministic();
+            inner
+        };
+        let s = collection::vec(0i64..6, 0..12);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 12);
+            assert!(v.iter().all(|x| (0..6).contains(x)));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy() {
+        let mut rng = {
+            let TestRng(inner) = TestRng::deterministic();
+            inner
+        };
+        for _ in 0..50 {
+            let s = "[a-z][a-z0-9]{0,3}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 4, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_expands(x in 0i64..10, mut v in collection::vec(0i64..5, 1..4)) {
+            prop_assert!((0..10).contains(&x));
+            v.reverse();
+            prop_assert_eq!(v.is_empty(), false);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_and_oneof(n in prop_oneof![Just(1i64), 5i64..8]) {
+            prop_assert!(n == 1 || (5..8).contains(&n));
+        }
+    }
+}
