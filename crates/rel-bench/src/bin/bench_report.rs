@@ -14,6 +14,7 @@
 //! `speedup`, making regressions and wins visible in one file.
 
 use rel_bench::{programs, OrderWorkload};
+use rel_engine::SharedIndexCache;
 use rel_graph::gen;
 use rel_stdlib::SessionExt;
 use std::fmt::Write as _;
@@ -24,6 +25,9 @@ struct Measurement {
     scale: String,
     median_ms: f64,
     result_size: usize,
+    /// Extra numeric fields appended to the JSON entry (e.g. the parallel
+    /// scheduler's speedup against its own 1-worker run).
+    extra: Vec<(&'static str, f64)>,
 }
 
 fn median_ms(runs: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
@@ -89,6 +93,7 @@ fn main() {
             scale: format!("n={n},deg=3"),
             median_ms: ms,
             result_size: size,
+            extra: Vec::new(),
         });
     }
 
@@ -104,6 +109,7 @@ fn main() {
             scale: format!("n={n},deg=6"),
             median_ms: ms,
             result_size: size,
+            extra: Vec::new(),
         });
     }
 
@@ -119,6 +125,7 @@ fn main() {
             scale: format!("orders={orders}"),
             median_ms: ms,
             result_size: size,
+            extra: Vec::new(),
         });
     }
 
@@ -136,6 +143,59 @@ fn main() {
             scale: format!("n={n},deg=3"),
             median_ms: ms,
             result_size: size,
+            extra: Vec::new(),
+        });
+    }
+
+    // --- Parallel strata: k independent TC components + roll-up ---------
+    // The stratum DAG is k independent recursive strata, a per-component
+    // aggregation layer, and one sink — the wide shape the parallel
+    // scheduler exists for. Measured once with the scheduler pinned to a
+    // single worker and once with 4 workers; `speedup_vs_1worker` on the
+    // 4-worker entry is the parallel win (bounded by `host_cpus`).
+    {
+        let components = 8usize;
+        let n = 120usize;
+        let mut db = rel_core::Database::new();
+        let mut src = String::from("def agg_count[{A}] : reduce[add, (A, 1)]\n");
+        for c in 0..components {
+            let g = gen::random_graph(n, 3.0, 200 + c as u64);
+            db.set(format!("E{c}").as_str(), gen::edge_relation(&g));
+            let _ = writeln!(src, "def TC{c}(x,y) : E{c}(x,y)");
+            let _ = writeln!(src, "def TC{c}(x,y) : exists((z) | E{c}(x,z) and TC{c}(z,y))");
+            let _ = writeln!(src, "def Size{c}(s) : s = agg_count[TC{c}]");
+            let _ = writeln!(src, "def output(k,s) : k = {c} and Size{c}(s)");
+        }
+        let module = rel_sema::compile(&src).expect("multi-stratum program compiles");
+        let scale = format!("k={components},n={n},deg=3");
+        let run_with = |workers: usize| {
+            rel_engine::materialize_with_threads(
+                &module,
+                &db,
+                SharedIndexCache::default(),
+                workers,
+            )
+            .expect("multi-stratum evaluates")
+            .get("output")
+            .map(rel_core::Relation::len)
+            .unwrap_or(0)
+        };
+        let (seq_ms, seq_size) = median_ms(runs, || run_with(1));
+        let (par_ms, par_size) = median_ms(runs, || run_with(4));
+        assert_eq!(seq_size, par_size, "parallel scheduler changed the result");
+        results.push(Measurement {
+            name: "multi_stratum_tc",
+            scale: format!("{scale},workers=1"),
+            median_ms: seq_ms,
+            result_size: seq_size,
+            extra: Vec::new(),
+        });
+        results.push(Measurement {
+            name: "multi_stratum_tc",
+            scale: format!("{scale},workers=4"),
+            median_ms: par_ms,
+            result_size: par_size,
+            extra: vec![("speedup_vs_1worker", seq_ms / par_ms)],
         });
     }
 
@@ -152,9 +212,13 @@ fn main() {
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "BENCH".to_string());
     let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"report\": \"{report_name}\",");
     let _ = writeln!(json, "  \"profile\": \"{profile}\",");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"runs_per_workload\": {runs},");
     json.push_str("  \"workloads\": [\n");
     for (i, m) in results.iter().enumerate() {
@@ -164,6 +228,9 @@ fn main() {
             "    {{\"name\": \"{}\", \"scale\": \"{}\", \"median_ms\": {:.3}, \"result_size\": {}",
             m.name, m.scale, m.median_ms, m.result_size
         );
+        for (k, v) in &m.extra {
+            let _ = write!(json, ", \"{k}\": {v:.2}");
+        }
         if let Some(base) = &baseline {
             if let Some(b) = base.iter().find(|(k, _)| *k == key).map(|(_, v)| *v) {
                 let _ = write!(

@@ -15,9 +15,8 @@ use rel_core::{Name, RelError, RelResult, Relation, Tuple, Value};
 use rel_sema::builtins as bsig;
 use rel_sema::ir::{AbsParam, EvalMode, Formula, Module, RExpr, Rule, Term, Var};
 use rel_syntax::ast::CmpOp;
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Cap on demand-evaluation recursion depth (`addUp`-style top-down
 /// recursion).
@@ -35,6 +34,12 @@ enum Sched {
 
 /// Evaluation context: the module, the current state of all materialized
 /// relations, and caches.
+///
+/// The context is `Send + Sync`: its interior state (demand memo, demand
+/// stack, index cache) sits behind `RwLock`/`Mutex`, so one context can be
+/// shared across threads, and — more importantly for the parallel stratum
+/// scheduler — contexts in different worker threads can share one
+/// [`SharedIndexCache`] handle.
 pub struct EvalCtx<'a> {
     /// Analyzed program.
     pub module: &'a Module,
@@ -42,11 +47,17 @@ pub struct EvalCtx<'a> {
     /// `Δp` / `old§p` overlays during fixpoints).
     pub rels: &'a BTreeMap<Name, Relation>,
     /// Demand-evaluation memo: (pred, bound prefix) → full head tuples.
-    demand_memo: RefCell<HashMap<DemandKey, Rc<Relation>>>,
-    /// Demand stack for cycle detection.
-    demand_stack: RefCell<Vec<DemandKey>>,
+    demand_memo: RwLock<HashMap<DemandKey, Arc<Relation>>>,
+    /// Demand stacks for cycle detection, **one per thread**: a chain of
+    /// top-down calls lives on one thread, so cycle/depth checks must not
+    /// see keys pushed by other threads' chains (a shared stack would
+    /// report spurious cycles under concurrent demand evaluation). Lock
+    /// guards are never held across recursion, so re-entrant demand
+    /// evaluation cannot deadlock.
+    demand_stacks: Mutex<HashMap<std::thread::ThreadId, Vec<DemandKey>>>,
     /// Lazy hash indexes, possibly shared across contexts (and hence
-    /// across fixpoint iterations): see [`SharedIndexCache`].
+    /// across fixpoint iterations and scheduler threads): see
+    /// [`SharedIndexCache`].
     indexes: SharedIndexCache,
 }
 
@@ -58,7 +69,7 @@ type TupleIndex = HashMap<Vec<Value>, Vec<Tuple>>;
 /// remembers the relation generation it was built from; a lookup against
 /// a relation with a different generation rebuilds and replaces the
 /// entry, so stale indexes are evicted in place rather than accumulated.
-type IndexCache = HashMap<(Name, Vec<usize>, usize), (u64, Rc<TupleIndex>)>;
+type IndexCache = HashMap<(Name, Vec<usize>, usize), (u64, Arc<TupleIndex>)>;
 
 /// A cloneable handle to an index cache that outlives any single
 /// [`EvalCtx`]. The fixpoint engine threads one handle through every
@@ -66,24 +77,41 @@ type IndexCache = HashMap<(Name, Vec<usize>, usize), (u64, Rc<TupleIndex>)>;
 /// already-materialized strata, stable SCC members) are built once and
 /// reused; only indexes over relations whose generation moved are
 /// rebuilt. Cloning the handle shares the cache.
+///
+/// The handle is `Arc<RwLock<…>>`-based and therefore `Send + Sync`: the
+/// parallel stratum scheduler shares one cache across all of its worker
+/// threads, and a [`crate::session::Session`] holding a handle can serve
+/// queries from multiple threads concurrently. Entries are keyed on
+/// relation *generations* (never reused; see `rel_core::Relation`), so a
+/// concurrent reader can never be handed an index that disagrees with the
+/// relation state it is evaluating against — at worst two threads build
+/// the same index once each and the last write wins.
 #[derive(Clone, Default)]
-pub struct SharedIndexCache(Rc<RefCell<IndexCache>>);
+pub struct SharedIndexCache(Arc<RwLock<IndexCache>>);
 
 impl std::fmt::Debug for SharedIndexCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SharedIndexCache({} entries)", self.0.borrow().len())
+        write!(f, "SharedIndexCache({} entries)", self.read().len())
     }
 }
 
 impl SharedIndexCache {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, IndexCache> {
+        self.0.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, IndexCache> {
+        self.0.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Number of cached indexes (diagnostics/tests).
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        self.read().len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        self.read().is_empty()
     }
 
     /// Drop every entry that no longer matches the given relation state
@@ -92,9 +120,44 @@ impl SharedIndexCache {
     /// finishes, so a long-lived session retains only indexes that the
     /// *next* run can actually hit, instead of accumulating dead ones.
     pub fn prune_stale(&self, rels: &BTreeMap<Name, Relation>) {
-        self.0.borrow_mut().retain(|(name, _, _), (built_gen, _)| {
+        self.write().retain(|(name, _, _), (built_gen, _)| {
             rels.get(name).map(Relation::generation) == Some(*built_gen)
         });
+    }
+
+    /// Drop every index over any of the named relations that was built
+    /// against a generation other than the relation's *current* one in
+    /// `db`. [`crate::session::Session::transact`] calls this for the
+    /// relations a committed delta touched: their generations moved, so
+    /// pre-commit entries can never be served again (the generation check
+    /// in lookups guarantees that) — invalidating them eagerly keeps the
+    /// cache from carrying dead weight until a later materialize run
+    /// happens to prune it, while indexes already rebuilt at the
+    /// committed generation (by the transaction's own post-state
+    /// evaluation) stay warm for the next query.
+    pub fn invalidate_stale_relations<'n>(
+        &self,
+        names: impl IntoIterator<Item = &'n Name>,
+        db: &rel_core::Database,
+    ) {
+        let touched: std::collections::BTreeSet<&Name> = names.into_iter().collect();
+        if touched.is_empty() {
+            return;
+        }
+        self.write().retain(|(name, _, _), (built_gen, _)| {
+            !touched.contains(name)
+                || db.get(name).map(Relation::generation) == Some(*built_gen)
+        });
+    }
+
+    /// The generations the cached indexes over `name` were built from
+    /// (diagnostics/tests).
+    pub fn generations_for(&self, name: &str) -> Vec<u64> {
+        self.read()
+            .iter()
+            .filter(|((n, _, _), _)| &**n == name)
+            .map(|(_, (built_gen, _))| *built_gen)
+            .collect()
     }
 }
 
@@ -115,8 +178,8 @@ impl<'a> EvalCtx<'a> {
         EvalCtx {
             module,
             rels,
-            demand_memo: RefCell::new(HashMap::new()),
-            demand_stack: RefCell::new(Vec::new()),
+            demand_memo: RwLock::new(HashMap::new()),
+            demand_stacks: Mutex::new(HashMap::new()),
             indexes: cache,
         }
     }
@@ -228,13 +291,14 @@ impl<'a> EvalCtx<'a> {
 
     /// Demand-driven (tabled) evaluation of a predicate with a bound
     /// prefix. Returns full head tuples whose first columns equal `prefix`.
-    pub fn eval_demand(&self, pred: &Name, prefix: &[Value]) -> RelResult<Rc<Relation>> {
+    pub fn eval_demand(&self, pred: &Name, prefix: &[Value]) -> RelResult<Arc<Relation>> {
         let key = (pred.clone(), prefix.to_vec());
-        if let Some(hit) = self.demand_memo.borrow().get(&key) {
-            return Ok(Rc::clone(hit));
+        if let Some(hit) = self.lock_memo().get(&key) {
+            return Ok(Arc::clone(hit));
         }
         {
-            let stack = self.demand_stack.borrow();
+            let mut stacks = self.lock_stacks();
+            let stack = stacks.entry(std::thread::current().id()).or_default();
             if stack.contains(&key) {
                 return Err(RelError::Stratify(format!(
                     "cyclic demand-driven recursion on `{pred}` with arguments {prefix:?} \
@@ -247,8 +311,8 @@ impl<'a> EvalCtx<'a> {
                     iterations: DEMAND_DEPTH_CAP,
                 });
             }
+            stack.push(key.clone());
         }
-        self.demand_stack.borrow_mut().push(key.clone());
         let result = (|| {
             let mut out = Relation::new();
             for rule in self.module.rules_for(pred) {
@@ -290,12 +354,33 @@ impl<'a> EvalCtx<'a> {
             // already filtered; In-domains may have narrowed).
             let filtered: Relation =
                 out.into_tuples().into_iter().filter(|t| t.starts_with(prefix)).collect();
-            Ok(Rc::new(filtered))
+            Ok(Arc::new(filtered))
         })();
-        self.demand_stack.borrow_mut().pop();
+        {
+            let mut stacks = self.lock_stacks();
+            let tid = std::thread::current().id();
+            let stack = stacks.entry(tid).or_default();
+            stack.pop();
+            if stack.is_empty() {
+                stacks.remove(&tid); // chain finished: don't leak per-thread slots
+            }
+        }
         let rel = result?;
-        self.demand_memo.borrow_mut().insert(key, Rc::clone(&rel));
+        self.demand_memo
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, Arc::clone(&rel));
         Ok(rel)
+    }
+
+    fn lock_memo(&self) -> std::sync::RwLockReadGuard<'_, HashMap<DemandKey, Arc<Relation>>> {
+        self.demand_memo.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_stacks(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<std::thread::ThreadId, Vec<DemandKey>>> {
+        self.demand_stacks.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Membership check for a demand predicate against a fully ground
@@ -911,13 +996,13 @@ impl<'a> EvalCtx<'a> {
     /// on the relation's generation, so an index survives for as long as
     /// the relation is unchanged — across fixpoint iterations and even
     /// across materialize calls when the cache handle is shared.
-    fn index_for(&self, pred: &Name, positions: &[usize], arity: usize) -> Rc<TupleIndex> {
+    fn index_for(&self, pred: &Name, positions: &[usize], arity: usize) -> Arc<TupleIndex> {
         let rel = self.rels.get(pred);
         let generation = rel.map(Relation::generation).unwrap_or(0);
         let cache_key = (pred.clone(), positions.to_vec(), arity);
-        if let Some((built_gen, hit)) = self.indexes.0.borrow().get(&cache_key) {
+        if let Some((built_gen, hit)) = self.indexes.read().get(&cache_key) {
             if *built_gen == generation {
-                return Rc::clone(hit);
+                return Arc::clone(hit);
             }
         }
         let mut map: TupleIndex = HashMap::new();
@@ -930,12 +1015,11 @@ impl<'a> EvalCtx<'a> {
                 map.entry(k).or_default().push(t.clone());
             }
         }
-        let rc = Rc::new(map);
+        let arc = Arc::new(map);
         self.indexes
-            .0
-            .borrow_mut()
-            .insert(cache_key, (generation, Rc::clone(&rc)));
-        rc
+            .write()
+            .insert(cache_key, (generation, Arc::clone(&arc)));
+        arc
     }
 
     /// Unify tuple-variable-free args against a tuple.
@@ -1882,6 +1966,64 @@ mod tests {
         ]);
         let envs = cx.eval_formula(&f, vec![Env::new(2)]).unwrap();
         assert_eq!(envs.len(), 3); // no symmetric edges in fixture
+    }
+
+    #[test]
+    fn invalidate_stale_relations_is_generation_aware() {
+        let (module, rels) = ctx_fixture();
+        let cache = SharedIndexCache::default();
+        let cx = EvalCtx::with_cache(&module, &rels, cache.clone());
+        let e = rel_core::name("E");
+        cx.index_for(&e, &[0], 2);
+        let built_gen = rels[&e].generation();
+        assert_eq!(cache.generations_for("E"), vec![built_gen]);
+
+        // Touched, but the current generation still matches: entry kept.
+        let mut db = rel_core::Database::new();
+        db.set("E", rels[&e].clone());
+        cache.invalidate_stale_relations([&e], &db);
+        assert_eq!(cache.generations_for("E"), vec![built_gen]);
+
+        // Untouched name: entry kept even after E's generation moves.
+        let mut moved = rels[&e].clone();
+        moved.insert(tuple![9, 9]);
+        db.set("E", moved);
+        let f = rel_core::name("F");
+        cache.invalidate_stale_relations([&f], &db);
+        assert_eq!(cache.generations_for("E"), vec![built_gen]);
+
+        // Touched with a moved generation: entry dropped.
+        cache.invalidate_stale_relations([&e], &db);
+        assert!(cache.generations_for("E").is_empty());
+    }
+
+    #[test]
+    fn concurrent_demand_chains_use_separate_stacks() {
+        // Two threads demanding the same acyclic predicate through one
+        // shared EvalCtx must not see each other's in-flight keys as
+        // cycles.
+        let module = rel_sema::compile(
+            "def addUp(n, s) : n = 0 and s = 0\n\
+             def addUp(n, s) : n > 0 and s = n + addUp[n - 1]",
+        )
+        .unwrap();
+        let rels = BTreeMap::new();
+        let cx = EvalCtx::new(&module, &rels);
+        let pred = rel_core::name("addUp");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cx = &cx;
+                    let pred = &pred;
+                    scope.spawn(move || cx.eval_demand(pred, &[Value::int(12)]).unwrap())
+                })
+                .collect();
+            for h in handles {
+                let rel = h.join().unwrap();
+                assert_eq!(rel.len(), 1);
+                assert!(rel.contains(&tuple![12, 78]));
+            }
+        });
     }
 
     #[test]

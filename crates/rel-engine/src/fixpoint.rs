@@ -11,12 +11,34 @@
 //!   consecutive iterates agree, with a divergence cap. This gives the
 //!   paper's PageRank and APSP-with-negation programs their intended
 //!   meaning (DESIGN.md §2.3).
+//!
+//! # Parallel stratum scheduling
+//!
+//! Strata are SCCs of the dependency graph, so strata with disjoint
+//! ancestries are semantically independent — and since every stratum is
+//! one SCC, independent predicates in the non-recursive part of a program
+//! are themselves separate strata. [`materialize_with_threads`] walks the
+//! condensation DAG (`Module::stratum_deps`) with a pool of
+//! `std::thread::scope` workers: a stratum is *ready* once all of its
+//! dependency strata have completed; a worker claims a ready stratum,
+//! takes an O(1)-per-relation copy-on-write snapshot of the current
+//! relation state, materializes the stratum against the snapshot, and
+//! merges the stratum's own relations back. Because a stratum reads only
+//! relations produced by its (completed) dependencies, and relations are
+//! sorted sets merged into a [`BTreeMap`] keyed by name, the final state —
+//! contents *and* iteration order — is byte-identical to sequential
+//! evaluation no matter how the schedule interleaves.
+//!
+//! Worker count defaults to the available hardware parallelism and can be
+//! pinned with the `REL_EVAL_THREADS` environment variable (`1` forces
+//! the sequential path).
 
 use crate::env::Env;
 use crate::eval::{EvalCtx, SharedIndexCache};
 use rel_core::{Database, Name, RelError, RelResult, Relation};
-use rel_sema::ir::{AbsParam, EvalMode, Formula, Module, RExpr, Rule};
+use rel_sema::ir::{AbsParam, EvalMode, Formula, Module, RExpr, Rule, Stratum};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Condvar, Mutex};
 
 /// Iteration cap for partial-fixpoint strata.
 pub const PFP_CAP: usize = 10_000;
@@ -41,47 +63,57 @@ pub fn materialize(module: &Module, db: &Database) -> RelResult<BTreeMap<Name, R
 /// calls (e.g. a session's repeated queries over the same base data).
 /// Entries are keyed on relation generations, so stale indexes are
 /// replaced automatically when a relation changes.
+///
+/// Uses the parallel stratum scheduler with [`eval_threads`] workers;
+/// output is byte-identical to sequential evaluation.
 pub fn materialize_with_cache(
     module: &Module,
     db: &Database,
     cache: SharedIndexCache,
 ) -> RelResult<BTreeMap<Name, Relation>> {
+    materialize_with_threads(module, db, cache, eval_threads())
+}
+
+/// The scheduler's worker count: the `REL_EVAL_THREADS` environment
+/// variable when set to a positive integer, otherwise (unset, empty, or
+/// unparsable) the available hardware parallelism (capped at 8 — stratum
+/// DAGs rarely go wider).
+pub fn eval_threads() -> usize {
+    std::env::var("REL_EVAL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(8)
+        })
+}
+
+/// [`materialize_with_cache`] with an explicit worker count. `threads <= 1`
+/// evaluates strata sequentially in dependency order; otherwise a pool of
+/// scoped worker threads walks the stratum DAG, materializing independent
+/// strata concurrently. Both paths produce byte-identical relation state.
+pub fn materialize_with_threads(
+    module: &Module,
+    db: &Database,
+    cache: SharedIndexCache,
+    threads: usize,
+) -> RelResult<BTreeMap<Name, Relation>> {
     // CoW relations make this initial map O(#relations) pointer bumps —
     // no tuple is copied until somebody mutates a base relation.
     let mut rels: BTreeMap<Name, Relation> =
         db.iter().map(|(n, r)| (n.clone(), r.clone())).collect();
-    for stratum in &module.strata {
-        let mats: Vec<&Name> = stratum
-            .preds
-            .iter()
-            .filter(|p| {
-                matches!(
-                    module.pred_info.get(*p).map(|i| &i.mode),
-                    Some(EvalMode::Materialize) | None
-                )
-            })
-            .collect();
-        if mats.is_empty() {
-            continue; // demand-only stratum: evaluated lazily at call sites
-        }
-        if stratum.recursive && mats.len() != stratum.preds.len() {
-            return Err(RelError::Stratify(format!(
-                "stratum {:?} mixes materializable and demand-driven predicates \
-                 in one recursive component",
-                stratum.preds
-            )));
-        }
-        if !stratum.recursive {
-            let p = mats[0];
-            let derived = {
-                let cx = EvalCtx::with_cache(module, &rels, cache.clone());
-                eval_pred_once(&cx, module, p)?
-            };
-            rels.entry(p.clone()).or_default().absorb(&derived);
-        } else if stratum.monotone {
-            semi_naive(module, &mut rels, &stratum.preds, &cache)?;
-        } else {
-            pfp(module, &mut rels, &stratum.preds, &cache)?;
+    let workers = threads.min(module.strata.len());
+    // A hand-rolled module without the condensation DAG (stratum_deps
+    // out of sync with strata) cannot be scheduled safely — fall back to
+    // the sequential dependency-order walk.
+    if workers > 1 && module.stratum_deps.len() == module.strata.len() {
+        materialize_parallel(module, &mut rels, &cache, workers)?;
+    } else {
+        for stratum in &module.strata {
+            eval_stratum(module, &mut rels, stratum, &cache)?;
         }
     }
     // Keep the cache bounded for long-lived sessions: only indexes that
@@ -89,6 +121,206 @@ pub fn materialize_with_cache(
     // be hit again; Δ-overlay and superseded-iteration indexes cannot.
     cache.prune_stale(&rels);
     Ok(rels)
+}
+
+/// Materialize one stratum against (and into) `rels`. Demand-only strata
+/// are a no-op: they are evaluated lazily at call sites.
+fn eval_stratum(
+    module: &Module,
+    rels: &mut BTreeMap<Name, Relation>,
+    stratum: &Stratum,
+    cache: &SharedIndexCache,
+) -> RelResult<()> {
+    let mats: Vec<&Name> = stratum
+        .preds
+        .iter()
+        .filter(|p| {
+            matches!(
+                module.pred_info.get(*p).map(|i| &i.mode),
+                Some(EvalMode::Materialize) | None
+            )
+        })
+        .collect();
+    if mats.is_empty() {
+        return Ok(()); // demand-only stratum: evaluated lazily at call sites
+    }
+    if stratum.recursive && mats.len() != stratum.preds.len() {
+        return Err(RelError::Stratify(format!(
+            "stratum {:?} mixes materializable and demand-driven predicates \
+             in one recursive component",
+            stratum.preds
+        )));
+    }
+    if !stratum.recursive {
+        let p = mats[0];
+        let derived = {
+            let cx = EvalCtx::with_cache(module, rels, cache.clone());
+            eval_pred_once(&cx, module, p)?
+        };
+        rels.entry(p.clone()).or_default().absorb(&derived);
+        Ok(())
+    } else if stratum.monotone {
+        semi_naive(module, rels, &stratum.preds, cache)
+    } else {
+        pfp(module, rels, &stratum.preds, cache)
+    }
+}
+
+/// Shared scheduler state: the growing relation map plus the DAG
+/// bookkeeping, all under one mutex paired with a condvar.
+struct SchedState {
+    rels: BTreeMap<Name, Relation>,
+    /// Unsatisfied-dependency count per stratum.
+    indegree: Vec<usize>,
+    /// Strata whose dependencies have all completed, not yet claimed.
+    ready: BTreeSet<usize>,
+    /// Strata that can never run: a (transitive) dependency errored.
+    abandoned: Vec<bool>,
+    /// Strata not yet completed, errored, or abandoned. The scheduler
+    /// runs until this hits zero: evaluation *continues* past an error
+    /// for every stratum whose ancestry is error-free, so the minimum
+    /// errored index below is deterministic.
+    outstanding: usize,
+    /// First error by *stratum index* (not discovery time). Because all
+    /// strata outside an errored stratum's cone still run, the minimum
+    /// index here is exactly the error the sequential walk reports (all
+    /// strata before it succeed — deterministically — in both modes).
+    error: Option<(usize, RelError)>,
+    /// A worker panicked: stop claiming work so the scope can unwind.
+    halt: bool,
+}
+
+/// Walk the stratum DAG with `workers` scoped threads. Each worker claims
+/// a ready stratum, snapshots the relation state (O(1) CoW clones),
+/// materializes the stratum against the snapshot, and merges the
+/// stratum's own relations back under the lock in a single step —
+/// dependents only become ready after the merge, so every stratum reads
+/// fully materialized dependencies.
+fn materialize_parallel(
+    module: &Module,
+    rels: &mut BTreeMap<Name, Relation>,
+    cache: &SharedIndexCache,
+    workers: usize,
+) -> RelResult<()> {
+    let n = module.strata.len();
+    debug_assert_eq!(module.stratum_deps.len(), n, "module missing stratum DAG");
+    // Reverse edges: dependents[d] = strata unblocked by d's completion.
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    for (i, deps) in module.stratum_deps.iter().enumerate() {
+        indegree[i] = deps.len();
+        for &d in deps {
+            dependents[d].push(i);
+        }
+    }
+    let ready: BTreeSet<usize> =
+        indegree.iter().enumerate().filter(|(_, &d)| d == 0).map(|(i, _)| i).collect();
+    let state = Mutex::new(SchedState {
+        rels: std::mem::take(rels),
+        indegree,
+        ready,
+        abandoned: vec![false; n],
+        outstanding: n,
+        error: None,
+        halt: false,
+    });
+    let work_available = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let lock = |caller: &str| {
+                    state
+                        .lock()
+                        .unwrap_or_else(|_| panic!("scheduler mutex poisoned in {caller}"))
+                };
+                loop {
+                    // Claim a ready stratum and snapshot the relation state.
+                    let (idx, mut snapshot) = {
+                        let mut st = lock("claim");
+                        loop {
+                            if st.halt || st.outstanding == 0 {
+                                return;
+                            }
+                            if let Some(&idx) = st.ready.iter().next() {
+                                st.ready.remove(&idx);
+                                break (idx, st.rels.clone());
+                            }
+                            st = work_available
+                                .wait(st)
+                                .unwrap_or_else(|_| panic!("scheduler mutex poisoned in wait"));
+                        }
+                    };
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        eval_stratum(module, &mut snapshot, &module.strata[idx], cache)
+                    }));
+                    let mut st = lock("merge");
+                    match result {
+                        Ok(Ok(())) => {
+                            // Merge only this stratum's relations: everything
+                            // else in the snapshot is either shared with the
+                            // global map already or scratch (Δ overlays are
+                            // removed by the fixpoint loops on success).
+                            for p in &module.strata[idx].preds {
+                                if let Some(r) = snapshot.remove(p) {
+                                    st.rels.insert(p.clone(), r);
+                                }
+                            }
+                            st.outstanding -= 1;
+                            for &dep in &dependents[idx] {
+                                st.indegree[dep] -= 1;
+                                if st.indegree[dep] == 0 && !st.abandoned[dep] {
+                                    st.ready.insert(dep);
+                                }
+                            }
+                        }
+                        Ok(Err(e)) => {
+                            // Record the error of the *earliest* stratum and
+                            // abandon this stratum's cone; everything outside
+                            // it keeps evaluating, so the minimum errored
+                            // index — the error the sequential walk reports —
+                            // is always reached regardless of timing.
+                            if !matches!(&st.error, Some((i, _)) if *i <= idx) {
+                                st.error = Some((idx, e));
+                            }
+                            st.outstanding -= 1;
+                            let mut stack = vec![idx];
+                            while let Some(s) = stack.pop() {
+                                for &dep in &dependents[s] {
+                                    if !st.abandoned[dep] {
+                                        st.abandoned[dep] = true;
+                                        st.outstanding -= 1;
+                                        stack.push(dep);
+                                    }
+                                }
+                            }
+                        }
+                        Err(payload) => {
+                            // Stop the other workers, then re-raise: the
+                            // scope's join propagates the panic out of
+                            // materialize (same observable behavior as the
+                            // sequential walk panicking).
+                            st.halt = true;
+                            drop(st);
+                            work_available.notify_all();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                    drop(st);
+                    work_available.notify_all();
+                }
+            });
+        }
+    });
+
+    let state = state.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let SchedState { rels: final_rels, error, outstanding, .. } = state;
+    *rels = final_rels;
+    if let Some((_, e)) = error {
+        return Err(e);
+    }
+    debug_assert_eq!(outstanding, 0, "scheduler finished with unevaluated strata");
+    Ok(())
 }
 
 /// Evaluate all rules of one predicate once.
@@ -637,6 +869,96 @@ mod tests {
         let c = order(&materialize_naive(&module, &db).unwrap());
         assert_eq!(a, b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn parallel_scheduler_matches_sequential() {
+        // Mixed shapes: two independent TCs, a negation layer, and a sink.
+        let module = rel_sema::compile(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))\n\
+             def RC(x,y) : E(y,x)\n\
+             def RC(x,y) : exists((z) | E(z,x) and RC(z,y))\n\
+             def Asym(x,y) : TC(x,y) and not RC(x,y)\n\
+             def output(x,y) : Asym(x,y)",
+        )
+        .unwrap();
+        let db = edge_db();
+        let seq = materialize_with_threads(&module, &db, SharedIndexCache::default(), 1)
+            .unwrap();
+        let par = materialize_with_threads(&module, &db, SharedIndexCache::default(), 4)
+            .unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (name, rel) in &seq {
+            let other = &par[name];
+            let a: Vec<_> = rel.iter().cloned().collect();
+            let b: Vec<_> = other.iter().cloned().collect();
+            assert_eq!(a, b, "relation {name} diverged under the parallel scheduler");
+        }
+    }
+
+    #[test]
+    fn parallel_scheduler_propagates_errors() {
+        // Win/Move over a 3-cycle oscillates under PFP. A second,
+        // healthy stratum keeps the module multi-stratum so workers=4
+        // actually takes the parallel path (a single-stratum module
+        // falls back to the sequential walk); a dependent of the
+        // divergent stratum exercises cone abandonment — the scheduler
+        // must terminate with the divergence error, not hang on the
+        // unreachable dependent.
+        let module = rel_sema::compile(
+            "def Win(x) : exists((y) | Move(x,y) and not Win(y))\n\
+             def Selfish(x) : Move(x, x)\n\
+             def Blocked(x) : Win(x) and Selfish(x)",
+        )
+        .unwrap();
+        assert!(module.strata.len() >= 3, "test needs a multi-stratum module");
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+            db.insert("Move", tuple![a, b]);
+        }
+        for workers in [1usize, 4] {
+            let err =
+                materialize_with_threads(&module, &db, SharedIndexCache::default(), workers)
+                    .unwrap_err();
+            assert!(matches!(err, RelError::Divergent { .. }), "workers={workers}: {err}");
+        }
+    }
+
+    #[test]
+    fn parallel_scheduler_reports_earliest_stratum_error() {
+        // Two *independent* divergent strata: whichever finishes failing
+        // first in wall-clock time, the scheduler must keep evaluating
+        // the rest of the DAG and report the error of the earliest
+        // stratum — exactly what the sequential walk surfaces.
+        let module = rel_sema::compile(
+            "def WinA(x) : exists((y) | MoveA(x,y) and not WinA(y))\n\
+             def WinB(x) : exists((y) | MoveB(x,y) and not WinB(y))\n\
+             def Both(x) : WinA(x) and WinB(x)",
+        )
+        .unwrap();
+        assert!(module.strata.len() >= 3);
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+            db.insert("MoveA", tuple![a, b]);
+            db.insert("MoveB", tuple![a, b]);
+        }
+        let ia = module.pred_info[&rel_core::name("WinA")].stratum;
+        let ib = module.pred_info[&rel_core::name("WinB")].stratum;
+        assert_ne!(ia, ib);
+        let expected = if ia < ib { "WinA" } else { "WinB" };
+        for workers in [1usize, 2, 4] {
+            let err =
+                materialize_with_threads(&module, &db, SharedIndexCache::default(), workers)
+                    .unwrap_err();
+            match err {
+                RelError::Divergent { ref relation, .. } => assert_eq!(
+                    relation, expected,
+                    "workers={workers}: reported the wrong stratum's error"
+                ),
+                other => panic!("workers={workers}: expected divergence, got {other}"),
+            }
+        }
     }
 
     #[test]

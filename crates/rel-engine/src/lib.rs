@@ -11,9 +11,13 @@
 //! * [`fixpoint`] — stratum materialization: semi-naive for monotone
 //!   recursion, partial-fixpoint iteration for Rel's non-stratified
 //!   programs (Addendum A); zero-copy over the CoW relations of
-//!   `rel-core` (Δ overlays and iterate snapshots are O(1) clones);
+//!   `rel-core` (Δ overlays and iterate snapshots are O(1) clones); a
+//!   parallel scheduler walks the stratum DAG with scoped worker threads,
+//!   materializing independent strata concurrently with byte-identical
+//!   output (`REL_EVAL_THREADS` pins the worker count);
 //! * [`session`] — transactions with `output` / `insert` / `delete`
 //!   control relations and integrity-constraint enforcement (§3.4–3.5);
+//!   `Session` is `Send + Sync` and can serve queries from many threads;
 //! * [`builtins`] — implementations of the infinite built-in relations
 //!   with invertible modes (`add(x, 5, z)` solves for `x`);
 //! * [`leapfrog`] — a leapfrog-triejoin worst-case-optimal join kernel
@@ -26,6 +30,9 @@ pub mod fixpoint;
 pub mod leapfrog;
 pub mod session;
 
-pub use eval::EvalCtx;
-pub use fixpoint::{materialize, materialize_naive};
+pub use eval::{EvalCtx, SharedIndexCache};
+pub use fixpoint::{
+    eval_threads, materialize, materialize_naive, materialize_with_cache,
+    materialize_with_threads,
+};
 pub use session::{Session, TxnOutcome};

@@ -31,13 +31,22 @@ pub struct TxnOutcome {
 /// The session also owns a [`SharedIndexCache`]: hash indexes built while
 /// evaluating one query are keyed by relation generation, so they are
 /// reused verbatim by later queries/transactions over the unchanged base
-/// relations (and invalidated per relation as transactions commit).
+/// relations, and invalidated per relation as transactions commit.
 ///
-/// Note: the cache handle is `Rc`-based (like the evaluator's other
-/// interior state), so `Session` is deliberately `!Send`/`!Sync` — one
-/// session per thread. Cross-thread serving is the "parallel strata"
-/// ROADMAP item; the CoW `Relation` storage is already `Arc`-shared in
-/// preparation.
+/// # Threading model
+///
+/// `Session` is `Send + Sync` (asserted at compile time in this module's
+/// tests): the CoW `Relation` storage is `Arc`-shared, the index cache is
+/// `Arc<RwLock<…>>`, and the evaluator's interior state sits behind
+/// locks. One session can therefore serve read-only [`Session::query`] /
+/// [`Session::eval`] calls from many threads concurrently — each call
+/// snapshots the database with O(1) CoW clones, and concurrent callers
+/// share lazily built hash indexes through the generation-keyed cache.
+/// Mutation ([`Session::transact`], [`Session::db_mut`]) takes `&mut
+/// self`, so Rust's borrow rules serialize writers; wrap the session in
+/// your own `RwLock` for a mixed read/write multi-threaded server.
+/// Internally, every materialize run additionally fans independent
+/// strata out across worker threads (see [`crate::fixpoint`]).
 #[derive(Clone, Debug, Default)]
 pub struct Session {
     db: Database,
@@ -130,6 +139,16 @@ impl Session {
         let inserted: usize = delta.inserts.values().map(Vec::len).sum();
         let deleted: usize = delta.deletes.values().map(Vec::len).sum();
         self.db = candidate;
+        // The touched relations' generations moved with the commit: drop
+        // their pre-commit indexes now instead of waiting for a later
+        // materialize run's prune. (Lookups are generation-checked, so
+        // stale entries could never be *served* — this keeps them from
+        // lingering, while indexes the post-state evaluation built at the
+        // committed generation stay warm.)
+        self.index_cache.invalidate_stale_relations(
+            delta.inserts.keys().chain(delta.deletes.keys()),
+            &self.db,
+        );
         Ok(TxnOutcome { output, inserted, deleted })
     }
 }
@@ -291,6 +310,73 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        // Compile-time assertion: the evaluation core's interior state is
+        // lock-based, so a session can be shared across threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<SharedIndexCache>();
+        assert_send_sync::<EvalCtx<'static>>();
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_session() {
+        // One session, many threads: every thread sees the same answer a
+        // single-threaded query produces, and the shared index cache
+        // survives the contention.
+        let s = session();
+        let expected = s
+            .query("def output(x) : exists( (y) | ProductPrice(x,y) and y > 30)")
+            .unwrap();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        s.query(
+                            "def output(x) : exists( (y) | ProductPrice(x,y) and y > 30)",
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), expected);
+            }
+        });
+    }
+
+    #[test]
+    fn commit_invalidates_indexes_of_touched_relations() {
+        let mut s = session();
+        // Build an index over ProductPrice (the join binds x, indexing on
+        // the bound position) and record the pre-commit generation.
+        s.query("def output(y) : ProductPrice(\"P1\", y)").unwrap();
+        let old_gen = s.db().get("ProductPrice").unwrap().generation();
+        let pre = s.index_cache.generations_for("ProductPrice");
+        assert!(
+            pre.contains(&old_gen),
+            "expected an index built against the pre-commit generation, got {pre:?}"
+        );
+        // Commit a transaction that touches ProductPrice. The module here
+        // never *reads* ProductPrice through an index, so without
+        // per-relation invalidation the old entry would linger.
+        s.transact("def insert(:ProductPrice, x, y) : x = \"P9\" and y = 99")
+            .unwrap();
+        let post = s.index_cache.generations_for("ProductPrice");
+        assert!(
+            !post.contains(&old_gen),
+            "a committed transaction must not retain an index built against \
+             the pre-commit generation (left: {post:?})"
+        );
+        // And the next query sees the committed tuple.
+        let out = s
+            .query("def output(x) : exists( (y) | ProductPrice(x,y) and y > 30)")
+            .unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple!["P4"], tuple!["P9"]]));
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Randomized (seeded) determinism tests for the parallel stratum
+//! scheduler: a generated multi-stratum program evaluated with 1 worker
+//! and with N workers must produce **byte-identical** relation state —
+//! same relations, same tuple contents, same iteration order — in the
+//! style of `rel-core`'s `relation_model` harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rel_core::{Database, Name, Relation, Tuple, Value};
+use rel_engine::{materialize_with_threads, SharedIndexCache};
+use std::collections::BTreeMap;
+
+/// A random base relation of binary tuples over a small domain, so joins
+/// hit, unions overlap, and negations sometimes empty out.
+fn random_edges(rng: &mut StdRng, domain: i64) -> Relation {
+    let len = rng.gen_range(4..28);
+    let mut rel = Relation::new();
+    for _ in 0..len {
+        rel.insert(Tuple::from(vec![
+            Value::int(rng.gen_range(0..domain)),
+            Value::int(rng.gen_range(0..domain)),
+        ]));
+    }
+    rel
+}
+
+/// Generate a random multi-stratum program over `n_base` base relations:
+/// each derived predicate is a union, join, difference, transitive
+/// closure, or aggregation over randomly chosen earlier relations. The
+/// result is a stratum DAG with parallelism (independent choices), deep
+/// chains (later preds build on earlier ones), recursive strata (TC), and
+/// non-monotone edges (negation, reduce).
+fn random_program(rng: &mut StdRng, n_base: usize, n_derived: usize) -> (String, Database) {
+    let mut db = Database::new();
+    let domain = rng.gen_range(5..12);
+    let mut sources: Vec<String> = Vec::new();
+    for b in 0..n_base {
+        let name = format!("E{b}");
+        db.set(&name, random_edges(rng, domain));
+        sources.push(name);
+    }
+    let mut src = String::from("def agg_sum[{A}] : reduce[add, A]\n");
+    for d in 0..n_derived {
+        let name = format!("P{d}");
+        let a = sources[rng.gen_range(0..sources.len())].clone();
+        let b = sources[rng.gen_range(0..sources.len())].clone();
+        match rng.gen_range(0..5) {
+            0 => {
+                // Union.
+                src.push_str(&format!("def {name}(x,y) : {a}(x,y)\n"));
+                src.push_str(&format!("def {name}(x,y) : {b}(x,y)\n"));
+            }
+            1 => {
+                // Join.
+                src.push_str(&format!(
+                    "def {name}(x,y) : exists((z) | {a}(x,z) and {b}(z,y))\n"
+                ));
+            }
+            2 => {
+                // Transitive closure (recursive monotone stratum).
+                src.push_str(&format!("def {name}(x,y) : {a}(x,y)\n"));
+                src.push_str(&format!(
+                    "def {name}(x,y) : exists((z) | {a}(x,z) and {name}(z,y))\n"
+                ));
+            }
+            3 => {
+                // Difference (negation: non-monotone inter-stratum edge).
+                src.push_str(&format!(
+                    "def {name}(x,y) : {a}(x,y) and not {b}(x,y)\n"
+                ));
+            }
+            _ => {
+                // Aggregation roll-up: per-source sum of second columns.
+                src.push_str(&format!(
+                    "def {name}(x,s) : exists((q) | {a}(x,q)) and s = agg_sum[(v) : {a}(x,v)]\n"
+                ));
+            }
+        }
+        sources.push(name);
+    }
+    // A final sink depending on everything keeps no stratum dead.
+    src.push_str("def output(x,y) :");
+    let tails: Vec<String> = (0..n_derived).map(|d| format!(" P{d}(x,y)")).collect();
+    src.push_str(&tails.join(" or"));
+    src.push('\n');
+    (src, db)
+}
+
+/// Flatten the full relation state into an ordered tuple listing — the
+/// byte-for-byte comparison key.
+fn flatten(rels: &BTreeMap<Name, Relation>) -> Vec<(Name, Vec<Tuple>)> {
+    rels.iter()
+        .map(|(n, r)| (n.clone(), r.iter().cloned().collect()))
+        .collect()
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_byte_for_byte() {
+    let mut rng = StdRng::seed_from_u64(0x05EE_DDA6);
+    let mut covered = 0;
+    for case in 0..40 {
+        let (src, db) = random_program(&mut rng, 3, 6);
+        let module = match rel_sema::compile(&src) {
+            Ok(m) => m,
+            // A generated program can be rejected (e.g. an unsafe
+            // combination); rejection is deterministic, so skipping is
+            // sound — but it must be rare enough to keep coverage
+            // (asserted below).
+            Err(_) => continue,
+        };
+        covered += 1;
+        let seq = materialize_with_threads(&module, &db, SharedIndexCache::default(), 1);
+        let par = materialize_with_threads(&module, &db, SharedIndexCache::default(), 4);
+        match (seq, par) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(
+                    flatten(&s),
+                    flatten(&p),
+                    "case {case}: parallel state diverged from sequential\nprogram:\n{src}"
+                );
+            }
+            (Err(es), Err(ep)) => {
+                // Errors (e.g. divergence) must at least agree in kind.
+                assert_eq!(
+                    std::mem::discriminant(&es),
+                    std::mem::discriminant(&ep),
+                    "case {case}: error kinds diverged: {es} vs {ep}\nprogram:\n{src}"
+                );
+            }
+            (s, p) => panic!(
+                "case {case}: one path errored, the other succeeded: \
+                 seq={s:?} par={p:?}\nprogram:\n{src}"
+            ),
+        }
+    }
+    assert!(covered >= 30, "only {covered}/40 generated programs compiled");
+}
+
+#[test]
+fn shared_cache_across_runs_does_not_change_results() {
+    // Reusing one generation-keyed index cache across many materialize
+    // runs (the Session pattern) with different worker counts must not
+    // alter results either.
+    let mut rng = StdRng::seed_from_u64(0xCAC4E);
+    let (src, db) = random_program(&mut rng, 3, 5);
+    let module = rel_sema::compile(&src).expect("seeded program compiles");
+    let cache = SharedIndexCache::default();
+    let baseline = materialize_with_threads(&module, &db, SharedIndexCache::default(), 1)
+        .expect("baseline evaluates");
+    for workers in [1usize, 2, 4, 8] {
+        let rels = materialize_with_threads(&module, &db, cache.clone(), workers)
+            .expect("evaluates");
+        assert_eq!(
+            flatten(&baseline),
+            flatten(&rels),
+            "workers={workers} diverged with a shared cache"
+        );
+    }
+}
+
+#[test]
+fn many_independent_components_stress_the_scheduler() {
+    // Wide DAG: 12 independent TC strata plus one sink that unions them.
+    // This exercises claim/merge contention more than the random mix.
+    let mut rng = StdRng::seed_from_u64(0x000D_1570);
+    let mut db = Database::new();
+    let mut src = String::new();
+    for k in 0..12 {
+        db.set(format!("E{k}").as_str(), random_edges(&mut rng, 9));
+        src.push_str(&format!("def T{k}(x,y) : E{k}(x,y)\n"));
+        src.push_str(&format!(
+            "def T{k}(x,y) : exists((z) | E{k}(x,z) and T{k}(z,y))\n"
+        ));
+    }
+    src.push_str("def output(x,y) :");
+    let tails: Vec<String> = (0..12).map(|k| format!(" T{k}(x,y)")).collect();
+    src.push_str(&tails.join(" or"));
+    src.push('\n');
+    let module = rel_sema::compile(&src).expect("compiles");
+    let seq = materialize_with_threads(&module, &db, SharedIndexCache::default(), 1)
+        .expect("sequential");
+    for _ in 0..5 {
+        let par = materialize_with_threads(&module, &db, SharedIndexCache::default(), 6)
+            .expect("parallel");
+        assert_eq!(flatten(&seq), flatten(&par));
+    }
+}

@@ -346,6 +346,13 @@ pub struct Module {
     pub constraints: Vec<ConstraintIr>,
     /// Evaluation strata in dependency order.
     pub strata: Vec<Stratum>,
+    /// The condensation's dependency edges: `stratum_deps[i]` holds the
+    /// (sorted, deduplicated) indices of the strata that stratum `i` reads
+    /// from. Since [`Module::strata`] is in dependency order, every entry
+    /// of `stratum_deps[i]` is `< i`. The engine's parallel scheduler
+    /// walks this DAG: a stratum may materialize as soon as all of its
+    /// dependency strata have, independent strata concurrently.
+    pub stratum_deps: Vec<Vec<usize>>,
     /// Per-predicate info.
     pub pred_info: BTreeMap<Name, PredInfo>,
 }

@@ -32,6 +32,7 @@ pub fn analyze(program: &Program) -> RelResult<Module> {
     let (rules, constraints) = lower::lower(&sp)?;
     let modes = safety::infer_modes(&rules)?;
     let strata = strata::stratify(&rules);
+    let stratum_deps = strata::stratum_deps(&rules, &strata);
     let mut pred_info = std::collections::BTreeMap::new();
     for (i, s) in strata.iter().enumerate() {
         for p in &s.preds {
@@ -41,7 +42,7 @@ pub fn analyze(program: &Program) -> RelResult<Module> {
             );
         }
     }
-    Ok(Module { rules, constraints, strata, pred_info })
+    Ok(Module { rules, constraints, strata, stratum_deps, pred_info })
 }
 
 /// Parse and analyze in one step.

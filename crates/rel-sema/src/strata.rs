@@ -239,6 +239,42 @@ pub fn stratify(rules: &BTreeMap<Name, Vec<Rule>>) -> Vec<Stratum> {
         .collect()
 }
 
+/// Compute the condensation's dependency edges over already-computed
+/// strata: `deps[i]` lists the indices of the strata that stratum `i`
+/// reads from (sorted, deduplicated, self-edges omitted). Because
+/// [`stratify`] emits strata dependencies-first, every entry of `deps[i]`
+/// is `< i` — the result is a DAG in topological order, which is exactly
+/// what a parallel scheduler needs: stratum `i` may start as soon as all
+/// of `deps[i]` have finished, and strata with disjoint ancestries may
+/// run concurrently.
+pub fn stratum_deps(rules: &BTreeMap<Name, Vec<Rule>>, strata: &[Stratum]) -> Vec<Vec<usize>> {
+    let stratum_of: BTreeMap<&Name, usize> = strata
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| s.preds.iter().map(move |p| (p, i)))
+        .collect();
+    strata
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut deps = BTreeSet::new();
+            for p in &s.preds {
+                for r in rules.get(p).map(Vec::as_slice).unwrap_or(&[]) {
+                    for (d, _) in rule_deps(r) {
+                        if let Some(&j) = stratum_of.get(&d) {
+                            if j != i {
+                                debug_assert!(j < i, "strata not in dependency order");
+                                deps.insert(j);
+                            }
+                        }
+                    }
+                }
+            }
+            deps.into_iter().collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +286,14 @@ mod tests {
         let sp = specialize(&parse_program(src).unwrap()).unwrap();
         let (rules, _) = lower(&sp).unwrap();
         stratify(&rules)
+    }
+
+    fn strata_and_deps_of(src: &str) -> (Vec<Stratum>, Vec<Vec<usize>>) {
+        let sp = specialize(&parse_program(src).unwrap()).unwrap();
+        let (rules, _) = lower(&sp).unwrap();
+        let strata = stratify(&rules);
+        let deps = stratum_deps(&rules, &strata);
+        (strata, deps)
     }
 
     #[test]
@@ -339,5 +383,64 @@ mod tests {
         };
         assert!(pos("Base") < pos("Mid"));
         assert!(pos("Mid") < pos("Out"));
+    }
+
+    #[test]
+    fn dag_edges_point_at_dependencies() {
+        let (strata, deps) = strata_and_deps_of(
+            "def A(x) : E(x)\n\
+             def B(x) : F(x)\n\
+             def C(x) : A(x) and B(x)",
+        );
+        assert_eq!(deps.len(), strata.len());
+        let pos = |n: &str| {
+            strata
+                .iter()
+                .position(|st| st.preds.iter().any(|p| &**p == n))
+                .unwrap()
+        };
+        // A and B are independent roots; C depends on exactly both.
+        assert!(deps[pos("A")].is_empty());
+        assert!(deps[pos("B")].is_empty());
+        let mut c_deps = deps[pos("C")].clone();
+        c_deps.sort_unstable();
+        let mut expected = vec![pos("A"), pos("B")];
+        expected.sort_unstable();
+        assert_eq!(c_deps, expected);
+    }
+
+    #[test]
+    fn dag_is_topologically_ordered_without_self_edges() {
+        let (strata, deps) = strata_and_deps_of(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))\n\
+             def Big(x) : exists((y) | TC(x,y) and not Small(x))\n\
+             def Small(x) : E(x,x)",
+        );
+        for (i, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                assert!(d < i, "edge {i} -> {d} breaks topological order");
+            }
+        }
+        // The recursive TC stratum must not list itself as a dependency.
+        let tc = strata
+            .iter()
+            .position(|st| st.preds.iter().any(|p| &**p == "TC"))
+            .unwrap();
+        assert!(!deps[tc].contains(&tc));
+    }
+
+    #[test]
+    fn dag_independent_components_share_no_ancestry() {
+        // Two disjoint TC components: neither stratum depends on the other,
+        // so a DAG scheduler may materialize them concurrently.
+        let (strata, deps) = strata_and_deps_of(
+            "def TC1(x,y) : E1(x,y)\n\
+             def TC1(x,y) : exists((z) | E1(x,z) and TC1(z,y))\n\
+             def TC2(x,y) : E2(x,y)\n\
+             def TC2(x,y) : exists((z) | E2(x,z) and TC2(z,y))",
+        );
+        assert_eq!(strata.len(), 2);
+        assert!(deps.iter().all(Vec::is_empty));
     }
 }
