@@ -147,6 +147,69 @@ fn main() {
         });
     }
 
+    // --- Repeated query: prepared vs unprepared (client API v2) ---------
+    // The server-shaped access pattern: one parameterized query executed
+    // 500 times with a fresh binding each time. The prepared path
+    // compiles once (`Session::prepare`) and re-executes; the unprepared
+    // path re-compiles `library + query` per execution with the value
+    // spliced into the source — exactly what the v1 API forced. The
+    // `speedup_vs_unprepared` field on the prepared entry is the
+    // acceptance number (>= 5x).
+    {
+        let executions = 500usize;
+        let w = OrderWorkload::generate(120, 40, 9);
+        let session = rel_engine::Session::with_stdlib(w.db.clone());
+        let prepared = session
+            .prepare(programs::REPEATED_QUERY)
+            .expect("repeated query prepares");
+        let bind = |i: usize| (i % 120) as i64;
+        let (prep_ms, prep_size) = median_ms(runs, || {
+            let mut total = 0usize;
+            for i in 0..executions {
+                let params = rel_engine::Params::new().set("order", bind(i));
+                total += prepared
+                    .execute_with(&session, &params)
+                    .expect("prepared executes")
+                    .len();
+            }
+            total
+        });
+        let library = rel_stdlib::full_library();
+        let unprep_cache = rel_engine::SharedIndexCache::default();
+        let (unprep_ms, unprep_size) = median_ms(runs, || {
+            let mut total = 0usize;
+            for i in 0..executions {
+                let src = programs::repeated_query_inlined(bind(i));
+                let full = format!("{library}\n{src}");
+                let module = rel_sema::compile(&full).expect("unprepared compiles");
+                let rels = rel_engine::materialize_with_cache(
+                    &module,
+                    session.db(),
+                    unprep_cache.clone(),
+                )
+                .expect("unprepared evaluates");
+                total += rels.get("output").map(rel_core::Relation::len).unwrap_or(0);
+            }
+            total
+        });
+        assert_eq!(prep_size, unprep_size, "prepared path changed the result");
+        let scale = format!("orders=120,execs={executions}");
+        results.push(Measurement {
+            name: "repeated_query",
+            scale: format!("{scale},prepared"),
+            median_ms: prep_ms,
+            result_size: prep_size,
+            extra: vec![("speedup_vs_unprepared", unprep_ms / prep_ms)],
+        });
+        results.push(Measurement {
+            name: "repeated_query",
+            scale: format!("{scale},unprepared"),
+            median_ms: unprep_ms,
+            result_size: unprep_size,
+            extra: Vec::new(),
+        });
+    }
+
     // --- Parallel strata: k independent TC components + roll-up ---------
     // The stratum DAG is k independent recursive strata, a per-component
     // aggregation layer, and one sink — the wide shape the parallel

@@ -29,6 +29,18 @@ pub mod programs {
         def Ord(o) : Line(o, _, _)\n\
         def LineAmount(o, l, a) : exists((p) | Line(o, l, p) and Price(p, a))\n\
         def output[o in Ord] : sum[LineAmount[o]] <++ 0";
+
+    /// The `repeated_query` workload's program (client API v2): the
+    /// server-shaped point lookup — one order's lines, priced — with the
+    /// order id a `?order` parameter bound per execute.
+    pub const REPEATED_QUERY: &str = "\
+        def output(l, p, a) : exists((o) | o = ?order and Line(o, l, p) and Price(p, a))";
+
+    /// The same query with the parameter spliced into the source — the
+    /// string-interpolation pattern the unprepared (v1) path forces.
+    pub fn repeated_query_inlined(order: i64) -> String {
+        REPEATED_QUERY.replace("?order", &order.to_string())
+    }
 }
 
 /// An order/payment workload scaled from Figure 1's schema: `n_orders`

@@ -136,6 +136,15 @@ fn cmd_check(args: &[String]) -> i32 {
 
 fn cmd_repl() -> i32 {
     let mut session = session_with_libraries(Database::new());
+    // Warm the prepared-module cache: parsing + analyzing the four
+    // installed libraries happens here, once. Every input line afterwards
+    // re-parses only its own text (the cached library AST is reused), and
+    // a *repeated* line is served from the module cache without any
+    // compilation at all.
+    if let Err(e) = session.prepare("") {
+        eprintln!("rel: library failed to compile: {e}");
+        return 1;
+    }
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     eprintln!("rel repl — enter a full program per line; :quit to exit");
@@ -155,7 +164,19 @@ fn cmd_repl() -> i32 {
         if line == ":quit" || line == ":q" {
             return 0;
         }
-        match session.transact(line) {
+        // Each line is one transaction: prepare (cached), stage, commit.
+        let prepared = match session.prepare(line) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                continue;
+            }
+        };
+        let mut txn = session.begin();
+        let result = txn
+            .run_prepared(&prepared, &rel_engine::Params::new())
+            .and_then(|_| txn.commit());
+        match result {
             Ok(outcome) => {
                 let _ = writeln!(out, "{}", outcome.output);
             }

@@ -1,0 +1,260 @@
+//! Typed result conversion: [`FromValue`] and [`FromRow`].
+//!
+//! Query results come back as [`crate::Relation`]s of [`Tuple`]s of
+//! [`Value`]s. The conversion layer lets callers move from the dynamic
+//! representation to host types in one call instead of pattern-matching
+//! `Value`s by hand:
+//!
+//! ```
+//! use rel_core::{tuple, Relation};
+//!
+//! let out = Relation::from_tuples([tuple!["P1", 10], tuple!["P4", 40]]);
+//! let rows: Vec<(String, i64)> = out.rows().unwrap();
+//! assert_eq!(rows, vec![("P1".into(), 10), ("P4".into(), 40)]);
+//! ```
+//!
+//! * [`FromValue`] converts one [`Value`] — implemented for the scalar
+//!   types (`i64`, `i32`, `f64`, `String`, `Arc<str>`, [`EntityId`]),
+//!   for [`Value`] itself (identity), and leniently for `Option<T>`
+//!   (`None` when the value has a different shape).
+//! * [`FromRow`] converts one [`Tuple`] — implemented for tuples of
+//!   `FromValue` types up to arity 8, for the scalars themselves
+//!   (unary rows), for `()` (the empty tuple, Rel's `true`), and for
+//!   [`Tuple`] (identity).
+//!
+//! Conversions are strict about arity and type: a mismatch is a
+//! [`RelError::Type`] naming the offending tuple, not a silent skip —
+//! except under `Option`, which is the explicit opt-in for "this position
+//! may be something else".
+
+use crate::tuple::Tuple;
+use crate::value::{EntityId, Value};
+use crate::{RelError, RelResult};
+use std::sync::Arc;
+
+/// Conversion from a single relational [`Value`] to a host type.
+pub trait FromValue: Sized {
+    /// Convert, or report a [`RelError::Type`] naming the mismatch.
+    fn from_value(v: &Value) -> RelResult<Self>;
+}
+
+impl FromValue for Value {
+    fn from_value(v: &Value) -> RelResult<Self> {
+        Ok(v.clone())
+    }
+}
+
+impl FromValue for i64 {
+    fn from_value(v: &Value) -> RelResult<Self> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            other => Err(conversion_err(other, "i64")),
+        }
+    }
+}
+
+impl FromValue for i32 {
+    fn from_value(v: &Value) -> RelResult<Self> {
+        match v {
+            Value::Int(i) => i32::try_from(*i)
+                .map_err(|_| RelError::type_err(format!("{i} does not fit in i32"))),
+            other => Err(conversion_err(other, "i32")),
+        }
+    }
+}
+
+impl FromValue for f64 {
+    fn from_value(v: &Value) -> RelResult<Self> {
+        // Ints promote: Rel arithmetic mixes the two freely.
+        v.as_f64().ok_or_else(|| conversion_err(v, "f64"))
+    }
+}
+
+impl FromValue for String {
+    fn from_value(v: &Value) -> RelResult<Self> {
+        match v {
+            Value::String(s) => Ok(s.to_string()),
+            other => Err(conversion_err(other, "String")),
+        }
+    }
+}
+
+impl FromValue for Arc<str> {
+    fn from_value(v: &Value) -> RelResult<Self> {
+        match v {
+            Value::String(s) => Ok(Arc::clone(s)),
+            other => Err(conversion_err(other, "Arc<str>")),
+        }
+    }
+}
+
+impl FromValue for EntityId {
+    fn from_value(v: &Value) -> RelResult<Self> {
+        match v {
+            Value::Entity(e) => Ok(*e),
+            other => Err(conversion_err(other, "EntityId")),
+        }
+    }
+}
+
+/// Lenient conversion: `Some` when the inner conversion succeeds, `None`
+/// when the value has a different shape. The escape hatch for relations
+/// mixing value types in one column (legal under Rel's schema-free
+/// semantics).
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(v: &Value) -> RelResult<Self> {
+        Ok(T::from_value(v).ok())
+    }
+}
+
+fn conversion_err(v: &Value, target: &str) -> RelError {
+    RelError::type_err(format!("cannot convert {v} to {target}"))
+}
+
+/// Conversion from a whole [`Tuple`] (one row of a relation) to a host
+/// type.
+pub trait FromRow: Sized {
+    /// Convert, or report a [`RelError::Type`] naming the mismatch.
+    fn from_row(t: &Tuple) -> RelResult<Self>;
+}
+
+/// The identity conversion.
+impl FromRow for Tuple {
+    fn from_row(t: &Tuple) -> RelResult<Self> {
+        Ok(t.clone())
+    }
+}
+
+/// The empty tuple `⟨⟩` — Rel's `true` witness.
+impl FromRow for () {
+    fn from_row(t: &Tuple) -> RelResult<Self> {
+        if t.is_empty() {
+            Ok(())
+        } else {
+            Err(arity_err(t, 0))
+        }
+    }
+}
+
+fn arity_err(t: &Tuple, want: usize) -> RelError {
+    RelError::type_err(format!(
+        "row {t} has arity {}, expected {want}",
+        t.arity()
+    ))
+}
+
+/// Scalars read unary rows, so `out.rows::<i64>()` works on a plain
+/// unary relation without tuple-wrapping.
+macro_rules! scalar_from_row {
+    ($($ty:ty),* $(,)?) => {$(
+        impl FromRow for $ty {
+            fn from_row(t: &Tuple) -> RelResult<Self> {
+                match t.values() {
+                    [v] => <$ty as FromValue>::from_value(v),
+                    _ => Err(arity_err(t, 1)),
+                }
+            }
+        }
+    )*};
+}
+
+scalar_from_row!(i64, i32, f64, String, Arc<str>, EntityId, Value);
+
+macro_rules! tuple_from_row {
+    ($n:literal; $($name:ident : $idx:tt),+) => {
+        impl<$($name: FromValue),+> FromRow for ($($name,)+) {
+            fn from_row(t: &Tuple) -> RelResult<Self> {
+                if t.arity() != $n {
+                    return Err(arity_err(t, $n));
+                }
+                Ok(($($name::from_value(&t.values()[$idx])?,)+))
+            }
+        }
+    };
+}
+
+tuple_from_row!(1; A: 0);
+tuple_from_row!(2; A: 0, B: 1);
+tuple_from_row!(3; A: 0, B: 1, C: 2);
+tuple_from_row!(4; A: 0, B: 1, C: 2, D: 3);
+tuple_from_row!(5; A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_from_row!(6; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_from_row!(7; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+tuple_from_row!(8; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(i64::from_value(&Value::int(7)).unwrap(), 7);
+        assert_eq!(i32::from_value(&Value::int(7)).unwrap(), 7);
+        assert_eq!(f64::from_value(&Value::int(2)).unwrap(), 2.0);
+        assert_eq!(f64::from_value(&Value::float(2.5)).unwrap(), 2.5);
+        assert_eq!(String::from_value(&Value::str("x")).unwrap(), "x");
+        assert_eq!(
+            EntityId::from_value(&Value::entity(1, 9)).unwrap(),
+            EntityId { concept: 1, id: 9 }
+        );
+        assert_eq!(Value::from_value(&Value::sym("R")).unwrap(), Value::sym("R"));
+    }
+
+    #[test]
+    fn mismatches_are_type_errors() {
+        assert!(matches!(
+            i64::from_value(&Value::str("x")),
+            Err(RelError::Type(_))
+        ));
+        assert!(matches!(
+            String::from_value(&Value::int(1)),
+            Err(RelError::Type(_))
+        ));
+        // i32 range check.
+        assert!(i32::from_value(&Value::int(i64::MAX)).is_err());
+        // Floats do NOT silently truncate to ints.
+        assert!(i64::from_value(&Value::float(1.5)).is_err());
+    }
+
+    #[test]
+    fn option_is_lenient() {
+        assert_eq!(Option::<i64>::from_value(&Value::int(3)).unwrap(), Some(3));
+        assert_eq!(Option::<i64>::from_value(&Value::str("x")).unwrap(), None);
+    }
+
+    #[test]
+    fn tuple_rows() {
+        let t = tuple!["O1", 30];
+        let (name, total): (String, i64) = FromRow::from_row(&t).unwrap();
+        assert_eq!((name.as_str(), total), ("O1", 30));
+        // Arity mismatch reported, not truncated.
+        let err = <(String,)>::from_row(&t).unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn unary_rows_as_scalars() {
+        assert_eq!(i64::from_row(&tuple![5]).unwrap(), 5);
+        assert!(i64::from_row(&tuple![5, 6]).is_err());
+        assert_eq!(<()>::from_row(&Tuple::empty()).unwrap(), ());
+        assert!(<()>::from_row(&tuple![1]).is_err());
+    }
+
+    #[test]
+    fn eight_way_tuple() {
+        let t = tuple![1, 2, 3, 4, 5, 6, 7, 8];
+        let row: (i64, i64, i64, i64, i64, i64, i64, i64) =
+            FromRow::from_row(&t).unwrap();
+        assert_eq!(row, (1, 2, 3, 4, 5, 6, 7, 8));
+    }
+
+    #[test]
+    fn mixed_column_via_option() {
+        let t = tuple![1, "x"];
+        let row: (Option<String>, Option<i64>) = FromRow::from_row(&t).unwrap();
+        assert_eq!(row, (None, None));
+        let row: (Option<i64>, Option<String>) = FromRow::from_row(&t).unwrap();
+        assert_eq!(row, (Some(1), Some("x".into())));
+    }
+}

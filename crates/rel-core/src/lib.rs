@@ -14,6 +14,8 @@
 //!   different arities may coexist in one relation;
 //! * [`Database`] — a mapping from relation names to base relations, with
 //!   transactional delta application;
+//! * [`convert`] — the typed-result layer ([`FromValue`] / [`FromRow`]):
+//!   `out.rows::<(String, i64)>()?` instead of matching [`Value`]s;
 //! * [`gnf`] — Graph Normal Form: the 6NF-style schema discipline of §2 of
 //!   the paper (all-columns-key or all-but-last-columns-key, plus the
 //!   unique-identifier property).
@@ -22,6 +24,7 @@
 //! `{⟨⟩}` containing the empty tuple and `false` is the empty relation `{}`
 //! (see [`Relation::true_rel`] / [`Relation::false_rel`]).
 
+pub mod convert;
 pub mod database;
 pub mod error;
 pub mod gnf;
@@ -29,6 +32,7 @@ pub mod relation;
 pub mod tuple;
 pub mod value;
 
+pub use convert::{FromRow, FromValue};
 pub use database::Database;
 pub use error::{RelError, RelResult};
 pub use relation::Relation;

@@ -14,7 +14,7 @@
 //! its relation map from the database with pointer bumps instead of deep
 //! copies. The invariants every mutating method maintains:
 //!
-//! 1. Mutation goes through [`Relation::tuples_mut`], which `Arc::make_mut`s
+//! 1. Mutation goes through `Relation::tuples_mut`, which `Arc::make_mut`s
 //!    the storage (copying it only when shared) and stamps a **fresh
 //!    generation** from a global counter. Generations are never reused, so
 //!    `a.generation() == b.generation()` implies `a` and `b` hold the same
@@ -246,6 +246,46 @@ impl Relation {
     /// Iterate tuples in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + Clone + '_ {
         self.storage.tuples.iter()
+    }
+
+    /// Convert every row to a host type via [`crate::convert::FromRow`],
+    /// in sorted tuple
+    /// order (see [`crate::convert`]):
+    ///
+    /// ```
+    /// # use rel_core::{tuple, Relation};
+    /// let out = Relation::from_tuples([tuple!["P4", 40]]);
+    /// let rows: Vec<(String, i64)> = out.rows().unwrap();
+    /// assert_eq!(rows, vec![("P4".to_string(), 40)]);
+    /// ```
+    pub fn rows<T: crate::convert::FromRow>(&self) -> crate::RelResult<Vec<T>> {
+        self.iter().map(T::from_row).collect()
+    }
+
+    /// Convert the single row of a singleton relation (e.g. an aggregate
+    /// result); a [`crate::RelError::Type`] if the relation does not hold
+    /// exactly one tuple.
+    pub fn single<T: crate::convert::FromRow>(&self) -> crate::RelResult<T> {
+        match self.single_opt()? {
+            Some(v) => Ok(v),
+            None => Err(crate::RelError::type_err(
+                "expected exactly one row, relation is empty",
+            )),
+        }
+    }
+
+    /// Like [`Relation::single`], but an empty relation reads as `None`
+    /// (the relational encoding of a missing value).
+    pub fn single_opt<T: crate::convert::FromRow>(&self) -> crate::RelResult<Option<T>> {
+        let mut it = self.iter();
+        let Some(first) = it.next() else { return Ok(None) };
+        if it.next().is_some() {
+            return Err(crate::RelError::type_err(format!(
+                "expected at most one row, relation has {}",
+                self.len()
+            )));
+        }
+        T::from_row(first).map(Some)
     }
 
     /// The set of distinct arities present.

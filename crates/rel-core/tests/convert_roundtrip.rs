@@ -1,0 +1,179 @@
+//! Randomized (seeded) round-trip tests for the typed-result conversion
+//! layer (`FromValue` / `FromRow`), in the style of `relation_model`:
+//! for every generated value, converting to the matching host type and
+//! re-wrapping must reproduce the original `Value`/`Tuple` exactly, and
+//! conversions to a *mismatched* type must error (never silently coerce)
+//! except through the lenient `Option` adapter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rel_core::{FromRow, FromValue, Relation, Tuple, Value};
+
+fn random_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..5) {
+        0 => Value::int(rng.gen_range(-1_000_000..1_000_000)),
+        1 => {
+            // Finite floats, including negative and fractional.
+            let x = rng.gen_range(-1_000_000i64..1_000_000) as f64 / 16.0;
+            Value::float(x)
+        }
+        2 => {
+            let len = rng.gen_range(0usize..12);
+            let s: String = (0..len)
+                .map(|_| char::from(b'a' + rng.gen_range(0u32..26) as u8))
+                .collect();
+            Value::str(s)
+        }
+        3 => Value::entity(rng.gen_range(0..8), rng.gen_range(0..1_000_000)),
+        _ => Value::sym(format!("R{}", rng.gen_range(0..50))),
+    }
+}
+
+/// Convert to the host type matching the value's variant and re-wrap.
+fn roundtrip(v: &Value) -> Value {
+    match v {
+        Value::Int(_) => Value::int(i64::from_value(v).expect("int converts")),
+        Value::Float(_) => Value::float(f64::from_value(v).expect("float converts")),
+        Value::String(_) => Value::str(String::from_value(v).expect("string converts")),
+        Value::Entity(_) => {
+            let e = rel_core::EntityId::from_value(v).expect("entity converts");
+            Value::Entity(e)
+        }
+        // Symbols have no dedicated host type; the identity conversion
+        // must still hold.
+        Value::Symbol(_) => Value::from_value(v).expect("identity converts"),
+    }
+}
+
+#[test]
+fn value_conversions_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for case in 0..2000 {
+        let v = random_value(&mut rng);
+        assert_eq!(roundtrip(&v), v, "case {case}: {v} did not round-trip");
+
+        // The identity conversion is total.
+        assert_eq!(Value::from_value(&v).unwrap(), v);
+
+        // Lenient Option: Some exactly when the strict conversion
+        // succeeds.
+        assert_eq!(
+            Option::<i64>::from_value(&v).unwrap().is_some(),
+            i64::from_value(&v).is_ok(),
+            "case {case}: Option leniency disagrees with strict result"
+        );
+
+        // Mismatched conversions error rather than coerce (floats are the
+        // one deliberate promotion: ints widen into f64).
+        if !matches!(v, Value::String(_)) {
+            assert!(String::from_value(&v).is_err(), "case {case}: {v}");
+        }
+        if !matches!(v, Value::Int(_)) {
+            assert!(i64::from_value(&v).is_err(), "case {case}: {v}");
+        }
+        if !v.is_number() {
+            assert!(f64::from_value(&v).is_err(), "case {case}: {v}");
+        }
+    }
+}
+
+#[test]
+fn int_to_f64_promotion_is_exact_in_range() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..500 {
+        // Within ±2^53 the promotion is lossless.
+        let i: i64 = rng.gen_range(-(1 << 53)..(1 << 53));
+        assert_eq!(f64::from_value(&Value::int(i)).unwrap(), i as f64);
+    }
+}
+
+#[test]
+fn row_conversions_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..1000 {
+        let arity = rng.gen_range(0..=8usize);
+        let values: Vec<Value> = (0..arity).map(|_| random_value(&mut rng)).collect();
+        let tuple = Tuple::from(values.clone());
+
+        // Identity via Tuple.
+        assert_eq!(Tuple::from_row(&tuple).unwrap(), tuple);
+
+        // Through a fully dynamic row of Values, at every arity 1..=8.
+        macro_rules! check_arity {
+            ($( $n:literal => ($($name:ident),+) );* $(;)?) => {
+                match arity {
+                    $( $n => {
+                        let ($($name,)+): ($(check_arity!(@ty $name),)+) =
+                            FromRow::from_row(&tuple)
+                                .unwrap_or_else(|e| panic!("case {case}: {e}"));
+                        let rebuilt = Tuple::from(vec![$($name),+]);
+                        assert_eq!(rebuilt, tuple, "case {case}");
+                    } )*
+                    0 => {
+                        <()>::from_row(&tuple).unwrap();
+                    }
+                    _ => unreachable!(),
+                }
+            };
+            (@ty $name:ident) => { Value };
+        }
+        check_arity! {
+            1 => (a);
+            2 => (a, b);
+            3 => (a, b, c);
+            4 => (a, b, c, d);
+            5 => (a, b, c, d, e);
+            6 => (a, b, c, d, e, f);
+            7 => (a, b, c, d, e, f, g);
+            8 => (a, b, c, d, e, f, g, h);
+        }
+
+        // Arity mismatches error.
+        if arity != 2 {
+            assert!(
+                <(Value, Value)>::from_row(&tuple).is_err(),
+                "case {case}: arity {arity} accepted as pair"
+            );
+        }
+    }
+}
+
+#[test]
+fn relation_rows_preserve_sorted_order() {
+    let mut rng = StdRng::seed_from_u64(0x50_B7ED);
+    for _ in 0..200 {
+        let n = rng.gen_range(0..30);
+        let rel = Relation::from_tuples((0..n).map(|_| {
+            Tuple::from(vec![
+                Value::int(rng.gen_range(0..10)),
+                Value::int(rng.gen_range(0..10)),
+            ])
+        }));
+        let rows: Vec<(i64, i64)> = rel.rows().unwrap();
+        let reference: Vec<(i64, i64)> = rel
+            .iter()
+            .map(|t| (t.values()[0].as_int().unwrap(), t.values()[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(rows, reference);
+        // Sorted, deduplicated — exactly the relation's own order.
+        let mut sorted = rows.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(rows, sorted);
+    }
+}
+
+#[test]
+fn single_and_single_opt_contracts() {
+    let empty = Relation::new();
+    assert!(empty.single::<i64>().is_err());
+    assert_eq!(empty.single_opt::<i64>().unwrap(), None);
+
+    let one = Relation::from_values([Value::int(7)]);
+    assert_eq!(one.single::<i64>().unwrap(), 7);
+    assert_eq!(one.single_opt::<i64>().unwrap(), Some(7));
+
+    let two = Relation::from_values([Value::int(1), Value::int(2)]);
+    assert!(two.single::<i64>().is_err());
+    assert!(two.single_opt::<i64>().is_err());
+}

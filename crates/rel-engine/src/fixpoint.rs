@@ -480,75 +480,12 @@ pub fn count_scc_refs(rule: &Rule, scc: &BTreeSet<&Name>) -> usize {
 }
 
 /// Apply `f` to every predicate reference in the rule, read-only, in the
-/// same traversal order as [`map_rule`].
+/// same traversal order as the internal `map_rule` rewriter. Delegates to
+/// the shared IR visitor ([`rel_sema::ir::visit_rule_preds`]) — one
+/// traversal serves dependency analysis here and parameter collection in
+/// `rel-sema`.
 pub fn visit_rule(rule: &Rule, f: &mut impl FnMut(&Name)) {
-    for p in &rule.params {
-        if let AbsParam::In(_, dom) = p {
-            visit_rexpr(dom, f);
-        }
-    }
-    visit_rexpr(&rule.body, f);
-}
-
-fn visit_formula(x: &Formula, f: &mut impl FnMut(&Name)) {
-    match x {
-        Formula::True | Formula::False => {}
-        Formula::Conj(items) | Formula::Disj(items) => {
-            for i in items {
-                visit_formula(i, f);
-            }
-        }
-        Formula::Not(inner) => visit_formula(inner, f),
-        Formula::Atom(a) => f(&a.pred),
-        Formula::DynAtom { rel, .. } => visit_rexpr(rel, f),
-        Formula::Cmp { lhs, rhs, .. } => {
-            visit_rexpr(lhs, f);
-            visit_rexpr(rhs, f);
-        }
-        Formula::Member { of, .. } => visit_rexpr(of, f),
-        Formula::Exists { body, .. } => visit_formula(body, f),
-        Formula::OfExpr(e) => visit_rexpr(e, f),
-    }
-}
-
-fn visit_rexpr(x: &RExpr, f: &mut impl FnMut(&Name)) {
-    match x {
-        RExpr::Pred(p) => f(p),
-        RExpr::PApp { pred, .. } => f(pred),
-        RExpr::DynPApp { rel, .. } => visit_rexpr(rel, f),
-        RExpr::Product(es) | RExpr::Union(es) => {
-            for e in es {
-                visit_rexpr(e, f);
-            }
-        }
-        RExpr::Singleton(_) => {}
-        RExpr::Where { body, cond } => {
-            visit_rexpr(body, f);
-            visit_formula(cond, f);
-        }
-        RExpr::Abstract { params, body, .. } => {
-            for p in params.iter() {
-                if let AbsParam::In(_, dom) = p {
-                    visit_rexpr(dom, f);
-                }
-            }
-            visit_rexpr(body, f);
-        }
-        RExpr::Reduce { op, input, .. } => {
-            visit_rexpr(op, f);
-            visit_rexpr(input, f);
-        }
-        RExpr::BuiltinApp { args, .. } => {
-            for a in args {
-                visit_rexpr(a, f);
-            }
-        }
-        RExpr::DotJoin(a, b) | RExpr::LeftOverride(a, b) => {
-            visit_rexpr(a, f);
-            visit_rexpr(b, f);
-        }
-        RExpr::OfFormula(inner) => visit_formula(inner, f),
-    }
+    rel_sema::ir::visit_rule_preds(rule, f);
 }
 
 /// Produce the rule variant whose `focus`-th SCC reference reads the Δ

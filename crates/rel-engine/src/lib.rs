@@ -1,7 +1,59 @@
 //! # rel-engine
 //!
-//! Bottom-up evaluation engine for Rel:
+//! Bottom-up evaluation engine for Rel, fronted by the **client API v2**:
+//! prepared queries, typed results, and explicit transaction handles.
 //!
+//! ## Client API
+//!
+//! A [`Session`] owns a database plus installed library source. The
+//! intended shape of a client interaction is *prepare → execute → typed
+//! rows*, with writes staged through a transaction handle:
+//!
+//! ```
+//! use rel_core::database::figure1_database;
+//! use rel_engine::{Params, Session};
+//!
+//! let mut s = Session::new(figure1_database());
+//!
+//! // Compile once; the module is cached by source.
+//! let q = s
+//!     .prepare("def output(x, y) : ProductPrice(x, y) and y > ?min")
+//!     .unwrap();
+//!
+//! // Execute many times — zero recompilation, parameters bound per call.
+//! let rows: Vec<(String, i64)> = q
+//!     .execute_with(&s, &Params::new().set("min", 15))
+//!     .unwrap()
+//!     .rows()
+//!     .unwrap();
+//! assert_eq!(rows.len(), 3);
+//!
+//! // Stage multiple steps in one transaction; constraints are checked
+//! // on commit, abort is free.
+//! let mut txn = s.begin();
+//! txn.run("def insert(:Expensive, x) : exists((y) | ProductPrice(x, y) and y > 25)")
+//!     .unwrap();
+//! let outcome = txn.commit().unwrap();
+//! assert_eq!(outcome.inserted, 2);
+//! ```
+//!
+//! [`Session::query`] and [`Session::transact`] remain as thin one-shot
+//! wrappers over the same machinery (both go through the session's
+//! module cache).
+//!
+//! ## Modules
+//!
+//! * [`prepared`] — [`Prepared`] query handles and [`Params`] bindings:
+//!   compile once (`library + query`, cached by source), execute against
+//!   the current CoW database snapshot with `?name` placeholders bound at
+//!   execute time;
+//! * [`txn`] — explicit [`Transaction`] handles over an O(1) CoW
+//!   candidate snapshot: staged `run`/prepared steps plus direct
+//!   `stage_insert`/`stage_delete`, constraint checking on `commit()`,
+//!   free `abort()`;
+//! * [`session`] — the session itself: database + libraries + module
+//!   cache + shared index cache; `Session` is `Send + Sync` and serves
+//!   queries from many threads;
 //! * [`eval`] — formula evaluation over environment batches with greedy
 //!   sideways-information-passing, open expression evaluation (grouped
 //!   aggregation, generator `where`), tuple-variable matching,
@@ -11,13 +63,8 @@
 //! * [`fixpoint`] — stratum materialization: semi-naive for monotone
 //!   recursion, partial-fixpoint iteration for Rel's non-stratified
 //!   programs (Addendum A); zero-copy over the CoW relations of
-//!   `rel-core` (Δ overlays and iterate snapshots are O(1) clones); a
-//!   parallel scheduler walks the stratum DAG with scoped worker threads,
-//!   materializing independent strata concurrently with byte-identical
-//!   output (`REL_EVAL_THREADS` pins the worker count);
-//! * [`session`] — transactions with `output` / `insert` / `delete`
-//!   control relations and integrity-constraint enforcement (§3.4–3.5);
-//!   `Session` is `Send + Sync` and can serve queries from many threads;
+//!   `rel-core`; a parallel scheduler walks the stratum DAG with scoped
+//!   worker threads (`REL_EVAL_THREADS` pins the worker count);
 //! * [`builtins`] — implementations of the infinite built-in relations
 //!   with invertible modes (`add(x, 5, z)` solves for `x`);
 //! * [`leapfrog`] — a leapfrog-triejoin worst-case-optimal join kernel
@@ -28,11 +75,15 @@ pub mod env;
 pub mod eval;
 pub mod fixpoint;
 pub mod leapfrog;
+pub mod prepared;
 pub mod session;
+pub mod txn;
 
 pub use eval::{EvalCtx, SharedIndexCache};
 pub use fixpoint::{
     eval_threads, materialize, materialize_naive, materialize_with_cache,
     materialize_with_threads,
 };
+pub use prepared::{Params, Prepared};
 pub use session::{Session, TxnOutcome};
+pub use txn::Transaction;

@@ -6,14 +6,32 @@
 //! materialized; the control relations `output`, `insert` and `delete`
 //! steer the result; integrity constraints are checked against the
 //! post-state and abort the transaction when violated.
+//!
+//! Compilation is cached (client API v2): the library prefix is parsed
+//! once per revision, and every compiled `library + query` module is
+//! memoized by source in the session's module cache — re-running a query
+//! string, or executing a [`Prepared`] handle any number of times, never
+//! recompiles. See [`crate::prepared`] and [`crate::txn`] for the
+//! prepared-query and explicit-transaction halves of the API.
 
 use crate::env::Env;
 use crate::eval::{EvalCtx, SharedIndexCache};
 use crate::fixpoint::materialize_with_cache;
+use crate::prepared::Prepared;
+use crate::txn::Transaction;
 use rel_core::database::Delta;
 use rel_core::{Database, Name, RelError, RelResult, Relation, Tuple, Value};
 use rel_sema::ir::{ConstraintIr, Module, Rule};
-use std::collections::BTreeMap;
+use rel_syntax::Program;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Compiled modules cached per session, keyed by query source. Bounded so
+/// a server feeding unbounded ad-hoc query strings through one session
+/// cannot grow the cache without limit.
+const MODULE_CACHE_CAP: usize = 512;
+
+type ModuleCache = HashMap<String, Arc<Module>>;
 
 /// Result of a committed transaction.
 #[derive(Clone, Debug, Default)]
@@ -49,22 +67,42 @@ pub struct TxnOutcome {
 /// strata out across worker threads (see [`crate::fixpoint`]).
 #[derive(Clone, Debug, Default)]
 pub struct Session {
-    db: Database,
+    pub(crate) db: Database,
     library: String,
-    index_cache: SharedIndexCache,
+    pub(crate) index_cache: SharedIndexCache,
+    /// The installed library source, parsed once and kept warm: compiling
+    /// a query re-parses only the query's own text, then runs semantic
+    /// analysis over the merged program.
+    library_ast: OnceLock<Arc<Program>>,
+    /// Compiled modules keyed by query source, valid for the *current*
+    /// library revision. Shared across clones of the session;
+    /// [`Session::install_library`] swaps in a fresh cache (rather than
+    /// clearing the shared one), so clones still on the old library keep
+    /// their valid entries.
+    module_cache: Arc<RwLock<ModuleCache>>,
 }
 
 impl Session {
     /// A session over a database, with no library installed.
     pub fn new(db: Database) -> Self {
-        Session { db, library: String::new(), index_cache: SharedIndexCache::default() }
+        Session {
+            db,
+            library: String::new(),
+            index_cache: SharedIndexCache::default(),
+            library_ast: OnceLock::new(),
+            module_cache: Arc::default(),
+        }
     }
 
     /// Append library source (e.g. the standard library) that is compiled
-    /// in front of every query.
+    /// in front of every query. Invalidates this session's cached library
+    /// parse and compiled modules (clones sharing the old cache keep
+    /// theirs — they still compile against the old library).
     pub fn install_library(&mut self, src: &str) {
         self.library.push_str(src);
         self.library.push('\n');
+        self.library_ast = OnceLock::new();
+        self.module_cache = Arc::default();
     }
 
     /// Builder-style library installation.
@@ -83,18 +121,74 @@ impl Session {
         &mut self.db
     }
 
-    /// Compile a query against the installed library.
-    pub fn compile(&self, src: &str) -> RelResult<Module> {
-        let full = format!("{}\n{}", self.library, src);
-        rel_sema::compile(&full)
+    /// The installed library, parsed (parsing happens at most once per
+    /// library revision).
+    fn library_program(&self) -> RelResult<Arc<Program>> {
+        if let Some(p) = self.library_ast.get() {
+            return Ok(Arc::clone(p));
+        }
+        let parsed = Arc::new(rel_syntax::parse_program(&self.library)?);
+        // Two racing threads both parse; `get_or_init` keeps one.
+        Ok(Arc::clone(self.library_ast.get_or_init(|| parsed)))
+    }
+
+    /// Compile a query against the installed library, through the
+    /// session's module cache: the same source string is analyzed at most
+    /// once per library revision (and the library prefix is *parsed* at
+    /// most once per revision). The cache-hit path is allocation-free.
+    /// The returned handle is shared — cloning it is free.
+    pub fn compile(&self, src: &str) -> RelResult<Arc<Module>> {
+        if let Some(m) = self
+            .module_cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(src)
+        {
+            return Ok(Arc::clone(m));
+        }
+        let mut program = (*self.library_program()?).clone();
+        program.extend(rel_syntax::parse_program(src)?);
+        let module = Arc::new(rel_sema::analyze(&program)?);
+        let mut cache = self
+            .module_cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if cache.len() >= MODULE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(src.to_string(), Arc::clone(&module));
+        Ok(module)
+    }
+
+    /// Compile a query once into a [`Prepared`] handle that can be
+    /// executed any number of times — against the session's *current*
+    /// database snapshot each time, with `?name` parameters bound at
+    /// execute time and **zero recompilation** (asserted by tests against
+    /// the [`rel_sema::compilations`] counter):
+    ///
+    /// ```
+    /// use rel_core::database::figure1_database;
+    /// use rel_engine::{Params, Session};
+    ///
+    /// let s = Session::new(figure1_database());
+    /// let q = s.prepare("def output(x) : ProductPrice(x, ?min)").unwrap();
+    /// let cheap = q.execute_with(&s, &Params::new().set("min", 10)).unwrap();
+    /// assert_eq!(cheap.rows::<String>().unwrap(), vec!["P1".to_string()]);
+    /// ```
+    pub fn prepare(&self, src: &str) -> RelResult<Prepared> {
+        let module = self.compile(src)?;
+        check_control_materializable(&module)?;
+        Ok(Prepared::new(module, src.to_string()))
     }
 
     /// Run a read-only query: returns the `output` relation. Integrity
     /// constraints in scope are checked; `insert`/`delete` rules are
-    /// evaluated but **not** applied.
+    /// evaluated but **not** applied. Equivalent to
+    /// `self.prepare(src)?.execute(self)` minus the reusable handle.
     pub fn query(&self, src: &str) -> RelResult<Relation> {
         let module = self.compile(src)?;
         check_control_materializable(&module)?;
+        require_no_params(&module)?;
         let rels = materialize_with_cache(&module, &self.db, self.index_cache.clone())?;
         check_constraints(&module, &rels)?;
         Ok(rels.get("output").cloned().unwrap_or_default())
@@ -105,62 +199,56 @@ impl Session {
     /// whole.
     pub fn eval(&self, src: &str, relation: &str) -> RelResult<Relation> {
         let module = self.compile(src)?;
+        require_no_params(&module)?;
         let rels = materialize_with_cache(&module, &self.db, self.index_cache.clone())?;
         Ok(rels.get(relation).cloned().unwrap_or_default())
     }
 
-    /// Execute a transaction: evaluate, build the delta from the `insert`
-    /// and `delete` control relations, check integrity constraints against
-    /// the post-state, and commit (or abort, leaving the database
-    /// untouched).
-    pub fn transact(&mut self, src: &str) -> RelResult<TxnOutcome> {
-        let module = self.compile(src)?;
-        check_control_materializable(&module)?;
-        let rels = materialize_with_cache(&module, &self.db, self.index_cache.clone())?;
-        let delta = extract_delta(&rels)?;
-        let output = rels.get("output").cloned().unwrap_or_default();
-
-        if delta.is_empty() {
-            check_constraints(&module, &rels)?;
-            return Ok(TxnOutcome { output, inserted: 0, deleted: 0 });
-        }
-
-        // Apply to a candidate state and re-check constraints there: "when
-        // a transaction terminates, changes are persisted, unless the
-        // transaction is aborted" (§3.4). Cloning the database is cheap
-        // (CoW relations); `apply` unshares only the touched relations,
-        // whose generations move — so the shared index cache stays valid
-        // for everything else.
-        let mut candidate = self.db.clone();
-        candidate.apply(&delta);
-        let post = materialize_with_cache(&module, &candidate, self.index_cache.clone())?;
-        check_constraints(&module, &post)?;
-
-        let inserted: usize = delta.inserts.values().map(Vec::len).sum();
-        let deleted: usize = delta.deletes.values().map(Vec::len).sum();
-        self.db = candidate;
-        // The touched relations' generations moved with the commit: drop
-        // their pre-commit indexes now instead of waiting for a later
-        // materialize run's prune. (Lookups are generation-checked, so
-        // stale entries could never be *served* — this keeps them from
-        // lingering, while indexes the post-state evaluation built at the
-        // committed generation stay warm.)
-        self.index_cache.invalidate_stale_relations(
-            delta.inserts.keys().chain(delta.deletes.keys()),
-            &self.db,
-        );
-        Ok(TxnOutcome { output, inserted, deleted })
+    /// Open an explicit transaction over an O(1) copy-on-write snapshot
+    /// of the current database. Staged steps ([`Transaction::run`],
+    /// [`Transaction::run_prepared`], [`Transaction::stage_insert`],
+    /// [`Transaction::stage_delete`]) see each other's effects; integrity
+    /// constraints are checked on [`Transaction::commit`], and
+    /// [`Transaction::abort`] (or a plain drop) discards everything at
+    /// zero cost.
+    pub fn begin(&mut self) -> Transaction<'_> {
+        Transaction::begin(self)
     }
+
+    /// Execute a one-shot transaction: evaluate, build the delta from the
+    /// `insert` and `delete` control relations, check integrity
+    /// constraints against the post-state, and commit (or abort, leaving
+    /// the database untouched). A thin wrapper over
+    /// [`Session::begin`] → [`Transaction::run`] → [`Transaction::commit`].
+    pub fn transact(&mut self, src: &str) -> RelResult<TxnOutcome> {
+        let mut txn = self.begin();
+        txn.run(src)?;
+        txn.commit()
+    }
+}
+
+/// A module whose `?name` parameters are unbound can only run through the
+/// prepared-query API, which supplies the reserved relations.
+pub(crate) fn require_no_params(module: &Module) -> RelResult<()> {
+    if let Some(p) = module.params.first() {
+        return Err(RelError::unsafe_expr(format!(
+            "query references parameter `?{p}`: prepare it and bind values \
+             via `Prepared::execute_with`"
+        )));
+    }
+    Ok(())
 }
 
 /// Control relations must be fully materializable: a demand-driven
 /// `output` would silently evaluate to nothing.
-fn check_control_materializable(module: &Module) -> RelResult<()> {
+pub(crate) fn check_control_materializable(module: &Module) -> RelResult<()> {
     for control in ["output", "insert", "delete"] {
         if let Some(info) = module.pred_info.get(control) {
             if let rel_sema::ir::EvalMode::Demand { bound_prefix } = info.mode {
                 return Err(RelError::unsafe_expr(format!(
-                    "`{control}` is not materializable: its first {bound_prefix}                      argument(s) would need to be bound externally — some rule                      cannot ground them"
+                    "`{control}` is not materializable: its first {bound_prefix} \
+                     argument(s) would need to be bound externally — some rule \
+                     cannot ground them"
                 )));
             }
         }
@@ -170,7 +258,7 @@ fn check_control_materializable(module: &Module) -> RelResult<()> {
 
 /// Build a [`Delta`] from the `insert`/`delete` control relations: each
 /// tuple is `⟨:RelName, v₁, …, vₙ⟩` (§3.4).
-fn extract_delta(rels: &BTreeMap<Name, Relation>) -> RelResult<Delta> {
+pub(crate) fn extract_delta(rels: &BTreeMap<Name, Relation>) -> RelResult<Delta> {
     let mut delta = Delta::default();
     for (control, is_insert) in [("insert", true), ("delete", false)] {
         let Some(rel) = rels.get(control) else { continue };
@@ -310,6 +398,53 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn control_materializable_message_is_single_spaced() {
+        // A demand-driven `output` (its argument can't be grounded
+        // bottom-up) must be rejected with a readable message: exactly the
+        // text below, no embedded runs of whitespace from the source
+        // literal's line continuation.
+        let err = session()
+            .query("def output(x) : x > 3")
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "safety error: `output` is not materializable: its first 1 \
+             argument(s) would need to be bound externally — some rule \
+             cannot ground them"
+        );
+        assert!(!err.to_string().contains("  "), "double space in: {err}");
+    }
+
+    #[test]
+    fn compile_is_cached_per_source() {
+        // Cache hits are proven by pointer identity — a recompile could
+        // never hand back the same allocation. (Exact compilation-counter
+        // deltas are asserted in the isolated `prepared_compile_once`
+        // integration binary; the counter is process-global, so sibling
+        // tests in this binary would race an exact assertion here.)
+        let s = session();
+        let m1 = s.compile("def output(x) : ProductPrice(x, _)").unwrap();
+        let m2 = s.compile("def output(x) : ProductPrice(x, _)").unwrap();
+        assert!(Arc::ptr_eq(&m1, &m2), "same source must be served from the cache");
+        // Different source: a different module.
+        let m3 = s.compile("def output(x) : PaymentOrder(x, _)").unwrap();
+        assert!(!Arc::ptr_eq(&m1, &m3));
+        // A clone shares the cache.
+        let c = s.clone();
+        let m4 = c.compile("def output(x) : ProductPrice(x, _)").unwrap();
+        assert!(Arc::ptr_eq(&m1, &m4));
+    }
+
+    #[test]
+    fn install_library_invalidates_cached_parse() {
+        let mut s = session();
+        s.query("def output(x) : ProductPrice(x, _)").unwrap();
+        s.install_library("def Cheap(x) : ProductPrice(x, 10)\n");
+        let out = s.query("def output(x) : Cheap(x)").unwrap();
+        assert_eq!(out, Relation::from_tuples([tuple!["P1"]]));
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Explicit transaction handles (client API v2).
+//!
+//! [`crate::Session::begin`] opens a [`Transaction`] holding an O(1)
+//! copy-on-write snapshot of the database (the *candidate* state). The
+//! transaction stages work against the candidate:
+//!
+//! * [`Transaction::run`] / [`Transaction::run_prepared`] — evaluate a
+//!   program; its `insert`/`delete` control relations are applied to the
+//!   candidate immediately, so later steps observe earlier staged writes;
+//! * [`Transaction::stage_insert`] / [`Transaction::stage_delete`] —
+//!   direct tuple-level staging without compiling a program.
+//!
+//! Integrity constraints are enforced at [`Transaction::commit`] against
+//! the **final** candidate state, matching the paper's §3.4–3.5 protocol
+//! ("changes are persisted, unless the transaction is aborted"): a step
+//! may transiently violate a constraint that a later step repairs.
+//! [`Transaction::abort`] — or simply dropping the handle — discards the
+//! candidate at zero cost; the session's database is only ever touched by
+//! a successful commit.
+//!
+//! ```
+//! use rel_core::database::figure1_database;
+//! use rel_core::tuple;
+//! use rel_engine::Session;
+//!
+//! let mut s = Session::new(figure1_database());
+//! let mut txn = s.begin();
+//! txn.run("def insert(:ClosedOrders, x) : PaymentOrder(_, x)").unwrap();
+//! txn.stage_insert("ClosedOrders", tuple!["O9"]);
+//! let outcome = txn.commit().unwrap();
+//! assert_eq!(outcome.inserted, 4);
+//! assert_eq!(s.db().get("ClosedOrders").unwrap().len(), 4);
+//! ```
+
+use crate::fixpoint::materialize_with_cache;
+use crate::prepared::{Params, Prepared};
+use crate::session::{
+    check_constraints, check_control_materializable, extract_delta, require_no_params, Session,
+    TxnOutcome,
+};
+use rel_core::{Database, Name, RelResult, Relation, Tuple};
+use rel_sema::ir::Module;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A constraint check deferred to commit time. If no later step changed
+/// the candidate, the step's own materialization is reused; otherwise the
+/// module is re-materialized against the final state (with the step's
+/// parameter bindings re-injected).
+struct PendingCheck {
+    module: Arc<Module>,
+    /// Reserved `?name` relations the step ran with.
+    param_rels: BTreeMap<Name, Relation>,
+    /// Candidate version the stored `rels` were computed against.
+    version: u64,
+    /// The step's materialization (CoW handles — cheap to keep).
+    rels: BTreeMap<Name, Relation>,
+}
+
+/// An in-flight transaction over a candidate database snapshot. Created
+/// by [`Session::begin`]; holds the session exclusively (`&mut`) so no
+/// other writer can interleave, while the snapshot itself cost O(1).
+pub struct Transaction<'s> {
+    session: &'s mut Session,
+    candidate: Database,
+    touched: BTreeSet<Name>,
+    inserted: usize,
+    deleted: usize,
+    /// Bumped on every candidate mutation; lets commit-time checks reuse
+    /// a step's materialization when nothing changed after it.
+    version: u64,
+    checks: Vec<PendingCheck>,
+    output: Relation,
+}
+
+impl<'s> Transaction<'s> {
+    pub(crate) fn begin(session: &'s mut Session) -> Self {
+        let candidate = session.db().clone();
+        Transaction {
+            session,
+            candidate,
+            touched: BTreeSet::new(),
+            inserted: 0,
+            deleted: 0,
+            version: 0,
+            checks: Vec::new(),
+            output: Relation::default(),
+        }
+    }
+
+    /// The candidate state (the snapshot plus everything staged so far).
+    pub fn db(&self) -> &Database {
+        &self.candidate
+    }
+
+    /// Tuples staged for insertion so far.
+    pub fn staged_inserts(&self) -> usize {
+        self.inserted
+    }
+
+    /// Tuples staged for deletion so far.
+    pub fn staged_deletes(&self) -> usize {
+        self.deleted
+    }
+
+    /// Compile (through the session's module cache) and run one step:
+    /// evaluate against the candidate, apply the step's `insert`/`delete`
+    /// delta to the candidate, and return the step's `output` relation.
+    /// Constraint checking is deferred to [`Transaction::commit`].
+    pub fn run(&mut self, src: &str) -> RelResult<Relation> {
+        let module = self.session.compile(src)?;
+        check_control_materializable(&module)?;
+        // Parameterized sources must come through `run_prepared`, which
+        // binds the reserved relations — running them here would silently
+        // evaluate against empty parameters.
+        require_no_params(&module)?;
+        let rels =
+            materialize_with_cache(&module, &self.candidate, self.session.index_cache.clone())?;
+        self.absorb_step(module, BTreeMap::new(), rels)
+    }
+
+    /// Run a prepared step with `?name` parameters bound. The parameter
+    /// relations exist only for this step's evaluation — they never leak
+    /// into the candidate (or the committed) database.
+    pub fn run_prepared(&mut self, prepared: &Prepared, params: &Params) -> RelResult<Relation> {
+        let rels = prepared.materialize_with(self.session, params, &self.candidate)?;
+        let param_rels: BTreeMap<Name, Relation> = prepared
+            .param_names()
+            .iter()
+            .map(|p| {
+                let reserved = rel_sema::ir::param_relation(p);
+                let rel = rels.get(&reserved).cloned().unwrap_or_default();
+                (reserved, rel)
+            })
+            .collect();
+        self.absorb_step(Arc::clone(prepared.module()), param_rels, rels)
+    }
+
+    fn absorb_step(
+        &mut self,
+        module: Arc<Module>,
+        param_rels: BTreeMap<Name, Relation>,
+        rels: BTreeMap<Name, Relation>,
+    ) -> RelResult<Relation> {
+        let delta = extract_delta(&rels)?;
+        let output = rels.get("output").cloned().unwrap_or_default();
+        if !module.constraints.is_empty() {
+            self.checks.push(PendingCheck {
+                module,
+                param_rels,
+                version: self.version,
+                rels,
+            });
+        }
+        if !delta.is_empty() {
+            self.inserted += delta.inserts.values().map(Vec::len).sum::<usize>();
+            self.deleted += delta.deletes.values().map(Vec::len).sum::<usize>();
+            self.touched
+                .extend(delta.inserts.keys().chain(delta.deletes.keys()).cloned());
+            self.candidate.apply(&delta);
+            self.version += 1;
+        }
+        self.output = output.clone();
+        Ok(output)
+    }
+
+    /// Stage one tuple for insertion, bypassing compilation. Returns
+    /// whether the tuple was new.
+    pub fn stage_insert(&mut self, rel: impl AsRef<str>, t: Tuple) -> bool {
+        let added = self.candidate.insert(rel.as_ref(), t);
+        if added {
+            self.inserted += 1;
+            self.touched.insert(rel_core::name(rel));
+            self.version += 1;
+        }
+        added
+    }
+
+    /// Stage one tuple for deletion, bypassing compilation. Returns
+    /// whether the tuple was present.
+    pub fn stage_delete(&mut self, rel: impl AsRef<str>, t: &Tuple) -> bool {
+        if !self.candidate.defines(rel.as_ref()) {
+            return false;
+        }
+        let removed = self.candidate.get_mut(rel.as_ref()).remove(t);
+        if removed {
+            self.deleted += 1;
+            self.touched.insert(rel_core::name(rel));
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Check every staged step's integrity constraints against the final
+    /// candidate state and install it as the session's database. On a
+    /// violation the transaction aborts with the error and the session is
+    /// left untouched.
+    pub fn commit(self) -> RelResult<TxnOutcome> {
+        // Direct staging bypasses compilation, so a transaction with no
+        // compiled steps carries no pending check that would enforce the
+        // *installed library's* constraints (every `run` step's module
+        // embeds them). Compile the empty query — cached after the first
+        // time — to recover exactly those.
+        if self.checks.is_empty() && !self.touched.is_empty() {
+            let module = self.session.compile("")?;
+            if !module.constraints.is_empty() {
+                let rels = materialize_with_cache(
+                    &module,
+                    &self.candidate,
+                    self.session.index_cache.clone(),
+                )?;
+                check_constraints(&module, &rels)?;
+            }
+        }
+        for check in &self.checks {
+            if check.version == self.version {
+                // Nothing changed after this step: its own
+                // materialization *is* the final state's.
+                check_constraints(&check.module, &check.rels)?;
+            } else {
+                let mut db = self.candidate.clone();
+                for (reserved, rel) in &check.param_rels {
+                    db.set(reserved.clone(), rel.clone());
+                }
+                let rels = materialize_with_cache(
+                    &check.module,
+                    &db,
+                    self.session.index_cache.clone(),
+                )?;
+                check_constraints(&check.module, &rels)?;
+            }
+        }
+        self.session.db = self.candidate;
+        // The touched relations' generations moved with the commit: drop
+        // their pre-commit indexes eagerly (generation-checked lookups
+        // could never serve them, this just sheds dead weight), while
+        // indexes built at the committed generation stay warm.
+        self.session
+            .index_cache
+            .invalidate_stale_relations(self.touched.iter(), &self.session.db);
+        Ok(TxnOutcome {
+            output: self.output,
+            inserted: self.inserted,
+            deleted: self.deleted,
+        })
+    }
+
+    /// Discard the candidate state. Equivalent to dropping the handle —
+    /// provided so call sites can say what they mean.
+    pub fn abort(self) {}
+}
+
+impl std::fmt::Debug for Transaction<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("staged_inserts", &self.inserted)
+            .field("staged_deletes", &self.deleted)
+            .field("touched", &self.touched)
+            .field("pending_checks", &self.checks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::database::figure1_database;
+    use rel_core::{tuple, RelError};
+
+    fn session() -> Session {
+        Session::new(figure1_database())
+    }
+
+    #[test]
+    fn staged_steps_see_each_other() {
+        let mut s = session();
+        let mut txn = s.begin();
+        txn.run("def insert(:Closed, x) : PaymentOrder(_, x)").unwrap();
+        // The second step reads the first step's staged writes (the
+        // candidate view exposes them too).
+        let out = txn.run("def output(x) : Closed(x)").unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(txn.db().get("Closed").unwrap().len(), 3);
+        txn.commit().unwrap();
+        assert_eq!(s.db().get("Closed").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let mut s = session();
+        let mut txn = s.begin();
+        txn.run("def insert(:Closed, x) : PaymentOrder(_, x)").unwrap();
+        txn.stage_insert("Closed", tuple!["O9"]);
+        txn.abort();
+        assert!(!s.db().defines("Closed"));
+    }
+
+    #[test]
+    fn drop_is_abort() {
+        let mut s = session();
+        {
+            let mut txn = s.begin();
+            txn.stage_insert("Closed", tuple!["O9"]);
+        }
+        assert!(!s.db().defines("Closed"));
+    }
+
+    #[test]
+    fn direct_staging_counts_and_commits() {
+        let mut s = session();
+        let mut txn = s.begin();
+        assert!(txn.stage_insert("ProductPrice", tuple!["P9", 99]));
+        assert!(!txn.stage_insert("ProductPrice", tuple!["P9", 99])); // dup
+        assert!(txn.stage_delete("ProductPrice", &tuple!["P1", 10]));
+        assert!(!txn.stage_delete("ProductPrice", &tuple!["P1", 10]));
+        let outcome = txn.commit().unwrap();
+        assert_eq!((outcome.inserted, outcome.deleted), (1, 1));
+        assert_eq!(s.db().get("ProductPrice").unwrap().len(), 4);
+        assert!(s.db().get("ProductPrice").unwrap().contains(&tuple!["P9", 99]));
+    }
+
+    #[test]
+    fn constraints_checked_on_commit_against_final_state() {
+        // Step 1 violates the constraint transiently; step 2 repairs it
+        // before commit — the transaction succeeds.
+        let mut s = session();
+        let mut txn = s.begin();
+        txn.run(
+            "def insert(:OrderProductQuantity, x, y, z) : \
+               x = \"O9\" and y = \"P9\" and z = 1\n\
+             ic valid_products(p) requires \
+               OrderProductQuantity(_,p,_) implies ProductPrice(p,_)",
+        )
+        .unwrap();
+        txn.stage_insert("ProductPrice", tuple!["P9", 99]);
+        txn.commit().unwrap();
+        assert_eq!(s.db().get("OrderProductQuantity").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn unrepaired_violation_aborts_commit() {
+        let mut s = session();
+        let mut txn = s.begin();
+        txn.run(
+            "def insert(:OrderProductQuantity, x, y, z) : \
+               x = \"O9\" and y = \"P9\" and z = 1\n\
+             ic valid_products(p) requires \
+               OrderProductQuantity(_,p,_) implies ProductPrice(p,_)",
+        )
+        .unwrap();
+        let err = txn.commit().unwrap_err();
+        assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+        // Aborted: database unchanged.
+        assert_eq!(s.db().get("OrderProductQuantity").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn prepared_step_with_params_stages_writes() {
+        let mut s = session();
+        let q = s
+            .prepare("def insert(:Expensive, x) : exists((y) | ProductPrice(x, y) and y > ?min)")
+            .unwrap();
+        let mut txn = s.begin();
+        let n = txn
+            .run_prepared(&q, &Params::new().set("min", 15))
+            .map(|_| txn.staged_inserts())
+            .unwrap();
+        assert_eq!(n, 3);
+        txn.commit().unwrap();
+        assert_eq!(s.db().get("Expensive").unwrap().len(), 3);
+        // The reserved parameter relation never reaches the database.
+        assert!(!s.db().defines("?min"));
+    }
+
+    #[test]
+    fn stage_only_transaction_enforces_library_constraints() {
+        // Direct staging must not slip past `ic`s installed as library:
+        // the same write that aborts through `transact` aborts here too.
+        let mut s = session().with_library(
+            "ic valid_products(p) requires \
+               OrderProductQuantity(_,p,_) implies ProductPrice(p,_)\n",
+        );
+        let mut txn = s.begin();
+        txn.stage_insert("OrderProductQuantity", tuple!["O9", "NOPE", 1]);
+        let err = txn.commit().unwrap_err();
+        assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+        assert_eq!(s.db().get("OrderProductQuantity").unwrap().len(), 4);
+        // A conforming staged write still commits.
+        let mut txn = s.begin();
+        txn.stage_insert("OrderProductQuantity", tuple!["O9", "P1", 1]);
+        txn.commit().unwrap();
+        assert_eq!(s.db().get("OrderProductQuantity").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn run_rejects_parameterized_source() {
+        // A `?param` through the unprepared path must error, not evaluate
+        // against an absent (empty) parameter relation.
+        let mut s = session();
+        let mut txn = s.begin();
+        let err = txn
+            .run("def insert(:X, x) : exists((y) | ProductPrice(x, y) and y > ?min)")
+            .unwrap_err();
+        assert!(err.to_string().contains("?min"), "{err}");
+        drop(txn);
+        // And the thin `transact` wrapper inherits the guard.
+        let err = s
+            .transact("def insert(:X, x) : exists((y) | ProductPrice(x, y) and y > ?min)")
+            .unwrap_err();
+        assert!(err.to_string().contains("?min"), "{err}");
+    }
+
+    #[test]
+    fn outcome_output_is_last_step() {
+        let mut s = session();
+        let mut txn = s.begin();
+        txn.run("def output(x) : ProductPrice(x, _)").unwrap();
+        txn.run("def output(y) : exists((x) | PaymentOrder(x, y))").unwrap();
+        let outcome = txn.commit().unwrap();
+        assert_eq!(outcome.output.len(), 3);
+    }
+}

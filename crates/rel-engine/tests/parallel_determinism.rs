@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rel_core::{Database, Name, Relation, Tuple, Value};
-use rel_engine::{materialize_with_threads, SharedIndexCache};
+use rel_engine::{materialize_with_threads, Params, Session, SharedIndexCache};
 use std::collections::BTreeMap;
 
 /// A random base relation of binary tuples over a small domain, so joins
@@ -183,5 +183,62 @@ fn many_independent_components_stress_the_scheduler() {
         let par = materialize_with_threads(&module, &db, SharedIndexCache::default(), 6)
             .expect("parallel");
         assert_eq!(flatten(&seq), flatten(&par));
+    }
+}
+
+#[test]
+fn concurrent_prepared_executes_match_sequential_byte_for_byte() {
+    // Client API v2: one Session, one Prepared handle, 8 threads
+    // executing concurrently (sharing the module, the CoW database
+    // snapshot, and the generation-keyed index cache) must each produce
+    // exactly the tuples a sequential execute produces — same contents,
+    // same iteration order.
+    let mut rng = StdRng::seed_from_u64(0x9E2_AB1E);
+    let mut db = Database::new();
+    db.set("E", random_edges(&mut rng, 8));
+    let session = Session::new(db);
+    let prepared = session
+        .prepare(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))\n\
+             def output(x,y) : TC(x,y) and x >= ?lo",
+        )
+        .expect("prepares");
+
+    // Per-binding sequential baselines (threads will re-derive these).
+    let baselines: Vec<Vec<Tuple>> = (0..4i64)
+        .map(|lo| {
+            prepared
+                .execute_with(&session, &Params::new().set("lo", lo))
+                .expect("sequential execute")
+                .iter()
+                .cloned()
+                .collect()
+        })
+        .collect();
+
+    for _round in 0..5 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let session = &session;
+                    let prepared = &prepared;
+                    scope.spawn(move || {
+                        let lo = (i % 4) as i64;
+                        let out = prepared
+                            .execute_with(session, &Params::new().set("lo", lo))
+                            .expect("concurrent execute");
+                        (lo, out.iter().cloned().collect::<Vec<Tuple>>())
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (lo, got) = h.join().expect("thread");
+                assert_eq!(
+                    got, baselines[lo as usize],
+                    "concurrent execute diverged from sequential for ?lo={lo}"
+                );
+            }
+        });
     }
 }

@@ -1,0 +1,54 @@
+//! Acceptance gate for client API v2: a prepared query re-executed N
+//! times — including rebinding its parameters every time — compiles
+//! **exactly once**, asserted against `rel-sema`'s process-wide
+//! compilation counter.
+//!
+//! This lives in its own integration-test binary (one `#[test]`) so no
+//! sibling test can bump the global counter concurrently.
+
+use rel_core::database::figure1_database;
+use rel_engine::{Params, Session};
+
+#[test]
+fn n_executes_and_rebinds_compile_exactly_once() {
+    let mut session = Session::new(figure1_database());
+
+    let before = rel_sema::compilations();
+    let prepared = session
+        .prepare("def output(x, y) : ProductPrice(x, y) and y > ?min")
+        .expect("prepares");
+    let after_prepare = rel_sema::compilations();
+    assert_eq!(after_prepare, before + 1, "prepare compiles exactly once");
+
+    // 100 executions, a fresh parameter binding each time: zero further
+    // compilations — parameter binding is relation injection, never a
+    // recompile.
+    let mut total_rows = 0usize;
+    for i in 0..100i64 {
+        let out = prepared
+            .execute_with(&session, &Params::new().set("min", i % 45))
+            .expect("executes");
+        total_rows += out.len();
+    }
+    assert!(total_rows > 0, "the workload actually produced rows");
+    assert_eq!(
+        rel_sema::compilations(),
+        after_prepare,
+        "re-execution or rebinding triggered a recompilation"
+    );
+
+    // Executing against a *changed* snapshot does not recompile either.
+    session.db_mut().insert("ProductPrice", rel_core::tuple!["P9", 99]);
+    let out = prepared
+        .execute_with(&session, &Params::new().set("min", 90))
+        .expect("executes on new snapshot");
+    assert_eq!(out.rows::<(String, i64)>().unwrap(), vec![("P9".to_string(), 99)]);
+    assert_eq!(rel_sema::compilations(), after_prepare);
+
+    // And the one-shot path shares the same cache: re-running an
+    // identical source string through `query` compiles at most once.
+    session.query("def output(x) : ProductPrice(x, _)").unwrap();
+    let after_query = rel_sema::compilations();
+    session.query("def output(x) : ProductPrice(x, _)").unwrap();
+    assert_eq!(rel_sema::compilations(), after_query);
+}

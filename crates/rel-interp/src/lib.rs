@@ -293,6 +293,11 @@ impl Interp {
             Expr::Ident(x) | Expr::TupleVar(x) => {
                 Ok(env.get(x).cloned().unwrap_or_default())
             }
+            // J ?p Kµ = the extent of the reserved relation `?p` (the
+            // prepared-query API injects it at execute time; absent = ∅).
+            Expr::Param(p) => {
+                Ok(env.get(&format!("?{p}")).cloned().unwrap_or_default())
+            }
             // J _ Kµ = {⟨v⟩ | v ∈ Values}
             Expr::Wildcard => Ok(Relation::from_values(self.universe.iter().cloned())),
             // J _... Kµ = Tuples₁

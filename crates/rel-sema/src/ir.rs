@@ -17,10 +17,25 @@
 //! `{ ⟨params(µ)⟩ · t | µ ∈ envs(body), t ∈ ⟦value-part⟧µ }` — for formula
 //! bodies the value part is `{⟨⟩}`, so heads alone produce the tuples.
 
-use rel_core::{Name, Value};
+use rel_core::{name, Name, Value};
 use rel_syntax::ast::CmpOp;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// The reserved base-relation name backing the query parameter `?param`.
+/// The `?` prefix cannot appear in a source identifier, so these names can
+/// never collide with user relations; the engine injects a singleton
+/// relation under this name at execute time (prepared queries, client API
+/// v2).
+pub fn param_relation(param: &str) -> Name {
+    name(format!("?{param}"))
+}
+
+/// The bare parameter name of a reserved `?name` relation, if `rel` is
+/// one (inverse of [`param_relation`]).
+pub fn param_name(rel: &str) -> Option<&str> {
+    rel.strip_prefix('?')
+}
 
 /// A numbered variable. Names live in [`VarTable`].
 pub type Var = u32;
@@ -355,6 +370,11 @@ pub struct Module {
     pub stratum_deps: Vec<Vec<usize>>,
     /// Per-predicate info.
     pub pred_info: BTreeMap<Name, PredInfo>,
+    /// Bare names of the query parameters (`?name` placeholders) this
+    /// module references, sorted. A module with a non-empty parameter list
+    /// can only be executed with bindings for every listed name (see the
+    /// engine's `Prepared::execute_with`).
+    pub params: Vec<Name>,
 }
 
 impl Module {
@@ -367,6 +387,81 @@ impl Module {
     pub fn rules_for(&self, pred: &str) -> &[Rule] {
         self.rules.get(pred).map(Vec::as_slice).unwrap_or(&[])
     }
+}
+
+/// Visit every predicate name referenced by a formula (pre-order).
+pub fn visit_formula_preds(f: &Formula, visit: &mut impl FnMut(&Name)) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Conj(items) | Formula::Disj(items) => {
+            for i in items {
+                visit_formula_preds(i, visit);
+            }
+        }
+        Formula::Not(inner) => visit_formula_preds(inner, visit),
+        Formula::Atom(a) => visit(&a.pred),
+        Formula::DynAtom { rel, .. } => visit_rexpr_preds(rel, visit),
+        Formula::Cmp { lhs, rhs, .. } => {
+            visit_rexpr_preds(lhs, visit);
+            visit_rexpr_preds(rhs, visit);
+        }
+        Formula::Member { of, .. } => visit_rexpr_preds(of, visit),
+        Formula::Exists { body, .. } => visit_formula_preds(body, visit),
+        Formula::OfExpr(e) => visit_rexpr_preds(e, visit),
+    }
+}
+
+/// Visit every predicate name referenced by a relation expression.
+pub fn visit_rexpr_preds(e: &RExpr, visit: &mut impl FnMut(&Name)) {
+    match e {
+        RExpr::Pred(p) => visit(p),
+        RExpr::PApp { pred, .. } => visit(pred),
+        RExpr::DynPApp { rel, .. } => visit_rexpr_preds(rel, visit),
+        RExpr::Product(es) | RExpr::Union(es) => {
+            for x in es {
+                visit_rexpr_preds(x, visit);
+            }
+        }
+        RExpr::Singleton(_) => {}
+        RExpr::Where { body, cond } => {
+            visit_rexpr_preds(body, visit);
+            visit_formula_preds(cond, visit);
+        }
+        RExpr::Abstract { params, body, .. } => {
+            for p in params {
+                if let AbsParam::In(_, dom) = p {
+                    visit_rexpr_preds(dom, visit);
+                }
+            }
+            visit_rexpr_preds(body, visit);
+        }
+        RExpr::Reduce { op, input, .. } => {
+            visit_rexpr_preds(op, visit);
+            visit_rexpr_preds(input, visit);
+        }
+        // `op` is always a `rel_primitive_*` name, not a predicate
+        // reference — only the argument expressions are visited.
+        RExpr::BuiltinApp { args, .. } => {
+            for a in args {
+                visit_rexpr_preds(a, visit);
+            }
+        }
+        RExpr::DotJoin(a, b) | RExpr::LeftOverride(a, b) => {
+            visit_rexpr_preds(a, visit);
+            visit_rexpr_preds(b, visit);
+        }
+        RExpr::OfFormula(f) => visit_formula_preds(f, visit),
+    }
+}
+
+/// Visit every predicate name a rule references (head domains + body).
+pub fn visit_rule_preds(rule: &Rule, visit: &mut impl FnMut(&Name)) {
+    for p in &rule.params {
+        if let AbsParam::In(_, dom) = p {
+            visit_rexpr_preds(dom, visit);
+        }
+    }
+    visit_rexpr_preds(&rule.body, visit);
 }
 
 impl fmt::Display for Term {

@@ -312,6 +312,17 @@ impl Cx {
                     )))
                 }
             },
+            // A query parameter in argument position: join against the
+            // reserved singleton relation injected at execute time, exactly
+            // like a relation name in argument position.
+            Expr::Param(n) => {
+                let t = self.fresh(&format!("?{n}"));
+                pre.push(Formula::Member {
+                    term: Term::Var(t),
+                    of: Box::new(RExpr::Pred(ir::param_relation(n))),
+                });
+                Term::Var(t)
+            }
             // Arithmetic arguments flatten into *builtin atoms* rather than
             // `Member` constraints so the planner can invert them
             // (`R(x, j-1)` lets `j` be solved from R's third column via
@@ -366,6 +377,10 @@ impl Cx {
                     )))
                 }
             },
+            // A query parameter in expression position is the whole
+            // reserved singleton relation (unary, one tuple at execute
+            // time), so `y > ?min` compares against its value.
+            Expr::Param(n) => RExpr::Pred(ir::param_relation(n)),
             Expr::Wildcard => {
                 return Err(RelError::unsafe_expr(
                     "`_` denotes all values and cannot be used as a standalone \

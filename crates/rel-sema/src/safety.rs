@@ -1,6 +1,6 @@
 //! Safety (range-restriction) analysis — §3.1–3.2 of the paper,
 //! following the mode-based approach of "Queries with External
-//! Predicates" [28]: built-in relations are infinite but evaluable under
+//! Predicates" (ref. 28): built-in relations are infinite but evaluable under
 //! *modes*, and an expression is safe when some conjunct ordering grounds
 //! every variable from finite sources or mode outputs rooted in finite
 //! sources.

@@ -3,7 +3,7 @@
 //! Rel's relation variables (`def Product({A},{B},x...,y...)`) make
 //! definitions second-order: `Product` is conceptually an infinite relation
 //! whose first columns range over all of *Rels₁* (§4.2). Following the Data
-//! HiLog-style parameter passing the paper cites (§7, [50]), we implement
+//! HiLog-style parameter passing the paper cites (§7, ref. 50), we implement
 //! them by *instantiation*: every application `Product[R,S]` creates — once,
 //! memoised — a first-order predicate `Product@k` whose rules are the
 //! original rules with `A ↦ R`, `B ↦ S` substituted.
@@ -206,7 +206,11 @@ impl Sp {
                     e.clone()
                 }
             }
-            Expr::Lit(_) | Expr::TupleVar(_) | Expr::Wildcard | Expr::TupleWildcard => e.clone(),
+            Expr::Lit(_)
+            | Expr::TupleVar(_)
+            | Expr::Wildcard
+            | Expr::TupleWildcard
+            | Expr::Param(_) => e.clone(),
             Expr::App { func, args, style } => {
                 self.transform_app(func, args, *style, scope, subst)?
             }
@@ -532,6 +536,8 @@ impl Sp {
 fn definitely_first_order(e: &Expr, scope: &Scope) -> bool {
     match e {
         Expr::Lit(_) => true,
+        // A query parameter is a singleton of values — first-order.
+        Expr::Param(_) => true,
         Expr::Ident(n) => scope.contains(n),
         Expr::Arith(_, a, b) => {
             definitely_first_order(a, scope) && definitely_first_order(b, scope)
@@ -548,7 +554,12 @@ fn could_be_first_order(args: &[Arg], scope: &Scope) -> bool {
     args.iter().all(|a| {
         matches!(
             &a.expr,
-            Expr::Lit(_) | Expr::Wildcard | Expr::Union(_) | Expr::Arith(..) | Expr::Neg(..)
+            Expr::Lit(_)
+                | Expr::Wildcard
+                | Expr::Union(_)
+                | Expr::Arith(..)
+                | Expr::Neg(..)
+                | Expr::Param(_)
         ) || matches!(&a.expr, Expr::Ident(n) if scope.contains(n))
     })
 }
@@ -587,7 +598,11 @@ fn canonicalize(e: &Expr, scope: &Scope, lifted: &mut Vec<String>) -> RelResult<
                      relation argument"
                 )))
             }
-            Expr::Lit(_) | Expr::TupleVar(_) | Expr::Wildcard | Expr::TupleWildcard => e.clone(),
+            Expr::Lit(_)
+            | Expr::TupleVar(_)
+            | Expr::Wildcard
+            | Expr::TupleWildcard
+            | Expr::Param(_) => e.clone(),
             Expr::Abstraction { bindings, style, body } => {
                 let mut inner = local.clone();
                 let mut bs = Vec::new();
@@ -745,7 +760,7 @@ fn rename_expr(e: &Expr, prefix: &str, map: &mut BTreeMap<String, String>) -> Ex
             Some(r) => Expr::TupleVar(r.clone()),
             None => e.clone(),
         },
-        Expr::Lit(_) | Expr::Wildcard | Expr::TupleWildcard => e.clone(),
+        Expr::Lit(_) | Expr::Wildcard | Expr::TupleWildcard | Expr::Param(_) => e.clone(),
         Expr::Product(es) => {
             Expr::Product(es.iter().map(|x| rename_expr(x, prefix, map)).collect())
         }

@@ -253,6 +253,10 @@ pub enum Expr {
     Wildcard,
     /// Anonymous tuple variable `_...`.
     TupleWildcard,
+    /// Query-parameter placeholder `?name`: a singleton unary relation
+    /// whose value is supplied at execute time by a prepared query's
+    /// parameter bindings (client API v2).
+    Param(String),
     /// Cartesian product `(e₁, …, eₙ)`; `n = 1` is plain grouping.
     Product(Vec<Expr>),
     /// Union `{e₁; …; eₙ}`; `{}` (empty) is `false`.
@@ -380,7 +384,8 @@ impl Expr {
             | Expr::Ident(_)
             | Expr::TupleVar(_)
             | Expr::Wildcard
-            | Expr::TupleWildcard => {}
+            | Expr::TupleWildcard
+            | Expr::Param(_) => {}
             Expr::Product(es) | Expr::Union(es) => {
                 for e in es {
                     e.walk(f);

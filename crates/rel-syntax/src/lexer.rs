@@ -9,6 +9,13 @@
 //! * `:Name` (no space) lexes as a relation-name symbol (used to pass
 //!   relation names, e.g. `insert(:ClosedOrders, x)`); a lone `:` is the
 //!   def/abstraction separator.
+//! * `?name` (no space) lexes as a query-parameter placeholder (prepared
+//!   queries); a lone `?` is the first-order annotation `?{…}`.
+//!   **Compatibility**: the brace-less annotation spelling `f[?x]` is no
+//!   longer available — it now reads as the parameter `?x` (and a
+//!   non-prepared entry point rejects it with an error naming the
+//!   parameter). Write annotations as `?{x}`, the form the paper and all
+//!   diagnostics use.
 //! * `//` line comments and `/* ... */` block comments (nesting allowed).
 
 use crate::token::{Pos, Token, TokenKind};
@@ -126,7 +133,19 @@ impl<'a> Lexer<'a> {
                 '/' => self.single(TokenKind::Slash, pos),
                 '%' => self.single(TokenKind::Percent, pos),
                 '^' => self.single(TokenKind::Caret, pos),
-                '?' => self.single(TokenKind::Question, pos),
+                '?' => {
+                    self.bump();
+                    // `?name` (no space) is a query-parameter placeholder;
+                    // a lone `?` is the first-order argument annotation
+                    // (always written `?{…}`).
+                    match self.peek() {
+                        Some(c2) if c2.is_alphabetic() || c2 == '_' => {
+                            let name = self.take_ident_text();
+                            self.emit(TokenKind::Param(name), pos);
+                        }
+                        _ => self.emit(TokenKind::Question, pos),
+                    }
+                }
                 '&' => self.single(TokenKind::Ampersand, pos),
                 '=' => self.single(TokenKind::Eq, pos),
                 '!' => {
@@ -450,6 +469,34 @@ mod tests {
                 Question,
                 LBrace,
                 Ident("R".into()),
+                RBrace,
+                RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn param_placeholders_vs_annotation() {
+        assert_eq!(
+            kinds("R(x, ?limit)"),
+            vec![
+                Ident("R".into()),
+                LParen,
+                Ident("x".into()),
+                Comma,
+                Param("limit".into()),
+                RParen,
+            ]
+        );
+        // Annotation usage keeps the bare `?` token.
+        assert_eq!(
+            kinds("addUp[?{11}]"),
+            vec![
+                Ident("addUp".into()),
+                LBracket,
+                Question,
+                LBrace,
+                Int(11),
                 RBrace,
                 RBracket,
             ]

@@ -528,6 +528,10 @@ impl Parser {
                 self.bump();
                 Ok(Expr::TupleVar(name))
             }
+            TokenKind::Param(name) => {
+                self.bump();
+                Ok(Expr::Param(name))
+            }
             TokenKind::Underscore => {
                 self.bump();
                 Ok(Expr::Wildcard)

@@ -55,6 +55,7 @@ impl fmt::Display for ExprPrinter<'_> {
             Expr::TupleVar(s) => write!(f, "{s}..."),
             Expr::Wildcard => write!(f, "_"),
             Expr::TupleWildcard => write!(f, "_..."),
+            Expr::Param(s) => write!(f, "?{s}"),
             Expr::Product(es) => {
                 write!(f, "(")?;
                 for (i, x) in es.iter().enumerate() {
@@ -266,6 +267,8 @@ mod tests {
             "forall((x..., y) | R(x..., y))",
             "reduce[&{add}, &{A}]",
             "addUp[?{11; 22}]",
+            "R(x, ?limit)",
+            "y > ?min and y < ?max",
             "a = b",
             "-x + 3",
             "x implies y implies z",

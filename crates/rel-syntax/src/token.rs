@@ -47,6 +47,9 @@ pub enum TokenKind {
     Str(String),
     /// Relation-name symbol `:Name`.
     Symbol(String),
+    /// Query-parameter placeholder `?name` (client API v2): bound at
+    /// execute time by a prepared query's parameter set.
+    Param(String),
 
     // Keywords.
     /// `def`
@@ -166,6 +169,7 @@ impl TokenKind {
             Float(x) => format!("float `{x}`"),
             Str(s) => format!("string {s:?}"),
             Symbol(s) => format!("symbol `:{s}`"),
+            Param(s) => format!("parameter `?{s}`"),
             Def => "`def`".into(),
             Ic => "`ic`".into(),
             Requires => "`requires`".into(),

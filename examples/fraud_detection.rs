@@ -84,32 +84,49 @@ fn main() -> RelResult<()> {
     "#;
     let session = session.with_library(library);
 
-    let rings = session.query("def output(x) : InRing(x)")?;
-    println!("ring members:        {rings}");
+    let rings: Vec<String> = session.query("def output(x) : InRing(x)")?.rows()?;
+    println!("ring members:        {rings:?}");
 
-    let structuring = session.query("def output(x) : Structuring(x)")?;
-    println!("structuring:         {structuring}");
+    let structuring: Vec<String> =
+        session.query("def output(x) : Structuring(x)")?.rows()?;
+    println!("structuring:         {structuring:?}");
 
-    let scores = session.query("def output : RiskScore")?;
-    println!("risk scores:         {scores}");
+    // Typed rows: account → score, no Value matching.
+    let scores: Vec<(String, i64)> = session.query("def output : RiskScore")?.rows()?;
+    println!("risk scores:         {scores:?}");
 
-    let suspicious = session.query("def output(x) : Suspicious(x)")?;
-    println!("suspicious accounts: {suspicious}");
+    // The analyst's screening query, prepared once and re-executed per
+    // threshold — compilation happens a single time.
+    let flagged = session.prepare(
+        "def output(x) : exists((s) | RiskScore(x, s) and s >= ?min_score)",
+    )?;
+    for min_score in [5i64, 10] {
+        let accounts: Vec<String> = flagged
+            .execute_with(&session, &Params::new().set("min_score", min_score))?
+            .rows()?;
+        println!("score >= {min_score:>2}:         {accounts:?}");
+    }
 
-    // Case management as a transaction: quarantine suspicious accounts.
+    // Case management as an explicit transaction: quarantine every
+    // suspicious account, and log the action — two staged steps, one
+    // atomic commit.
     let mut session = session;
-    let outcome = session.transact("def insert(:Quarantined, x) : Suspicious(x)")?;
-    println!("quarantined:         {} accounts", outcome.inserted);
+    let mut txn = session.begin();
+    txn.run("def insert(:Quarantined, x) : Suspicious(x)")?;
+    txn.run("def insert(:AuditLog, x, \"quarantined\") : Quarantined(x)")?;
+    let outcome = txn.commit()?;
+    println!("quarantined:         {} staged tuples", outcome.inserted);
 
     // A constraint keeps future transfers away from quarantined accounts:
-    // inserting one aborts.
-    let err = session
-        .transact(
-            "def insert(:Transfer, 99, \"payroll\", \"mule\", x) : x = 5000\n\
-             ic no_quarantined_counterparty(t, y) requires \
-                 Transfer(t, _, y, _) implies not Quarantined(y)",
-        )
-        .unwrap_err();
+    // the violation surfaces at commit time and the candidate state is
+    // discarded — the session's database is untouched.
+    let mut txn = session.begin();
+    txn.run(
+        "def insert(:Transfer, 99, \"payroll\", \"mule\", x) : x = 5000\n\
+         ic no_quarantined_counterparty(t, y) requires \
+             Transfer(t, _, y, _) implies not Quarantined(y)",
+    )?;
+    let err = txn.commit().unwrap_err();
     println!("blocked transfer:    {err}");
 
     Ok(())

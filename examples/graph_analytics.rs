@@ -39,32 +39,40 @@ fn main() -> RelResult<()> {
     );
 
     // PageRank with the §5.4 stop-condition program (non-stratified;
-    // evaluated by partial fixpoint).
-    let pr = session.query("def output(i, v) : PageRank[M](i, v)")?;
+    // evaluated by partial fixpoint). Typed rows replace hand-unpacking.
+    let pr: Vec<(i64, f64)> = session
+        .query("def output(i, v) : PageRank[M](i, v)")?
+        .rows()?;
     let m = native::transition_matrix(&g);
     let native_pr = native::pagerank_iterate(g.n, &m, 0.005, 10_000);
     let max_err = pr
         .iter()
-        .map(|t| {
-            let i = t.values()[0].as_int().unwrap() as usize;
-            (t.values()[1].as_f64().unwrap() - native_pr[&i]).abs()
-        })
+        .map(|(i, v)| (v - native_pr[&(*i as usize)]).abs())
         .fold(0.0f64, f64::max);
     println!("PageRank:            {} ranks, max |rel − native| = {max_err:.2e}", pr.len());
 
-    // Triangles.
-    let t = session.query("def output[c] : c = TriangleCount[E]")?;
-    println!(
-        "triangles:           {} (native: {})",
-        t.iter().next().map(|t| t.values()[0].clone()).unwrap_or(Value::Int(0)),
-        native::triangle_count(&g)
-    );
+    // Triangles — a singleton aggregate reads as one typed scalar.
+    let t: i64 = session
+        .query("def output[c] : c = TriangleCount[E]")?
+        .single()?;
+    println!("triangles:           {t} (native: {})", native::triangle_count(&g));
 
     // Connected components.
-    let cc = session.query("def output(x, c) : ComponentOf(V, E, x, c)")?;
-    let labels: std::collections::BTreeSet<_> =
-        cc.iter().map(|t| t.values()[1].clone()).collect();
+    let cc: Vec<(i64, i64)> = session
+        .query("def output(x, c) : ComponentOf(V, E, x, c)")?
+        .rows()?;
+    let labels: std::collections::BTreeSet<_> = cc.iter().map(|(_, c)| c).collect();
     println!("components:          {}", labels.len());
+
+    // A parameterized reachability probe, prepared once and executed per
+    // source vertex with zero recompilation.
+    let reach = session.prepare("def output(y) : TC(E, ?src, y)")?;
+    for src in 0..3i64 {
+        let reachable = reach
+            .execute_with(&session, &Params::new().set("src", src))?
+            .len();
+        println!("reachable from {src}:    {reachable} vertices");
+    }
 
     Ok(())
 }

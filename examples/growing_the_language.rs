@@ -29,13 +29,20 @@ fn main() -> RelResult<()> {
     "#;
     let session = session.with_library(library);
 
-    // Symmetric difference of two product sets.
-    let out = session.query(
-        "def Cheap(x) : exists((p) | ProductPrice(x, p) and p <= 20)\n\
+    // Symmetric difference of two product sets, as typed rows. The cheap
+    // threshold is a `?param`: the module compiles once, the bound value
+    // changes per execute.
+    let sym_diff = session.prepare(
+        "def Cheap(x) : exists((p) | ProductPrice(x, p) and p <= ?cheap)\n\
          def Ordered(x) : OrderProductQuantity(_, x, _)\n\
          def output : SymDiff[Cheap, Ordered]",
     )?;
-    println!("cheap XOR ordered:    {out}");
+    for cheap in [20i64, 40] {
+        let products: Vec<String> = sym_diff
+            .execute_with(&session, &Params::new().set("cheap", cheap))?
+            .rows()?;
+        println!("cheap(≤{cheap}) XOR ordered: {products:?}");
+    }
 
     // Arity-generic prefixes of a ternary relation.
     let out = session.query("def output : AllPrefixes[OrderProductQuantity]")?;
@@ -43,12 +50,15 @@ fn main() -> RelResult<()> {
 
     // Demand-driven digit sums: addUp is unsafe bottom-up (it would
     // enumerate all integers) but runs top-down once its argument is
-    // bound — the engine tables it.
-    let out = session.query(
-        "def Nums(n) : {(09); (99); (1234)}(n)\n\
-         def output(n, s) : Nums(n) and addUp(n, s)",
-    )?;
-    println!("digit sums:           {out}");
+    // bound — here bound by a parameter, re-executed per number with
+    // zero recompilation.
+    let digit_sum = session.prepare("def output(s) : addUp(?n, s)")?;
+    for n in [9i64, 99, 1234] {
+        let s: i64 = digit_sum
+            .execute_with(&session, &Params::new().set("n", n))?
+            .single()?;
+        println!("addUp({n:>4}):          {s}");
+    }
 
     // Permutations via tuple-variable recursion (§4.1).
     let out = session.query(

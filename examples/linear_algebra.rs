@@ -45,28 +45,41 @@ fn main() -> RelResult<()> {
 
     let session = Session::with_stdlib(db);
 
-    // §5.3.2 — scalar product: u = (4,2), v = (3,6) ⇒ 24.
-    let out = session.query("def output : ScalarProd[U, Vv]")?;
-    println!("u · v              = {out}");
+    // §5.3.2 — scalar product: u = (4,2), v = (3,6) ⇒ 24. A singleton
+    // aggregate reads as one typed scalar.
+    let dot: f64 = session.query("def output : ScalarProd[U, Vv]")?.single()?;
+    println!("u · v              = {dot}");
 
     // §1 — matrix multiplication, the paper's opening example. The same
-    // MatrixMult works for the dense and the sparse matrix.
-    let out = session.query("def output : MatrixMult[A, B]")?;
-    println!("A · B (sparse B)   = {out}");
+    // MatrixMult works for the dense and the sparse matrix; typed rows
+    // give (i, j, v) triples directly.
+    let ab: Vec<(i64, i64, f64)> = session.query("def output : MatrixMult[A, B]")?.rows()?;
+    println!("A · B (sparse B)   = {ab:?}");
 
     let out = session.query("def output : MatrixMult[A, A]")?;
     println!("A · A (dense)      : {} entries", out.len());
 
     // Library composition: trace of a product, defined on the spot.
-    let out = session.query(
-        "def AB(i, j, v) : MatrixMult(A, B, i, j, v)\n\
-         def output[t] : t = trace[AB]",
-    )?;
-    println!("trace(A · B)       = {out}");
+    let trace: f64 = session
+        .query(
+            "def AB(i, j, v) : MatrixMult(A, B, i, j, v)\n\
+             def output[t] : t = trace[AB]",
+        )?
+        .single()?;
+    println!("trace(A · B)       = {trace}");
 
     // Transpose + dimension.
-    let out = session.query("def output[d] : d = dimension[B]")?;
-    println!("dim(B)             = {out}");
+    let dim: i64 = session.query("def output[d] : d = dimension[B]")?.single()?;
+    println!("dim(B)             = {dim}");
+
+    // A prepared cell probe: one compilation, executed per coordinate.
+    let cell = session.prepare("def output[v] : v = A[?i, ?j]")?;
+    for (i, j) in [(1i64, 1i64), (2, 3), (3, 2)] {
+        let v: f64 = cell
+            .execute_with(&session, &Params::new().set("i", i).set("j", j))?
+            .single()?;
+        println!("A[{i},{j}]             = {v}");
+    }
 
     Ok(())
 }

@@ -42,22 +42,41 @@ fn main() -> RelResult<()> {
     )?;
     println!("order totals (entities):   {out}");
 
-    let out = session.query(
-        "def OrderPaid(o, a) : exists((p) | PaymentOrder(p, o) and PaymentAmount(p, a))\n\
-         def output[o in OrderEntity] : sum[OrderPaid[o]] <++ 0",
+    // Typed rows over entity-keyed results: EntityId is a FromValue type.
+    let paid: Vec<(EntityId, i64)> = session
+        .query(
+            "def OrderPaid(o, a) : exists((p) | PaymentOrder(p, o) and PaymentAmount(p, a))\n\
+             def output[o in OrderEntity] : sum[OrderPaid[o]] <++ 0",
+        )?
+        .rows()?;
+    println!("order payments (entities): {paid:?}");
+
+    // A per-entity drill-down, prepared once and executed per order.
+    let total_for = session.prepare(
+        "def OrderLineAmount(o, l, a) : exists((q, p, pr) | \
+             LineOrder(l, o) and OrderLineQuantity(l, q) and \
+             LineProduct(l, p) and ProductPrice(p, pr) and a = q * pr)\n\
+         def output[v] : exists((o) | OrderEntity(o) and o = ?order and \
+             v = sum[OrderLineAmount[o]])",
     )?;
-    println!("order payments (entities): {out}");
+    for (order, _) in &paid {
+        let total: i64 = total_for
+            .execute_with(&session, &Params::new().set("order", Value::Entity(*order)))?
+            .single()?;
+        println!("order {order} total:         {total}");
+    }
 
     // A transaction with the knowledge graph's constraints in force:
     // linking a payment to a *product* entity would violate the
-    // PaymentOrder_to_domain constraint and abort.
-    let err = session
-        .transact(
-            "def anyProduct(p) : ProductEntity(p)\n\
-             def anyPayment(x) : PaymentEntity(x)\n\
-             def insert(:PaymentOrder, x, p) : anyPayment(x) and anyProduct(p)",
-        )
-        .unwrap_err();
+    // PaymentOrder_to_domain constraint — the violation surfaces at
+    // commit and the candidate snapshot is discarded.
+    let mut txn = session.begin();
+    txn.run(
+        "def anyProduct(p) : ProductEntity(p)\n\
+         def anyPayment(x) : PaymentEntity(x)\n\
+         def insert(:PaymentOrder, x, p) : anyPayment(x) and anyProduct(p)",
+    )?;
+    let err = txn.commit().unwrap_err();
     println!("bad transaction aborted:   {err}");
     println!("database unchanged:        PaymentOrder has {} tuples",
         session.db().get("PaymentOrder").map(rel::core::Relation::len).unwrap_or(0));

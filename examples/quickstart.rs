@@ -1,4 +1,6 @@
-//! Quickstart: the paper's Figure 1 database and the basic queries of §3.
+//! Quickstart: the paper's Figure 1 database through the **client API
+//! v2** — prepare once, execute many times with bound parameters, read
+//! typed rows, and stage writes through an explicit transaction handle.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -11,45 +13,54 @@ fn main() -> RelResult<()> {
     let db = rel::core::database::figure1_database();
     let mut session = Session::with_stdlib(db);
 
-    // §3.1 — orders that received at least one payment. Set semantics:
-    // "O1" appears once even though it received two payments.
+    // §3.1 — orders that received at least one payment. One-shot queries
+    // still work (and are themselves cached by source).
     let out = session.query("def output(y) : exists((x) | PaymentOrder(x, y))")?;
     println!("orders with payments:      {out}");
 
-    // §3.1 — products that were never ordered (negation).
-    let out = session.query(
-        "def output(x) : ProductPrice(x,_) and not OrderProductQuantity(_,x,_)",
+    // Prepare once: the program is compiled a single time; `?min` is a
+    // parameter placeholder bound at execute time.
+    let pricier_than = session.prepare(
+        "def output(x, y) : ProductPrice(x, y) and y > ?min",
     )?;
-    println!("never ordered:             {out}");
+    for min in [10, 25] {
+        // Typed results: rows::<(String, i64)>() instead of matching
+        // `Value`s by hand.
+        let rows: Vec<(String, i64)> = pricier_than
+            .execute_with(&session, &Params::new().set("min", min))?
+            .rows()?;
+        println!("products over {min:>2}:          {rows:?}");
+    }
 
-    // §3.2 — inverted arithmetic: discounted prices via add(y, 5, z).
-    let out = session.query(
-        "def output(x,y) : exists((z) | ProductPrice(x,z) and add(y,5,z))",
-    )?;
-    println!("discounted prices:         {out}");
-
-    // §4.3 — partial application: what does order O1 contain?
-    let out = session.query("def output : OrderProductQuantity[\"O1\"]")?;
-    println!("contents of O1:            {out}");
-
-    // §5.2 — aggregation with defaults: total paid per order.
-    let out = session.query(
+    // §5.2 — aggregation with defaults: total paid per order, as typed
+    // rows straight off the prepared handle.
+    let totals = session.prepare(
         "def Ord(x) : OrderProductQuantity(x,_,_)\n\
          def OrderPaymentAmount(x,y,z) : PaymentOrder(y,x) and PaymentAmount(y,z)\n\
          def output[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0",
     )?;
-    println!("total paid per order:      {out}");
+    let rows: Vec<(String, i64)> = totals.execute(&session)?.rows()?;
+    println!("total paid per order:      {rows:?}");
 
-    // §3.4 — a transaction: record orders that received payments.
-    let outcome = session.transact(
+    // §3.4 — an explicit transaction: stage a derived insert plus a
+    // direct tuple insert, then commit atomically. Integrity constraints
+    // are checked on commit; dropping the handle instead aborts for free.
+    let mut txn = session.begin();
+    txn.run(
         "def Ord(x) : OrderProductQuantity(x,_,_)\n\
          def insert(:ClosedOrders, x) : Ord(x) and exists((p) | PaymentOrder(p, x))",
     )?;
+    txn.stage_insert("ClosedOrders", Tuple::from(vec![Value::str("O9")]));
+    let outcome = txn.commit()?;
     println!("transaction inserted:      {} tuples", outcome.inserted);
-    println!(
-        "closed orders now:         {}",
-        session.db().get("ClosedOrders").map(|r| r.to_string()).unwrap_or_default()
-    );
+
+    // A prepared read over the committed state — same handle shape, new
+    // snapshot, zero recompilation.
+    let closed: Vec<String> = session
+        .prepare("def output(x) : ClosedOrders(x)")?
+        .execute(&session)?
+        .rows()?;
+    println!("closed orders now:         {closed:?}");
 
     Ok(())
 }

@@ -43,7 +43,12 @@ pub use rel_syntax as syntax;
 
 /// The most commonly used items, for `use rel::prelude::*`.
 pub mod prelude {
-    pub use rel_core::{name, Database, Relation, RelError, RelResult, Tuple, Value};
+    pub use rel_core::{
+        name, Database, EntityId, FromRow, FromValue, RelError, RelResult, Relation, Tuple,
+        Value,
+    };
+    pub use rel_engine::prepared::{Params, Prepared};
     pub use rel_engine::session::{Session, TxnOutcome};
+    pub use rel_engine::txn::Transaction;
     pub use rel_stdlib::{with_stdlib, SessionExt};
 }
