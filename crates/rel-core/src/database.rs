@@ -12,11 +12,34 @@ use crate::tuple::Tuple;
 use crate::{name, Name};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of database snapshots ([`Database::clone`] calls).
+/// Cloning is O(#relations) CoW pointer bumps — cheap, but not free — so
+/// batch APIs amortize it; this counter lets tests assert that e.g. a
+/// whole `execute_many` batch really took a single snapshot.
+static SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of database snapshots taken so far (see
+/// [`Database::clone`]).
+pub fn snapshots() -> u64 {
+    SNAPSHOTS.load(Ordering::Relaxed)
+}
 
 /// A set of named base (EDB) relations.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Database {
     relations: BTreeMap<Name, Relation>,
+}
+
+impl Clone for Database {
+    /// An O(#relations) copy-on-write snapshot: every relation handle is
+    /// a pointer bump, no tuple is copied. Bumps the process-wide
+    /// [`snapshots`] counter so batch APIs can prove they snapshot once.
+    fn clone(&self) -> Self {
+        SNAPSHOTS.fetch_add(1, Ordering::Relaxed);
+        Database { relations: self.relations.clone() }
+    }
 }
 
 /// A pending change set produced by one transaction: per-relation tuples to

@@ -46,8 +46,9 @@ pub const PFP_CAP: usize = 10_000;
 /// over finite domains terminate on their own).
 pub const SEMI_NAIVE_CAP: usize = 10_000_000;
 
-/// The reserved Δ-relation prefix used during semi-naive evaluation.
-fn delta_name(p: &Name) -> Name {
+/// The reserved Δ-relation prefix used during semi-naive evaluation (and
+/// by the incremental engine's input-delta overlays).
+pub(crate) fn delta_name(p: &Name) -> Name {
     rel_core::name(format!("Δ{p}"))
 }
 
@@ -124,8 +125,10 @@ pub fn materialize_with_threads(
 }
 
 /// Materialize one stratum against (and into) `rels`. Demand-only strata
-/// are a no-op: they are evaluated lazily at call sites.
-fn eval_stratum(
+/// are a no-op: they are evaluated lazily at call sites. Also the
+/// incremental engine's "recompute this stratum from its current inputs"
+/// primitive.
+pub(crate) fn eval_stratum(
     module: &Module,
     rels: &mut BTreeMap<Name, Relation>,
     stratum: &Stratum,
@@ -324,7 +327,7 @@ fn materialize_parallel(
 }
 
 /// Evaluate all rules of one predicate once.
-fn eval_pred_once(cx: &EvalCtx<'_>, module: &Module, pred: &Name) -> RelResult<Relation> {
+pub(crate) fn eval_pred_once(cx: &EvalCtx<'_>, module: &Module, pred: &Name) -> RelResult<Relation> {
     let mut out = Relation::new();
     for rule in module.rules_for(pred) {
         out.absorb(&cx.eval_rule(rule, Env::new(rule.vars.len()))?);
@@ -339,20 +342,7 @@ fn semi_naive(
     preds: &[Name],
     cache: &SharedIndexCache,
 ) -> RelResult<()> {
-    let scc: BTreeSet<&Name> = preds.iter().collect();
-
-    // Pre-compute Δ-focused rule variants for each predicate.
-    let mut variants: BTreeMap<&Name, Vec<Rule>> = BTreeMap::new();
-    for p in preds {
-        let mut vs = Vec::new();
-        for rule in module.rules_for(p) {
-            let n = count_scc_refs(rule, &scc);
-            for focus in 0..n {
-                vs.push(delta_variant(rule, &scc, focus));
-            }
-        }
-        variants.insert(p, vs);
-    }
+    let variants = scc_delta_variants(module, preds);
 
     // Iteration 0: full evaluation (SCC relations start as their EDB
     // contents, typically empty).
@@ -372,6 +362,42 @@ fn semi_naive(
         rels.insert(p.clone(), d);
     }
 
+    semi_naive_loop(module, rels, preds, cache, &variants, delta)
+}
+
+/// Pre-compute the Δ-focused rule variants of an SCC: for every rule, one
+/// variant per occurrence of an SCC predicate, that occurrence reading the
+/// Δ relation.
+pub(crate) fn scc_delta_variants(module: &Module, preds: &[Name]) -> BTreeMap<Name, Vec<Rule>> {
+    let scc: BTreeSet<&Name> = preds.iter().collect();
+    let mut variants: BTreeMap<Name, Vec<Rule>> = BTreeMap::new();
+    for p in preds {
+        let mut vs = Vec::new();
+        for rule in module.rules_for(p) {
+            let n = count_scc_refs(rule, &scc);
+            for focus in 0..n {
+                vs.push(delta_variant(rule, &scc, focus));
+            }
+        }
+        variants.insert(p.clone(), vs);
+    }
+    variants
+}
+
+/// The semi-naive iteration proper: given each SCC relation already
+/// holding its accumulated value in `rels` and the current per-predicate
+/// Δ sets, iterate to the fixpoint. Callers differ only in how the first
+/// Δ was produced — full evaluation ([`semi_naive`] iteration 0) or
+/// input-delta seeding from a previous fixpoint (the incremental engine's
+/// restart, [`crate::incremental`]).
+pub(crate) fn semi_naive_loop(
+    module: &Module,
+    rels: &mut BTreeMap<Name, Relation>,
+    preds: &[Name],
+    cache: &SharedIndexCache,
+    variants: &BTreeMap<Name, Vec<Rule>>,
+    mut delta: BTreeMap<Name, Relation>,
+) -> RelResult<()> {
     for _iter in 0..SEMI_NAIVE_CAP {
         if delta.values().all(Relation::is_empty) {
             // Remove Δ overlays.

@@ -65,6 +65,13 @@
 //!   programs (Addendum A); zero-copy over the CoW relations of
 //!   `rel-core`; a parallel scheduler walks the stratum DAG with scoped
 //!   worker threads (`REL_EVAL_THREADS` pins the worker count);
+//! * [`incremental`] — incremental view maintenance: given a captured
+//!   pre-state fixpoint ([`PreState`]) and the generation-diffed set of
+//!   changed base relations, re-derives only the dependent cone —
+//!   pointer-bump reuse outside it, delta-seeded semi-naive restart for
+//!   monotone recursion inside it. Drives `Session` evaluation and the
+//!   commit-time constraint re-check; `REL_INCREMENTAL=0` falls back to
+//!   full re-materialization;
 //! * [`builtins`] — implementations of the infinite built-in relations
 //!   with invertible modes (`add(x, 5, z)` solves for `x`);
 //! * [`leapfrog`] — a leapfrog-triejoin worst-case-optimal join kernel
@@ -74,7 +81,9 @@ pub mod builtins;
 pub mod env;
 pub mod eval;
 pub mod fixpoint;
+pub mod incremental;
 pub mod leapfrog;
+mod lru;
 pub mod prepared;
 pub mod session;
 pub mod txn;
@@ -83,6 +92,9 @@ pub use eval::{EvalCtx, SharedIndexCache};
 pub use fixpoint::{
     eval_threads, materialize, materialize_naive, materialize_with_cache,
     materialize_with_threads,
+};
+pub use incremental::{
+    materialize_incremental, materialize_incremental_with_stats, IncrementalStats, PreState,
 };
 pub use prepared::{Params, Prepared};
 pub use session::{Session, TxnOutcome};

@@ -1,0 +1,139 @@
+//! A small bounded map with true least-recently-used eviction.
+//!
+//! Shared by the session's compiled-module cache (ROADMAP follow-up from
+//! PR 3: evict the *least recently used* entry instead of clearing the
+//! whole cache at capacity) and the incremental engine's per-module
+//! fixpoint cache. Recency is tracked with a per-entry [`AtomicU64`]
+//! stamp from a logical clock, so a *hit* needs only a shared (read)
+//! lock from callers that wrap the cache in an `RwLock` — exactly the
+//! allocation-free hit path the module cache had before, now with
+//! recency tracking on top.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A bounded `HashMap` that evicts the least-recently-used entry when
+/// inserting at capacity. Reads update recency through `&self`.
+#[derive(Debug, Default)]
+pub(crate) struct LruMap<K, V> {
+    entries: HashMap<K, LruEntry<V>>,
+    clock: AtomicU64,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct LruEntry<V> {
+    value: V,
+    last_used: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
+    /// An empty cache bounded at `cap` entries (`cap == 0` caches
+    /// nothing).
+    pub(crate) fn new(cap: usize) -> Self {
+        LruMap { entries: HashMap::new(), clock: AtomicU64::new(0), cap }
+    }
+
+    /// Look up a key, marking it most-recently-used. `&self`: hits only
+    /// need a shared lock around the map (and borrowed key forms keep the
+    /// hit path allocation-free).
+    pub(crate) fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let e = self.entries.get(key)?;
+        e.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(e.value.clone())
+    }
+
+    /// Insert (or replace) a value as most-recently-used, evicting the
+    /// least-recently-used entry first when at capacity.
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.cap {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        let stamp = self.tick();
+        self.entries
+            .insert(key, LruEntry { value, last_used: AtomicU64::new(stamp) });
+    }
+
+    /// Number of live entries.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is `key` cached (without touching recency)?
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.entries.contains_key(key)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recently_used_entries_survive_eviction() {
+        // Fill to capacity, refresh a subset by *reading* it, then insert
+        // past capacity: the un-refreshed entries are the ones evicted.
+        let mut lru: LruMap<String, i32> = LruMap::new(4);
+        for i in 0..4 {
+            lru.insert(format!("k{i}"), i);
+        }
+        // Touch k0 and k2 — k1 becomes the least recently used.
+        assert_eq!(lru.get(&"k0".to_string()), Some(0));
+        assert_eq!(lru.get(&"k2".to_string()), Some(2));
+        lru.insert("k4".to_string(), 4);
+        assert_eq!(lru.len(), 4);
+        assert!(!lru.contains(&"k1".to_string()), "LRU entry must be evicted");
+        for k in ["k0", "k2", "k3", "k4"] {
+            assert!(lru.contains(&k.to_string()), "{k} should have survived");
+        }
+        // And the next eviction takes k3 (never read since insertion).
+        lru.insert("k5".to_string(), 5);
+        assert!(!lru.contains(&"k3".to_string()));
+        assert!(lru.contains(&"k0".to_string()));
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let mut lru: LruMap<&'static str, i32> = LruMap::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("a", 3); // replacement, not growth
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&"a"), Some(3));
+        assert_eq!(lru.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut lru: LruMap<&'static str, i32> = LruMap::new(0);
+        lru.insert("a", 1);
+        assert_eq!(lru.len(), 0);
+        assert_eq!(lru.get(&"a"), None);
+    }
+}

@@ -29,7 +29,6 @@
 //! }
 //! ```
 
-use crate::fixpoint::materialize_with_cache;
 use crate::session::{check_constraints, Session};
 use rel_core::{name, Database, Name, RelError, RelResult, Relation, Value};
 use rel_sema::ir::{param_relation, Module};
@@ -149,10 +148,10 @@ impl Prepared {
         Ok(rels.get("output").cloned().unwrap_or_default())
     }
 
-    /// Validate `params` against the module's parameter list and build
-    /// the execution database: an O(1) CoW clone of `base` with the
-    /// reserved `?name` relations injected.
-    pub(crate) fn bind(&self, params: &Params, base: &Database) -> RelResult<Database> {
+    /// Check that every module parameter is bound and every binding is a
+    /// module parameter — mismatches are errors rather than
+    /// silently-empty results.
+    fn validate(&self, params: &Params) -> RelResult<()> {
         for required in &self.module.params {
             if params.get(required).is_none() {
                 return Err(RelError::unsafe_expr(format!(
@@ -171,6 +170,14 @@ impl Prepared {
                 )));
             }
         }
+        Ok(())
+    }
+
+    /// Validate `params` against the module's parameter list and build
+    /// the execution database: an O(1) CoW clone of `base` with the
+    /// reserved `?name` relations injected.
+    pub(crate) fn bind(&self, params: &Params, base: &Database) -> RelResult<Database> {
+        self.validate(params)?;
         let mut db = base.clone();
         for p in &self.module.params {
             let rel = params.get(p).expect("checked above").clone();
@@ -180,7 +187,10 @@ impl Prepared {
     }
 
     /// Materialize the compiled module against `base` (+ bound params)
-    /// through the session's shared index cache.
+    /// through the session's shared index cache and incremental fixpoint
+    /// cache: re-executions against an unchanged (or slightly changed)
+    /// snapshot re-derive only the dependent cone of what moved — for a
+    /// rebound parameter, just the strata reading that parameter.
     pub(crate) fn materialize_with(
         &self,
         session: &Session,
@@ -188,7 +198,39 @@ impl Prepared {
         base: &Database,
     ) -> RelResult<BTreeMap<Name, Relation>> {
         let db = self.bind(params, base)?;
-        materialize_with_cache(&self.module, &db, session.index_cache.clone())
+        session.materialize_module(&self.module, &db)
+    }
+
+    /// Execute a whole batch of parameter bindings against **one**
+    /// copy-on-write snapshot of the session's current database (a single
+    /// [`Database::clone`], amortized across the batch — asserted by the
+    /// `execute_many_snapshots` test against the
+    /// [`rel_core::database::snapshots`] counter), returning one `output`
+    /// relation per binding, in order. Constraints are checked per
+    /// binding, exactly as [`Prepared::execute_with`] would; the first
+    /// failure aborts the batch.
+    pub fn execute_many(&self, session: &Session, batches: &[Params]) -> RelResult<Vec<Relation>> {
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One snapshot; each binding only swaps the reserved `?name`
+        // relations in place (the validation in `bind` is replicated so
+        // error behavior matches the one-at-a-time path).
+        let mut db = self.bind(&batches[0], session.db())?;
+        let mut out = Vec::with_capacity(batches.len());
+        for (i, params) in batches.iter().enumerate() {
+            if i > 0 {
+                self.validate(params)?;
+                for p in &self.module.params {
+                    let rel = params.get(p).expect("validated above").clone();
+                    db.set(param_relation(p), rel);
+                }
+            }
+            let rels = session.materialize_module(&self.module, &db)?;
+            check_constraints(&self.module, &rels)?;
+            out.push(rels.get("output").cloned().unwrap_or_default());
+        }
+        Ok(out)
     }
 }
 

@@ -17,21 +17,36 @@
 use crate::env::Env;
 use crate::eval::{EvalCtx, SharedIndexCache};
 use crate::fixpoint::materialize_with_cache;
+use crate::incremental::{self, PreState};
+use crate::lru::LruMap;
 use crate::prepared::Prepared;
 use crate::txn::Transaction;
 use rel_core::database::Delta;
 use rel_core::{Database, Name, RelError, RelResult, Relation, Tuple, Value};
 use rel_sema::ir::{ConstraintIr, Module, Rule};
 use rel_syntax::Program;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Compiled modules cached per session, keyed by query source. Bounded so
 /// a server feeding unbounded ad-hoc query strings through one session
-/// cannot grow the cache without limit.
+/// cannot grow the cache without limit; at capacity the *least recently
+/// used* entry is evicted (hot query shapes stay compiled).
 const MODULE_CACHE_CAP: usize = 512;
 
-type ModuleCache = HashMap<String, Arc<Module>>;
+/// Captured fixpoints cached per session for incremental re-evaluation,
+/// keyed by compiled-module identity. Each entry holds CoW handles into
+/// (mostly) the live database, so the bound is about map bookkeeping, not
+/// tuple storage.
+const FIXPOINT_CACHE_CAP: usize = 32;
+
+type ModuleCache = LruMap<String, Arc<Module>>;
+
+/// Key: the module's `Arc` address. The entry keeps the `Arc` alive, so
+/// the address cannot be recycled by a different allocation while the
+/// entry exists; the stored handle is still pointer-compared on lookup,
+/// making a stale hit impossible by construction.
+type FixpointCache = LruMap<usize, (Arc<Module>, Arc<PreState>)>;
 
 /// Result of a committed transaction.
 #[derive(Clone, Debug, Default)]
@@ -65,7 +80,7 @@ pub struct TxnOutcome {
 /// your own `RwLock` for a mixed read/write multi-threaded server.
 /// Internally, every materialize run additionally fans independent
 /// strata out across worker threads (see [`crate::fixpoint`]).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Session {
     pub(crate) db: Database,
     library: String,
@@ -75,11 +90,30 @@ pub struct Session {
     /// analysis over the merged program.
     library_ast: OnceLock<Arc<Program>>,
     /// Compiled modules keyed by query source, valid for the *current*
-    /// library revision. Shared across clones of the session;
-    /// [`Session::install_library`] swaps in a fresh cache (rather than
-    /// clearing the shared one), so clones still on the old library keep
-    /// their valid entries.
+    /// library revision, with LRU eviction at capacity. Shared across
+    /// clones of the session; [`Session::install_library`] swaps in a
+    /// fresh cache (rather than clearing the shared one), so clones still
+    /// on the old library keep their valid entries.
     module_cache: Arc<RwLock<ModuleCache>>,
+    /// Captured fixpoints per compiled module, driving the incremental
+    /// evaluation mode (see [`crate::incremental`]): a later evaluation of
+    /// the same module re-derives only the dependent cone of the base
+    /// relations whose generations moved. Safe to share across session
+    /// clones and surviving aborted transactions, because entries are
+    /// validated structurally against the database they are applied to —
+    /// never trusted.
+    fixpoint_cache: Arc<RwLock<FixpointCache>>,
+    /// Whether evaluation may reuse captured fixpoints incrementally.
+    /// Defaults to the `REL_INCREMENTAL` environment variable (on unless
+    /// set to `0`/`false`/`off`/`no`); [`Session::set_incremental`]
+    /// overrides per session.
+    incremental: bool,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new(Database::new())
+    }
 }
 
 impl Session {
@@ -90,7 +124,9 @@ impl Session {
             library: String::new(),
             index_cache: SharedIndexCache::default(),
             library_ast: OnceLock::new(),
-            module_cache: Arc::default(),
+            module_cache: Arc::new(RwLock::new(LruMap::new(MODULE_CACHE_CAP))),
+            fixpoint_cache: Arc::new(RwLock::new(LruMap::new(FIXPOINT_CACHE_CAP))),
+            incremental: incremental::env_enabled(),
         }
     }
 
@@ -102,7 +138,28 @@ impl Session {
         self.library.push_str(src);
         self.library.push('\n');
         self.library_ast = OnceLock::new();
-        self.module_cache = Arc::default();
+        self.module_cache = Arc::new(RwLock::new(LruMap::new(MODULE_CACHE_CAP)));
+        // The old library's compiled modules can never be looked up again
+        // through this session, so their captured fixpoints would only
+        // pin retired modules and pre-change relation state — swap the
+        // cache out with the module cache (clones on the old library keep
+        // both of theirs).
+        self.fixpoint_cache = Arc::new(RwLock::new(LruMap::new(FIXPOINT_CACHE_CAP)));
+    }
+
+    /// Turn incremental evaluation on or off for this session (overriding
+    /// the `REL_INCREMENTAL` environment default). With it off, every
+    /// evaluation — including [`Transaction::commit`]'s constraint
+    /// re-check — re-materializes from scratch; results are byte-identical
+    /// either way (the `incremental_equivalence` suite holds both modes to
+    /// that).
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+    }
+
+    /// Is incremental evaluation enabled for this session?
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental
     }
 
     /// Builder-style library installation.
@@ -144,20 +201,59 @@ impl Session {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(src)
         {
-            return Ok(Arc::clone(m));
+            return Ok(m);
         }
         let mut program = (*self.library_program()?).clone();
         program.extend(rel_syntax::parse_program(src)?);
         let module = Arc::new(rel_sema::analyze(&program)?);
-        let mut cache = self
-            .module_cache
+        self.module_cache
             .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if cache.len() >= MODULE_CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(src.to_string(), Arc::clone(&module));
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(src.to_string(), Arc::clone(&module));
         Ok(module)
+    }
+
+    /// Materialize a compiled module against `db` through the session's
+    /// incremental machinery: when a fixpoint of this module was captured
+    /// before (and incremental mode is on), only the dependent cone of
+    /// the base relations whose generations moved is re-derived — an
+    /// unchanged database costs O(#relations) pointer bumps. The freshly
+    /// produced state is captured for the next call. Results are
+    /// byte-identical to a full [`materialize_with_cache`] run.
+    pub(crate) fn materialize_module(
+        &self,
+        module: &Arc<Module>,
+        db: &Database,
+    ) -> RelResult<BTreeMap<Name, Relation>> {
+        if !self.incremental {
+            return materialize_with_cache(module, db, self.index_cache.clone());
+        }
+        let key = Arc::as_ptr(module) as usize;
+        let pre = self
+            .fixpoint_cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+            .and_then(|(m, pre)| Arc::ptr_eq(&m, module).then_some(pre));
+        if let Some(pre) = &pre {
+            // Pure reuse: nothing moved since capture, so the captured
+            // state *is* this evaluation's result — no re-derivation, no
+            // re-capture, and (the hot concurrent path) no write lock.
+            if pre.touched_in(db).is_empty() {
+                return Ok(pre.state().clone());
+            }
+        }
+        let rels = match pre {
+            Some(pre) => {
+                incremental::materialize_incremental(module, &pre, db, self.index_cache.clone())?
+            }
+            None => materialize_with_cache(module, db, self.index_cache.clone())?,
+        };
+        self.fixpoint_cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, (Arc::clone(module), Arc::new(PreState::capture(db, &rels))));
+        Ok(rels)
     }
 
     /// Compile a query once into a [`Prepared`] handle that can be
@@ -189,7 +285,7 @@ impl Session {
         let module = self.compile(src)?;
         check_control_materializable(&module)?;
         require_no_params(&module)?;
-        let rels = materialize_with_cache(&module, &self.db, self.index_cache.clone())?;
+        let rels = self.materialize_module(&module, &self.db)?;
         check_constraints(&module, &rels)?;
         Ok(rels.get("output").cloned().unwrap_or_default())
     }
@@ -200,7 +296,7 @@ impl Session {
     pub fn eval(&self, src: &str, relation: &str) -> RelResult<Relation> {
         let module = self.compile(src)?;
         require_no_params(&module)?;
-        let rels = materialize_with_cache(&module, &self.db, self.index_cache.clone())?;
+        let rels = self.materialize_module(&module, &self.db)?;
         Ok(rels.get(relation).cloned().unwrap_or_default())
     }
 
@@ -482,6 +578,46 @@ mod tests {
                 assert_eq!(h.join().unwrap(), expected);
             }
         });
+    }
+
+    #[test]
+    fn repeated_queries_reuse_the_captured_fixpoint() {
+        // Same module, unchanged database: the second evaluation must
+        // reuse the captured fixpoint by pointer (a recompute would build
+        // fresh storage for the derived relation).
+        let mut s = session();
+        s.set_incremental(true);
+        let src = "def Joined(x, o) : \
+                   exists((p) | OrderProductQuantity(o, x, _) and ProductPrice(x, p))";
+        let a = s.eval(src, "Joined").unwrap();
+        let b = s.eval(src, "Joined").unwrap();
+        assert!(!a.is_empty());
+        assert!(
+            b.shares_storage(&a),
+            "unchanged snapshot must be served from the fixpoint cache"
+        );
+        // A mutation moves the touched relation's generation; the next
+        // evaluation re-derives (fresh storage) with the new data.
+        s.db_mut().insert("ProductPrice", tuple!["P9", 99]);
+        s.db_mut().insert("OrderProductQuantity", tuple!["O9", "P9", 1]);
+        let c = s.eval(src, "Joined").unwrap();
+        assert!(!c.shares_storage(&a));
+        assert_eq!(c.len(), a.len() + 1);
+    }
+
+    #[test]
+    fn session_clones_cannot_poison_each_others_fixpoints() {
+        // Clones share the fixpoint cache, but entries are validated by
+        // base-relation generations — a clone whose database diverged
+        // must never be served the other clone's state.
+        let mut a = session();
+        a.set_incremental(true);
+        let src = "def output(x) : exists( (y) | ProductPrice(x,y) and y > 30)";
+        let mut b = a.clone();
+        assert_eq!(a.query(src).unwrap().len(), 1);
+        b.db_mut().insert("ProductPrice", tuple!["P9", 99]);
+        assert_eq!(b.query(src).unwrap().len(), 2, "clone must see its own data");
+        assert_eq!(a.query(src).unwrap().len(), 1, "original must keep its answer");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! ```
 
 use crate::fixpoint::materialize_with_cache;
+use crate::incremental::{materialize_incremental, PreState};
 use crate::prepared::{Params, Prepared};
 use crate::session::{
     check_constraints, check_control_materializable, extract_delta, require_no_params, Session,
@@ -43,18 +44,19 @@ use rel_sema::ir::Module;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-/// A constraint check deferred to commit time. If no later step changed
-/// the candidate, the step's own materialization is reused; otherwise the
-/// module is re-materialized against the final state (with the step's
-/// parameter bindings re-injected).
+/// A constraint check deferred to commit time. The step's materialization
+/// is kept as a captured [`PreState`] (CoW handles — cheap): if no later
+/// step touched anything the module reads, it *is* the final state's
+/// materialization; otherwise the incremental engine re-derives just the
+/// dependent cone from it, and only constraints inside the cone are
+/// re-verified against the re-derived state.
 struct PendingCheck {
     module: Arc<Module>,
     /// Reserved `?name` relations the step ran with.
     param_rels: BTreeMap<Name, Relation>,
-    /// Candidate version the stored `rels` were computed against.
-    version: u64,
-    /// The step's materialization (CoW handles — cheap to keep).
-    rels: BTreeMap<Name, Relation>,
+    /// The step's materialization plus the base-relation generations it
+    /// evaluated against (the candidate at step time + `param_rels`).
+    pre: PreState,
 }
 
 /// An in-flight transaction over a candidate database snapshot. Created
@@ -66,9 +68,6 @@ pub struct Transaction<'s> {
     touched: BTreeSet<Name>,
     inserted: usize,
     deleted: usize,
-    /// Bumped on every candidate mutation; lets commit-time checks reuse
-    /// a step's materialization when nothing changed after it.
-    version: u64,
     checks: Vec<PendingCheck>,
     output: Relation,
 }
@@ -82,7 +81,6 @@ impl<'s> Transaction<'s> {
             touched: BTreeSet::new(),
             inserted: 0,
             deleted: 0,
-            version: 0,
             checks: Vec::new(),
             output: Relation::default(),
         }
@@ -114,16 +112,18 @@ impl<'s> Transaction<'s> {
         // binds the reserved relations — running them here would silently
         // evaluate against empty parameters.
         require_no_params(&module)?;
-        let rels =
-            materialize_with_cache(&module, &self.candidate, self.session.index_cache.clone())?;
-        self.absorb_step(module, BTreeMap::new(), rels)
+        let rels = self.session.materialize_module(&module, &self.candidate)?;
+        let pre = (!module.constraints.is_empty())
+            .then(|| PreState::capture(&self.candidate, &rels));
+        self.absorb_step(module, BTreeMap::new(), pre, rels)
     }
 
     /// Run a prepared step with `?name` parameters bound. The parameter
     /// relations exist only for this step's evaluation — they never leak
     /// into the candidate (or the committed) database.
     pub fn run_prepared(&mut self, prepared: &Prepared, params: &Params) -> RelResult<Relation> {
-        let rels = prepared.materialize_with(self.session, params, &self.candidate)?;
+        let db = prepared.bind(params, &self.candidate)?;
+        let rels = self.session.materialize_module(prepared.module(), &db)?;
         let param_rels: BTreeMap<Name, Relation> = prepared
             .param_names()
             .iter()
@@ -133,24 +133,22 @@ impl<'s> Transaction<'s> {
                 (reserved, rel)
             })
             .collect();
-        self.absorb_step(Arc::clone(prepared.module()), param_rels, rels)
+        let pre = (!prepared.module().constraints.is_empty())
+            .then(|| PreState::capture(&db, &rels));
+        self.absorb_step(Arc::clone(prepared.module()), param_rels, pre, rels)
     }
 
     fn absorb_step(
         &mut self,
         module: Arc<Module>,
         param_rels: BTreeMap<Name, Relation>,
+        pre: Option<PreState>,
         rels: BTreeMap<Name, Relation>,
     ) -> RelResult<Relation> {
         let delta = extract_delta(&rels)?;
         let output = rels.get("output").cloned().unwrap_or_default();
-        if !module.constraints.is_empty() {
-            self.checks.push(PendingCheck {
-                module,
-                param_rels,
-                version: self.version,
-                rels,
-            });
+        if let Some(pre) = pre {
+            self.checks.push(PendingCheck { module, param_rels, pre });
         }
         if !delta.is_empty() {
             self.inserted += delta.inserts.values().map(Vec::len).sum::<usize>();
@@ -158,7 +156,6 @@ impl<'s> Transaction<'s> {
             self.touched
                 .extend(delta.inserts.keys().chain(delta.deletes.keys()).cloned());
             self.candidate.apply(&delta);
-            self.version += 1;
         }
         self.output = output.clone();
         Ok(output)
@@ -171,7 +168,6 @@ impl<'s> Transaction<'s> {
         if added {
             self.inserted += 1;
             self.touched.insert(rel_core::name(rel));
-            self.version += 1;
         }
         added
     }
@@ -186,7 +182,6 @@ impl<'s> Transaction<'s> {
         if removed {
             self.deleted += 1;
             self.touched.insert(rel_core::name(rel));
-            self.version += 1;
         }
         removed
     }
@@ -195,6 +190,14 @@ impl<'s> Transaction<'s> {
     /// candidate state and install it as the session's database. On a
     /// violation the transaction aborts with the error and the session is
     /// left untouched.
+    ///
+    /// The re-check is *incremental* (unless the session disables it):
+    /// each pending check compares the final candidate's base-relation
+    /// generations against the ones its step evaluated under; when
+    /// something moved, only the constraints inside the
+    /// [`rel_sema::ir::Module::dependent_cone`] of the moved relations
+    /// are re-verified, against state re-derived from the step's own
+    /// materialization by delta propagation (see [`crate::incremental`]).
     pub fn commit(self) -> RelResult<TxnOutcome> {
         // Direct staging bypasses compilation, so a transaction with no
         // compiled steps carries no pending check that would enforce the
@@ -204,31 +207,12 @@ impl<'s> Transaction<'s> {
         if self.checks.is_empty() && !self.touched.is_empty() {
             let module = self.session.compile("")?;
             if !module.constraints.is_empty() {
-                let rels = materialize_with_cache(
-                    &module,
-                    &self.candidate,
-                    self.session.index_cache.clone(),
-                )?;
+                let rels = self.session.materialize_module(&module, &self.candidate)?;
                 check_constraints(&module, &rels)?;
             }
         }
         for check in &self.checks {
-            if check.version == self.version {
-                // Nothing changed after this step: its own
-                // materialization *is* the final state's.
-                check_constraints(&check.module, &check.rels)?;
-            } else {
-                let mut db = self.candidate.clone();
-                for (reserved, rel) in &check.param_rels {
-                    db.set(reserved.clone(), rel.clone());
-                }
-                let rels = materialize_with_cache(
-                    &check.module,
-                    &db,
-                    self.session.index_cache.clone(),
-                )?;
-                check_constraints(&check.module, &rels)?;
-            }
+            self.recheck(check)?;
         }
         self.session.db = self.candidate;
         // The touched relations' generations moved with the commit: drop
@@ -243,6 +227,55 @@ impl<'s> Transaction<'s> {
             inserted: self.inserted,
             deleted: self.deleted,
         })
+    }
+
+    /// Re-verify one step's constraints against the final candidate.
+    fn recheck(&self, check: &PendingCheck) -> RelResult<()> {
+        let mut db = self.candidate.clone();
+        for (reserved, rel) in &check.param_rels {
+            db.set(reserved.clone(), rel.clone());
+        }
+        let touched = check.pre.touched_in(&db);
+        if touched.is_empty() {
+            // Nothing changed after this step: its own materialization
+            // *is* the final state's.
+            return check_constraints(&check.module, check.pre.state());
+        }
+        if !self.session.incremental_enabled() {
+            let rels =
+                materialize_with_cache(&check.module, &db, self.session.index_cache.clone())?;
+            return check_constraints(&check.module, &rels);
+        }
+        // Can the touched relations reach any constraint at all? A
+        // constraint is affected when it reads a touched base relation
+        // directly or a predicate of an in-cone stratum. If none is, the
+        // step's own materialization is still authoritative for every
+        // constraint and no re-derivation happens; otherwise the cone is
+        // re-derived incrementally and all constraints are checked
+        // against the result (out-of-cone relations in it are
+        // pointer-identical to the step state, so those evaluations cost
+        // and yield exactly what a step-state check would).
+        let cone = check.module.dependent_cone(&touched);
+        let mut affected: BTreeSet<&Name> = touched.iter().collect();
+        for &i in &cone {
+            affected.extend(check.module.strata[i].preds.iter());
+        }
+        let any_affected = check.module.constraints.iter().any(|c| {
+            let mut hit = false;
+            rel_sema::ir::visit_constraint_preds(c, &mut |n| hit |= affected.contains(n));
+            hit
+        });
+        if any_affected {
+            let new_rels = materialize_incremental(
+                &check.module,
+                &check.pre,
+                &db,
+                self.session.index_cache.clone(),
+            )?;
+            check_constraints(&check.module, &new_rels)
+        } else {
+            check_constraints(&check.module, check.pre.state())
+        }
     }
 
     /// Discard the candidate state. Equivalent to dropping the handle —
@@ -408,6 +441,101 @@ mod tests {
             .transact("def insert(:X, x) : exists((y) | ProductPrice(x, y) and y > ?min)")
             .unwrap_err();
         assert!(err.to_string().contains("?min"), "{err}");
+    }
+
+    #[test]
+    fn later_step_violating_earlier_constraint_aborts() {
+        // Step 1's constraint holds at step time; step 2's staged delete
+        // breaks it. The incremental re-check must re-derive the cone and
+        // abort — in both evaluation modes.
+        for incremental in [true, false] {
+            let mut s = session();
+            s.set_incremental(incremental);
+            let mut txn = s.begin();
+            txn.run(
+                "def insert(:OrderProductQuantity, x, y, z) : \
+                   x = \"O9\" and y = \"P1\" and z = 1\n\
+                 ic valid_products(p) requires \
+                   OrderProductQuantity(_,p,_) implies ProductPrice(p,_)",
+            )
+            .unwrap();
+            // Deleting P1's price invalidates both the staged insert and
+            // the pre-existing O1/O2 rows referencing P1.
+            assert!(txn.stage_delete("ProductPrice", &tuple!["P1", 10]));
+            let err = txn.commit().unwrap_err();
+            assert!(
+                matches!(err, RelError::ConstraintViolation { .. }),
+                "incremental={incremental}: {err}"
+            );
+            assert_eq!(s.db().get("ProductPrice").unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn out_of_cone_constraint_checks_against_step_state() {
+        // The step's constraint reads only ProductPrice; everything the
+        // transaction touches afterwards (Expensive via the step's own
+        // delta, AuditLog via direct staging) is outside the constraint's
+        // reach, so commit takes the no-re-derivation branch and checks
+        // the step's own state. The commit succeeds and applies both
+        // writes.
+        let mut s = session();
+        let mut txn = s.begin();
+        txn.run(
+            "def insert(:Expensive, x) : exists((y) | ProductPrice(x, y) and y > 25)\n\
+             ic has_cheap() requires exists((p) | ProductPrice(p, 10))",
+        )
+        .unwrap();
+        txn.stage_insert("AuditLog", tuple!["touched"]);
+        txn.commit().unwrap();
+        assert_eq!(s.db().get("Expensive").unwrap().len(), 2);
+        assert_eq!(s.db().get("AuditLog").unwrap().len(), 1);
+
+        // And the branch *evaluates*, it does not skip: a violated
+        // out-of-cone constraint still aborts.
+        let mut txn = s.begin();
+        txn.run(
+            "def insert(:Expensive2, x) : exists((y) | ProductPrice(x, y) and y > 25)\n\
+             ic impossible() requires ProductPrice(\"P1\", 11)",
+        )
+        .unwrap();
+        txn.stage_insert("AuditLog", tuple!["touched again"]);
+        let err = txn.commit().unwrap_err();
+        assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+        assert!(!s.db().defines("Expensive2"));
+        assert_eq!(s.db().get("AuditLog").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn repeated_transacts_agree_with_full_mode() {
+        // A sequence of small commits over a recursive view: the session's
+        // incremental mode must land on exactly the database a
+        // full-re-materialization session lands on.
+        let lib = "def TC(x,y) : E(x,y)\n\
+                   def TC(x,y) : exists((z) | E(x,z) and TC(z,y))\n\
+                   ic closed(x, y) requires E(x,y) implies TC(x,y)";
+        let mut inc = Session::new(Database::new()).with_library(lib);
+        let mut full = Session::new(Database::new()).with_library(lib);
+        full.set_incremental(false);
+        assert!(inc.incremental_enabled() || std::env::var("REL_INCREMENTAL").is_ok());
+        for s in [&mut inc, &mut full] {
+            s.db_mut().insert("E", tuple![1, 2]);
+            s.db_mut().insert("E", tuple![2, 3]);
+        }
+        for step in 3..8i64 {
+            for s in [&mut inc, &mut full] {
+                let mut txn = s.begin();
+                txn.run(&format!(
+                    "def insert(:E, x, y) : x = {step} and y = {}",
+                    step + 1
+                ))
+                .unwrap();
+                txn.commit().unwrap();
+            }
+        }
+        let q = "def output(x, y) : TC(x, y)";
+        assert_eq!(inc.query(q).unwrap(), full.query(q).unwrap());
+        assert_eq!(inc.db().get("E").unwrap(), full.db().get("E").unwrap());
     }
 
     #[test]

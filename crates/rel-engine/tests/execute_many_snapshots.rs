@@ -1,0 +1,64 @@
+//! Isolated-process assertions for [`Prepared::execute_many`]: the whole
+//! batch must be served from **one** database snapshot and **zero**
+//! recompilations. Both counters ([`rel_core::database::snapshots`],
+//! [`rel_sema::compilations`]) are process-global, so — like
+//! `prepared_compile_once` — this lives in its own integration binary and
+//! keeps every counter-sensitive assertion inside a single `#[test]`.
+
+use rel_core::database::{self, figure1_database};
+use rel_engine::{Params, Session};
+
+#[test]
+fn execute_many_takes_one_snapshot_and_compiles_nothing() {
+    let s = Session::new(figure1_database());
+    let q = s
+        .prepare("def output(x, y) : ProductPrice(x, y) and y > ?min")
+        .expect("prepares");
+
+    let compilations_before = rel_sema::compilations();
+    let snapshots_before = database::snapshots();
+
+    let batches: Vec<Params> =
+        (0..100).map(|i| Params::new().set("min", i % 45)).collect();
+    let outs = q.execute_many(&s, &batches).expect("batch executes");
+    assert_eq!(outs.len(), batches.len());
+
+    assert_eq!(
+        rel_sema::compilations(),
+        compilations_before,
+        "execute_many must reuse the prepared module (compile-once)"
+    );
+    let snapshots = database::snapshots() - snapshots_before;
+    assert_eq!(
+        snapshots, 1,
+        "execute_many must take exactly one CoW snapshot for the whole batch"
+    );
+
+    // The batch path must agree answer-for-answer with one-at-a-time
+    // execution (which snapshots per call — that's the cost being
+    // amortized).
+    let per_call_snapshots_before = database::snapshots();
+    for (params, batched) in batches.iter().zip(&outs) {
+        let single = q.execute_with(&s, params).expect("single execute");
+        assert_eq!(&single, batched);
+    }
+    assert!(
+        database::snapshots() - per_call_snapshots_before >= batches.len() as u64,
+        "sanity: the unbatched path snapshots per execution"
+    );
+
+    // An empty batch is a no-op: no snapshot, no output.
+    let before = database::snapshots();
+    assert!(q.execute_many(&s, &[]).unwrap().is_empty());
+    assert_eq!(database::snapshots(), before);
+
+    // Validation errors match the one-at-a-time path.
+    let err = q
+        .execute_many(&s, &[Params::new().set("min", 1).set("nope", 1)])
+        .unwrap_err();
+    assert!(err.to_string().contains("?nope"), "{err}");
+    let err = q
+        .execute_many(&s, &[Params::new().set("min", 1), Params::new()])
+        .unwrap_err();
+    assert!(err.to_string().contains("?min"), "{err}");
+}

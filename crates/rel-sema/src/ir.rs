@@ -352,6 +352,50 @@ pub struct Stratum {
     pub monotone: bool,
 }
 
+/// The relations one stratum's rules *read* (its inputs plus its own SCC
+/// members), split by the polarity of the reference. A name can appear in
+/// both lists when different occurrences read it in different contexts.
+///
+/// Computed by [`crate::strata::stratum_read_sets`] and stored on
+/// [`Module::stratum_reads`]; the engine's incremental-maintenance
+/// subsystem uses the split to decide whether a changed input admits
+/// delta-seeded semi-naive restart (insertions into positively-read
+/// inputs) or forces a stratum recomputation (any change to a
+/// negatively-read input — negation, aggregation, override).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StratumReads {
+    /// Names read only through monotone contexts, sorted and deduplicated.
+    pub positive: Vec<Name>,
+    /// Names read under negation, aggregation input, or left-override,
+    /// sorted and deduplicated.
+    pub negative: Vec<Name>,
+}
+
+impl StratumReads {
+    /// Every name the stratum reads: the sorted positive list followed by
+    /// the sorted negative list (not globally sorted; a name read in both
+    /// polarities appears twice).
+    pub fn all(&self) -> impl Iterator<Item = &Name> {
+        self.positive.iter().chain(self.negative.iter())
+    }
+
+    /// Does the stratum read any of the given names (either polarity)?
+    pub fn reads_any(&self, names: &std::collections::BTreeSet<Name>) -> bool {
+        self.all().any(|n| names.contains(n))
+    }
+
+    /// Is `name` read under a non-monotone context (negation, aggregation,
+    /// override) anywhere in the stratum?
+    pub fn reads_negatively(&self, name: &Name) -> bool {
+        self.negative.binary_search(name).is_ok()
+    }
+
+    /// Is `name` read in a monotone context anywhere in the stratum?
+    pub fn reads_positively(&self, name: &Name) -> bool {
+        self.positive.binary_search(name).is_ok()
+    }
+}
+
 /// A fully analysed program, ready for the engine.
 #[derive(Clone, Debug, Default)]
 pub struct Module {
@@ -368,6 +412,12 @@ pub struct Module {
     /// walks this DAG: a stratum may materialize as soon as all of its
     /// dependency strata have, independent strata concurrently.
     pub stratum_deps: Vec<Vec<usize>>,
+    /// Per-stratum read sets (same indexing as [`Module::strata`]): the
+    /// relation names each stratum's rules reference, split by polarity.
+    /// Together with [`Module::stratum_deps`] this is what
+    /// [`Module::dependent_cone`] — and the engine's incremental
+    /// transaction maintenance — is computed from.
+    pub stratum_reads: Vec<StratumReads>,
     /// Per-predicate info.
     pub pred_info: BTreeMap<Name, PredInfo>,
     /// Bare names of the query parameters (`?name` placeholders) this
@@ -386,6 +436,42 @@ impl Module {
     /// Rules for one predicate (empty slice if none).
     pub fn rules_for(&self, pred: &str) -> &[Rule] {
         self.rules.get(pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The *dependent cone* of a set of touched base relations: the
+    /// (sorted) indices of every stratum whose result can differ once the
+    /// touched relations change. A stratum is in the cone when
+    ///
+    /// * one of its rules reads a touched name (either polarity),
+    /// * one of its own predicates *is* a touched name (a base relation
+    ///   feeding the predicate's EDB seed changed), or
+    /// * it depends — transitively, via [`Module::stratum_deps`] — on an
+    ///   in-cone stratum.
+    ///
+    /// Everything **outside** the cone is guaranteed to re-materialize to
+    /// its previous value, so an incremental engine may reuse the
+    /// pre-state result wholesale (the engine's `incremental` module does
+    /// exactly that). Because [`Module::strata`] is in dependency order,
+    /// one forward pass closes the cone transitively.
+    ///
+    /// A module without read-set metadata (hand-assembled, out of sync)
+    /// conservatively returns *every* stratum.
+    pub fn dependent_cone(&self, touched: &std::collections::BTreeSet<Name>) -> Vec<usize> {
+        let n = self.strata.len();
+        if self.stratum_reads.len() != n || self.stratum_deps.len() != n {
+            return (0..n).collect();
+        }
+        let mut in_cone = vec![false; n];
+        for i in 0..n {
+            in_cone[i] = self.strata[i].preds.iter().any(|p| touched.contains(p))
+                || self.stratum_reads[i].reads_any(touched)
+                || self.stratum_deps[i].iter().any(|&d| in_cone[d]);
+        }
+        in_cone
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &in_c)| in_c.then_some(i))
+            .collect()
     }
 }
 
@@ -462,6 +548,20 @@ pub fn visit_rule_preds(rule: &Rule, visit: &mut impl FnMut(&Name)) {
         }
     }
     visit_rexpr_preds(&rule.body, visit);
+}
+
+/// Visit every predicate name an integrity constraint references
+/// (witness-parameter domains + body). The engine's incremental commit
+/// path uses this to decide which constraints sit inside the dependent
+/// cone of a transaction's touched relations and must be re-verified
+/// against the post-change state.
+pub fn visit_constraint_preds(c: &ConstraintIr, visit: &mut impl FnMut(&Name)) {
+    for p in &c.params {
+        if let AbsParam::In(_, dom) = p {
+            visit_rexpr_preds(dom, visit);
+        }
+    }
+    visit_rexpr_preds(&c.body, visit);
 }
 
 impl fmt::Display for Term {

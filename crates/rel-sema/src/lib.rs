@@ -46,6 +46,7 @@ pub fn analyze(program: &Program) -> RelResult<Module> {
     let modes = safety::infer_modes(&rules)?;
     let strata = strata::stratify(&rules);
     let stratum_deps = strata::stratum_deps(&rules, &strata);
+    let stratum_reads = strata::stratum_read_sets(&rules, &strata);
     let mut pred_info = std::collections::BTreeMap::new();
     for (i, s) in strata.iter().enumerate() {
         for p in &s.preds {
@@ -78,7 +79,7 @@ pub fn analyze(program: &Program) -> RelResult<Module> {
         ir::visit_rexpr_preds(&c.body, &mut see);
     }
     let params: Vec<rel_core::Name> = params.into_iter().collect();
-    Ok(Module { rules, constraints, strata, stratum_deps, pred_info, params })
+    Ok(Module { rules, constraints, strata, stratum_deps, stratum_reads, pred_info, params })
 }
 
 /// Parse and analyze in one step.

@@ -362,6 +362,24 @@ impl Sp {
             let mut all_args: Vec<Arg> = pre_args.clone();
             all_args.extend(args.iter().cloned());
 
+            // `f[?x]` once spelled the first-order annotation; today `?x`
+            // lexes as a query parameter. In exactly the position where an
+            // annotation would be meaningful — the first argument of a
+            // predicate with second-order rules — a bare parameter is far
+            // more likely a mis-spelled annotation than a genuine binding,
+            // so reject it with the `?{x}` spelling instead of failing
+            // later with a confusing unbound-parameter error.
+            if is_so {
+                if let Some(Arg { expr: Expr::Param(p), .. }) = all_args.first() {
+                    return Err(RelError::AmbiguousApplication(format!(
+                        "`{name}` has second-order rules, so `?{p}` reads like \
+                         the retired brace-less annotation — but `?{p}` is a \
+                         query parameter; write `{name}[?{{{p}}}]` to annotate \
+                         the argument as first-order"
+                    )));
+                }
+            }
+
             let forced_first = all_args.first().map(|a| a.ann == ArgAnnotation::First).unwrap_or(false)
                 || (has_fo && all_args.iter().all(|a| definitely_first_order(&a.expr, scope)));
             let forced_second =
@@ -983,6 +1001,36 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, RelError::AmbiguousApplication(_)), "{err}");
+    }
+
+    #[test]
+    fn braceless_annotation_spelling_suggests_braced_form() {
+        // `addUp[?x]` lexes `?x` as a query parameter; in the first
+        // argument of a second-order predicate that is almost certainly
+        // the retired brace-less annotation, so the diagnostic must spell
+        // out the `?{x}` fix — exactly this text.
+        let err = specialize(
+            &parse_program(
+                "def addUp[{A}] : sum[A]\n\
+                 def sum[{A}] : reduce[add,A]\n\
+                 def out(v) : addUp[?x](v)",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "ambiguous application (use ?{} or &{}): `addUp` has \
+             second-order rules, so `?x` reads like the retired brace-less \
+             annotation — but `?x` is a query parameter; write `addUp[?{x}]` \
+             to annotate the argument as first-order"
+        );
+        // A parameter argument to a plain first-order predicate stays a
+        // parameter — no spurious diagnostic.
+        let ok = specialize(
+            &parse_program("def out(y) : ProductPrice[?product](y)").unwrap(),
+        );
+        assert!(ok.is_ok(), "{ok:?}");
     }
 
     #[test]

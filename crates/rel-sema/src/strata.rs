@@ -13,7 +13,7 @@
 //! partial-fixpoint iteration instead of semi-naive (DESIGN.md §2.3).
 
 use crate::builtins;
-use crate::ir::{Formula, RExpr, Rule, Stratum};
+use crate::ir::{Formula, RExpr, Rule, Stratum, StratumReads};
 use rel_core::Name;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -275,6 +275,42 @@ pub fn stratum_deps(rules: &BTreeMap<Name, Vec<Rule>>, strata: &[Stratum]) -> Ve
         .collect()
 }
 
+/// Compute each stratum's read set: every non-builtin relation name its
+/// rules reference (including the stratum's own SCC members), split by
+/// the polarity of the reference — [`rule_deps`]' notion of polarity, so
+/// "negative" covers negation, aggregation inputs, and left-override.
+///
+/// Indexing matches `strata`. The result feeds
+/// [`crate::ir::Module::dependent_cone`] (which relations can invalidate
+/// which strata) and the engine's incremental maintenance (which changed
+/// inputs admit delta-seeded restart vs force recomputation).
+pub fn stratum_read_sets(
+    rules: &BTreeMap<Name, Vec<Rule>>,
+    strata: &[Stratum],
+) -> Vec<StratumReads> {
+    strata
+        .iter()
+        .map(|s| {
+            let mut positive = BTreeSet::new();
+            let mut negative = BTreeSet::new();
+            for p in &s.preds {
+                for r in rules.get(p).map(Vec::as_slice).unwrap_or(&[]) {
+                    for (d, pol) in rule_deps(r) {
+                        match pol {
+                            Polarity::Positive => positive.insert(d),
+                            Polarity::Negative => negative.insert(d),
+                        };
+                    }
+                }
+            }
+            StratumReads {
+                positive: positive.into_iter().collect(),
+                negative: negative.into_iter().collect(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +464,106 @@ mod tests {
             .position(|st| st.preds.iter().any(|p| &**p == "TC"))
             .unwrap();
         assert!(!deps[tc].contains(&tc));
+    }
+
+    #[test]
+    fn read_sets_split_by_polarity() {
+        let sp = specialize(&parse_program(
+            "def TC(x,y) : E(x,y)\n\
+             def TC(x,y) : exists((z) | E(x,z) and TC(z,y))\n\
+             def Far(x,y) : TC(x,y) and not E(x,y)",
+        )
+        .unwrap())
+        .unwrap();
+        let (rules, _) = lower(&sp).unwrap();
+        let strata = stratify(&rules);
+        let reads = stratum_read_sets(&rules, &strata);
+        assert_eq!(reads.len(), strata.len());
+        let of = |n: &str| {
+            let i = strata
+                .iter()
+                .position(|s| s.preds.iter().any(|p| &**p == n))
+                .unwrap();
+            &reads[i]
+        };
+        // TC reads E and itself, all positively.
+        let tc = of("TC");
+        assert!(tc.reads_positively(&rel_core::name("E")));
+        assert!(tc.reads_positively(&rel_core::name("TC")));
+        assert!(tc.negative.is_empty());
+        // Far reads TC positively and E under negation.
+        let far = of("Far");
+        assert!(far.reads_positively(&rel_core::name("TC")));
+        assert!(far.reads_negatively(&rel_core::name("E")));
+        assert!(!far.reads_positively(&rel_core::name("E")));
+    }
+
+    #[test]
+    fn aggregation_input_reads_negatively() {
+        // Specialization lifts the aggregation lambda into its own
+        // predicate, so the negative (reduce-input) read of E lives in the
+        // lifted/instance stratum — and the consumer still lands in E's
+        // dependent cone through the stratum DAG.
+        let m = crate::compile(
+            "def agg_sum[{A}] : reduce[add, A]\n\
+             def Tot(x,s) : exists((q) | E(x,q)) and s = agg_sum[(v) : E(x,v)]",
+        )
+        .unwrap();
+        let e = rel_core::name("E");
+        assert!(
+            m.stratum_reads.iter().any(|r| r.reads_negatively(&e)),
+            "no stratum records the aggregation input as a negative read"
+        );
+        let tot = m
+            .strata
+            .iter()
+            .position(|s| s.preds.iter().any(|p| &**p == "Tot"))
+            .unwrap();
+        let cone = m.dependent_cone(&[e].into_iter().collect());
+        assert!(cone.contains(&tot), "aggregation consumer escaped the cone");
+    }
+
+    #[test]
+    fn dependent_cone_closes_transitively() {
+        let m = crate::compile(
+            "def A(x) : E(x)\n\
+             def B(x) : A(x)\n\
+             def C(x) : B(x)\n\
+             def D(x) : F(x)",
+        )
+        .unwrap();
+        let pos = |n: &str| {
+            m.strata
+                .iter()
+                .position(|s| s.preds.iter().any(|p| &**p == n))
+                .unwrap()
+        };
+        let touched = |names: &[&str]| -> std::collections::BTreeSet<rel_core::Name> {
+            names.iter().map(|n| rel_core::name(*n)).collect()
+        };
+        // Touching E pulls in A, B, C but not the disjoint D.
+        let cone = m.dependent_cone(&touched(&["E"]));
+        assert!(cone.contains(&pos("A")));
+        assert!(cone.contains(&pos("B")));
+        assert!(cone.contains(&pos("C")));
+        assert!(!cone.contains(&pos("D")));
+        // Touching F pulls in only D.
+        assert_eq!(m.dependent_cone(&touched(&["F"])), vec![pos("D")]);
+        // Touching nothing yields an empty cone.
+        assert!(m.dependent_cone(&touched(&[])).is_empty());
+        // Touching a base relation named after an IDB predicate puts that
+        // predicate's stratum (and its dependents) in the cone even though
+        // no rule *reads* the name.
+        let cone = m.dependent_cone(&touched(&["C"]));
+        assert_eq!(cone, vec![pos("C")]);
+    }
+
+    #[test]
+    fn dependent_cone_without_read_sets_is_conservative() {
+        let mut m = crate::compile("def A(x) : E(x)\ndef B(x) : F(x)").unwrap();
+        m.stratum_reads.clear();
+        let touched = [rel_core::name("E")].into_iter().collect();
+        assert_eq!(m.dependent_cone(&touched).len(), m.strata.len());
     }
 
     #[test]
