@@ -8,13 +8,19 @@
 //! tracked from PR 1 onward.
 //!
 //! ```text
-//! bench_report [--out PATH] [--baseline PATH] [--runs N]
+//! bench_report [--out PATH] [--baseline PATH] [--runs N] [--smoke]
 //! ```
 //!
 //! `--baseline` points at a report produced by a *previous* build (e.g.
 //! the pre-optimization engine compiled in the same profile); its
 //! `median_ms` figures are embedded as `baseline_ms` with a computed
 //! `speedup`, making regressions and wins visible in one file.
+//!
+//! `--smoke` shrinks every workload to a tiny scale: the CI bench-smoke
+//! job runs it on every PR so the binary, its workload registrations,
+//! and the cross-mode result assertions cannot bit-rot between the PRs
+//! that actually measure (no numbers from a smoke run are meaningful —
+//! don't commit its JSON).
 
 use rel_bench::{programs, OrderWorkload};
 use rel_engine::SharedIndexCache;
@@ -50,8 +56,9 @@ fn main() {
     let mut out_path = "BENCH_1.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut runs = 3usize;
+    let mut smoke = false;
     let usage = || -> ! {
-        eprintln!("usage: bench_report [--out PATH] [--baseline PATH] [--runs N]");
+        eprintln!("usage: bench_report [--out PATH] [--baseline PATH] [--runs N] [--smoke]");
         std::process::exit(2);
     };
     let mut i = 0;
@@ -63,6 +70,11 @@ fn main() {
             })
         };
         match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+                continue;
+            }
             "--out" => out_path = value(),
             "--baseline" => baseline_path = Some(value()),
             "--runs" => {
@@ -80,10 +92,22 @@ fn main() {
         i += 2;
     }
 
+    // Workload scales: real measurement scales by default, tiny smoke
+    // scales for the per-PR CI job.
+    let tc_scales: &[usize] = if smoke { &[40] } else { &[100, 300] };
+    let tri_scales: &[usize] = if smoke { &[60] } else { &[150, 300] };
+    let rev_scales: &[usize] = if smoke { &[60] } else { &[200, 600] };
+    let pr_scales: &[usize] = if smoke { &[16] } else { &[32, 64] };
+    let rq_execs = if smoke { 40 } else { 500 };
+    let (ms_components, ms_n) = if smoke { (3, 40) } else { (8, 120) };
+    let (inc_n, inc_commits) = if smoke { (40, 20) } else { (120, 200) };
+    let wcoj_scales: &[(usize, f64)] =
+        if smoke { &[(80, 8.0)] } else { &[(250, 12.0), (500, 16.0)] };
+
     let mut results: Vec<Measurement> = Vec::new();
 
     // --- TC: semi-naive transitive closure over random digraphs ---------
-    for n in [100usize, 300] {
+    for &n in tc_scales {
         let g = gen::random_graph(n, 3.0, 42);
         let db = gen::graph_database(&g);
         let module = rel_sema::compile(programs::TC).expect("TC compiles");
@@ -108,7 +132,7 @@ fn main() {
     // new mode). These entries deliberately keep measuring raw
     // evaluation throughput so the trajectory stays comparable across
     // BENCH reports.
-    for n in [150usize, 300] {
+    for &n in tri_scales {
         let g = gen::random_graph(n, 6.0, 13);
         let mut session = rel_graph::with_graph_lib(gen::graph_database(&g));
         session.set_incremental(false);
@@ -125,7 +149,7 @@ fn main() {
     }
 
     // --- Revenue: grouped aggregation over the order workload -----------
-    for orders in [200usize, 600] {
+    for &orders in rev_scales {
         let w = OrderWorkload::generate(orders, 50, 1);
         let mut session = rel_engine::Session::with_stdlib(w.db.clone());
         session.set_incremental(false);
@@ -142,7 +166,7 @@ fn main() {
     }
 
     // --- PageRank: the paper's PFP program ------------------------------
-    for n in [32usize, 64] {
+    for &n in pr_scales {
         let g = gen::random_graph(n, 3.0, 11);
         let mut db = gen::graph_database(&g);
         db.set("M", gen::transition_matrix_relation(&g));
@@ -169,7 +193,7 @@ fn main() {
     // `speedup_vs_unprepared` field on the prepared entry is the
     // acceptance number (>= 5x).
     {
-        let executions = 500usize;
+        let executions = rq_execs;
         let w = OrderWorkload::generate(120, 40, 9);
         let session = rel_engine::Session::with_stdlib(w.db.clone());
         let prepared = session
@@ -230,8 +254,8 @@ fn main() {
     // single worker and once with 4 workers; `speedup_vs_1worker` on the
     // 4-worker entry is the parallel win (bounded by `host_cpus`).
     {
-        let components = 8usize;
-        let n = 120usize;
+        let components = ms_components;
+        let n = ms_n;
         let mut db = rel_core::Database::new();
         let mut src = String::from("def agg_count[{A}] : reduce[add, (A, 1)]\n");
         for c in 0..components {
@@ -286,8 +310,8 @@ fn main() {
     // `speedup_vs_full` on the incremental entry is the acceptance
     // number (>= 5x).
     {
-        let n = 120usize;
-        let commits = 200usize;
+        let n = inc_n;
+        let commits = inc_commits;
         let lib = "def TC(x,y) : E(x,y)\n\
                    def TC(x,y) : exists((z) | E(x,z) and TC(z,y))\n\
                    ic closed(x, y) requires E(x,y) implies TC(x,y)";
@@ -330,6 +354,49 @@ fn main() {
             result_size: full_size,
             extra: Vec::new(),
         });
+    }
+
+    // --- WCOJ triangles: leapfrog-in-eval_conj vs binary joins ----------
+    // The same triangle conjunction evaluated by the generic rule
+    // evaluator twice: once with the WCOJ planner routing the 3-atom
+    // cyclic group through the leapfrog kernel (`WcojMode::Auto` — the
+    // default), once pinned to the pairwise binary-join scheduler
+    // (`WcojMode::Off`). Unlike the `triangles` workload above (which
+    // goes through the second-order graph library), this one measures
+    // the join itself on denser graphs, where the binary plan's
+    // length-2-path intermediate is Θ(n·deg²). Both modes must agree on
+    // the result; `speedup_vs_binary` on the wcoj entry at the largest
+    // scale is the acceptance number (>= 2x).
+    {
+        let src = "def output(a,b,c) : E(a,b) and E(b,c) and E(a,c)";
+        for &(n, deg) in wcoj_scales {
+            let g = gen::random_graph(n, deg, 23);
+            let db = gen::graph_database(&g);
+            let run_mode = |mode: rel_engine::WcojMode| {
+                let mut session = rel_engine::Session::new(db.clone());
+                session.set_incremental(false);
+                session.set_wcoj(mode);
+                median_ms(runs, || session.query(src).expect("triangles").len())
+            };
+            let (wcoj_ms, wcoj_size) = run_mode(rel_engine::WcojMode::Auto);
+            let (bin_ms, bin_size) = run_mode(rel_engine::WcojMode::Off);
+            assert_eq!(wcoj_size, bin_size, "WCOJ changed the triangle result");
+            let scale = format!("n={n},deg={deg}");
+            results.push(Measurement {
+                name: "wcoj_triangles",
+                scale: format!("{scale},wcoj"),
+                median_ms: wcoj_ms,
+                result_size: wcoj_size,
+                extra: vec![("speedup_vs_binary", bin_ms / wcoj_ms)],
+            });
+            results.push(Measurement {
+                name: "wcoj_triangles",
+                scale: format!("{scale},binary"),
+                median_ms: bin_ms,
+                result_size: bin_size,
+                extra: Vec::new(),
+            });
+        }
     }
 
     let baseline = baseline_path.map(|p| {

@@ -1,8 +1,11 @@
 //! The core evaluator: formula evaluation over environment batches
-//! (with greedy sideways-information-passing scheduling) and **open
-//! expression evaluation** (relation-valued expressions that may bind
-//! their own free variables — the mechanism behind grouped aggregation,
-//! demand-driven predicates, and generator-style `where`).
+//! (with greedy sideways-information-passing scheduling, and a
+//! worst-case-optimal escape for multi-atom joins — qualifying groups of
+//! positive atoms are handed whole to the leapfrog triejoin kernel, see
+//! [`WcojMode`]) and **open expression evaluation** (relation-valued
+//! expressions that may bind their own free variables — the mechanism
+//! behind grouped aggregation, demand-driven predicates, and
+//! generator-style `where`).
 //!
 //! A rule `def p(params) : body` is evaluated by running the body's
 //! generating part as a formula over a seed environment, then evaluating
@@ -11,11 +14,13 @@
 
 use crate::builtins;
 use crate::env::{Env, EnvVal};
+use crate::leapfrog::{leapfrog_join, JoinAtom, SortedRel};
 use rel_core::{Name, RelError, RelResult, Relation, Tuple, Value};
 use rel_sema::builtins as bsig;
 use rel_sema::ir::{AbsParam, EvalMode, Formula, Module, RExpr, Rule, Term, Var};
 use rel_syntax::ast::CmpOp;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Cap on demand-evaluation recursion depth (`addUp`-style top-down
@@ -70,15 +75,87 @@ type TupleIndex = HashMap<Vec<Value>, Vec<Tuple>>;
 /// a relation with a different generation rebuilds and replaces the
 /// entry, so stale indexes are evicted in place rather than accumulated.
 type IndexCache = HashMap<(Name, Vec<usize>, usize), (u64, Arc<TupleIndex>)>;
+/// Cache of per-(predicate, column-permutation) sorted tries for the WCOJ
+/// path (the implied arity is `perm.len()`). Generation-keyed exactly
+/// like [`IndexCache`]: a permuted [`SortedRel`] is built once per
+/// relation state and shared read-only — across fixpoint iterations,
+/// scheduler worker threads, and session queries.
+type TrieCache = HashMap<(Name, Vec<usize>), (u64, Arc<SortedRel>)>;
 
-/// A cloneable handle to an index cache that outlives any single
-/// [`EvalCtx`]. The fixpoint engine threads one handle through every
-/// iteration's context, so indexes over *unchanged* relations (the EDB,
-/// already-materialized strata, stable SCC members) are built once and
-/// reused; only indexes over relations whose generation moved are
-/// rebuilt. Cloning the handle shares the cache.
+/// How `eval_conj` routes multi-atom conjunctions through the leapfrog
+/// worst-case-optimal join kernel ([`crate::leapfrog`]).
 ///
-/// The handle is `Arc<RwLock<…>>`-based and therefore `Send + Sync`: the
+/// The process-wide default comes from the `REL_WCOJ` environment
+/// variable (`0`/`false`/`off`/`no` → [`WcojMode::Off`],
+/// `force`/`always` → [`WcojMode::Force`], anything else including unset
+/// → [`WcojMode::Auto`]); [`crate::Session::set_wcoj`] overrides it per
+/// session. All modes produce byte-identical results — the switch exists
+/// as an escape hatch and a test axis, mirroring `REL_EVAL_THREADS` and
+/// `REL_INCREMENTAL`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WcojMode {
+    /// Never use the WCOJ kernel: every conjunct goes through the greedy
+    /// binary-join scheduler.
+    Off,
+    /// Route a conjunction through leapfrog when at least
+    /// [`WCOJ_MIN_ATOMS`] eligible atoms form a variable-connected group
+    /// (the cyclic-join shapes — triangles, paths-with-closure — where
+    /// worst-case optimality pays).
+    Auto,
+    /// Threshold 0: every eligible atom group routes through leapfrog,
+    /// connected or not, however small. Used by the `wcoj-forced` CI leg
+    /// and the equivalence suites to drag the WCOJ path over every query
+    /// shape.
+    Force,
+}
+
+/// Minimum size of a variable-connected eligible atom group for
+/// [`WcojMode::Auto`] to choose the WCOJ plan.
+pub const WCOJ_MIN_ATOMS: usize = 3;
+
+impl WcojMode {
+    /// The process default, from the `REL_WCOJ` environment variable.
+    pub fn from_env() -> WcojMode {
+        match std::env::var("REL_WCOJ") {
+            Ok(v) => WcojMode::parse(&v),
+            Err(_) => WcojMode::Auto,
+        }
+    }
+
+    /// Parse a `REL_WCOJ`-style setting: `0`/`false`/`off`/`no` →
+    /// [`WcojMode::Off`], `force`/`always` → [`WcojMode::Force`],
+    /// anything else → [`WcojMode::Auto`].
+    pub fn parse(s: &str) -> WcojMode {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "0" | "false" | "off" | "no" => WcojMode::Off,
+            "force" | "always" => WcojMode::Force,
+            _ => WcojMode::Auto,
+        }
+    }
+
+    /// Smallest eligible atom group this mode hands to leapfrog;
+    /// `usize::MAX` disables the path.
+    fn min_atoms(self) -> usize {
+        match self {
+            WcojMode::Off => usize::MAX,
+            WcojMode::Auto => WCOJ_MIN_ATOMS,
+            WcojMode::Force => 1,
+        }
+    }
+}
+
+/// A cloneable handle to the shared evaluation caches — hash indexes and
+/// WCOJ tries — that outlive any single [`EvalCtx`]. The fixpoint engine
+/// threads one handle through every iteration's context, so indexes and
+/// tries over *unchanged* relations (the EDB, already-materialized
+/// strata, stable SCC members) are built once and reused; only entries
+/// over relations whose generation moved are rebuilt. Cloning the handle
+/// shares the caches. The handle also carries the evaluation's
+/// [`WcojMode`], so a session-level `set_wcoj` reaches every evaluator
+/// the session spawns (fixpoint workers, transactions, incremental
+/// restarts) through the plumbing the cache already rides.
+///
+/// The handle is `Arc`-of-locks-based and therefore `Send + Sync`: the
 /// parallel stratum scheduler shares one cache across all of its worker
 /// threads, and a [`crate::session::Session`] holding a handle can serve
 /// queries from multiple threads concurrently. Entries are keyed on
@@ -86,32 +163,93 @@ type IndexCache = HashMap<(Name, Vec<usize>, usize), (u64, Arc<TupleIndex>)>;
 /// concurrent reader can never be handed an index that disagrees with the
 /// relation state it is evaluating against — at worst two threads build
 /// the same index once each and the last write wins.
-#[derive(Clone, Default)]
-pub struct SharedIndexCache(Arc<RwLock<IndexCache>>);
+#[derive(Clone)]
+pub struct SharedIndexCache(Arc<CacheState>);
+
+struct CacheState {
+    indexes: RwLock<IndexCache>,
+    tries: RwLock<TrieCache>,
+    wcoj: RwLock<WcojMode>,
+    /// Count of leapfrog joins executed through this cache handle
+    /// (diagnostics/tests: proves the WCOJ path actually routed).
+    wcoj_joins: AtomicU64,
+}
+
+impl Default for SharedIndexCache {
+    fn default() -> Self {
+        SharedIndexCache::with_wcoj(WcojMode::from_env())
+    }
+}
 
 impl std::fmt::Debug for SharedIndexCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SharedIndexCache({} entries)", self.read().len())
+        write!(
+            f,
+            "SharedIndexCache({} indexes, {} tries, wcoj {:?})",
+            self.read().len(),
+            self.tries_read().len(),
+            self.wcoj_mode()
+        )
     }
 }
 
 impl SharedIndexCache {
+    /// A fresh cache with an explicit WCOJ routing mode (the default
+    /// constructor reads `REL_WCOJ`).
+    pub fn with_wcoj(mode: WcojMode) -> Self {
+        SharedIndexCache(Arc::new(CacheState {
+            indexes: RwLock::new(HashMap::new()),
+            tries: RwLock::new(HashMap::new()),
+            wcoj: RwLock::new(mode),
+            wcoj_joins: AtomicU64::new(0),
+        }))
+    }
+
     fn read(&self) -> std::sync::RwLockReadGuard<'_, IndexCache> {
-        self.0.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.0.indexes.read().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn write(&self) -> std::sync::RwLockWriteGuard<'_, IndexCache> {
-        self.0.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.0.indexes.write().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Number of cached indexes (diagnostics/tests).
+    fn tries_read(&self) -> std::sync::RwLockReadGuard<'_, TrieCache> {
+        self.0.tries.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn tries_write(&self) -> std::sync::RwLockWriteGuard<'_, TrieCache> {
+        self.0.tries.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The current WCOJ routing mode.
+    pub fn wcoj_mode(&self) -> WcojMode {
+        *self.0.wcoj.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Change the WCOJ routing mode for every evaluator sharing this
+    /// handle.
+    pub fn set_wcoj(&self, mode: WcojMode) {
+        *self.0.wcoj.write().unwrap_or_else(std::sync::PoisonError::into_inner) = mode;
+    }
+
+    /// How many leapfrog joins evaluators sharing this handle have run.
+    pub fn wcoj_join_count(&self) -> u64 {
+        self.0.wcoj_joins.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_wcoj_join(&self) {
+        self.0.wcoj_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of cached entries, indexes and tries combined
+    /// (diagnostics/tests).
     pub fn len(&self) -> usize {
-        self.read().len()
+        self.read().len() + self.tries_read().len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
-        self.read().is_empty()
+        self.read().is_empty() && self.tries_read().is_empty()
     }
 
     /// Drop every entry that no longer matches the given relation state
@@ -121,6 +259,9 @@ impl SharedIndexCache {
     /// *next* run can actually hit, instead of accumulating dead ones.
     pub fn prune_stale(&self, rels: &BTreeMap<Name, Relation>) {
         self.write().retain(|(name, _, _), (built_gen, _)| {
+            rels.get(name).map(Relation::generation) == Some(*built_gen)
+        });
+        self.tries_write().retain(|(name, _), (built_gen, _)| {
             rels.get(name).map(Relation::generation) == Some(*built_gen)
         });
     }
@@ -148,15 +289,25 @@ impl SharedIndexCache {
             !touched.contains(name)
                 || db.get(name).map(Relation::generation) == Some(*built_gen)
         });
+        self.tries_write().retain(|(name, _), (built_gen, _)| {
+            !touched.contains(name)
+                || db.get(name).map(Relation::generation) == Some(*built_gen)
+        });
     }
 
-    /// The generations the cached indexes over `name` were built from
-    /// (diagnostics/tests).
+    /// The generations the cached indexes and tries over `name` were
+    /// built from (diagnostics/tests).
     pub fn generations_for(&self, name: &str) -> Vec<u64> {
         self.read()
             .iter()
             .filter(|((n, _, _), _)| &**n == name)
             .map(|(_, (built_gen, _))| *built_gen)
+            .chain(
+                self.tries_read()
+                    .iter()
+                    .filter(|((n, _), _)| &**n == name)
+                    .map(|(_, (built_gen, _))| *built_gen),
+            )
             .collect()
     }
 }
@@ -490,9 +641,11 @@ impl<'a> EvalCtx<'a> {
         }
     }
 
-    /// Greedy scheduling of a conjunction: filters first, then the
-    /// smallest-relation generator; stuck scheduling is a bug the safety
-    /// analysis should have caught.
+    /// Greedy scheduling of a conjunction: filters first, then — when a
+    /// group of positive atoms qualifies (see [`Self::plan_wcoj`]) — the
+    /// leapfrog worst-case-optimal join over the whole group, otherwise
+    /// the smallest-relation generator; stuck scheduling is a bug the
+    /// safety analysis should have caught.
     fn eval_conj(&self, items: &[Formula], mut envs: Vec<Env>) -> RelResult<Vec<Env>> {
         let mut pending: Vec<&Formula> = Vec::with_capacity(items.len());
         fn flatten<'x>(items: &'x [Formula], out: &mut Vec<&'x Formula>) {
@@ -505,28 +658,47 @@ impl<'a> EvalCtx<'a> {
         }
         flatten(items, &mut pending);
 
+        // Once WCOJ planning fails for this conjunction it can never
+        // start succeeding: scheduling only consumes conjuncts and binds
+        // variables, so eligible components can only shrink. Caching the
+        // failure keeps the planner from paying eligibility + union-find
+        // on every subsequent pick.
+        let mut wcoj_failed = false;
+
         while !pending.is_empty() {
             if envs.is_empty() {
                 return Ok(envs);
             }
             let bound = batch_bound(&envs);
-            // Choose the next conjunct: prefer pure filters, then the
-            // cheapest generator. Negations must wait until no *other*
-            // pending conjunct can still bind one of their variables —
+            // Negation deferral: a `Not` must wait until no *other*
+            // pending conjunct can still bind one of its variables —
             // running `not S(x)` before `R(x)` binds `x` would negate the
-            // wrong thing.
+            // wrong thing. The "other conjuncts" reference set is the
+            // same for every pending `Not` (its own refs are excluded by
+            // construction — a `Not` never appears in it), so it is
+            // computed once per scheduling iteration instead of once per
+            // negation (the old per-`Not` recomputation made each pick
+            // O(n²) in the conjunction size).
+            let mut positive_refs: Option<BTreeSet<Var>> = None;
+            if pending.iter().any(|f| matches!(f, Formula::Not(_))) {
+                let mut refs = BTreeSet::new();
+                for g in &pending {
+                    if !matches!(g, Formula::Not(_)) {
+                        formula_refs(g, &mut refs);
+                    }
+                }
+                refs.retain(|v| !bound.contains(v));
+                positive_refs = Some(refs);
+            }
+            // Choose the next conjunct: prefer pure filters, then the
+            // cheapest generator.
             let mut choice: Option<(usize, u64)> = None; // (index, cost)
             for (i, f) in pending.iter().enumerate() {
                 if let Formula::Not(inner) = f {
+                    let free = positive_refs.as_ref().expect("computed when a Not is pending");
                     let mut inner_refs = BTreeSet::new();
                     formula_refs(inner, &mut inner_refs);
-                    let mut others = BTreeSet::new();
-                    for (j, g) in pending.iter().enumerate() {
-                        if j != i && !matches!(g, Formula::Not(_)) {
-                            formula_refs(g, &mut others);
-                        }
-                    }
-                    if inner_refs.intersection(&others).any(|v| !bound.contains(v)) {
+                    if inner_refs.iter().any(|v| free.contains(v)) {
                         continue; // defer: a shared variable is still free
                     }
                 }
@@ -543,17 +715,282 @@ impl<'a> EvalCtx<'a> {
                     }
                 }
             }
-            let Some((idx, _)) = choice else {
+            let Some((idx, cost)) = choice else {
                 return Err(RelError::internal(format!(
                     "evaluation stuck: no conjunct schedulable among {} pending \
                      (safety analysis gap)",
                     pending.len()
                 )));
             };
+            // With no filter runnable and a generator about to be picked,
+            // see whether a whole group of positive atoms can go through
+            // the worst-case-optimal path instead of one pairwise step.
+            if cost > 0 && !wcoj_failed {
+                if let Some(group) = self.plan_wcoj(&pending, &bound) {
+                    let picked: Vec<&Formula> = group.iter().map(|&i| pending[i]).collect();
+                    for &i in group.iter().rev() {
+                        pending.remove(i);
+                    }
+                    let atoms: Vec<(&Name, &[Term])> = picked
+                        .iter()
+                        .map(|f| self.wcoj_atom(f).expect("planned atoms stay eligible"))
+                        .collect();
+                    envs = self.exec_wcoj(&atoms, &bound, envs)?;
+                    continue;
+                }
+                wcoj_failed = true;
+            }
             let f = pending.remove(idx);
             envs = self.eval_formula(f, envs)?;
         }
         Ok(envs)
+    }
+
+    // ------------------------------------------------------------------
+    // Worst-case-optimal join planning (leapfrog triejoin)
+    // ------------------------------------------------------------------
+
+    /// Is this conjunct a WCOJ-eligible atom? Eligible means: a positive
+    /// atom over a materialized (or Δ-overlay) relation — not a builtin,
+    /// not demand-driven — whose arguments are first-order variables
+    /// (distinct within the atom) or non-numeric constants. Numeric
+    /// constants are excluded because the scheduler matches them with
+    /// Int/Float-promoting equality, while trie seeks use the strict
+    /// value order; strings/symbols/entities compare identically either
+    /// way. Returns the atom's predicate and argument list.
+    fn wcoj_atom<'x>(&self, f: &'x Formula) -> Option<(&'x Name, &'x [Term])> {
+        let Formula::Atom(a) = f else { return None };
+        if a.args.is_empty()
+            || bsig::lookup(&a.pred).is_some()
+            || self.is_demand(&a.pred).is_some()
+        {
+            return None;
+        }
+        let mut seen = BTreeSet::new();
+        for t in &a.args {
+            match t {
+                Term::Var(v) => {
+                    if !seen.insert(*v) {
+                        return None; // repeated variable: needs in-atom equality
+                    }
+                }
+                Term::Const(c) => {
+                    if c.is_number() {
+                        return None;
+                    }
+                }
+                Term::TupleVar(_) => return None,
+            }
+        }
+        Some((&a.pred, &a.args))
+    }
+
+    /// Select a group of pending conjuncts for the WCOJ path, returning
+    /// their indexes (ascending). In [`WcojMode::Auto`], the largest
+    /// variable-connected component of eligible atoms is chosen when it
+    /// has at least [`WCOJ_MIN_ATOMS`] members (two atoms are connected
+    /// when they share a variable unbound in the current batch — the
+    /// genuinely joining shapes); [`WcojMode::Force`] takes every
+    /// eligible atom. Returns `None` when the binary-join scheduler
+    /// should proceed instead.
+    fn plan_wcoj(&self, pending: &[&Formula], bound: &BTreeSet<Var>) -> Option<Vec<usize>> {
+        let mode = self.indexes.wcoj_mode();
+        let min_atoms = mode.min_atoms();
+        if min_atoms == usize::MAX {
+            return None;
+        }
+        let elig: Vec<(usize, BTreeSet<Var>)> = pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                self.wcoj_atom(f).map(|(_, args)| {
+                    let vars = args
+                        .iter()
+                        .filter_map(|t| match t {
+                            Term::Var(v) if !bound.contains(v) => Some(*v),
+                            _ => None,
+                        })
+                        .collect();
+                    (i, vars)
+                })
+            })
+            .collect();
+        if elig.len() < min_atoms {
+            return None;
+        }
+        if mode == WcojMode::Force {
+            return Some(elig.into_iter().map(|(i, _)| i).collect());
+        }
+        // Union-find over the eligible atoms, connected by shared free
+        // variables.
+        let mut parent: Vec<usize> = (0..elig.len()).collect();
+        fn find(parent: &mut [usize], i: usize) -> usize {
+            let mut root = i;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = i;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for a in 0..elig.len() {
+            for b in a + 1..elig.len() {
+                if !elig[a].1.is_disjoint(&elig[b].1) {
+                    let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+        let mut components: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, (pending_idx, _)) in elig.iter().enumerate() {
+            let root = find(&mut parent, i);
+            components.entry(root).or_default().push(*pending_idx);
+        }
+        // Largest component wins; ties resolve to the earliest conjunct
+        // (deterministic — BTreeMap order is by root, and roots carry the
+        // first member's index ordering closely enough once sizes tie).
+        let best = components
+            .into_values()
+            .max_by(|a, b| a.len().cmp(&b.len()).then(b[0].cmp(&a[0])))?;
+        (best.len() >= min_atoms).then_some(best)
+    }
+
+    /// Evaluate a group of positive atoms as one leapfrog triejoin,
+    /// extending each environment of the batch with every satisfying
+    /// binding — semantically identical to scheduling the atoms through
+    /// the pairwise path (the set of produced environments is the same;
+    /// intra-batch order may differ, which no downstream consumer
+    /// observes because results land in sorted relations).
+    ///
+    /// The global variable order is: batch-bound variables, then constant
+    /// columns (each pinned by a one-tuple relation), then free variables
+    /// most-shared-first. Atom relations are permuted into that order and
+    /// fetched from the generation-keyed trie cache, so across fixpoint
+    /// iterations, repeated queries, and scheduler workers each sorted
+    /// trie is built exactly once per relation state; the per-environment
+    /// work is a handful of cursor seeks, not tuple copies.
+    fn exec_wcoj(
+        &self,
+        atoms: &[(&Name, &[Term])],
+        bound: &BTreeSet<Var>,
+        envs: Vec<Env>,
+    ) -> RelResult<Vec<Env>> {
+        enum Slot {
+            Var(Var),
+            Const(Value),
+        }
+        // 1. Collect variable roles.
+        let mut bound_vars: BTreeSet<Var> = BTreeSet::new();
+        let mut free_count: BTreeMap<Var, usize> = BTreeMap::new();
+        for (_, args) in atoms {
+            for t in *args {
+                match t {
+                    Term::Var(v) if bound.contains(v) => {
+                        bound_vars.insert(*v);
+                    }
+                    Term::Var(v) => *free_count.entry(*v).or_insert(0) += 1,
+                    Term::Const(_) => {}
+                    Term::TupleVar(_) => unreachable!("excluded by wcoj_atom"),
+                }
+            }
+        }
+        // 2. Global join order.
+        let mut order: Vec<Slot> = bound_vars.iter().map(|v| Slot::Var(*v)).collect();
+        let mut const_slots: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for (ai, (_, args)) in atoms.iter().enumerate() {
+            for (ci, t) in args.iter().enumerate() {
+                if let Term::Const(c) = t {
+                    const_slots.insert((ai, ci), order.len());
+                    order.push(Slot::Const(c.clone()));
+                }
+            }
+        }
+        let mut free: Vec<(usize, Var)> = free_count.into_iter().map(|(v, c)| (c, v)).collect();
+        free.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        order.extend(free.into_iter().map(|(_, v)| Slot::Var(v)));
+        let slot_of: BTreeMap<Var, usize> = order
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Var(v) => Some((*v, i)),
+                Slot::Const(_) => None,
+            })
+            .collect();
+        // 3. Per-atom column permutation + cached trie.
+        let mut tries: Vec<(Arc<SortedRel>, Vec<usize>)> = Vec::with_capacity(atoms.len());
+        for (ai, (pred, args)) in atoms.iter().enumerate() {
+            let mut cols: Vec<(usize, usize)> = args
+                .iter()
+                .enumerate()
+                .map(|(ci, t)| match t {
+                    Term::Var(v) => (slot_of[v], ci),
+                    Term::Const(_) => (const_slots[&(ai, ci)], ci),
+                    Term::TupleVar(_) => unreachable!("excluded by wcoj_atom"),
+                })
+                .collect();
+            cols.sort_unstable();
+            let perm: Vec<usize> = cols.iter().map(|&(_, ci)| ci).collect();
+            let vars: Vec<usize> = cols.iter().map(|&(slot, _)| slot).collect();
+            let trie = self.trie_for(pred, &perm);
+            if trie.is_empty() {
+                // A required positive conjunct over ∅: the conjunction is ∅.
+                return Ok(Vec::new());
+            }
+            tries.push((trie, vars));
+        }
+        self.indexes.note_wcoj_join();
+        // 4. Constant pins are shared across the batch; per-environment
+        // pins add one singleton atom per variable the environment binds.
+        // The trie + constant part of the atom list is identical for
+        // every environment — build it once (JoinAtom is Copy, so the
+        // per-env list is a memcpy plus the pins).
+        let const_pins: Vec<(SortedRel, [usize; 1])> = order
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Const(c) => {
+                    Some((SortedRel::new(vec![Tuple::from(vec![c.clone()])]), [i]))
+                }
+                Slot::Var(_) => None,
+            })
+            .collect();
+        let mut base: Vec<JoinAtom<'_>> = tries
+            .iter()
+            .map(|(trie, vars)| JoinAtom { rel: trie, vars })
+            .collect();
+        base.extend(const_pins.iter().map(|(rel, slot)| JoinAtom { rel, vars: slot }));
+        let nvars = order.len();
+        let mut out = Vec::new();
+        for env in envs {
+            let mut pins: Vec<(SortedRel, [usize; 1])> = Vec::new();
+            for (i, s) in order.iter().enumerate() {
+                if let Slot::Var(v) = s {
+                    if let Some(val) = env.value(*v) {
+                        pins.push((SortedRel::new(vec![Tuple::from(vec![val.clone()])]), [i]));
+                    }
+                }
+            }
+            let mut join_atoms: Vec<JoinAtom<'_>> = base.clone();
+            join_atoms.extend(pins.iter().map(|(rel, slot)| JoinAtom { rel, vars: slot }));
+            leapfrog_join(&mut join_atoms, nvars, &mut |vals| {
+                let mut extended = env.clone();
+                for (i, s) in order.iter().enumerate() {
+                    if let Slot::Var(v) = s {
+                        if extended.value(*v).is_none() {
+                            extended.bind(*v, EnvVal::Val(vals[i].clone()));
+                        }
+                    }
+                }
+                out.push(extended);
+            });
+        }
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -1020,6 +1457,33 @@ impl<'a> EvalCtx<'a> {
             .write()
             .insert(cache_key, (generation, Arc::clone(&arc)));
         arc
+    }
+
+    /// Build (or fetch) the sorted trie of `pred` with columns permuted
+    /// by `perm` (only tuples of arity `perm.len()` participate — the
+    /// atom's arity). Cached generation-keyed alongside the hash indexes:
+    /// the permutation sort runs once per relation state and the
+    /// resulting [`SortedRel`] is shared read-only across fixpoint
+    /// iterations, session queries, and scheduler worker threads —
+    /// previously every leapfrog caller re-sorted the whole relation per
+    /// join.
+    fn trie_for(&self, pred: &Name, perm: &[usize]) -> Arc<SortedRel> {
+        let rel = self.rels.get(pred);
+        let generation = rel.map(Relation::generation).unwrap_or(0);
+        let cache_key = (pred.clone(), perm.to_vec());
+        if let Some((built_gen, hit)) = self.indexes.tries_read().get(&cache_key) {
+            if *built_gen == generation {
+                return Arc::clone(hit);
+            }
+        }
+        let trie = Arc::new(match rel {
+            Some(r) => SortedRel::permuted(r, perm),
+            None => SortedRel::new(Vec::new()),
+        });
+        self.indexes
+            .tries_write()
+            .insert(cache_key, (generation, Arc::clone(&trie)));
+        trie
     }
 
     /// Unify tuple-variable-free args against a tuple.
@@ -2024,6 +2488,124 @@ mod tests {
                 assert!(rel.contains(&tuple![12, 78]));
             }
         });
+    }
+
+    fn triangle_conj() -> Formula {
+        let e = |a: Var, b: Var| {
+            Formula::Atom(Atom {
+                pred: rel_core::name("E"),
+                args: vec![Term::Var(a), Term::Var(b)],
+            })
+        };
+        Formula::Conj(vec![e(0, 1), e(1, 2), e(0, 2)])
+    }
+
+    #[test]
+    fn wcoj_triangle_matches_binary_path_and_routes() {
+        let (module, rels) = ctx_fixture();
+        let run = |mode: WcojMode| -> (Vec<Env>, u64) {
+            let cache = SharedIndexCache::with_wcoj(mode);
+            let cx = EvalCtx::with_cache(&module, &rels, cache.clone());
+            let mut envs = cx.eval_formula(&triangle_conj(), vec![Env::new(3)]).unwrap();
+            envs.sort_unstable();
+            (envs, cache.wcoj_join_count())
+        };
+        let (off, off_joins) = run(WcojMode::Off);
+        let (auto, auto_joins) = run(WcojMode::Auto);
+        let (forced, forced_joins) = run(WcojMode::Force);
+        assert_eq!(off.len(), 1, "fixture has exactly one triangle");
+        assert_eq!(off, auto);
+        assert_eq!(off, forced);
+        assert_eq!(off_joins, 0, "Off must never touch the kernel");
+        assert!(auto_joins >= 1, "a 3-atom cyclic conjunction must route in Auto");
+        assert!(forced_joins >= 1);
+    }
+
+    #[test]
+    fn wcoj_respects_prebound_variables() {
+        // Seed the batch with a = 1 bound: the WCOJ path must pin it via
+        // a singleton atom and produce exactly the binary path's answers.
+        let (module, rels) = ctx_fixture();
+        let mut seed = Env::new(3);
+        seed.bind(0, EnvVal::Val(Value::int(1)));
+        let run = |mode: WcojMode| {
+            let cx =
+                EvalCtx::with_cache(&module, &rels, SharedIndexCache::with_wcoj(mode));
+            let mut envs = cx.eval_formula(&triangle_conj(), vec![seed.clone()]).unwrap();
+            envs.sort_unstable();
+            envs
+        };
+        assert_eq!(run(WcojMode::Off), run(WcojMode::Force));
+        // A binding with no triangle: empty either way.
+        let mut dead = Env::new(3);
+        dead.bind(0, EnvVal::Val(Value::int(3)));
+        let cx = EvalCtx::with_cache(
+            &module,
+            &rels,
+            SharedIndexCache::with_wcoj(WcojMode::Force),
+        );
+        assert!(cx.eval_formula(&triangle_conj(), vec![dead]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wcoj_excludes_ineligible_atoms() {
+        // Repeated in-atom variables and numeric constants stay on the
+        // binary path (wcoj_atom rejects them); the conjunction as a
+        // whole must still agree across modes.
+        let (module, rels) = ctx_fixture();
+        let e = |args: Vec<Term>| {
+            Formula::Atom(Atom { pred: rel_core::name("E"), args })
+        };
+        let f = Formula::Conj(vec![
+            e(vec![Term::Var(0), Term::Var(1)]),
+            e(vec![Term::Var(1), Term::Var(2)]),
+            e(vec![Term::Const(Value::int(1)), Term::Var(2)]),
+            e(vec![Term::Var(3), Term::Var(3)]), // no loops: empties the result
+        ]);
+        let run = |mode: WcojMode| {
+            let cx =
+                EvalCtx::with_cache(&module, &rels, SharedIndexCache::with_wcoj(mode));
+            let mut envs = cx.eval_formula(&f, vec![Env::new(4)]).unwrap();
+            envs.sort_unstable();
+            envs
+        };
+        assert_eq!(run(WcojMode::Off), run(WcojMode::Force));
+    }
+
+    #[test]
+    fn wcoj_tries_are_cached_by_generation() {
+        let (module, rels) = ctx_fixture();
+        let cache = SharedIndexCache::with_wcoj(WcojMode::Force);
+        let cx = EvalCtx::with_cache(&module, &rels, cache.clone());
+        cx.eval_formula(&triangle_conj(), vec![Env::new(3)]).unwrap();
+        let after_first = cache.len();
+        assert!(after_first > 0, "tries must land in the shared cache");
+        let e_gen = rels[&rel_core::name("E")].generation();
+        assert!(cache.generations_for("E").contains(&e_gen));
+        // Same state again: every trie is served from cache, nothing new.
+        cx.eval_formula(&triangle_conj(), vec![Env::new(3)]).unwrap();
+        assert_eq!(cache.len(), after_first);
+        // A generation bump invalidates via the usual path.
+        let mut db = rel_core::Database::new();
+        let mut moved = rels[&rel_core::name("E")].clone();
+        moved.insert(tuple![7, 8]);
+        db.set("E", moved);
+        cache.invalidate_stale_relations([&rel_core::name("E")], &db);
+        assert!(cache.generations_for("E").is_empty());
+    }
+
+    #[test]
+    fn wcoj_mode_env_parsing() {
+        // (Live reads of REL_WCOJ are covered by the CI matrix legs;
+        // setting env vars here would race sibling tests.)
+        assert_eq!(WcojMode::parse("0"), WcojMode::Off);
+        assert_eq!(WcojMode::parse(" off "), WcojMode::Off);
+        assert_eq!(WcojMode::parse("FALSE"), WcojMode::Off);
+        assert_eq!(WcojMode::parse("force"), WcojMode::Force);
+        assert_eq!(WcojMode::parse("always"), WcojMode::Force);
+        assert_eq!(WcojMode::parse("auto"), WcojMode::Auto);
+        assert_eq!(WcojMode::parse("1"), WcojMode::Auto);
+        assert_eq!(WcojMode::parse(""), WcojMode::Auto);
     }
 
     #[test]

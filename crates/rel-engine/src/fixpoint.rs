@@ -4,7 +4,10 @@
 //! * Recursive **monotone** strata: semi-naive evaluation — per iteration,
 //!   each rule is evaluated once per occurrence of an SCC predicate, with
 //!   that occurrence reading the Δ relation (new/full formulation; set
-//!   semantics deduplicates the overlap).
+//!   semantics deduplicates the overlap). Δ overlays live in the ordinary
+//!   relation map, so `eval_conj`'s WCOJ planner treats a Δ-focused atom
+//!   like any other materialized atom — recursive strata route through
+//!   the leapfrog kernel too (see [`crate::eval::WcojMode`]).
 //! * Recursive **non-monotone** strata (Rel's non-stratified programs,
 //!   Addendum A): partial-fixpoint (PFP) iteration — synchronously
 //!   recompute every SCC predicate from the previous iterate until two
@@ -922,6 +925,42 @@ mod tests {
                 other => panic!("workers={workers}: expected divergence, got {other}"),
             }
         }
+    }
+
+    #[test]
+    fn wcoj_delta_variants_match_binary_in_recursive_strata() {
+        // A 3-atom recursive body: semi-naive evaluation rewrites one
+        // occurrence per variant to the Δ relation, and the WCOJ planner
+        // must pick the rewritten atom group up exactly like any other
+        // materialized relation (Δ overlays live in the same rels map).
+        use crate::eval::WcojMode;
+        let module = rel_sema::compile(
+            "def P(x,y) : E(x,y)\n\
+             def P(x,y) : exists((z, w) | E(x,z) and P(z,w) and E(w,y))",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 2), (2, 5)] {
+            db.insert("E", tuple![a, b]);
+        }
+        let off = materialize_with_threads(
+            &module,
+            &db,
+            SharedIndexCache::with_wcoj(WcojMode::Off),
+            1,
+        )
+        .unwrap();
+        let cache = SharedIndexCache::with_wcoj(WcojMode::Force);
+        let forced = materialize_with_threads(&module, &db, cache.clone(), 1).unwrap();
+        let p = rel_core::name("P");
+        let a: Vec<_> = off[&p].iter().cloned().collect();
+        let b: Vec<_> = forced[&p].iter().cloned().collect();
+        assert_eq!(a, b, "WCOJ diverged from binary joins in a recursive stratum");
+        assert!(
+            cache.wcoj_join_count() > 1,
+            "expected leapfrog joins across semi-naive iterations, got {}",
+            cache.wcoj_join_count()
+        );
     }
 
     #[test]

@@ -8,11 +8,19 @@
 //! to their next common key; on agreement the join descends to the next
 //! variable.
 //!
-//! This module is deliberately self-contained (used directly by the E8
-//! triangle benchmark and by tests) rather than wired into the general
-//! rule planner: the paper's engine uses WCOJ selectively for cyclic
-//! joins, and the triangle workload is exactly where the asymptotic
-//! separation from binary hash joins shows.
+//! This kernel is the engine's worst-case-optimal join substrate: the
+//! general rule planner in [`crate::eval`] routes multi-atom
+//! conjunctions through [`leapfrog_join`] (the paper's engine uses WCOJ
+//! selectively for cyclic joins — triangles, paths-with-closure — where
+//! the asymptotic separation from binary hash joins shows). The planner
+//! permutes each atom's relation into the global variable order with
+//! [`SortedRel::permuted`] and caches the result generation-keyed in the
+//! shared index cache, so a trie is built once per relation state and
+//! then shared read-only across fixpoint iterations and scheduler worker
+//! threads; per-join state is only the lightweight trie-cursor stack.
+//! The `REL_WCOJ` environment variable / `Session::set_wcoj` select the
+//! routing mode (see [`crate::eval::WcojMode`]). The kernel is also used
+//! directly by the E8 triangle benchmark via [`triangle_count_lftj`].
 
 use rel_core::{Relation, Tuple, Value};
 
@@ -44,10 +52,13 @@ impl SortedRel {
 
     /// Build with columns permuted: output column `i` = input column
     /// `perm[i]`. Used to align an atom's columns with the global variable
-    /// order.
+    /// order. Tuples whose arity differs from `perm.len()` are skipped
+    /// (an atom of arity *k* only ever matches *k*-tuples; relations may
+    /// hold mixed arities).
     pub fn permuted(rel: &Relation, perm: &[usize]) -> Self {
         let tuples = rel
             .iter()
+            .filter(|t| t.arity() == perm.len())
             .map(|t| {
                 Tuple::from(
                     perm.iter().map(|&i| t.values()[i].clone()).collect::<Vec<_>>(),
@@ -198,30 +209,36 @@ impl<'a> TrieIter<'a> {
 /// One atom of a join query: a relation plus, per trie level, the global
 /// join-variable index that level binds. Levels must be strictly
 /// increasing in the global variable order (permute the relation with
-/// [`SortedRel::permuted`] to arrange this).
+/// [`SortedRel::permuted`] to arrange this). The atom is two borrows —
+/// `Copy` — so a caller joining one atom set against many environments
+/// can stamp out per-environment atom lists without cloning variable
+/// vectors.
+#[derive(Clone, Copy)]
 pub struct JoinAtom<'a> {
     /// The (column-permuted) relation.
     pub rel: &'a SortedRel,
     /// `vars[d]` = global variable bound by trie level `d`.
-    pub vars: Vec<usize>,
+    pub vars: &'a [usize],
 }
 
 /// Run a leapfrog triejoin over `atoms` with `nvars` join variables
 /// (numbered `0..nvars` in join order). `emit` receives each result
-/// binding.
+/// binding. The join itself copies no tuples: iterators are range
+/// cursors over the (shared, possibly cached) sorted storage, and the
+/// binding handed to `emit` borrows the matched key values.
 pub fn leapfrog_join(atoms: &mut [JoinAtom<'_>], nvars: usize, emit: &mut dyn FnMut(&[Value])) {
     for atom in atoms.iter() {
+        if atom.rel.is_empty() {
+            return;
+        }
         assert_eq!(atom.vars.len(), atom.rel.arity(), "vars must cover all columns");
         assert!(
             atom.vars.windows(2).all(|w| w[0] < w[1]),
             "atom variables must be strictly increasing in join order"
         );
-        if atom.rel.is_empty() {
-            return;
-        }
     }
     let mut iters: Vec<TrieIter<'_>> = atoms.iter().map(|a| TrieIter::new(a.rel)).collect();
-    let mut binding: Vec<Option<Value>> = vec![None; nvars];
+    let mut binding: Vec<Value> = Vec::with_capacity(nvars);
     join_level(atoms, &mut iters, 0, nvars, &mut binding, emit);
 }
 
@@ -240,12 +257,11 @@ fn join_level(
     iters: &mut [TrieIter<'_>],
     var: usize,
     nvars: usize,
-    binding: &mut [Option<Value>],
+    binding: &mut Vec<Value>,
     emit: &mut dyn FnMut(&[Value]),
 ) {
     if var == nvars {
-        let vals: Vec<Value> = binding.iter().map(|b| b.clone().expect("bound")).collect();
-        emit(&vals);
+        emit(binding);
         return;
     }
     let ps = participants(atoms, var);
@@ -257,15 +273,20 @@ fn join_level(
         iters[i].open();
     }
     loop {
-        // Leapfrog search: find a common key or exhaust.
+        // Leapfrog search: find a common key or exhaust. The max is found
+        // by reference comparison and cloned once (values are cheap
+        // handles — ints or `Arc` strings — but p−1 needless clones per
+        // probe still added up on hot joins).
         if ps.iter().any(|&i| iters[i].at_end()) {
             break;
         }
-        let max = ps
-            .iter()
-            .map(|&i| iters[i].key().clone())
-            .max()
-            .expect("nonempty participants");
+        let mut max_i = ps[0];
+        for &i in &ps[1..] {
+            if iters[i].key() > iters[max_i].key() {
+                max_i = i;
+            }
+        }
+        let max = iters[max_i].key().clone();
         let mut all_equal = true;
         for &i in &ps {
             if iters[i].key() != &max {
@@ -280,9 +301,9 @@ fn join_level(
             continue;
         }
         // Match on `max`: descend to the next join variable.
-        binding[var] = Some(max);
+        binding.push(max);
         join_level(atoms, iters, var + 1, nvars, binding, emit);
-        binding[var] = None;
+        binding.pop();
         // Advance one participant to continue the search.
         let first = ps[0];
         iters[first].next_key();
@@ -302,9 +323,9 @@ pub fn triangle_count_lftj(edges: &Relation) -> usize {
     let r_bc = SortedRel::from_relation(edges); // (b, c)
     let r_ac = SortedRel::from_relation(edges); // (a, c)
     let mut atoms = [
-        JoinAtom { rel: &r_ab, vars: vec![0, 1] },
-        JoinAtom { rel: &r_bc, vars: vec![1, 2] },
-        JoinAtom { rel: &r_ac, vars: vec![0, 2] },
+        JoinAtom { rel: &r_ab, vars: &[0, 1] },
+        JoinAtom { rel: &r_bc, vars: &[1, 2] },
+        JoinAtom { rel: &r_ac, vars: &[0, 2] },
     ];
     let mut count = 0usize;
     leapfrog_join(&mut atoms, 3, &mut |_| count += 1);
@@ -414,11 +435,50 @@ mod tests {
         let a = SortedRel::new(vec![tuple![1], tuple![2], tuple![3]]);
         let b = SortedRel::new(vec![tuple![2], tuple![3], tuple![4]]);
         let mut atoms = [
-            JoinAtom { rel: &a, vars: vec![0] },
-            JoinAtom { rel: &b, vars: vec![0] },
+            JoinAtom { rel: &a, vars: &[0] },
+            JoinAtom { rel: &b, vars: &[0] },
         ];
         let mut out = Vec::new();
         leapfrog_join(&mut atoms, 1, &mut |vals| out.push(vals[0].clone()));
         assert_eq!(out, vec![Value::int(2), Value::int(3)]);
+    }
+
+    #[test]
+    fn permuted_skips_foreign_arities() {
+        // A relation holding 1-, 2- and 3-tuples, viewed as a binary atom
+        // with swapped columns: only the 2-tuples survive, permuted.
+        let mut rel = Relation::new();
+        rel.insert(tuple![7]);
+        rel.insert(tuple![1, 2]);
+        rel.insert(tuple![3, 4]);
+        rel.insert(tuple![5, 6, 7]);
+        let s = SortedRel::permuted(&rel, &[1, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.arity(), 2);
+        let mut atoms = [JoinAtom { rel: &s, vars: &[0, 1] }];
+        let mut out = Vec::new();
+        leapfrog_join(&mut atoms, 2, &mut |vals| out.push((vals[0].clone(), vals[1].clone())));
+        assert_eq!(
+            out,
+            vec![
+                (Value::int(2), Value::int(1)),
+                (Value::int(4), Value::int(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_relation_short_circuits_before_arity_check() {
+        // An empty SortedRel reports arity 0; the join must bail out on
+        // emptiness instead of tripping the vars-cover-columns assertion.
+        let empty = SortedRel::new(Vec::new());
+        let full = SortedRel::new(vec![tuple![1, 2]]);
+        let mut atoms = [
+            JoinAtom { rel: &full, vars: &[0, 1] },
+            JoinAtom { rel: &empty, vars: &[0, 1] },
+        ];
+        let mut emitted = 0;
+        leapfrog_join(&mut atoms, 2, &mut |_| emitted += 1);
+        assert_eq!(emitted, 0);
     }
 }

@@ -74,8 +74,14 @@
 //!   full re-materialization;
 //! * [`builtins`] — implementations of the infinite built-in relations
 //!   with invertible modes (`add(x, 5, z)` solves for `x`);
-//! * [`leapfrog`] — a leapfrog-triejoin worst-case-optimal join kernel
+//! * [`leapfrog`] — the leapfrog-triejoin worst-case-optimal join kernel
 //!   (the substrate the paper credits for making GNF practical, §7).
+//!   `eval`'s conjunction scheduler routes qualifying multi-atom groups
+//!   (triangles, cyclic joins) through it, over permuted sorted tries
+//!   cached generation-keyed in the shared index cache. The routing mode
+//!   is `REL_WCOJ` / [`Session::set_wcoj`] ([`WcojMode`]): `0` disables,
+//!   `force` drags every eligible conjunction through the kernel; all
+//!   modes produce byte-identical results.
 
 pub mod builtins;
 pub mod env;
@@ -88,7 +94,7 @@ pub mod prepared;
 pub mod session;
 pub mod txn;
 
-pub use eval::{EvalCtx, SharedIndexCache};
+pub use eval::{EvalCtx, SharedIndexCache, WcojMode, WCOJ_MIN_ATOMS};
 pub use fixpoint::{
     eval_threads, materialize, materialize_naive, materialize_with_cache,
     materialize_with_threads,

@@ -157,6 +157,34 @@ impl Session {
         self.incremental = on;
     }
 
+    /// Select how this session routes multi-atom conjunctions through the
+    /// leapfrog worst-case-optimal join kernel, overriding the `REL_WCOJ`
+    /// environment default ([`crate::WcojMode::Off`] = never,
+    /// [`crate::WcojMode::Force`] = threshold 0 — every eligible
+    /// conjunction). The mode travels with the session's shared index
+    /// cache, so it reaches every evaluator the session spawns — fixpoint
+    /// workers, transactions, prepared executes, incremental restarts.
+    /// Results are byte-identical in every mode (the `wcoj_equivalence`
+    /// suite holds all of them to that); the switch is a perf escape
+    /// hatch and test axis, like `REL_EVAL_THREADS`/`REL_INCREMENTAL`.
+    ///
+    /// Changing the mode swaps in a fresh cache handle (the
+    /// [`Session::install_library`] pattern), so — like
+    /// [`Session::set_incremental`] — the setting is per session: clones
+    /// keep their old handle, mode, and warm indexes; this session's
+    /// indexes rebuild lazily.
+    pub fn set_wcoj(&mut self, mode: crate::WcojMode) {
+        if self.index_cache.wcoj_mode() == mode {
+            return;
+        }
+        self.index_cache = SharedIndexCache::with_wcoj(mode);
+    }
+
+    /// The session's current WCOJ routing mode.
+    pub fn wcoj_mode(&self) -> crate::WcojMode {
+        self.index_cache.wcoj_mode()
+    }
+
     /// Is incremental evaluation enabled for this session?
     pub fn incremental_enabled(&self) -> bool {
         self.incremental
@@ -648,6 +676,53 @@ mod tests {
             .query("def output(x) : exists( (y) | ProductPrice(x,y) and y > 30)")
             .unwrap();
         assert_eq!(out, Relation::from_tuples([tuple!["P4"], tuple!["P9"]]));
+    }
+
+    #[test]
+    fn wcoj_modes_agree_on_query_results() {
+        use crate::WcojMode;
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4), (1, 4)] {
+            db.insert("E", tuple![a, b]);
+        }
+        let mut s = Session::new(db);
+        // Incremental reuse would serve the repeat queries from the
+        // fixpoint cache without re-evaluating — pin it off so every mode
+        // actually runs its join path.
+        s.set_incremental(false);
+        let src = "def output(a,b,c) : E(a,b) and E(b,c) and E(a,c)";
+        s.set_wcoj(WcojMode::Off);
+        let off = s.query(src).unwrap();
+        let joins_off = s.index_cache.wcoj_join_count();
+        s.set_wcoj(WcojMode::Auto);
+        let auto = s.query(src).unwrap();
+        assert!(
+            s.index_cache.wcoj_join_count() > joins_off,
+            "session-level set_wcoj must reach the evaluator"
+        );
+        s.set_wcoj(WcojMode::Force);
+        let forced = s.query(src).unwrap();
+        assert_eq!(s.wcoj_mode(), WcojMode::Force);
+        let flat = |r: &Relation| r.iter().cloned().collect::<Vec<_>>();
+        assert_eq!(flat(&off), flat(&auto));
+        assert_eq!(flat(&off), flat(&forced));
+        assert_eq!(off.len(), 4, "fixture has four triangles");
+    }
+
+    #[test]
+    fn set_wcoj_is_per_session_across_clones() {
+        // Like set_incremental, the WCOJ switch must not leak through
+        // clones: the clone keeps the handle (and mode) it was created
+        // with.
+        use crate::WcojMode;
+        let mut a = session();
+        a.set_wcoj(WcojMode::Force);
+        let mut b = a.clone();
+        a.set_wcoj(WcojMode::Off);
+        assert_eq!(a.wcoj_mode(), WcojMode::Off);
+        assert_eq!(b.wcoj_mode(), WcojMode::Force, "clone's mode must not move");
+        b.set_wcoj(WcojMode::Auto);
+        assert_eq!(a.wcoj_mode(), WcojMode::Off, "original's mode must not move");
     }
 
     #[test]
