@@ -3,7 +3,10 @@
 //! ```text
 //! rel run program.rel [--db data.csv:Concept ...]   execute a program, print `output`
 //! rel check program.rel                             compile only (safety/strata report)
-//! rel repl                                          interactive session over an empty DB
+//! rel repl [--db <dir>]                             interactive session; with --db,
+//!                                                   durable: commits are logged to a
+//!                                                   WAL in <dir> and recovered on the
+//!                                                   next start
 //! ```
 //!
 //! The standard, relational-algebra, linear-algebra and graph libraries
@@ -18,11 +21,11 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
-        Some("repl") => cmd_repl(),
+        Some("repl") => cmd_repl(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  rel run <program.rel> [--db <file.csv>:<Concept> ...]\n  \
-                 rel check <program.rel>\n  rel repl"
+                 rel check <program.rel>\n  rel repl [--db <dir>]"
             );
             2
         }
@@ -134,8 +137,39 @@ fn cmd_check(args: &[String]) -> i32 {
     }
 }
 
-fn cmd_repl() -> i32 {
-    let mut session = session_with_libraries(Database::new());
+fn cmd_repl(args: &[String]) -> i32 {
+    // `rel repl --db <dir>` opens (or creates) a durable store: every
+    // committed line is appended to the WAL in <dir>, and restarting the
+    // repl on the same directory recovers the full committed history.
+    let store = args
+        .iter()
+        .position(|a| a == "--db")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default());
+    let mut session = match store {
+        Some(dir) if dir.is_empty() => {
+            eprintln!("rel repl: --db expects a store directory");
+            return 2;
+        }
+        Some(dir) => {
+            let mut s = match Session::open(&dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("rel: cannot open durable store {dir}: {e}");
+                    return 1;
+                }
+            };
+            if s.is_durable() {
+                eprintln!(
+                    "rel: durable store {dir} open — {} tuples recovered",
+                    s.db().total_tuples()
+                );
+            }
+            s.install_library(&rel_stdlib::full_library());
+            s.install_library(rel_graph::GRAPH_LIB);
+            s
+        }
+        None => session_with_libraries(Database::new()),
+    };
     // Warm the prepared-module cache: parsing + analyzing the four
     // installed libraries happens here, once. Every input line afterwards
     // re-parses only its own text (the cached library AST is reused), and
@@ -153,7 +187,10 @@ fn cmd_repl() -> i32 {
         let _ = std::io::stderr().flush();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
-            Ok(0) => return 0,
+            Ok(0) => {
+                let _ = session.sync();
+                return 0;
+            }
             Ok(_) => {}
             Err(_) => return 1,
         }
@@ -162,6 +199,9 @@ fn cmd_repl() -> i32 {
             continue;
         }
         if line == ":quit" || line == ":q" {
+            // Flush batched WAL appends so a durable repl never loses its
+            // last few committed lines to the fsync batch window.
+            let _ = session.sync();
             return 0;
         }
         // Each line is one transaction: prepare (cached), stage, commit.

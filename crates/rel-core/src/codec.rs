@@ -1,0 +1,475 @@
+//! Binary codec for durable storage.
+//!
+//! The engine's write-ahead log and snapshot files (see the `rel-engine`
+//! durability modules) serialize exactly the types this crate owns:
+//! [`Value`]s, [`Tuple`]s, per-transaction relation [`Delta`]s, and whole
+//! [`Database`] images. The encoding is deliberately boring — little-endian
+//! fixed-width integers and length-prefixed byte strings, one tag byte per
+//! value — because the durability layer's integrity comes from framing
+//! (length prefixes + [`crc32`] checksums), not from a clever format.
+//!
+//! Decoding never panics and never trusts a length field: every count is
+//! bounds-checked against the bytes that remain, so a corrupt or truncated
+//! input yields a [`DecodeError`] with the byte offset where decoding
+//! stopped — the durability layer turns that into
+//! [`crate::RelError::Corrupt`] with file context.
+//!
+//! Round-trip invariant (asserted by the unit tests below and the
+//! randomized crash-recovery suite in `rel-engine`): for every value `x`
+//! of an encodable type, `decode(encode(x)) == x`, and decoding consumes
+//! exactly the encoded bytes.
+
+use crate::database::{Database, Delta};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::{EntityId, OrdF64, Value};
+use crate::{name, Name};
+use std::fmt;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — the checksum framing WAL records and
+// snapshot payloads. Table-driven; the table is built once per process.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    })
+}
+
+/// IEEE CRC-32 of `bytes` (the polynomial used by zlib, PNG, Ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Decode errors
+// ---------------------------------------------------------------------------
+
+/// A decoding failure: the input is corrupt or truncated at `offset`
+/// (bytes from the start of the buffer handed to the decoder).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset (within the decoded buffer) where decoding stopped.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+type DecodeResult<T> = Result<T, DecodeError>;
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over an encoded buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current offset from the start of the buffer.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Has every byte been consumed?
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DecodeError {
+        DecodeError { offset: self.pos, msg: msg.into() }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> DecodeResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.err(format!(
+                "truncated {what}: need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> DecodeResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> DecodeResult<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> DecodeResult<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn str(&mut self, what: &str) -> DecodeResult<&'a str> {
+        let len = self.u32(what)? as usize;
+        let at = self.pos;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|e| DecodeError {
+            offset: at,
+            msg: format!("{what} is not valid UTF-8: {e}"),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value / Tuple
+// ---------------------------------------------------------------------------
+
+const TAG_INT: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+const TAG_STRING: u8 = 2;
+const TAG_ENTITY: u8 = 3;
+const TAG_SYMBOL: u8 = 4;
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append the encoding of one value.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(OrdF64(x)) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(TAG_STRING);
+            encode_str(s, out);
+        }
+        Value::Entity(EntityId { concept, id }) => {
+            out.push(TAG_ENTITY);
+            out.extend_from_slice(&concept.to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Value::Symbol(s) => {
+            out.push(TAG_SYMBOL);
+            encode_str(s, out);
+        }
+    }
+}
+
+/// Decode one value.
+pub fn decode_value(r: &mut Reader<'_>) -> DecodeResult<Value> {
+    let at = r.pos();
+    let tag = r.u8("value tag")?;
+    match tag {
+        TAG_INT => Ok(Value::Int(r.u64("int value")? as i64)),
+        TAG_FLOAT => Ok(Value::Float(OrdF64(f64::from_bits(r.u64("float value")?)))),
+        TAG_STRING => Ok(Value::str(r.str("string value")?)),
+        TAG_ENTITY => {
+            let concept = r.u32("entity concept")?;
+            let id = r.u64("entity id")?;
+            Ok(Value::Entity(EntityId { concept, id }))
+        }
+        TAG_SYMBOL => Ok(Value::sym(r.str("symbol value")?)),
+        other => Err(DecodeError {
+            offset: at,
+            msg: format!("unknown value tag {other}"),
+        }),
+    }
+}
+
+/// Append the encoding of one tuple: `u32` arity, then its values.
+pub fn encode_tuple(t: &Tuple, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(t.arity() as u32).to_le_bytes());
+    for v in t.iter() {
+        encode_value(v, out);
+    }
+}
+
+/// Decode one tuple.
+pub fn decode_tuple(r: &mut Reader<'_>) -> DecodeResult<Tuple> {
+    let at = r.pos();
+    let arity = r.u32("tuple arity")? as usize;
+    // Every value costs at least one tag byte: an arity exceeding the
+    // remaining bytes is corrupt, not merely truncated mid-value.
+    if arity > r.remaining() {
+        return Err(DecodeError {
+            offset: at,
+            msg: format!("tuple arity {arity} exceeds {} remaining bytes", r.remaining()),
+        });
+    }
+    let mut vals = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        vals.push(decode_value(r)?);
+    }
+    Ok(Tuple::from(vals))
+}
+
+fn encode_tuples<'a>(tuples: impl ExactSizeIterator<Item = &'a Tuple>, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+    for t in tuples {
+        encode_tuple(t, out);
+    }
+}
+
+fn decode_tuples(r: &mut Reader<'_>, what: &str) -> DecodeResult<Vec<Tuple>> {
+    let at = r.pos();
+    let count = r.u32(what)? as usize;
+    // Each tuple costs at least its 4-byte arity prefix.
+    if count > r.remaining() / 4 {
+        return Err(DecodeError {
+            offset: at,
+            msg: format!("{what} count {count} exceeds {} remaining bytes", r.remaining()),
+        });
+    }
+    let mut tuples = Vec::with_capacity(count);
+    for _ in 0..count {
+        tuples.push(decode_tuple(r)?);
+    }
+    Ok(tuples)
+}
+
+// ---------------------------------------------------------------------------
+// Delta (one committed transaction's base-relation changes)
+// ---------------------------------------------------------------------------
+
+/// Append the encoding of a transaction delta: the insert map then the
+/// delete map, each as `u32` #relations followed by `(name, tuples)`
+/// groups in name order (the maps are `BTreeMap`s, so encoding the same
+/// delta twice yields identical bytes).
+pub fn encode_delta(delta: &Delta, out: &mut Vec<u8>) {
+    for map in [&delta.inserts, &delta.deletes] {
+        out.extend_from_slice(&(map.len() as u32).to_le_bytes());
+        for (rel, tuples) in map {
+            encode_str(rel, out);
+            encode_tuples(tuples.iter(), out);
+        }
+    }
+}
+
+/// Decode a transaction delta.
+pub fn decode_delta(r: &mut Reader<'_>) -> DecodeResult<Delta> {
+    let mut delta = Delta::default();
+    for side in 0..2 {
+        let what = if side == 0 { "insert group" } else { "delete group" };
+        let at = r.pos();
+        let n_rels = r.u32(what)? as usize;
+        if n_rels > r.remaining() / 8 {
+            return Err(DecodeError {
+                offset: at,
+                msg: format!("{what} count {n_rels} exceeds {} remaining bytes", r.remaining()),
+            });
+        }
+        let map = if side == 0 { &mut delta.inserts } else { &mut delta.deletes };
+        for _ in 0..n_rels {
+            let rel: Name = name(r.str("relation name")?);
+            let tuples = decode_tuples(r, "delta tuple")?;
+            map.insert(rel, tuples);
+        }
+    }
+    Ok(delta)
+}
+
+// ---------------------------------------------------------------------------
+// Database (full snapshot image)
+// ---------------------------------------------------------------------------
+
+/// Append the encoding of a whole database: `u32` #relations, then
+/// `(name, tuples)` groups in name order. Empty relations are skipped —
+/// an absent relation and an empty one are semantically identical in Rel
+/// (undefined names read as empty), and the WAL's replayed deltas never
+/// re-create empty relations either, so snapshots stay canonical.
+pub fn encode_database(db: &Database, out: &mut Vec<u8>) {
+    let non_empty: Vec<(&Name, &Relation)> = db.iter().filter(|(_, r)| !r.is_empty()).collect();
+    out.extend_from_slice(&(non_empty.len() as u32).to_le_bytes());
+    for (rel, tuples) in non_empty {
+        encode_str(rel, out);
+        out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+        for t in tuples.iter() {
+            encode_tuple(t, out);
+        }
+    }
+}
+
+/// Decode a whole database image.
+pub fn decode_database(r: &mut Reader<'_>) -> DecodeResult<Database> {
+    let at = r.pos();
+    let n_rels = r.u32("relation count")? as usize;
+    if n_rels > r.remaining() / 8 {
+        return Err(DecodeError {
+            offset: at,
+            msg: format!("relation count {n_rels} exceeds {} remaining bytes", r.remaining()),
+        });
+    }
+    let mut db = Database::new();
+    for _ in 0..n_rels {
+        let rel = name(r.str("relation name")?);
+        let tuples = decode_tuples(r, "relation tuple")?;
+        db.set(rel, Relation::from_tuples(tuples));
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn roundtrip_value(v: Value) {
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_value(&mut r).unwrap(), v);
+        assert!(r.is_empty(), "decoding {v} left {} bytes", r.remaining());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip_value(Value::int(0));
+        roundtrip_value(Value::int(i64::MIN));
+        roundtrip_value(Value::int(i64::MAX));
+        roundtrip_value(Value::float(2.5));
+        roundtrip_value(Value::float(-0.0));
+        roundtrip_value(Value::float(f64::NAN));
+        roundtrip_value(Value::str(""));
+        roundtrip_value(Value::str("héllo ⟨⟩"));
+        roundtrip_value(Value::sym("ClosedOrders"));
+        roundtrip_value(Value::entity(7, u64::MAX));
+    }
+
+    #[test]
+    fn nan_roundtrips_bit_exact() {
+        // total_cmp distinguishes NaN payloads; the codec must preserve
+        // the exact bit pattern, not re-canonicalize.
+        let weird = f64::from_bits(0x7FF8_0000_0000_0001);
+        let mut buf = Vec::new();
+        encode_value(&Value::float(weird), &mut buf);
+        let got = decode_value(&mut Reader::new(&buf)).unwrap();
+        match got {
+            Value::Float(OrdF64(x)) => assert_eq!(x.to_bits(), weird.to_bits()),
+            other => panic!("expected float, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tuple_roundtrips() {
+        for t in [
+            Tuple::empty(),
+            tuple![1, 2.5, "x"],
+            tuple![Value::sym("R"), Value::entity(1, 2)],
+        ] {
+            let mut buf = Vec::new();
+            encode_tuple(&t, &mut buf);
+            let mut r = Reader::new(&buf);
+            assert_eq!(decode_tuple(&mut r).unwrap(), t);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn delta_roundtrips() {
+        let mut d = Delta::default();
+        d.insert("R", tuple![1, "a"]);
+        d.insert("R", tuple![2, "b"]);
+        d.insert("S", Tuple::empty());
+        d.delete("R", tuple![3]);
+        let mut buf = Vec::new();
+        encode_delta(&d, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_delta(&mut r).unwrap(), d);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn database_roundtrips_and_skips_empty_relations() {
+        let mut db = crate::database::figure1_database();
+        db.set("Empty", Relation::new());
+        let mut buf = Vec::new();
+        encode_database(&db, &mut buf);
+        let mut r = Reader::new(&buf);
+        let got = decode_database(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert!(!got.defines("Empty"), "empty relations are canonicalized away");
+        for (name, rel) in db.iter().filter(|(_, r)| !r.is_empty()) {
+            assert_eq!(got.get(name), Some(rel), "relation {name} must survive");
+        }
+        assert_eq!(got.total_tuples(), db.total_tuples());
+    }
+
+    #[test]
+    fn truncated_input_reports_offset() {
+        let mut buf = Vec::new();
+        encode_value(&Value::str("hello"), &mut buf);
+        let cut = &buf[..buf.len() - 2];
+        let err = decode_value(&mut Reader::new(cut)).unwrap_err();
+        assert!(err.msg.contains("truncated"), "{err}");
+        assert!(err.offset <= cut.len());
+    }
+
+    #[test]
+    fn absurd_count_is_corrupt_not_alloc() {
+        // A length field claiming 4 billion tuples must fail fast on the
+        // bounds check, not attempt the allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_database(&mut Reader::new(&buf)).unwrap_err();
+        assert!(err.msg.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn unknown_tag_is_corrupt() {
+        let err = decode_value(&mut Reader::new(&[99])).unwrap_err();
+        assert!(err.msg.contains("unknown value tag"), "{err}");
+        assert_eq!(err.offset, 0);
+    }
+}

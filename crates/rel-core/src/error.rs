@@ -36,11 +36,46 @@ pub enum RelError {
     Divergent { relation: String, iterations: usize },
     /// `reduce` applied to a non-functional or empty operand (§5.2).
     Reduce(String),
+    /// I/O failure in the durability layer (WAL append, snapshot write,
+    /// recovery read). Boxed: compiler recursion carries `RelResult`
+    /// through deep call chains, so the rare durability variants must
+    /// not widen the enum for everyone.
+    Io(Box<IoError>),
+    /// A durable store file failed validation at a precise offset:
+    /// mid-log CRC mismatch, invalid framing, or a sequence-number gap.
+    /// (A torn/truncated/corrupt *final* WAL record is **not** this
+    /// error — it is treated as a clean crash point and recovered past;
+    /// see the `rel-engine` recovery module.) Boxed for the same reason
+    /// as [`RelError::Io`].
+    Corrupt(Box<CorruptError>),
     /// Ambiguous first-/second-order application requiring `?`/`&`
     /// disambiguation (Addendum A).
     AmbiguousApplication(String),
     /// Anything else.
     Internal(String),
+}
+
+/// Payload of [`RelError::Io`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IoError {
+    /// File or directory the operation targeted.
+    pub path: String,
+    /// What the engine was doing (e.g. "appending WAL record").
+    pub context: String,
+    /// The underlying OS error, rendered as a string so `RelError`
+    /// stays `Clone + PartialEq + Eq`.
+    pub source: String,
+}
+
+/// Payload of [`RelError::Corrupt`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorruptError {
+    /// File that failed validation.
+    pub path: String,
+    /// Byte offset within that file where validation failed.
+    pub offset: u64,
+    /// What was wrong at that offset.
+    pub msg: String,
 }
 
 impl RelError {
@@ -59,6 +94,26 @@ impl RelError {
     /// Shorthand constructor for internal errors.
     pub fn internal(msg: impl Into<String>) -> Self {
         RelError::Internal(msg.into())
+    }
+    /// Shorthand constructor for durability I/O errors.
+    pub fn io(
+        path: impl Into<String>,
+        context: impl Into<String>,
+        source: &std::io::Error,
+    ) -> Self {
+        RelError::Io(Box::new(IoError {
+            path: path.into(),
+            context: context.into(),
+            source: source.to_string(),
+        }))
+    }
+    /// Shorthand constructor for durable-store corruption errors.
+    pub fn corrupt(path: impl Into<String>, offset: u64, msg: impl Into<String>) -> Self {
+        RelError::Corrupt(Box::new(CorruptError {
+            path: path.into(),
+            offset,
+            msg: msg.into(),
+        }))
     }
 }
 
@@ -85,6 +140,16 @@ impl fmt::Display for RelError {
                 "fixpoint for `{relation}` did not converge within {iterations} iterations"
             ),
             RelError::Reduce(m) => write!(f, "reduce error: {m}"),
+            RelError::Io(e) => {
+                write!(f, "io error while {} ({}): {}", e.context, e.path, e.source)
+            }
+            RelError::Corrupt(e) => {
+                write!(
+                    f,
+                    "corrupt durable store: {} at byte {}: {}",
+                    e.path, e.offset, e.msg
+                )
+            }
             RelError::AmbiguousApplication(m) => {
                 write!(f, "ambiguous application (use ?{{}} or &{{}}): {m}")
             }
@@ -114,5 +179,20 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&RelError::unsafe_expr("x unbounded"));
+    }
+
+    #[test]
+    fn error_stays_small() {
+        // `RelResult` rides through deeply recursive compilation paths
+        // (specialization, strata analysis); a fatter enum means a
+        // fatter stack frame for every one of them, and the
+        // second-order instantiation-cap tests recurse close to the
+        // thread stack limit. New variants with bulky payloads must be
+        // boxed (see `Io` / `Corrupt`).
+        assert!(
+            std::mem::size_of::<RelError>() <= 56,
+            "RelError grew to {} bytes — box the new variant's payload",
+            std::mem::size_of::<RelError>()
+        );
     }
 }

@@ -14,6 +14,9 @@
 //!   different arities may coexist in one relation;
 //! * [`Database`] — a mapping from relation names to base relations, with
 //!   transactional delta application;
+//! * [`codec`] — the binary codec (values, tuples, transaction deltas,
+//!   whole-database images) plus CRC32, underpinning the engine's
+//!   write-ahead log and snapshot files;
 //! * [`convert`] — the typed-result layer ([`FromValue`] / [`FromRow`]):
 //!   `out.rows::<(String, i64)>()?` instead of matching [`Value`]s;
 //! * [`gnf`] — Graph Normal Form: the 6NF-style schema discipline of §2 of
@@ -24,6 +27,7 @@
 //! `{⟨⟩}` containing the empty tuple and `false` is the empty relation `{}`
 //! (see [`Relation::true_rel`] / [`Relation::false_rel`]).
 
+pub mod codec;
 pub mod convert;
 pub mod database;
 pub mod error;

@@ -81,9 +81,36 @@
 //!   cached generation-keyed in the shared index cache. The routing mode
 //!   is `REL_WCOJ` / [`Session::set_wcoj`] ([`WcojMode`]): `0` disables,
 //!   `force` drags every eligible conjunction through the kernel; all
-//!   modes produce byte-identical results.
+//!   modes produce byte-identical results;
+//! * [`durability`] / [`wal`] / [`snapshot`] / [`recovery`] — the durable
+//!   store behind [`Session::open`]: committed transactions append
+//!   CRC32-framed net deltas to a write-ahead log, compaction folds the
+//!   log into atomically published snapshots, and recovery replays the
+//!   log tail over the newest valid snapshot — landing, for *every* crash
+//!   point, on a byte-identical prefix of the committed history (proven
+//!   by the crash-injection harness in [`durability::failpoint`] and the
+//!   `crash_recovery` suite).
+//!
+//! ## Environment variables
+//!
+//! Every `REL_*` switch the engine reads, in one place. Each is a
+//! process-wide *default*; where a per-session override exists it is
+//! listed alongside.
+//!
+//! | Variable | Values | Default | Effect |
+//! |----------|--------|---------|--------|
+//! | `REL_EVAL_THREADS` | positive integer | # cores (≤ 8) | Worker threads per fixpoint run ([`eval_threads`]); `1` is fully sequential. |
+//! | `REL_INCREMENTAL` | `0`/`false`/`off`/`no` to disable | enabled | Incremental view maintenance for session evaluation and commit-time constraint re-checks ([`Session::set_incremental`] overrides per session). Results are byte-identical either way. |
+//! | `REL_WCOJ` | `0`/`off`, `force`, else auto | auto | Routing of multi-atom conjunctions through the leapfrog WCOJ kernel ([`Session::set_wcoj`] overrides per session). Results are byte-identical in every mode. |
+//! | `REL_DURABILITY` | `0`/`off`/`false`/`no` to disable | enabled | Whether [`Session::open`] actually attaches durable storage; disabled, it returns a plain ephemeral session without touching disk ([`durability::durability_env_enabled`]). |
+//! | `REL_FSYNC` | `always`, `batch`, `off`/`0`/`false`/`no` | `batch` | When WAL appends reach stable storage ([`FsyncPolicy::from_env`]; [`DurabilityConfig`] overrides per session via [`Session::open_with`]). |
+//!
+//! [`Session::query`]/[`Session::eval`] results are unaffected by every
+//! switch in the table — they tune scheduling, caching, and durability,
+//! never semantics.
 
 pub mod builtins;
+pub mod durability;
 pub mod env;
 pub mod eval;
 pub mod fixpoint;
@@ -91,9 +118,13 @@ pub mod incremental;
 pub mod leapfrog;
 mod lru;
 pub mod prepared;
+pub mod recovery;
 pub mod session;
+pub mod snapshot;
 pub mod txn;
+pub mod wal;
 
+pub use durability::{DurabilityConfig, FsyncPolicy};
 pub use eval::{EvalCtx, SharedIndexCache, WcojMode, WCOJ_MIN_ATOMS};
 pub use fixpoint::{
     eval_threads, materialize, materialize_naive, materialize_with_cache,

@@ -14,19 +14,22 @@
 //! recompiles. See [`crate::prepared`] and [`crate::txn`] for the
 //! prepared-query and explicit-transaction halves of the API.
 
+use crate::durability::{self, DurabilityConfig, DurableStore};
 use crate::env::Env;
 use crate::eval::{EvalCtx, SharedIndexCache};
 use crate::fixpoint::materialize_with_cache;
 use crate::incremental::{self, PreState};
 use crate::lru::LruMap;
 use crate::prepared::Prepared;
+use crate::recovery;
 use crate::txn::Transaction;
 use rel_core::database::Delta;
 use rel_core::{Database, Name, RelError, RelResult, Relation, Tuple, Value};
 use rel_sema::ir::{ConstraintIr, Module, Rule};
 use rel_syntax::Program;
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 /// Compiled modules cached per session, keyed by query source. Bounded so
 /// a server feeding unbounded ad-hoc query strings through one session
@@ -80,7 +83,19 @@ pub struct TxnOutcome {
 /// your own `RwLock` for a mixed read/write multi-threaded server.
 /// Internally, every materialize run additionally fans independent
 /// strata out across worker threads (see [`crate::fixpoint`]).
-#[derive(Clone, Debug)]
+///
+/// # Durability
+///
+/// [`Session::open`] backs the session with a durable store directory:
+/// committed transactions append their net base-relation delta to a
+/// CRC-framed write-ahead log, a compaction policy folds the log into
+/// snapshots, and reopening the directory recovers exactly the committed
+/// history (see [`crate::wal`], [`crate::snapshot`],
+/// [`crate::recovery`]). [`Session::new`] sessions — and *clones* of any
+/// session — are ephemeral. The `REL_DURABILITY` / `REL_FSYNC` switches
+/// are listed in the crate-level
+/// [environment-variable table](crate#environment-variables).
+#[derive(Debug)]
 pub struct Session {
     pub(crate) db: Database,
     library: String,
@@ -108,11 +123,35 @@ pub struct Session {
     /// set to `0`/`false`/`off`/`no`); [`Session::set_incremental`]
     /// overrides per session.
     incremental: bool,
+    /// The durable store backing this session, if it was opened with
+    /// [`Session::open`]. Behind a `Mutex` only so read-handle methods
+    /// like [`Session::sync`] can take `&self`; commits already hold the
+    /// session exclusively.
+    durability: Option<Mutex<DurableStore>>,
 }
 
 impl Default for Session {
     fn default() -> Self {
         Session::new(Database::new())
+    }
+}
+
+impl Clone for Session {
+    /// Clones are **ephemeral read replicas**: they share the caches and
+    /// see the database as of the clone, but never the durable store —
+    /// two writers interleaving appends in one WAL would corrupt its
+    /// commit sequence. Commits made through a clone stay in memory.
+    fn clone(&self) -> Self {
+        Session {
+            db: self.db.clone(),
+            library: self.library.clone(),
+            index_cache: self.index_cache.clone(),
+            library_ast: self.library_ast.clone(),
+            module_cache: Arc::clone(&self.module_cache),
+            fixpoint_cache: Arc::clone(&self.fixpoint_cache),
+            incremental: self.incremental,
+            durability: None,
+        }
     }
 }
 
@@ -127,6 +166,159 @@ impl Session {
             module_cache: Arc::new(RwLock::new(LruMap::new(MODULE_CACHE_CAP))),
             fixpoint_cache: Arc::new(RwLock::new(LruMap::new(FIXPOINT_CACHE_CAP))),
             incremental: incremental::env_enabled(),
+            durability: None,
+        }
+    }
+
+    /// Open (or create) a **durable** session backed by the store
+    /// directory at `path`, with the default [`DurabilityConfig`] (fsync
+    /// policy from `REL_FSYNC`). See [`Session::open_with`].
+    pub fn open(path: impl AsRef<Path>) -> RelResult<Session> {
+        Session::open_with(path, DurabilityConfig::default())
+    }
+
+    /// Open (or create) a durable session with an explicit configuration.
+    ///
+    /// Recovery loads the newest valid snapshot and replays the WAL tail
+    /// on top of it; the resulting database is **byte-identical to a
+    /// prefix of the committed history** (all of it, after a clean
+    /// shutdown). A torn final WAL record — a crash point — is recovered
+    /// past with a warning; *mid-log* corruption is a hard
+    /// [`RelError::Corrupt`] with the damaged byte offset.
+    ///
+    /// The session **degrades gracefully** instead of failing when the
+    /// environment, not the data, is the problem:
+    ///
+    /// * `REL_DURABILITY=0/off/false/no` — returns a plain ephemeral
+    ///   session without touching disk;
+    /// * the directory cannot be created or read — returns an empty
+    ///   ephemeral session with a one-time warning on stderr;
+    /// * the store recovers but cannot be opened for appending (e.g. a
+    ///   read-only volume) — returns an ephemeral session *seeded with
+    ///   the recovered database*, with a one-time warning.
+    ///
+    /// No library is installed; compose with [`Session::with_library`].
+    ///
+    /// Note that [`Session::db_mut`] bypasses the WAL: direct mutations
+    /// become durable only when the next compaction snapshots the full
+    /// database. Transactions are the durable write path.
+    pub fn open_with(path: impl AsRef<Path>, cfg: DurabilityConfig) -> RelResult<Session> {
+        let dir = path.as_ref();
+        if !durability::durability_env_enabled() {
+            return Ok(Session::new(Database::new()));
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            durability::warn_degraded(&format!(
+                "cannot create durable store at {} ({e}); continuing ephemeral — \
+                 commits will NOT be persisted",
+                dir.display()
+            ));
+            return Ok(Session::new(Database::new()));
+        }
+        let rec = match recovery::recover(dir) {
+            Ok(rec) => rec,
+            Err(e @ RelError::Corrupt(_)) => return Err(e),
+            Err(e) => {
+                durability::warn_degraded(&format!(
+                    "cannot read durable store at {} ({e}); continuing ephemeral — \
+                     commits will NOT be persisted",
+                    dir.display()
+                ));
+                return Ok(Session::new(Database::new()));
+            }
+        };
+        for w in &rec.warnings {
+            eprintln!("rel durability warning: {w}");
+        }
+        match DurableStore::attach(dir, cfg, &rec) {
+            Ok(store) => {
+                let mut session = Session::new(rec.db);
+                session.durability = Some(Mutex::new(store));
+                // A previous run may have crashed past the compaction
+                // triggers; fold the replayed backlog down right away.
+                session.maybe_compact();
+                Ok(session)
+            }
+            Err(e) => {
+                durability::warn_degraded(&format!(
+                    "cannot append to durable store at {} ({e}); serving the \
+                     recovered database ephemerally — commits will NOT be persisted",
+                    dir.display()
+                ));
+                Ok(Session::new(rec.db))
+            }
+        }
+    }
+
+    /// Is this session backed by a durable store?
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable store directory, when [`Session::is_durable`].
+    pub fn durability_path(&self) -> Option<PathBuf> {
+        self.durability.as_ref().map(|s| {
+            s.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .dir()
+                .to_path_buf()
+        })
+    }
+
+    /// Flush every acknowledged commit to stable storage now, regardless
+    /// of the fsync policy. No-op for ephemeral sessions.
+    pub fn sync(&self) -> RelResult<()> {
+        match &self.durability {
+            Some(store) => store.lock().unwrap_or_else(PoisonError::into_inner).sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Compact now: snapshot the current database and truncate the WAL,
+    /// without waiting for the configured triggers. Returns whether a
+    /// durable store was actually compacted (`false` for ephemeral
+    /// sessions).
+    pub fn compact_now(&self) -> RelResult<bool> {
+        match &self.durability {
+            Some(store) => {
+                store
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .compact(&self.db)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Append one committed transaction's net delta to the WAL. Called by
+    /// [`Transaction::commit`] *after* constraint checks pass and before
+    /// the candidate is installed: an `Err` aborts the commit with the
+    /// session untouched, and an aborted/dropped transaction never
+    /// reaches the log at all.
+    pub(crate) fn log_commit(&self, delta: &Delta) -> RelResult<()> {
+        if let Some(store) = &self.durability {
+            store
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .append_commit(delta)?;
+        }
+        Ok(())
+    }
+
+    /// Run compaction if either trigger (commit count / log size) fired.
+    /// Compaction failure is a warning, not an error: the commits are
+    /// safe in the WAL, and the next commit retries.
+    pub(crate) fn maybe_compact(&self) {
+        let Some(store) = &self.durability else { return };
+        let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+        if store.should_compact() {
+            if let Err(e) = store.compact(&self.db) {
+                eprintln!(
+                    "rel durability warning: compaction failed (the WAL still \
+                     holds every commit; will retry): {e}"
+                );
+            }
         }
     }
 
@@ -723,6 +915,123 @@ mod tests {
         assert_eq!(b.wcoj_mode(), WcojMode::Force, "clone's mode must not move");
         b.set_wcoj(WcojMode::Auto);
         assert_eq!(a.wcoj_mode(), WcojMode::Off, "original's mode must not move");
+    }
+
+    #[test]
+    fn durable_session_roundtrips_commits() {
+        use crate::durability::FsyncPolicy;
+        let dir = std::env::temp_dir()
+            .join(format!("rel-sess-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DurabilityConfig { fsync: FsyncPolicy::Off, ..Default::default() };
+        {
+            let mut s = Session::open_with(&dir, cfg).unwrap();
+            assert!(s.is_durable());
+            assert_eq!(s.durability_path().as_deref(), Some(dir.as_path()));
+            s.transact("def insert(:E, x, y) : x = 1 and y = 2").unwrap();
+            s.transact("def insert(:E, x, y) : x = 2 and y = 3").unwrap();
+            s.transact("def delete(:E, x, y) : E(x, y) and x = 1").unwrap();
+            s.sync().unwrap();
+        }
+        let s = Session::open_with(&dir, cfg).unwrap();
+        assert_eq!(s.db().get("E").unwrap().len(), 1);
+        assert!(s.db().get("E").unwrap().contains(&tuple![2, 3]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_session_compacts_and_recovers_from_snapshot() {
+        use crate::durability::FsyncPolicy;
+        use crate::wal;
+        let dir = std::env::temp_dir()
+            .join(format!("rel-sess-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Compact after every other commit.
+        let cfg = DurabilityConfig {
+            fsync: FsyncPolicy::Off,
+            compact_after_commits: 2,
+            ..Default::default()
+        };
+        {
+            let mut s = Session::open_with(&dir, cfg).unwrap();
+            for n in 1..=5 {
+                s.transact(&format!("def insert(:E, x) : x = {n}")).unwrap();
+            }
+        }
+        // Commits 1–4 were folded into a snapshot; only commit 5 remains
+        // in the log.
+        let scan =
+            wal::scan(&dir.join(wal::WAL_FILE), &wal::read_log(&dir).unwrap()).unwrap();
+        assert_eq!(scan.records.len(), 1, "log must hold exactly the post-snapshot tail");
+        assert_eq!(scan.records[0].seq, 5);
+        let s = Session::open_with(&dir, cfg).unwrap();
+        assert_eq!(s.db().get("E").unwrap().len(), 5);
+        // Forced compaction empties the log and survives another reopen.
+        assert!(s.compact_now().unwrap());
+        let scan =
+            wal::scan(&dir.join(wal::WAL_FILE), &wal::read_log(&dir).unwrap()).unwrap();
+        assert!(scan.records.is_empty());
+        drop(s);
+        let s = Session::open_with(&dir, cfg).unwrap();
+        assert_eq!(s.db().get("E").unwrap().len(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clones_of_durable_sessions_are_ephemeral() {
+        use crate::durability::FsyncPolicy;
+        let dir = std::env::temp_dir()
+            .join(format!("rel-sess-clone-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DurabilityConfig { fsync: FsyncPolicy::Off, ..Default::default() };
+        let mut s = Session::open_with(&dir, cfg).unwrap();
+        s.transact("def insert(:E, x) : x = 1").unwrap();
+        let mut replica = s.clone();
+        assert!(!replica.is_durable(), "clones must not share the WAL");
+        replica.transact("def insert(:E, x) : x = 2").unwrap();
+        assert_eq!(replica.db().get("E").unwrap().len(), 2);
+        drop(s);
+        drop(replica);
+        let s = Session::open_with(&dir, cfg).unwrap();
+        assert_eq!(s.db().get("E").unwrap().len(), 1, "replica commits stay in memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aborted_and_constraint_failed_transactions_leave_no_wal_trace() {
+        use crate::durability::FsyncPolicy;
+        use crate::wal;
+        let dir = std::env::temp_dir()
+            .join(format!("rel-sess-abort-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DurabilityConfig { fsync: FsyncPolicy::Off, ..Default::default() };
+        let mut s = Session::open_with(&dir, cfg).unwrap();
+        s.transact("def insert(:E, x) : x = 1").unwrap();
+        let baseline = wal::read_log(&dir).unwrap().len();
+        // Explicit abort, plain drop, and a commit-time constraint
+        // violation: none may grow the log by a single byte.
+        let mut txn = s.begin();
+        txn.stage_insert("E", tuple![2]);
+        txn.abort();
+        {
+            let mut txn = s.begin();
+            txn.stage_insert("E", tuple![3]);
+        }
+        let err = s
+            .transact(
+                "def insert(:E, x) : x = 4\n\
+                 ic never() requires E(1) implies E(99)",
+            )
+            .unwrap_err();
+        assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+        assert_eq!(wal::read_log(&dir).unwrap().len(), baseline);
+        // And a no-op commit (staged then reverted) logs nothing either.
+        let mut txn = s.begin();
+        txn.stage_insert("E", tuple![7]);
+        txn.stage_delete("E", &tuple![7]);
+        txn.commit().unwrap();
+        assert_eq!(wal::read_log(&dir).unwrap().len(), baseline);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

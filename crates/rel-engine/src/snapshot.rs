@@ -1,0 +1,228 @@
+//! Compacted snapshots: full database images that truncate the log.
+//!
+//! A snapshot file holds the complete base-relation state after commit
+//! `seq`, letting recovery skip every WAL record at or below that
+//! sequence number (and letting compaction truncate the log). Format:
+//!
+//! ```text
+//! [magic: 8 bytes "RELSNAP1"] [seq: u64 LE] [len: u64 LE]
+//! [payload: len bytes = rel_core::codec::encode_database]
+//! [crc: u32 LE over payload]
+//! ```
+//!
+//! Snapshots are written **atomically**: the image goes to a `.tmp` file
+//! (through the crash-injection [`crate::durability::FailpointFile`]),
+//! is synced, and only then renamed to its final `snapshot-<seq>.snap`
+//! name. A crash at any point leaves either no new snapshot (a stray
+//! `.tmp` that recovery ignores and compaction cleans up) or a complete
+//! valid one — never a half-visible image. Recovery picks the highest-seq
+//! file that validates end-to-end (magic, length, CRC, decode) and warns
+//! about any invalid candidate it skips.
+
+use crate::durability::{guarded_remove, guarded_rename, FailpointFile};
+use rel_core::codec::{self, Reader};
+use rel_core::{Database, RelError, RelResult};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Leading magic of every snapshot file (version-stamped).
+pub const MAGIC: &[u8; 8] = b"RELSNAP1";
+
+const HEADER: usize = 8 + 8 + 8; // magic + seq + len
+const TRAILER: usize = 4; // crc
+
+/// File name for the snapshot containing commits `1..=seq`.
+pub fn file_name(seq: u64) -> String {
+    format!("snapshot-{seq:016x}.snap")
+}
+
+/// Parse a `snapshot-<seq>.snap` file name back to its sequence number.
+pub fn parse_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snapshot-")?.strip_suffix(".snap")?;
+    (hex.len() == 16).then(|| u64::from_str_radix(hex, 16).ok()).flatten()
+}
+
+/// Write the snapshot for commit `seq` atomically into `dir`; returns its
+/// final path. The temporary image is synced before the rename, so once
+/// the `.snap` name exists the content is durable.
+pub fn write(dir: &Path, seq: u64, db: &Database) -> RelResult<PathBuf> {
+    let final_path = dir.join(file_name(seq));
+    let tmp_path = dir.join(format!("{}.tmp", file_name(seq)));
+    let ctx = |path: &Path, what: &str, e: &std::io::Error| {
+        RelError::io(path.display().to_string(), what.to_string(), e)
+    };
+    let mut payload = Vec::new();
+    codec::encode_database(db, &mut payload);
+    let mut image = Vec::with_capacity(HEADER + payload.len() + TRAILER);
+    image.extend_from_slice(MAGIC);
+    image.extend_from_slice(&seq.to_le_bytes());
+    image.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    image.extend_from_slice(&payload);
+    image.extend_from_slice(&codec::crc32(&payload).to_le_bytes());
+    let mut file = FailpointFile::new(
+        std::fs::File::create(&tmp_path).map_err(|e| ctx(&tmp_path, "creating snapshot", &e))?,
+    );
+    file.write_all(&image).map_err(|e| ctx(&tmp_path, "writing snapshot", &e))?;
+    file.sync_all().map_err(|e| ctx(&tmp_path, "syncing snapshot", &e))?;
+    drop(file);
+    guarded_rename(&tmp_path, &final_path)
+        .map_err(|e| ctx(&final_path, "publishing snapshot", &e))?;
+    Ok(final_path)
+}
+
+/// Read and fully validate one snapshot file.
+pub fn read(path: &Path) -> RelResult<(u64, Database)> {
+    let display = path.display().to_string();
+    let bytes = std::fs::read(path)
+        .map_err(|e| RelError::io(display.clone(), "reading snapshot", &e))?;
+    if bytes.len() < HEADER + TRAILER {
+        return Err(RelError::corrupt(
+            display,
+            bytes.len() as u64,
+            format!("snapshot of {} bytes is shorter than its header", bytes.len()),
+        ));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(RelError::corrupt(display, 0, "bad snapshot magic"));
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+    if bytes.len() != HEADER + len + TRAILER {
+        return Err(RelError::corrupt(
+            display,
+            16,
+            format!(
+                "snapshot declares {len}-byte payload but the file holds {}",
+                bytes.len().saturating_sub(HEADER + TRAILER)
+            ),
+        ));
+    }
+    let payload = &bytes[HEADER..HEADER + len];
+    let crc = u32::from_le_bytes(bytes[HEADER + len..].try_into().expect("4 bytes"));
+    if codec::crc32(payload) != crc {
+        return Err(RelError::corrupt(display, HEADER as u64, "snapshot CRC mismatch"));
+    }
+    let mut r = Reader::new(payload);
+    let db = codec::decode_database(&mut r).map_err(|e| {
+        RelError::corrupt(display.clone(), (HEADER + e.offset) as u64, e.msg.clone())
+    })?;
+    if !r.is_empty() {
+        return Err(RelError::corrupt(
+            display,
+            (HEADER + r.pos()) as u64,
+            format!("{} trailing bytes after database image", r.remaining()),
+        ));
+    }
+    Ok((seq, db))
+}
+
+/// All snapshot candidates in `dir`, highest sequence first.
+pub fn candidates(dir: &Path) -> RelResult<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| RelError::io(dir.display().to_string(), "listing durable store", &e))?;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| RelError::io(dir.display().to_string(), "listing durable store", &e))?;
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(parse_file_name) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    Ok(found)
+}
+
+/// Best-effort cleanup after a successful snapshot at `keep_seq`: delete
+/// superseded snapshots and stray `.tmp` images. Failures are ignored —
+/// stale files only cost disk space, never correctness (recovery always
+/// prefers the highest valid sequence).
+pub fn prune(dir: &Path, keep_seq: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_snap = parse_file_name(name).is_some_and(|seq| seq < keep_seq);
+        let stray_tmp = name.starts_with("snapshot-") && name.ends_with(".tmp");
+        if stale_snap || stray_tmp {
+            let _ = guarded_remove(&entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::database::figure1_database;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rel-snap-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_name_roundtrips() {
+        assert_eq!(parse_file_name(&file_name(0)), Some(0));
+        assert_eq!(parse_file_name(&file_name(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_file_name("snapshot-zz.snap"), None);
+        assert_eq!(parse_file_name("wal.log"), None);
+        assert_eq!(parse_file_name(&format!("{}.tmp", file_name(3))), None);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let db = figure1_database();
+        let path = write(&dir, 42, &db).unwrap();
+        let (seq, got) = read(&path).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(got, db);
+        let cands = candidates(&dir).unwrap();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].0, 42);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let dir = temp_dir("corrupt");
+        let db = figure1_database();
+        let path = write(&dir, 7, &db).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // Bit flip in the payload.
+        let mut bad = good.clone();
+        bad[HEADER + 5] ^= 1;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(read(&path), Err(RelError::Corrupt(_))));
+        // Truncated.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(read(&path), Err(RelError::Corrupt(_))));
+        // Zero-length.
+        std::fs::write(&path, []).unwrap();
+        assert!(matches!(read(&path), Err(RelError::Corrupt(_))));
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(read(&path), Err(RelError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_removes_superseded_and_tmp() {
+        let dir = temp_dir("prune");
+        let db = figure1_database();
+        write(&dir, 1, &db).unwrap();
+        write(&dir, 2, &db).unwrap();
+        write(&dir, 3, &db).unwrap();
+        std::fs::write(dir.join("snapshot-junk.tmp"), b"partial").unwrap();
+        prune(&dir, 3);
+        let left = candidates(&dir).unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].0, 3);
+        assert!(!dir.join("snapshot-junk.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

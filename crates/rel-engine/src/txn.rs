@@ -39,6 +39,7 @@ use crate::session::{
     check_constraints, check_control_materializable, extract_delta, require_no_params, Session,
     TxnOutcome,
 };
+use rel_core::database::Delta;
 use rel_core::{Database, Name, RelResult, Relation, Tuple};
 use rel_sema::ir::Module;
 use std::collections::{BTreeMap, BTreeSet};
@@ -214,6 +215,17 @@ impl<'s> Transaction<'s> {
         for check in &self.checks {
             self.recheck(check)?;
         }
+        // Durable sessions log the commit's net delta *after* every
+        // constraint check passed and *before* the candidate becomes
+        // visible: an aborted (or dropped) transaction never reaches the
+        // log, and a failed append aborts the commit with the session
+        // untouched. Ephemeral sessions skip even the diff.
+        if self.session.is_durable() {
+            let delta = net_delta(&self.session.db, &self.candidate, &self.touched);
+            if !delta.is_empty() {
+                self.session.log_commit(&delta)?;
+            }
+        }
         self.session.db = self.candidate;
         // The touched relations' generations moved with the commit: drop
         // their pre-commit indexes eagerly (generation-checked lookups
@@ -222,6 +234,10 @@ impl<'s> Transaction<'s> {
         self.session
             .index_cache
             .invalidate_stale_relations(self.touched.iter(), &self.session.db);
+        // Fold the log into a snapshot when a compaction trigger fired
+        // (no-op for ephemeral sessions; failure is a warning — the WAL
+        // already holds this commit).
+        self.session.maybe_compact();
         Ok(TxnOutcome {
             output: self.output,
             inserted: self.inserted,
@@ -279,8 +295,37 @@ impl<'s> Transaction<'s> {
     }
 
     /// Discard the candidate state. Equivalent to dropping the handle —
-    /// provided so call sites can say what they mean.
+    /// provided so call sites can say what they mean. On a durable
+    /// session this (like any abort path) leaves no trace in the WAL:
+    /// commits are logged only at a successful [`Transaction::commit`].
     pub fn abort(self) {}
+}
+
+/// The net difference between the session database and the final
+/// candidate over the touched relations, as an applyable [`Delta`].
+/// Staged-then-reverted changes cancel out, so a relation whose contents
+/// ended up unchanged contributes nothing (even though staging bumped its
+/// generation) — replaying the log reproduces exactly the committed
+/// states.
+fn net_delta(old: &Database, new: &Database, touched: &BTreeSet<Name>) -> Delta {
+    let empty = Relation::default();
+    let mut delta = Delta::default();
+    for name in touched {
+        let before = old.get(name).unwrap_or(&empty);
+        let after = new.get(name).unwrap_or(&empty);
+        if before == after {
+            continue;
+        }
+        let ins = after.minus(before);
+        let del = before.minus(after);
+        if !ins.is_empty() {
+            delta.inserts.insert(name.clone(), ins.iter().cloned().collect());
+        }
+        if !del.is_empty() {
+            delta.deletes.insert(name.clone(), del.iter().cloned().collect());
+        }
+    }
+    delta
 }
 
 impl std::fmt::Debug for Transaction<'_> {

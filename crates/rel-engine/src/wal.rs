@@ -1,0 +1,490 @@
+//! The write-ahead log: CRC32-framed, length-prefixed commit records.
+//!
+//! Every committed transaction appends one record holding its net
+//! base-relation delta (inserts + deletes — derived relations are always
+//! recomputed, never logged). The on-disk format is a headerless sequence
+//! of records:
+//!
+//! ```text
+//! record := [len: u32 LE] [crc: u32 LE] [body: len bytes]
+//! body   := [seq: u64 LE] [delta: rel_core::codec::encode_delta]
+//! ```
+//!
+//! `crc` is the IEEE CRC32 of `body`; `seq` numbers commits `1, 2, 3, …`
+//! across the whole history of the store (snapshots record the last seq
+//! they contain, so replay after compaction skips already-applied
+//! records).
+//!
+//! ## Crash semantics
+//!
+//! The writer emits each record with a single `write_all` of the fully
+//! assembled buffer, *after* constraint checks pass — an aborted or
+//! dropped transaction never touches the log, and a crash mid-append
+//! leaves at most one torn record at the tail. [`scan`] classifies
+//! damage:
+//!
+//! * a record whose header or body runs past end-of-file, or whose CRC /
+//!   decode fails **at the very tail** → a clean crash point: scanning
+//!   stops, the prefix is the recovered history, and the torn bytes are
+//!   reported (and truncated away when the log is reopened for append);
+//! * a CRC / framing / decode failure **with valid data after it**, or a
+//!   non-monotone sequence number → real corruption, a hard
+//!   [`RelError::Corrupt`] with the precise byte offset.
+
+use crate::durability::{DurabilityConfig, FailpointFile, FsyncPolicy};
+use rel_core::codec::{self, Reader};
+use rel_core::database::Delta;
+use rel_core::{RelError, RelResult};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Bytes in a record header (`len` + `crc`).
+pub const RECORD_HEADER: usize = 8;
+
+/// File name of the log inside a durable store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Assemble the on-disk bytes of one commit record.
+pub fn encode_record(seq: u64, delta: &Delta) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    body.extend_from_slice(&seq.to_le_bytes());
+    codec::encode_delta(delta, &mut body);
+    let mut rec = Vec::with_capacity(RECORD_HEADER + body.len());
+    rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&codec::crc32(&body).to_le_bytes());
+    rec.extend_from_slice(&body);
+    rec
+}
+
+/// One decoded commit record.
+#[derive(Clone, Debug)]
+pub struct WalRecord {
+    /// Commit sequence number.
+    pub seq: u64,
+    /// The committed base-relation delta.
+    pub delta: Delta,
+    /// Byte offset of the record's header within the log.
+    pub offset: u64,
+}
+
+/// What the end of the log looked like.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalTail {
+    /// The log ends exactly at a record boundary.
+    Clean,
+    /// The final record is torn/truncated/corrupt — a crash point. The
+    /// bytes from `offset` on are not part of the recovered history.
+    Torn {
+        /// Offset of the damaged record's header.
+        offset: u64,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+/// Result of scanning a log image: the valid record prefix, the byte
+/// length of that prefix, and how the tail ended.
+#[derive(Clone, Debug)]
+pub struct WalScan {
+    /// Every valid record, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (append position after reopening).
+    pub good_len: u64,
+    /// Tail classification.
+    pub tail: WalTail,
+}
+
+/// Scan a log image. `path` is used only for error reporting.
+///
+/// Returns `Err(RelError::Corrupt)` for *mid-log* damage (a bad record
+/// with valid records after it, a sequence regression, or framing that
+/// cannot come from a torn write); tail damage is reported as
+/// [`WalTail::Torn`] with the prefix intact.
+pub fn scan(path: &Path, bytes: &[u8]) -> RelResult<WalScan> {
+    let total = bytes.len() as u64;
+    let mut records = Vec::new();
+    let mut pos = 0u64;
+    let mut last_seq = 0u64;
+    while pos < total {
+        let rem = (total - pos) as usize;
+        if rem < RECORD_HEADER {
+            return Ok(WalScan {
+                records,
+                good_len: pos,
+                tail: WalTail::Torn {
+                    offset: pos,
+                    reason: format!("truncated record header ({rem} bytes)"),
+                },
+            });
+        }
+        let at = pos as usize;
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        if len < 8 {
+            // The writer emits the length of `seq + delta`, which is at
+            // least 8 bytes, in one atomic 4-byte field of a single
+            // `write_all` — a smaller value cannot be a torn artifact.
+            return Err(RelError::corrupt(
+                path.display().to_string(),
+                pos,
+                format!("record length {len} is smaller than the sequence header"),
+            ));
+        }
+        if len > rem - RECORD_HEADER {
+            return Ok(WalScan {
+                records,
+                good_len: pos,
+                tail: WalTail::Torn {
+                    offset: pos,
+                    reason: format!(
+                        "record body of {len} bytes extends past end of log \
+                         ({} bytes remain)",
+                        rem - RECORD_HEADER
+                    ),
+                },
+            });
+        }
+        let body = &bytes[at + RECORD_HEADER..at + RECORD_HEADER + len];
+        let end = pos + (RECORD_HEADER + len) as u64;
+        let fail = |reason: String| -> RelResult<WalScan> {
+            if end == total {
+                // Damage confined to the final record: clean crash point.
+                Ok(WalScan {
+                    records: records.clone(),
+                    good_len: pos,
+                    tail: WalTail::Torn { offset: pos, reason },
+                })
+            } else {
+                // Valid bytes follow the damage: the history has a hole.
+                Err(RelError::corrupt(path.display().to_string(), pos, reason))
+            }
+        };
+        if codec::crc32(body) != crc {
+            return fail(format!("CRC mismatch in record at offset {pos}"));
+        }
+        let seq = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        let delta = {
+            let mut r = Reader::new(&body[8..]);
+            match codec::decode_delta(&mut r) {
+                Ok(d) if r.is_empty() => d,
+                Ok(_) => return fail(format!("record at offset {pos} has trailing bytes")),
+                Err(e) => {
+                    return fail(format!("record at offset {pos} fails to decode: {e}"))
+                }
+            }
+        };
+        if seq <= last_seq {
+            // A CRC-valid record with a regressed sequence number means
+            // the log was spliced or overwritten — never a torn write.
+            return Err(RelError::corrupt(
+                path.display().to_string(),
+                pos,
+                format!("sequence number {seq} does not advance past {last_seq}"),
+            ));
+        }
+        last_seq = seq;
+        records.push(WalRecord { seq, delta, offset: pos });
+        pos = end;
+    }
+    Ok(WalScan { records, good_len: pos, tail: WalTail::Clean })
+}
+
+/// The append half of the log, owned by a durable session.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: FailpointFile,
+    path: PathBuf,
+    len: u64,
+    next_seq: u64,
+    unsynced_commits: u64,
+    fsync: FsyncPolicy,
+    fsync_batch: u64,
+    /// Set when a failed append could not be rolled back: the file may
+    /// hold a torn record past `len`, and appending after it would turn a
+    /// clean crash point into mid-log corruption. All further appends are
+    /// refused; recovery on the next open lands on the valid prefix.
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Open (creating if absent) the log for appending. `good_len` is the
+    /// valid prefix length reported by [`scan`] — anything beyond it (a
+    /// torn tail from a previous crash) is truncated away before the
+    /// first append. `next_seq` numbers the next commit.
+    pub fn open(
+        dir: &Path,
+        good_len: u64,
+        next_seq: u64,
+        cfg: &DurabilityConfig,
+    ) -> RelResult<Self> {
+        let path = dir.join(WAL_FILE);
+        let ctx = |what: &str, e: &std::io::Error| {
+            RelError::io(path.display().to_string(), what.to_string(), e)
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| ctx("opening WAL for append", &e))?;
+        let file = FailpointFile::new(file);
+        file.set_len(good_len).map_err(|e| ctx("truncating torn WAL tail", &e))?;
+        Ok(WalWriter {
+            file,
+            path,
+            len: good_len,
+            next_seq,
+            unsynced_commits: 0,
+            fsync: cfg.fsync,
+            fsync_batch: cfg.fsync_batch.max(1),
+            poisoned: false,
+        })
+    }
+
+    /// Current byte length of the log.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sequence number the next append will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn io_err(&self, what: &str, e: &std::io::Error) -> RelError {
+        RelError::io(self.path.display().to_string(), what.to_string(), e)
+    }
+
+    /// Append one commit record and apply the fsync policy. Returns the
+    /// record's sequence number only once the record (and, under
+    /// [`FsyncPolicy::Always`] or a full batch, its sync) succeeded — the
+    /// caller acknowledges the commit on `Ok` and aborts it on `Err`.
+    ///
+    /// On error the writer rolls the file back to the last record
+    /// boundary, so an aborted commit leaves no trace and the writer can
+    /// keep appending. If even the rollback fails (the disk is truly
+    /// gone), the writer poisons itself and refuses further appends: the
+    /// file is exactly what a crashed process leaves behind, and the next
+    /// recovery lands on the clean prefix.
+    pub fn append(&mut self, delta: &Delta) -> RelResult<u64> {
+        if self.poisoned {
+            let e = std::io::Error::other(
+                "WAL writer is poisoned by an earlier unrecoverable append failure",
+            );
+            return Err(self.io_err("appending WAL record", &e));
+        }
+        let seq = self.next_seq;
+        let rec = encode_record(seq, delta);
+        if let Err(e) = self.file.write_all(&rec) {
+            return Err(self.roll_back_failed_append("appending WAL record", &e));
+        }
+        let synced = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch => self.unsynced_commits + 1 >= self.fsync_batch,
+            FsyncPolicy::Off => false,
+        };
+        if synced {
+            if let Err(e) = self.file.sync_data() {
+                // The record is on disk but its durability is unknown;
+                // chop it off so the acknowledged history and the log
+                // agree (the commit is being aborted).
+                return Err(self.roll_back_failed_append("syncing WAL", &e));
+            }
+        }
+        self.len += rec.len() as u64;
+        self.next_seq += 1;
+        self.unsynced_commits = if synced { 0 } else { self.unsynced_commits + 1 };
+        Ok(seq)
+    }
+
+    /// Trim a partially appended record back to the last record boundary
+    /// (`self.len`); poison the writer if the file cannot be repaired.
+    fn roll_back_failed_append(&mut self, what: &str, e: &std::io::Error) -> RelError {
+        if self.file.set_len(self.len).is_err() {
+            self.poisoned = true;
+        }
+        self.io_err(what, e)
+    }
+
+    /// Flush appended records to stable storage now.
+    pub fn sync(&mut self) -> RelResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| self.io_err("syncing WAL", &e))?;
+        self.unsynced_commits = 0;
+        Ok(())
+    }
+
+    /// Truncate the log to empty after a successful snapshot at
+    /// `next_seq - 1`. Sequence numbering continues — replay skips
+    /// records at or below the snapshot's seq, so a crash *before* this
+    /// truncation is harmless.
+    pub fn reset(&mut self) -> RelResult<()> {
+        self.file
+            .set_len(0)
+            .map_err(|e| self.io_err("truncating WAL after snapshot", &e))?;
+        self.len = 0;
+        self.unsynced_commits = 0;
+        Ok(())
+    }
+}
+
+/// Read the raw log image (empty if the file does not exist).
+pub fn read_log(dir: &Path) -> RelResult<Vec<u8>> {
+    let path = dir.join(WAL_FILE);
+    match std::fs::read(&path) {
+        Ok(bytes) => Ok(bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(RelError::io(
+            path.display().to_string(),
+            "reading WAL",
+            &e,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::tuple;
+
+    fn delta(n: i64) -> Delta {
+        let mut d = Delta::default();
+        d.insert("R", tuple![n, "x"]);
+        d.delete("S", tuple![n]);
+        d
+    }
+
+    fn log_of(n: u64) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for seq in 1..=n {
+            bytes.extend_from_slice(&encode_record(seq, &delta(seq as i64)));
+        }
+        bytes
+    }
+
+    #[test]
+    fn scan_roundtrips_records() {
+        let bytes = log_of(3);
+        let scan = scan(Path::new("t.log"), &bytes).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.good_len, bytes.len() as u64);
+        assert_eq!(scan.tail, WalTail::Clean);
+        assert_eq!(scan.records[1].seq, 2);
+        assert_eq!(scan.records[1].delta, delta(2));
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_clean_prefix() {
+        let bytes = log_of(3);
+        let rec_len = encode_record(1, &delta(1)).len() as u64;
+        for cut in 0..bytes.len() {
+            let scan = scan(Path::new("t.log"), &bytes[..cut]).unwrap();
+            let complete = (cut as u64) / rec_len;
+            assert_eq!(
+                scan.records.len() as u64,
+                complete,
+                "cut at {cut}: wrong prefix"
+            );
+            assert_eq!(scan.good_len, complete * rec_len);
+            let torn = !(cut as u64).is_multiple_of(rec_len);
+            assert_eq!(matches!(scan.tail, WalTail::Torn { .. }), torn, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_final_record_is_clean_crash_point() {
+        let mut bytes = log_of(2);
+        let rec_len = encode_record(1, &delta(1)).len();
+        // Flip a payload byte of the *second* (final) record.
+        let idx = rec_len + RECORD_HEADER + 9;
+        bytes[idx] ^= 0x40;
+        let scan = scan(Path::new("t.log"), &bytes).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.good_len, rec_len as u64);
+        match scan.tail {
+            WalTail::Torn { offset, ref reason } => {
+                assert_eq!(offset, rec_len as u64);
+                assert!(reason.contains("CRC"), "{reason}");
+            }
+            WalTail::Clean => panic!("tail must be torn"),
+        }
+    }
+
+    #[test]
+    fn bit_flip_mid_log_is_hard_corruption_with_offset() {
+        let mut bytes = log_of(3);
+        let rec_len = encode_record(1, &delta(1)).len();
+        // Flip a payload byte of the *second* record — record 3 follows.
+        let idx = rec_len + RECORD_HEADER + 9;
+        bytes[idx] ^= 0x40;
+        let err = scan(Path::new("t.log"), &bytes).unwrap_err();
+        match err {
+            RelError::Corrupt(c) => assert_eq!(c.offset, rec_len as u64),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sequence_regression_is_hard_corruption() {
+        let mut bytes = encode_record(5, &delta(5));
+        bytes.extend_from_slice(&encode_record(5, &delta(6))); // repeats 5
+        let err = scan(Path::new("t.log"), &bytes).unwrap_err();
+        assert!(matches!(err, RelError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("sequence"), "{err}");
+    }
+
+    #[test]
+    fn undersized_length_field_is_hard_corruption() {
+        let mut bytes = vec![0u8; RECORD_HEADER]; // len = 0 < 8
+        bytes.extend_from_slice(&[0; 16]);
+        let err = scan(Path::new("t.log"), &bytes).unwrap_err();
+        assert!(matches!(err, RelError::Corrupt(ref c) if c.offset == 0), "{err}");
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let scan = scan(Path::new("t.log"), &[]).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.good_len, 0);
+        assert_eq!(scan.tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn writer_appends_and_truncates_torn_tail() {
+        let dir = std::env::temp_dir().join(format!(
+            "rel-wal-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = DurabilityConfig { fsync: FsyncPolicy::Off, ..Default::default() };
+        let mut w = WalWriter::open(&dir, 0, 1, &cfg).unwrap();
+        assert_eq!(w.append(&delta(1)).unwrap(), 1);
+        assert_eq!(w.append(&delta(2)).unwrap(), 2);
+        drop(w);
+        // Simulate a torn tail: append garbage, then reopen at good_len.
+        let bytes = read_log(&dir).unwrap();
+        let good = bytes.len() as u64;
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(WAL_FILE))
+            .unwrap()
+            .write_all(&[1, 2, 3])
+            .unwrap();
+        let scanned = scan(&dir.join(WAL_FILE), &read_log(&dir).unwrap()).unwrap();
+        assert_eq!(scanned.good_len, good);
+        assert!(matches!(scanned.tail, WalTail::Torn { .. }));
+        let mut w = WalWriter::open(&dir, scanned.good_len, 3, &cfg).unwrap();
+        assert_eq!(w.append(&delta(3)).unwrap(), 3);
+        let rescan = scan(&dir.join(WAL_FILE), &read_log(&dir).unwrap()).unwrap();
+        assert_eq!(rescan.records.len(), 3);
+        assert_eq!(rescan.tail, WalTail::Clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
