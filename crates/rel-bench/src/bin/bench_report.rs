@@ -401,6 +401,79 @@ fn main() {
         }
     }
 
+    // --- Columnar layout: typed kernels vs boxed-row fallback -----------
+    // The same three workloads the trajectory already tracks — TC,
+    // PageRank, revenue aggregation — at their larger BENCH_1 scales,
+    // each run once with `REL_COLUMNAR` on (schema-specialized columns
+    // drive the set-operation merges, sort keys, and trie seeks) and
+    // once with the layout pinned to boxed `Value` rows. Results must
+    // match exactly; `speedup_vs_row` on each columnar entry is the
+    // acceptance number (>= 1.5x on at least two of the three).
+    {
+        let (ctc_n, cpr_n, crev_orders) = if smoke { (40, 16, 60) } else { (300, 64, 600) };
+        let bench_layouts =
+            |tag: &str, scale: String, run: &mut dyn FnMut() -> usize, results: &mut Vec<Measurement>| {
+                rel_core::set_columnar_enabled(true);
+                let (col_ms, col_size) = median_ms(runs, &mut *run);
+                rel_core::set_columnar_enabled(false);
+                let (row_ms, row_size) = median_ms(runs, &mut *run);
+                rel_core::set_columnar_enabled(true);
+                assert_eq!(col_size, row_size, "{tag}: columnar layout changed the result");
+                results.push(Measurement {
+                    name: "columnar_tc",
+                    scale: format!("{tag},{scale},columnar"),
+                    median_ms: col_ms,
+                    result_size: col_size,
+                    extra: vec![("speedup_vs_row", row_ms / col_ms)],
+                });
+                results.push(Measurement {
+                    name: "columnar_tc",
+                    scale: format!("{tag},{scale},row"),
+                    median_ms: row_ms,
+                    result_size: row_size,
+                    extra: Vec::new(),
+                });
+            };
+        {
+            let g = gen::random_graph(ctc_n, 3.0, 42);
+            let db = gen::graph_database(&g);
+            let module = rel_sema::compile(programs::TC).expect("TC compiles");
+            bench_layouts(
+                "tc",
+                format!("n={ctc_n}"),
+                &mut || {
+                    let rels = rel_engine::materialize(&module, &db).expect("TC evaluates");
+                    rels.get("TC").map(rel_core::Relation::len).unwrap_or(0)
+                },
+                &mut results,
+            );
+        }
+        {
+            let g = gen::random_graph(cpr_n, 3.0, 11);
+            let mut db = gen::graph_database(&g);
+            db.set("M", gen::transition_matrix_relation(&g));
+            let mut session = rel_graph::with_graph_lib(db);
+            session.set_incremental(false);
+            bench_layouts(
+                "pagerank",
+                format!("n={cpr_n}"),
+                &mut || session.query(programs::PAGERANK).expect("pagerank").len(),
+                &mut results,
+            );
+        }
+        {
+            let w = OrderWorkload::generate(crev_orders, 50, 1);
+            let mut session = rel_engine::Session::with_stdlib(w.db.clone());
+            session.set_incremental(false);
+            bench_layouts(
+                "revenue",
+                format!("orders={crev_orders}"),
+                &mut || session.query(programs::REVENUE).expect("revenue").len(),
+                &mut results,
+            );
+        }
+    }
+
     // --- Durable transactions: WAL logging overhead vs ephemeral --------
     // The same 200-commit stream run once against a durable session
     // (every commit appends a CRC-framed delta record to the WAL; fsync

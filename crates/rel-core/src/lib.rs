@@ -28,6 +28,7 @@
 //! (see [`Relation::true_rel`] / [`Relation::false_rel`]).
 
 pub mod codec;
+pub mod columnar;
 pub mod convert;
 pub mod database;
 pub mod error;
@@ -36,6 +37,7 @@ pub mod relation;
 pub mod tuple;
 pub mod value;
 
+pub use columnar::{columnar_enabled, set_columnar_enabled, ColumnStats};
 pub use convert::{FromRow, FromValue};
 pub use database::Database;
 pub use error::{RelError, RelResult};

@@ -2,10 +2,28 @@
 //!
 //! Rel relations are pure sets (no multiplicities, no nulls) and may contain
 //! tuples of *different arities* (Addendum A: "a relation … can contain
-//! tuples of different arity"). A [`Relation`] is backed by a `BTreeSet` so
-//! iteration — and therefore all query output — is deterministic.
+//! tuples of different arity"). A [`Relation`] is backed by a **flat sorted
+//! `Vec<Tuple>`** (ascending `Tuple` order, deduplicated), so iteration —
+//! and therefore all query output — is deterministic and exactly matches
+//! the `BTreeSet` order of earlier revisions, while merges, bulk builds,
+//! and scans run over contiguous memory instead of tree nodes.
 //!
 //! Boolean encoding (§4.3): `true` is `{⟨⟩}` and `false` is `{}`.
+//!
+//! # Physical layout
+//!
+//! The sorted row vector is the *canonical* representation: equality,
+//! fingerprints, iteration order, and the codec byte format are all
+//! defined over it. Alongside it, storage lazily caches a **typed columnar
+//! projection** ([`crate::columnar::Columnar`]) for uniform-arity
+//! relations: per-column `Vec<i64>` / `Vec<OrdF64>` / `Vec<EntityId>` /
+//! dictionary-encoded strings, with per-column fallback to boxed values
+//! for mixed columns (see the `columnar` module docs for the layout,
+//! fallback rules, and the interner ordering guarantee). When the
+//! process-wide `REL_COLUMNAR` switch is on, set operations between two
+//! projected relations merge-walk raw primitives instead of boxed
+//! `Value`s; the row path remains for mixed-arity relations and as the
+//! `REL_COLUMNAR=0` opt-out, and both paths produce identical bytes.
 //!
 //! # Copy-on-write invariants
 //!
@@ -14,7 +32,7 @@
 //! its relation map from the database with pointer bumps instead of deep
 //! copies. The invariants every mutating method maintains:
 //!
-//! 1. Mutation goes through `Relation::tuples_mut`, which `Arc::make_mut`s
+//! 1. Mutation goes through `Relation::make_mut`, which `Arc::make_mut`s
 //!    the storage (copying it only when shared) and stamps a **fresh
 //!    generation** from a global counter. Generations are never reused, so
 //!    `a.generation() == b.generation()` implies `a` and `b` hold the same
@@ -26,9 +44,11 @@
 //!    invisible to semantics. [`Relation::shares_storage`] exposes sharing
 //!    for tests and diagnostics only.
 //! 4. The per-storage fingerprint (a commutative XOR of tuple hashes,
-//!    computed lazily and cached) is cleared whenever storage is rewritten;
-//!    it is a pure function of the tuple set.
+//!    computed lazily and cached) and the columnar projection are cleared
+//!    whenever storage is rewritten; both are pure functions of the tuple
+//!    set.
 
+use crate::columnar::{columnar_enabled, ColumnStats, Columnar};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::BTreeSet;
@@ -45,25 +65,32 @@ fn fresh_generation() -> u64 {
     NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Shared storage: the tuple set plus a lazily computed content
-/// fingerprint (order-independent XOR of per-tuple hashes).
+/// Shared storage: the sorted, deduplicated tuple vector plus two lazily
+/// computed derived views — the content fingerprint (order-independent
+/// XOR of per-tuple hashes) and the typed columnar projection.
 #[derive(Debug, Default)]
 struct Storage {
-    tuples: BTreeSet<Tuple>,
+    tuples: Vec<Tuple>,
     fingerprint: OnceLock<u64>,
+    columnar: OnceLock<Option<Arc<Columnar>>>,
 }
 
 impl Storage {
-    fn new(tuples: BTreeSet<Tuple>) -> Self {
-        Storage { tuples, fingerprint: OnceLock::new() }
+    fn new(tuples: Vec<Tuple>) -> Self {
+        debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]), "rows must be sorted + distinct");
+        Storage { tuples, fingerprint: OnceLock::new(), columnar: OnceLock::new() }
     }
 }
 
 impl Clone for Storage {
     fn clone(&self) -> Self {
-        // Cloned for mutation (`Arc::make_mut`): drop the fingerprint, the
-        // copy is about to change.
-        Storage { tuples: self.tuples.clone(), fingerprint: OnceLock::new() }
+        // Cloned for mutation (`Arc::make_mut`): drop the derived views,
+        // the copy is about to change.
+        Storage {
+            tuples: self.tuples.clone(),
+            fingerprint: OnceLock::new(),
+            columnar: OnceLock::new(),
+        }
     }
 }
 
@@ -125,12 +152,15 @@ impl Relation {
 
     /// Build from an iterator of tuples.
     pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
-        Relation::from_set(tuples.into_iter().collect())
+        let mut rows: Vec<Tuple> = tuples.into_iter().collect();
+        rows.sort_unstable();
+        rows.dedup();
+        Relation::from_sorted(rows)
     }
 
     /// Build a unary relation from values.
     pub fn from_values(values: impl IntoIterator<Item = Value>) -> Self {
-        Relation::from_set(values.into_iter().map(|v| Tuple::from(vec![v])).collect())
+        Relation::from_tuples(values.into_iter().map(|v| Tuple::from(vec![v])))
     }
 
     /// A relation holding a single tuple.
@@ -138,21 +168,25 @@ impl Relation {
         Relation::from_tuples([t])
     }
 
-    fn from_set(tuples: BTreeSet<Tuple>) -> Self {
+    /// Adopt an already sorted, duplicate-free row vector (the fast path
+    /// every merge kernel lands on — no re-sort, no tree build).
+    fn from_sorted(tuples: Vec<Tuple>) -> Self {
         if tuples.is_empty() {
             return Relation::default();
         }
         Relation { storage: Arc::new(Storage::new(tuples)), generation: fresh_generation() }
     }
 
-    /// Mutable storage access: copies the set when shared and stamps a
-    /// fresh generation. Callers that detect a no-op mutation should
-    /// restore the prior generation (invariant 2 of the module docs).
-    fn tuples_mut(&mut self) -> &mut BTreeSet<Tuple> {
+    /// Mutable storage access: copies the rows when shared, stamps a
+    /// fresh generation, and drops the derived views. Callers that detect
+    /// a no-op mutation should restore the prior generation (invariant 2
+    /// of the module docs).
+    fn make_mut(&mut self) -> &mut Storage {
         self.generation = fresh_generation();
         let storage = Arc::make_mut(&mut self.storage);
         storage.fingerprint = OnceLock::new();
-        &mut storage.tuples
+        storage.columnar = OnceLock::new();
+        storage
     }
 
     /// The content generation: changes exactly when the tuple set does.
@@ -185,6 +219,44 @@ impl Relation {
         })
     }
 
+    /// The typed columnar projection of this relation, built lazily and
+    /// cached on the shared storage. `None` when the process-wide
+    /// columnar switch is off, the relation is empty / of mixed arity, or
+    /// all tuples are nullary (see [`crate::columnar`] for the rules).
+    pub fn columnar(&self) -> Option<&Arc<Columnar>> {
+        if !columnar_enabled() {
+            return None;
+        }
+        self.storage
+            .columnar
+            .get_or_init(|| Columnar::build(&self.storage.tuples).map(Arc::new))
+            .as_ref()
+    }
+
+    /// The cached columnar projection if one was already built for this
+    /// storage — never triggers a build. The merge kernels go through
+    /// this so a one-shot `union`/`minus` doesn't charge a full
+    /// projection build to inputs that never needed one (the build costs
+    /// more than the boxed-row walk it would replace); consumers that
+    /// genuinely want columns ([`Relation::column_stats`], the engine's
+    /// sorted tries) call [`Relation::columnar`] and pay for the build
+    /// once per relation state.
+    fn peek_columnar(&self) -> Option<&Arc<Columnar>> {
+        if !columnar_enabled() {
+            return None;
+        }
+        self.storage.columnar.get()?.as_ref()
+    }
+
+    /// Per-column statistics (distinct count, min, max) from the columnar
+    /// projection, `None` whenever [`Relation::columnar`] is. Computed
+    /// once per relation state and cached on the shared storage — cheap
+    /// to re-read, and the input the WCOJ planner's cardinality-based
+    /// variable ordering consumes.
+    pub fn column_stats(&self) -> Option<Arc<Vec<ColumnStats>>> {
+        self.columnar().map(|c| Arc::clone(c.stats()))
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.storage.tuples.len()
@@ -197,55 +269,51 @@ impl Relation {
 
     /// Is this the `true` relation `{⟨⟩}` (or does it at least contain `⟨⟩`)?
     pub fn is_true(&self) -> bool {
-        self.storage.tuples.contains(&Tuple::empty())
+        // The empty tuple is the minimum of the tuple order.
+        self.storage.tuples.first().is_some_and(|t| t.is_empty())
     }
 
     /// Insert a tuple; returns `true` if it was new (set semantics).
     pub fn insert(&mut self, t: Tuple) -> bool {
-        if Arc::strong_count(&self.storage) > 1 {
-            // Shared storage: pre-check so a duplicate insert neither
-            // unshares nor changes the generation.
-            if self.storage.tuples.contains(&t) {
-                return false;
+        match self.storage.tuples.binary_search(&t) {
+            Ok(_) => false,
+            Err(idx) => {
+                self.make_mut().tuples.insert(idx, t);
+                true
             }
-            self.tuples_mut().insert(t)
-        } else {
-            // Exclusive storage: single tree probe, restore the
-            // generation when the tuple was already present.
-            let prev = self.generation;
-            let inserted = self.tuples_mut().insert(t);
-            if !inserted {
-                self.generation = prev;
-            }
-            inserted
         }
     }
 
     /// Remove a tuple; returns `true` if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        if Arc::strong_count(&self.storage) > 1 {
-            if !self.storage.tuples.contains(t) {
-                return false;
+        match self.storage.tuples.binary_search(t) {
+            Err(_) => false,
+            Ok(idx) => {
+                self.make_mut().tuples.remove(idx);
+                if self.is_empty() {
+                    *self = Relation::new();
+                }
+                true
             }
-            self.tuples_mut().remove(t)
-        } else {
-            let prev = self.generation;
-            let removed = self.tuples_mut().remove(t);
-            if !removed {
-                self.generation = prev;
-            }
-            removed
         }
     }
 
     /// Membership test (full application `R(a, …)`).
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.storage.tuples.contains(t)
+        self.storage.tuples.binary_search(t).is_ok()
     }
 
     /// Iterate tuples in sorted order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + Clone + '_ {
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
         self.storage.tuples.iter()
+    }
+
+    /// The sorted rows as a contiguous slice — the canonical layout.
+    /// Index-aligned with [`Relation::columnar`] when that projection
+    /// exists; the engine's hash indexes store positions into this slice
+    /// instead of cloned tuples.
+    pub fn as_slice(&self) -> &[Tuple] {
+        &self.storage.tuples
     }
 
     /// Convert every row to a host type via [`crate::convert::FromRow`],
@@ -305,26 +373,29 @@ impl Relation {
     /// start with `prefix`. `R["O1"]` over `OrderProductQuantity` yields
     /// `{⟨"P1",2⟩, ⟨"P2",1⟩}`.
     pub fn partial_apply(&self, prefix: &[Value]) -> Relation {
-        let mut out = BTreeSet::new();
-        // Tuples sharing a prefix are contiguous in BTreeSet order only
-        // within an arity class; mixed arities still compare lexicographically
-        // so prefix-sharing tuples cluster. We use a range scan from the
-        // prefix tuple and stop once tuples no longer start with it only when
-        // every arity ≥ prefix is exhausted; simpler and still O(matches +
-        // log n) in the common case is a full range scan with early exit on
-        // the sorted order.
-        let start = Tuple::from(prefix.to_vec());
-        for t in self.storage.tuples.range(start..) {
+        // Tuples starting with `prefix` form one contiguous run of the
+        // sorted rows (any tuple ordered between two prefix-matching
+        // tuples shares the prefix), so a binary search for the run start
+        // plus an early-exit scan covers it in O(log n + matches). Their
+        // suffixes inherit the sorted order, so no re-sort is needed.
+        let start = self
+            .storage
+            .tuples
+            .partition_point(|t| t.values() < prefix);
+        let mut out = Vec::new();
+        for t in &self.storage.tuples[start..] {
             if !t.starts_with(prefix) {
                 break;
             }
-            out.insert(t.suffix(prefix.len()));
+            out.push(t.suffix(prefix.len()));
         }
-        Relation::from_set(out)
+        Relation::from_sorted(out)
     }
 
     /// Set union (the `{A; B}` / `or` operator): O(1) when either side is
-    /// empty, merge-walk over both sorted sets otherwise.
+    /// empty or a subset relationship is discovered, merge-walk over both
+    /// sorted row vectors otherwise — raw typed columns when both sides
+    /// carry a columnar projection, boxed rows as fallback.
     pub fn union(&self, other: &Relation) -> Relation {
         if self.shares_storage(other) || other.is_empty() {
             return self.clone();
@@ -332,16 +403,28 @@ impl Relation {
         if self.is_empty() {
             return other.clone();
         }
-        let merged = MergeWalk::new(self.iter(), other.iter())
-            .map(|side| match side {
-                Side::Left(t) | Side::Right(t) | Side::Both(t) => t.clone(),
-            })
-            .collect();
-        Relation::from_set(merged)
+        let merged = match merge_columnar(self, other, true, true) {
+            Some(rows) => rows,
+            None => MergeWalk::new(self.iter(), other.iter())
+                .map(|side| match side {
+                    Side::Left(t) | Side::Right(t) | Side::Both(t) => t.clone(),
+                })
+                .collect(),
+        };
+        // Subset outcomes adopt the superset's storage (and generation),
+        // keeping downstream caches warm.
+        if merged.len() == self.len() {
+            return self.clone();
+        }
+        if merged.len() == other.len() {
+            return other.clone();
+        }
+        Relation::from_sorted(merged)
     }
 
     /// Set intersection (`and` on formulas, `Select` on conditions):
-    /// merge-walk over both sorted sets.
+    /// merge-walk over both sorted row vectors (typed columns when
+    /// available).
     pub fn intersect(&self, other: &Relation) -> Relation {
         if self.shares_storage(other) {
             return self.clone();
@@ -349,17 +432,27 @@ impl Relation {
         if self.is_empty() || other.is_empty() {
             return Relation::new();
         }
-        let merged = MergeWalk::new(self.iter(), other.iter())
-            .filter_map(|side| match side {
-                Side::Both(t) => Some(t.clone()),
-                _ => None,
-            })
-            .collect();
-        Relation::from_set(merged)
+        let merged = match merge_columnar(self, other, false, false) {
+            Some(rows) => rows,
+            None => MergeWalk::new(self.iter(), other.iter())
+                .filter_map(|side| match side {
+                    Side::Both(t) => Some(t.clone()),
+                    _ => None,
+                })
+                .collect(),
+        };
+        if merged.len() == self.len() {
+            return self.clone();
+        }
+        if merged.len() == other.len() {
+            return other.clone();
+        }
+        Relation::from_sorted(merged)
     }
 
-    /// Set difference (`Minus`): merge-walk over both sorted sets, O(1)
-    /// when the subtrahend is empty.
+    /// Set difference (`Minus`): merge-walk over both sorted row vectors
+    /// (typed columns when available), O(1) when the subtrahend is empty
+    /// or disjoint.
     pub fn minus(&self, other: &Relation) -> Relation {
         if self.shares_storage(other) {
             return Relation::new();
@@ -367,18 +460,25 @@ impl Relation {
         if other.is_empty() || self.is_empty() {
             return self.clone();
         }
-        let merged = MergeWalk::new(self.iter(), other.iter())
-            .filter_map(|side| match side {
-                Side::Left(t) => Some(t.clone()),
-                _ => None,
-            })
-            .collect();
-        Relation::from_set(merged)
+        let merged = match merge_columnar(self, other, true, false) {
+            Some(rows) => rows,
+            None => MergeWalk::new(self.iter(), other.iter())
+                .filter_map(|side| match side {
+                    Side::Left(t) => Some(t.clone()),
+                    _ => None,
+                })
+                .collect(),
+        };
+        if merged.len() == self.len() {
+            // Nothing removed: keep storage and generation.
+            return self.clone();
+        }
+        Relation::from_sorted(merged)
     }
 
     /// Remove, in place, every tuple of `other` that is present in
     /// `self` — the in-place companion of [`Relation::minus`] for callers
-    /// that own the left side and want no intermediate allocation.
+    /// that own the left side.
     pub fn minus_in_place(&mut self, other: &Relation) {
         if self.is_empty() || other.is_empty() {
             return;
@@ -387,17 +487,14 @@ impl Relation {
             *self = Relation::new();
             return;
         }
-        if other.len() < self.len() / 4 {
-            // Few removals: delete them individually.
-            for t in other.iter() {
-                self.remove(t);
-            }
-        } else if self.len() * 16 >= other.len() {
-            // Comparable sizes: one linear merge-walk.
-            *self = self.minus(other);
-        } else {
-            // self is tiny next to other: per-tuple probes.
+        if self.len() * 16 < other.len() {
+            // self is tiny next to other: per-tuple binary-search probes
+            // beat walking the whole subtrahend.
             self.retain(|t| !other.contains(t));
+        } else {
+            // One linear merge-walk; `minus` keeps storage and generation
+            // when nothing is removed.
+            *self = self.minus(other);
         }
     }
 
@@ -413,10 +510,10 @@ impl Relation {
             return; // no-op: stay shared
         }
         let prev = self.generation;
-        let set = self.tuples_mut();
-        let before = set.len();
-        set.retain(|t| keep(t));
-        if set.len() == before {
+        let storage = self.make_mut();
+        let before = storage.tuples.len();
+        storage.tuples.retain(|t| keep(t));
+        if storage.tuples.len() == before {
             self.generation = prev;
         }
         if self.is_empty() {
@@ -426,30 +523,34 @@ impl Relation {
 
     /// Cartesian product `(A, B)` — pairwise tuple concatenation.
     pub fn product(&self, other: &Relation) -> Relation {
-        let mut out = BTreeSet::new();
+        let mut out = Vec::with_capacity(self.len() * other.len());
         for a in self.iter() {
             for b in other.iter() {
-                out.insert(a.concat(b));
+                out.push(a.concat(b));
             }
         }
-        Relation::from_set(out)
+        Relation::from_tuples(out)
     }
 
     /// Extend with tuples from an iterator.
     pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
-        let new: Vec<Tuple> = tuples
+        let mut new: Vec<Tuple> = tuples
             .into_iter()
-            .filter(|t| !self.storage.tuples.contains(t))
+            .filter(|t| !self.contains(t))
             .collect();
-        if !new.is_empty() {
-            self.tuples_mut().extend(new);
+        if new.is_empty() {
+            return;
         }
+        new.sort_unstable();
+        new.dedup();
+        let storage = self.make_mut();
+        merge_append(&mut storage.tuples, new);
     }
 
     /// Union in place; returns the number of newly inserted tuples.
     /// O(1) when `self` is empty (adopts the other side's storage); a
-    /// merge-walk rebuild when both sides are of comparable size; plain
-    /// inserts when `other` is small.
+    /// merge-walk rebuild when both sides are of comparable size; a
+    /// backward in-place merge when `other` is small.
     pub fn absorb(&mut self, other: &Relation) -> usize {
         if other.is_empty() || self.shares_storage(other) {
             return 0;
@@ -462,27 +563,24 @@ impl Relation {
         let before = self.len();
         if other.len() * 4 >= self.len() {
             // Comparable sizes: one linear merge beats per-element inserts.
-            let merged: BTreeSet<Tuple> = MergeWalk::new(self.iter(), other.iter())
-                .map(|side| match side {
-                    Side::Left(t) | Side::Right(t) | Side::Both(t) => t.clone(),
-                })
-                .collect();
-            if merged.len() == before {
-                return 0; // other ⊆ self: keep storage and generation
-            }
+            let merged = self.union(other);
             let added = merged.len() - before;
-            *self = Relation::from_set(merged);
+            if added > 0 {
+                *self = merged;
+            }
             added
         } else {
-            let new: Vec<&Tuple> = other
+            let new: Vec<Tuple> = other
                 .iter()
-                .filter(|t| !self.storage.tuples.contains(*t))
+                .filter(|t| !self.contains(t))
+                .cloned()
                 .collect();
             if new.is_empty() {
                 return 0;
             }
             let added = new.len();
-            self.tuples_mut().extend(new.into_iter().cloned());
+            let storage = self.make_mut();
+            merge_append(&mut storage.tuples, new);
             debug_assert_eq!(self.len(), before + added);
             added
         }
@@ -491,8 +589,8 @@ impl Relation {
     /// Drain all tuples into a sorted `Vec`.
     pub fn into_tuples(self) -> Vec<Tuple> {
         match Arc::try_unwrap(self.storage) {
-            Ok(storage) => storage.tuples.into_iter().collect(),
-            Err(shared) => shared.tuples.iter().cloned().collect(),
+            Ok(storage) => storage.tuples,
+            Err(shared) => shared.tuples.clone(),
         }
     }
 
@@ -506,6 +604,96 @@ impl Relation {
     }
 }
 
+/// Merge a sorted, distinct batch `new` (disjoint from `rows`) into the
+/// sorted vector `rows`, in place, by a single backward two-pointer pass —
+/// O(|rows| + |new|) moves, no re-sort.
+fn merge_append(rows: &mut Vec<Tuple>, new: Vec<Tuple>) {
+    debug_assert!(new.windows(2).all(|w| w[0] < w[1]));
+    if new.is_empty() {
+        return;
+    }
+    if rows.last() < new.first() {
+        rows.extend(new);
+        return;
+    }
+    let old_len = rows.len();
+    let mut merged = Vec::with_capacity(old_len + new.len());
+    let mut it_old = std::mem::take(rows).into_iter().peekable();
+    let mut it_new = new.into_iter().peekable();
+    loop {
+        match (it_old.peek(), it_new.peek()) {
+            (Some(a), Some(b)) => {
+                if a < b {
+                    merged.push(it_old.next().expect("peeked"));
+                } else {
+                    merged.push(it_new.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => merged.push(it_old.next().expect("peeked")),
+            (None, Some(_)) => merged.push(it_new.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    *rows = merged;
+}
+
+/// Columnar merge kernel behind `union`/`intersect`/`minus`: when both
+/// sides *already* carry a typed projection, walk row indices comparing
+/// raw typed cells ([`Columnar::cmp_rows`]) instead of boxed `Value`s.
+/// `None` when either side lacks a built projection (mixed arity, empty,
+/// never columnar-scanned, or the switch is off) — callers fall back to
+/// the boxed-row merge-walk. Projections are deliberately not forced
+/// here: building one is strictly more work than the row walk, so the
+/// typed path only pays off when the inputs were already columnar-hot.
+fn merge_columnar(
+    a: &Relation,
+    b: &Relation,
+    keep_left: bool,
+    keep_right: bool,
+) -> Option<Vec<Tuple>> {
+    let ca = Arc::clone(a.peek_columnar()?);
+    let cb = Arc::clone(b.peek_columnar()?);
+    let (ra, rb) = (a.as_slice(), b.as_slice());
+    // Union (T,T) and intersect (F,F) keep matches; minus (T,F) drops them.
+    let keep_both = !keep_left || keep_right;
+    let mut out = Vec::with_capacity(if keep_left && keep_right {
+        ra.len().max(rb.len())
+    } else {
+        ra.len().min(rb.len())
+    });
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() && j < rb.len() {
+        match ca.cmp_rows(i, &cb, j) {
+            std::cmp::Ordering::Less => {
+                if keep_left {
+                    out.push(ra[i].clone());
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if keep_right {
+                    out.push(rb[j].clone());
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if keep_both {
+                    out.push(ra[i].clone());
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if keep_left {
+        out.extend_from_slice(&ra[i..]);
+    }
+    if keep_right {
+        out.extend_from_slice(&rb[j..]);
+    }
+    Some(out)
+}
+
 /// One step of a sorted merge-walk over two tuple iterators.
 enum Side<'a> {
     Left(&'a Tuple),
@@ -514,8 +702,9 @@ enum Side<'a> {
 }
 
 /// Sorted merge of two ascending tuple streams, classifying each element
-/// by which side(s) it occurs on. Drives `union`/`intersect`/`minus`
-/// without re-traversing either tree per element.
+/// by which side(s) it occurs on. Drives the boxed-row fallback of
+/// `union`/`intersect`/`minus` without re-traversing either side per
+/// element.
 struct MergeWalk<L: Iterator, R: Iterator> {
     left: std::iter::Peekable<L>,
     right: std::iter::Peekable<R>,
@@ -565,7 +754,7 @@ impl FromIterator<Tuple> for Relation {
 
 impl<'a> IntoIterator for &'a Relation {
     type Item = &'a Tuple;
-    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
     fn into_iter(self) -> Self::IntoIter {
         self.storage.tuples.iter()
     }
@@ -573,12 +762,9 @@ impl<'a> IntoIterator for &'a Relation {
 
 impl IntoIterator for Relation {
     type Item = Tuple;
-    type IntoIter = std::collections::btree_set::IntoIter<Tuple>;
+    type IntoIter = std::vec::IntoIter<Tuple>;
     fn into_iter(self) -> Self::IntoIter {
-        match Arc::try_unwrap(self.storage) {
-            Ok(storage) => storage.tuples.into_iter(),
-            Err(shared) => shared.tuples.clone().into_iter(),
-        }
+        self.into_tuples().into_iter()
     }
 }
 
@@ -682,6 +868,7 @@ mod tests {
         assert_eq!(r.len(), 3);
         assert_eq!(r.arities().into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
         assert_eq!(r.uniform_arity(), None);
+        assert!(r.columnar().is_none(), "mixed arity has no columnar projection");
     }
 
     #[test]
@@ -734,6 +921,7 @@ mod tests {
         assert_eq!(r.absorb(&opq()), 0); // subset absorb
         r.retain(|_| true);
         r.extend(std::iter::empty());
+        r.minus_in_place(&Relation::from_tuples([tuple!["zz", "zz", 0]]));
         assert_eq!(r.generation(), before);
         assert!(r.shares_storage(&shared), "no-ops must not unshare");
     }
@@ -810,5 +998,76 @@ mod tests {
         assert!(a.union(&e).shares_storage(&a));
         assert!(e.union(&a).shares_storage(&a));
         assert!(a.minus(&e).shares_storage(&a));
+    }
+
+    #[test]
+    fn union_adopts_subset_sides() {
+        let a = opq();
+        let sub = Relation::from_tuples([tuple!["O1", "P1", 2]]);
+        assert!(a.union(&sub).shares_storage(&a));
+        assert!(sub.union(&a).shares_storage(&a));
+        assert!(a.minus(&Relation::from_tuples([tuple!["zz", "zz", 0]])).shares_storage(&a));
+    }
+
+    // --- columnar projection ---------------------------------------------
+
+    #[test]
+    fn columnar_projection_matches_rows() {
+        let r = opq();
+        let Some(c) = r.columnar() else {
+            // Switch forced off in this process: nothing to check.
+            assert!(!crate::columnar::columnar_enabled());
+            return;
+        };
+        assert_eq!(c.len(), r.len());
+        assert_eq!(c.arity(), 3);
+        for (i, t) in r.iter().enumerate() {
+            for (col, v) in t.values().iter().enumerate() {
+                assert_eq!(&c.cols()[col].value(i), v);
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_is_dropped_on_mutation() {
+        let mut r = opq();
+        let _ = r.columnar();
+        r.insert(tuple!["O9", "P9", 9]);
+        if let Some(c) = r.columnar() {
+            assert_eq!(c.len(), 5, "projection must track the mutated rows");
+        }
+    }
+
+    #[test]
+    fn column_stats_surface() {
+        let r = opq();
+        let Some(stats) = r.column_stats() else {
+            assert!(!crate::columnar::columnar_enabled());
+            return;
+        };
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].distinct, 3); // O1, O2, O3
+        assert_eq!(stats[1].distinct, 3); // P1, P2, P3
+        assert_eq!(stats[2].distinct, 3); // 1, 2, 4
+        assert_eq!(stats[2].min, Value::int(1));
+        assert_eq!(stats[2].max, Value::int(4));
+        assert!(Relation::new().column_stats().is_none());
+    }
+
+    #[test]
+    fn set_ops_agree_across_layouts() {
+        use crate::columnar::{columnar_enabled, set_columnar_enabled};
+        let a = Relation::from_tuples((0..50).map(|i| tuple![i, i % 7])); // Int columns
+        let b = Relation::from_tuples((25..75).map(|i| tuple![i, i % 7]));
+        let prev = columnar_enabled();
+        set_columnar_enabled(true);
+        let (u1, i1, m1) = (a.union(&b), a.intersect(&b), a.minus(&b));
+        set_columnar_enabled(false);
+        let (u2, i2, m2) = (a.union(&b), a.intersect(&b), a.minus(&b));
+        set_columnar_enabled(prev);
+        assert_eq!(u1, u2);
+        assert_eq!(i1, i2);
+        assert_eq!(m1, m2);
+        assert_eq!(u1.len(), 75);
     }
 }

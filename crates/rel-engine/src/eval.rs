@@ -11,13 +11,25 @@
 //! generating part as a formula over a seed environment, then evaluating
 //! the value part per resulting environment and emitting
 //! `⟨params⟩ · value-tuple` head tuples (Fig. 3 of the paper).
+//!
+//! Under the typed columnar layout (`REL_COLUMNAR`, on by default) a
+//! handful of whole-rule shapes bypass the environment machinery
+//! entirely via *fused kernels*: one- and two-atom conjunctive rules run
+//! as trie projections / merge joins over typed columns
+//! (`try_fused_formula`), and the aggregation shapes the stdlib
+//! lowers to — grouped `Reduce` over a prefix application, and
+//! `LeftOverride` with a constant default — run as single sorted walks
+//! (`try_fused_open`). Every fused path is bit-identical to the
+//! generic evaluator; `REL_COLUMNAR=0` and `REL_WCOJ=force` disable
+//! them.
 
 use crate::builtins;
 use crate::env::{Env, EnvVal};
-use crate::leapfrog::{leapfrog_join, JoinAtom, SortedRel};
+use crate::leapfrog::{leapfrog_join, merge_join_emit, project_emit, JoinAtom, SortedRel};
+use rel_core::columnar::columnar_enabled;
 use rel_core::{Name, RelError, RelResult, Relation, Tuple, Value};
 use rel_sema::builtins as bsig;
-use rel_sema::ir::{AbsParam, EvalMode, Formula, Module, RExpr, Rule, Term, Var};
+use rel_sema::ir::{AbsParam, Atom, EvalMode, Formula, Module, RExpr, Rule, Term, Var};
 use rel_syntax::ast::CmpOp;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,8 +80,29 @@ pub struct EvalCtx<'a> {
 
 /// Key of a demand-evaluation memo entry: predicate and bound prefix.
 type DemandKey = (Name, Vec<Value>);
-/// A hash index from key values to matching tuples.
-type TupleIndex = HashMap<Vec<Value>, Vec<Tuple>>;
+/// A hash index from key values to matching rows — positions into the
+/// indexed relation's shared sorted storage rather than cloned tuples:
+/// building an index costs one key vector per row and an O(1) relation
+/// clone, never a tuple copy, and probes borrow rows straight from the
+/// shared slice.
+pub(crate) struct TupleIndex {
+    /// O(1) clone of the indexed relation (pins the shared row storage).
+    rows: Relation,
+    /// Key values → positions into `rows.as_slice()`.
+    map: HashMap<Vec<Value>, Vec<u32>>,
+}
+
+impl TupleIndex {
+    /// Borrow the rows matching `key`, straight from the shared storage.
+    fn get(&self, key: &[Value]) -> impl Iterator<Item = &Tuple> + '_ {
+        let rows = self.rows.as_slice();
+        self.map
+            .get(key)
+            .map(|positions| positions.iter().map(move |&p| &rows[p as usize]))
+            .into_iter()
+            .flatten()
+    }
+}
 /// Cache of per-(predicate, key-positions, arity) indexes. Each entry
 /// remembers the relation generation it was built from; a lookup against
 /// a relation with a different generation rebuilds and replaces the
@@ -388,6 +421,9 @@ impl<'a> EvalCtx<'a> {
                 Ok(())
             }
             RExpr::OfFormula(f) => {
+                if self.try_fused_formula(rule, f, &seed, out) {
+                    return Ok(());
+                }
                 gen.push((**f).clone());
                 let envs = self.eval_formula(&Formula::conj(gen), vec![seed])?;
                 for env in envs {
@@ -408,6 +444,9 @@ impl<'a> EvalCtx<'a> {
                 Ok(())
             }
             other => {
+                if let Some(res) = self.try_fused_open(rule, other, &seed, out) {
+                    return res;
+                }
                 let envs = self.eval_formula(&Formula::conj(gen), vec![seed])?;
                 for env in envs {
                     for (env2, rel) in self.eval_open(other, &env)? {
@@ -417,6 +456,374 @@ impl<'a> EvalCtx<'a> {
                 Ok(())
             }
         }
+    }
+
+    /// Fused columnar rule kernel. When the head is plain first-order
+    /// variables and the body formula is (possibly `Exists`-wrapped
+    /// conjunctions of) one or two positive atoms over stored relations
+    /// with variable-only, atom-distinct arguments, evaluate the whole
+    /// rule as one permuted-trie projection / merge join
+    /// ([`project_emit`] / [`merge_join_emit`]): head tuples are emitted
+    /// straight from trie cells, bypassing environment batches, per-row
+    /// `Env` clones, and `head_tuple` re-packing entirely. The tries come
+    /// from the generation-keyed cache, so a stable relation (e.g. the
+    /// EDB side of a semi-naive delta join) is sorted once per state and
+    /// reused across fixpoint iterations.
+    ///
+    /// Variable-only atoms keep this exact: variable–variable unification
+    /// is strict value equality (no Int/Float promotion — that applies
+    /// only to constants, which are ineligible here), matching the trie's
+    /// strict cell order, so the emitted head set is identical to the
+    /// generic path's. Existential variables are projected away by the
+    /// head plan itself; the final [`Relation::from_tuples`] build
+    /// canonicalizes order and duplicates either way.
+    ///
+    /// Gated on the columnar switch (`REL_COLUMNAR=0` keeps the legacy
+    /// row pipeline) and off under [`WcojMode::Force`], which exists to
+    /// drag every eligible conjunction through the leapfrog kernel for
+    /// testing. Returns `false` (emitting nothing) when the shape is
+    /// ineligible and the generic evaluator should proceed.
+    fn try_fused_formula(
+        &self,
+        rule: &Rule,
+        f: &Formula,
+        seed: &Env,
+        out: &mut Vec<Tuple>,
+    ) -> bool {
+        if !columnar_enabled() || self.indexes.wcoj_mode() == WcojMode::Force {
+            return false;
+        }
+        // Only top-level materialization: a seeded env (demand evaluation,
+        // constraint checking) takes the generic path.
+        if (0..seed.len()).any(|v| seed.get(v as Var).is_some()) {
+            return false;
+        }
+        // Head: plain first-order variables (repeats allowed).
+        let mut head: Vec<Var> = Vec::with_capacity(rule.params.len());
+        for p in &rule.params {
+            let AbsParam::Val(v) = p else { return false };
+            head.push(*v);
+        }
+        // Body: at most two positive atoms under Exists/Conj nesting.
+        fn collect<'x>(f: &'x Formula, out: &mut Vec<&'x Atom>) -> bool {
+            match f {
+                Formula::True => true,
+                Formula::Atom(a) => {
+                    out.push(a);
+                    out.len() <= 2
+                }
+                Formula::Conj(fs) => fs.iter().all(|g| collect(g, out)),
+                Formula::Exists { tuple_vars, body, .. } => {
+                    tuple_vars.is_empty() && collect(body, out)
+                }
+                _ => false,
+            }
+        }
+        let mut atoms: Vec<&Atom> = Vec::new();
+        if !collect(f, &mut atoms) || atoms.is_empty() {
+            return false;
+        }
+        // Atoms: stored relations (not builtins, not demand-driven) applied
+        // to distinct variables.
+        let mut infos: Vec<(&Name, Vec<Var>)> = Vec::with_capacity(atoms.len());
+        for a in &atoms {
+            if a.args.is_empty()
+                || bsig::lookup(&a.pred).is_some()
+                || self.is_demand(&a.pred).is_some()
+            {
+                return false;
+            }
+            let mut vars: Vec<Var> = Vec::with_capacity(a.args.len());
+            for t in &a.args {
+                let Term::Var(v) = t else { return false };
+                if vars.contains(v) {
+                    return false; // repeated variable: in-atom equality
+                }
+                vars.push(*v);
+            }
+            infos.push((&a.pred, vars));
+        }
+        // Every head variable must be bound by some atom.
+        if head
+            .iter()
+            .any(|hv| !infos.iter().any(|(_, vs)| vs.contains(hv)))
+        {
+            return false;
+        }
+        // A full column permutation leading with `first` (atom positions,
+        // deduped), followed by the remaining positions in source order.
+        fn perm_from(first: &[usize], arity: usize) -> Vec<usize> {
+            let mut perm: Vec<usize> = Vec::with_capacity(arity);
+            for &p in first {
+                if !perm.contains(&p) {
+                    perm.push(p);
+                }
+            }
+            for p in 0..arity {
+                if !perm.contains(&p) {
+                    perm.push(p);
+                }
+            }
+            perm
+        }
+        match infos.as_slice() {
+            // Projection: sort the trie head-variables-first and emit.
+            [(pred, vars)] => {
+                let positions: Vec<usize> = head
+                    .iter()
+                    .map(|hv| vars.iter().position(|v| v == hv).expect("covered"))
+                    .collect();
+                let perm = perm_from(&positions, vars.len());
+                let trie = self.trie_for(pred, &perm);
+                let depths: Vec<usize> = positions
+                    .iter()
+                    .map(|p| perm.iter().position(|q| q == p).expect("full perm"))
+                    .collect();
+                project_emit(&trie, &depths, out);
+                true
+            }
+            // Binary join: both tries lead with the shared variables.
+            [(pa, va), (pb, vb)] => {
+                let join: Vec<Var> =
+                    va.iter().copied().filter(|v| vb.contains(v)).collect();
+                let perm_of = |vars: &[Var]| {
+                    let first: Vec<usize> = join
+                        .iter()
+                        .map(|jv| vars.iter().position(|v| v == jv).expect("shared"))
+                        .collect();
+                    perm_from(&first, vars.len())
+                };
+                let (perm_a, perm_b) = (perm_of(va), perm_of(vb));
+                let ta = self.trie_for(pa, &perm_a);
+                let tb = self.trie_for(pb, &perm_b);
+                let plan: Vec<(bool, usize)> = head
+                    .iter()
+                    .map(|hv| {
+                        if let Some(p) = va.iter().position(|v| v == hv) {
+                            (false, perm_a.iter().position(|&q| q == p).expect("full perm"))
+                        } else {
+                            let p = vb.iter().position(|v| v == hv).expect("covered");
+                            (true, perm_b.iter().position(|&q| q == p).expect("full perm"))
+                        }
+                    })
+                    .collect();
+                merge_join_emit(&ta, &tb, join.len(), &plan, out);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Fused columnar kernels for the two aggregation rule shapes the
+    /// stdlib's `sum[R[x]] <++ d`-style definitions lower to. Returns
+    /// `None` when the shape is ineligible (generic evaluator proceeds)
+    /// and `Some(result)` when the kernel handled the rule.
+    ///
+    /// Both kernels exploit the same invariant as [`Self::try_fused_formula`]:
+    /// stored relations iterate in lexicographic tuple order, so groups
+    /// of a common prefix are contiguous runs and domain/override merges
+    /// are single sorted walks — no per-row `Env` clones, no `BTreeMap`
+    /// of group environments, no intermediate suffix `Relation`s.
+    fn try_fused_open(
+        &self,
+        rule: &Rule,
+        body: &RExpr,
+        seed: &Env,
+        out: &mut Vec<Tuple>,
+    ) -> Option<RelResult<()>> {
+        if !columnar_enabled() || self.indexes.wcoj_mode() == WcojMode::Force {
+            return None;
+        }
+        // Only top-level materialization; a seeded env takes the generic path.
+        if (0..seed.len()).any(|v| seed.get(v as Var).is_some()) {
+            return None;
+        }
+        match body {
+            RExpr::Reduce { op, input, intro } => {
+                self.fused_grouped_reduce(rule, op, input, *intro, out)
+            }
+            RExpr::LeftOverride(a, b) => self.fused_override_default(rule, a, b, out),
+            _ => None,
+        }
+    }
+
+    /// Grouped-reduce kernel: `def p[x…] : Reduce(op, P[x…])` where the
+    /// head is plain distinct variables, `op` is a builtin with a fold
+    /// rule, and the input is a prefix application of a stored relation
+    /// on exactly the head variables.
+    ///
+    /// The generic path re-derives the grouping the storage order already
+    /// provides: it clones an `Env` per input row, collects suffix
+    /// relations in a `BTreeMap<Env, Relation>`, then folds each group's
+    /// last column. Since `P` is sorted lexicographically and prefix
+    /// matching on unbound variables is strict value equality, groups are
+    /// exactly the runs of equal `k`-prefix, in the same order, and each
+    /// group's suffixes arrive already sorted — so the fold visits values
+    /// in the generic path's order (bit-identical float folds, same first
+    /// error on a type mismatch). Empty groups cannot arise (every run has
+    /// a row), matching `reduce over ∅ = ∅`.
+    ///
+    /// Run boundaries and fold inputs are read from the typed columnar
+    /// projection when present (no per-row tuple-header chasing); rows are
+    /// the fallback.
+    fn fused_grouped_reduce(
+        &self,
+        rule: &Rule,
+        op: &RExpr,
+        input: &RExpr,
+        intro: (Var, Var),
+        out: &mut Vec<Tuple>,
+    ) -> Option<RelResult<()>> {
+        // Head: plain distinct variables.
+        let mut head: Vec<Var> = Vec::with_capacity(rule.params.len());
+        for p in &rule.params {
+            let AbsParam::Val(v) = p else { return None };
+            if head.contains(v) {
+                return None;
+            }
+            head.push(*v);
+        }
+        // Group keys survive the `intro` clearing that forms them.
+        if head.iter().any(|v| *v >= intro.0 && *v < intro.1) {
+            return None;
+        }
+        // Op: a builtin with a canonical fold step.
+        let RExpr::Pred(opname) = op else { return None };
+        let canonical = bsig::canonical(opname)?;
+        // Input: the head variables, in order, prefix-applied to a stored
+        // relation of uniform arity with a non-empty suffix.
+        let RExpr::PApp { pred, args } = input else { return None };
+        if args.len() != head.len() {
+            return None;
+        }
+        for (t, v) in args.iter().zip(&head) {
+            let Term::Var(av) = t else { return None };
+            if av != v {
+                return None;
+            }
+        }
+        if bsig::lookup(pred).is_some() || self.is_demand(pred).is_some() {
+            return None;
+        }
+        let rel = self.relation(pred);
+        let k = head.len();
+        let n = rel.uniform_arity()?;
+        if n <= k {
+            return None;
+        }
+        Some((|| {
+            if let Some(c) = rel.columnar() {
+                let cols = c.cols();
+                let rows = c.len();
+                let mut start = 0;
+                for i in 1..=rows {
+                    let boundary = i == rows
+                        || (0..k).any(|j| {
+                            cols[j].cmp_rows(i, &cols[j], start) != std::cmp::Ordering::Equal
+                        });
+                    if !boundary {
+                        continue;
+                    }
+                    let mut acc = cols[n - 1].value(start);
+                    for r in start + 1..i {
+                        acc = builtins::fold_step(canonical, &acc, &cols[n - 1].value(r))?;
+                    }
+                    let mut vals: Vec<Value> = (0..k).map(|j| cols[j].value(start)).collect();
+                    vals.push(acc);
+                    out.push(Tuple::from(vals));
+                    start = i;
+                }
+            } else {
+                let mut run: Option<(&Tuple, Value)> = None;
+                for t in rel.iter() {
+                    match run.take() {
+                        Some((first, acc)) if first.values()[..k] == t.values()[..k] => {
+                            let acc = builtins::fold_step(canonical, &acc, &t.values()[n - 1])?;
+                            run = Some((first, acc));
+                        }
+                        prev => {
+                            if let Some((first, acc)) = prev {
+                                let mut vals = first.values()[..k].to_vec();
+                                vals.push(acc);
+                                out.push(Tuple::from(vals));
+                            }
+                            run = Some((t, t.values()[n - 1].clone()));
+                        }
+                    }
+                }
+                if let Some((first, acc)) = run {
+                    let mut vals = first.values()[..k].to_vec();
+                    vals.push(acc);
+                    out.push(Tuple::from(vals));
+                }
+            }
+            Ok(())
+        })())
+    }
+
+    /// Override-with-default kernel: `def p[x in D] : P[x] <++ (c)` — the
+    /// lowering of `agg[…] <++ default`. For each `x` in the unary domain
+    /// `D`, emit `P`'s rows for `x` when any exist, else `(x, c)`.
+    ///
+    /// The generic path evaluates a `Member` formula per domain element
+    /// and runs the full `LeftOverride` open-expression machinery per
+    /// environment (prefix re-matching `P`, per-group suffix relations, a
+    /// singleton build, an override scan). With a single-constant right
+    /// side the override key is the empty prefix, so "left side wins"
+    /// degenerates to a non-emptiness test — one sorted merge of `D`
+    /// against `P`'s first column. Bound-variable prefix matching is
+    /// strict equality, matching the merge's comparisons.
+    fn fused_override_default(
+        &self,
+        rule: &Rule,
+        a: &RExpr,
+        b: &RExpr,
+        out: &mut Vec<Tuple>,
+    ) -> Option<RelResult<()>> {
+        let [AbsParam::In(v, dom)] = rule.params.as_slice() else {
+            return None;
+        };
+        let RExpr::Pred(dname) = dom.as_ref() else { return None };
+        if bsig::lookup(dname).is_some() || self.is_demand(dname).is_some() {
+            return None;
+        }
+        let RExpr::PApp { pred, args } = a else { return None };
+        let [Term::Var(av)] = args.as_slice() else { return None };
+        if av != v {
+            return None;
+        }
+        if bsig::lookup(pred).is_some() || self.is_demand(pred).is_some() {
+            return None;
+        }
+        let RExpr::Singleton(ts) = b else { return None };
+        let [Term::Const(c)] = ts.as_slice() else { return None };
+        let dom_rel = self.relation(dname);
+        if dom_rel.uniform_arity() != Some(1) {
+            return None;
+        }
+        let p_rel = self.relation(pred);
+        let n = p_rel.uniform_arity()?;
+        if n < 2 {
+            return None;
+        }
+        let prows: Vec<&Tuple> = p_rel.iter().collect();
+        let mut pi = 0;
+        for d in dom_rel.iter() {
+            let x = &d.values()[0];
+            while pi < prows.len() && prows[pi].values()[0] < *x {
+                pi += 1;
+            }
+            let mut j = pi;
+            while j < prows.len() && prows[j].values()[0] == *x {
+                out.push(prows[j].clone());
+                j += 1;
+            }
+            if j == pi {
+                out.push(Tuple::from(vec![x.clone(), c.clone()]));
+            }
+            pi = j;
+        }
+        Some(Ok(()))
     }
 
     fn emit(
@@ -1403,11 +1810,9 @@ impl<'a> EvalCtx<'a> {
                     }
                     continue;
                 }
-                if let Some(tuples) = index.get(&key) {
-                    for t in tuples {
-                        if let Some(env2) = self.unify_atom(args, t, &env) {
-                            out.push(env2);
-                        }
+                for t in index.get(&key) {
+                    if let Some(env2) = self.unify_atom(args, t, &env) {
+                        out.push(env2);
                     }
                 }
             }
@@ -1442,17 +1847,16 @@ impl<'a> EvalCtx<'a> {
                 return Arc::clone(hit);
             }
         }
-        let mut map: TupleIndex = HashMap::new();
-        if let Some(rel) = rel {
-            for t in rel.iter() {
-                if t.arity() != arity {
-                    continue;
-                }
-                let k: Vec<Value> = positions.iter().map(|&i| t.values()[i].clone()).collect();
-                map.entry(k).or_default().push(t.clone());
+        let rows = rel.cloned().unwrap_or_default();
+        let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        for (pos, t) in rows.as_slice().iter().enumerate() {
+            if t.arity() != arity {
+                continue;
             }
+            let k: Vec<Value> = positions.iter().map(|&i| t.values()[i].clone()).collect();
+            map.entry(k).or_default().push(pos as u32);
         }
-        let arc = Arc::new(map);
+        let arc = Arc::new(TupleIndex { rows, map });
         self.indexes
             .write()
             .insert(cache_key, (generation, Arc::clone(&arc)));

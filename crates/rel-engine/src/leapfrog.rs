@@ -2,11 +2,31 @@
 //! (Veldhuizen, ICDT 2014; cited by the paper in §7 as part of the
 //! toolbox that makes GNF's many-joins style practical).
 //!
-//! Relations are stored as lexicographically sorted tuple arrays and
-//! iterated as tries. The join processes one *join variable* at a time:
-//! all iterators bound to the current variable "leapfrog" (mutually seek)
-//! to their next common key; on agreement the join descends to the next
-//! variable.
+//! Relations are viewed as lexicographically sorted tries and joined one
+//! *join variable* at a time: all iterators bound to the current variable
+//! "leapfrog" (mutually seek) to their next common key; on agreement the
+//! join descends to the next variable.
+//!
+//! # Physical layouts
+//!
+//! A [`SortedRel`] never clones permuted tuples. It shares the source
+//! relation's storage (an O(1) [`Relation`] clone) plus a sorted
+//! *position* vector, and reads the cell at trie depth `d` through the
+//! column permutation — the row fallback compares borrowed [`Value`]s.
+//! When the relation carries a typed columnar projection
+//! ([`rel_core::columnar`]) the trie additionally materializes its
+//! columns *in trie order* (permuted, sorted — a cheap typed gather), so
+//! every seek, gallop, and key comparison in the join runs over raw
+//! primitives (`i64`, order-preserving floats, dictionary codes) via
+//! [`Cell`] instead of boxed `Value` tags. Both layouts produce identical
+//! join output; `REL_COLUMNAR=0` forces the row fallback.
+//!
+//! The same sorted-trie machinery backs the *fused rule kernels*
+//! ([`project_emit`], [`merge_join_emit`]): single-rule shapes the
+//! evaluator recognizes whole (projection, binary merge join) and
+//! executes straight over trie cells — head tuples are emitted without
+//! per-row environment clones, with an all-integer fast path that sorts
+//! `(i64, i64)` head keys instead of boxed tuples.
 //!
 //! This kernel is the engine's worst-case-optimal join substrate: the
 //! general rule planner in [`crate::eval`] routes multi-atom
@@ -22,78 +42,291 @@
 //! routing mode (see [`crate::eval::WcojMode`]). The kernel is also used
 //! directly by the E8 triangle benchmark via [`triangle_count_lftj`].
 
+use rel_core::columnar::{Cell, Column};
 use rel_core::{Relation, Tuple, Value};
 
-/// A relation stored as a sorted tuple array, viewed as a trie.
+/// A relation viewed as a sorted trie: shared row storage, a position
+/// vector sorted in permuted-column order, and (columnar mode) typed
+/// columns materialized in trie order.
 #[derive(Clone, Debug)]
 pub struct SortedRel {
-    tuples: Vec<Tuple>,
+    /// Shared source rows (O(1) clone of the relation).
+    rel: Relation,
+    /// Sorted positions into `rel.as_slice()`; only rows whose arity
+    /// matches the atom participate.
+    order: Vec<u32>,
+    /// `perm[d]` = source column read at trie depth `d`.
+    perm: Vec<usize>,
+    /// Typed columns in trie order (`cols[d][i]` = cell at depth `d` of
+    /// the `i`-th sorted row); present when the source relation has a
+    /// columnar projection and the switch is on.
+    cols: Option<Vec<Column>>,
     arity: usize,
 }
 
 impl SortedRel {
     /// Build from tuples (sorted and deduplicated here). All tuples must
     /// share one arity.
-    pub fn new(mut tuples: Vec<Tuple>) -> Self {
-        tuples.sort();
-        tuples.dedup();
+    pub fn new(tuples: Vec<Tuple>) -> Self {
         let arity = tuples.first().map(Tuple::arity).unwrap_or(0);
         assert!(
             tuples.iter().all(|t| t.arity() == arity),
             "SortedRel requires uniform arity"
         );
-        SortedRel { tuples, arity }
+        let rel = Relation::from_tuples(tuples);
+        let perm: Vec<usize> = (0..arity).collect();
+        SortedRel::permuted(&rel, &perm)
     }
 
-    /// Build from a [`Relation`].
+    /// Build from a [`Relation`] (which must be of uniform arity).
     pub fn from_relation(rel: &Relation) -> Self {
-        SortedRel::new(rel.iter().cloned().collect())
+        let arity = rel.uniform_arity().unwrap_or(0);
+        assert!(
+            rel.is_empty() || rel.uniform_arity().is_some(),
+            "SortedRel requires uniform arity"
+        );
+        let perm: Vec<usize> = (0..arity).collect();
+        SortedRel::permuted(rel, &perm)
     }
 
-    /// Build with columns permuted: output column `i` = input column
-    /// `perm[i]`. Used to align an atom's columns with the global variable
-    /// order. Tuples whose arity differs from `perm.len()` are skipped
-    /// (an atom of arity *k* only ever matches *k*-tuples; relations may
-    /// hold mixed arities).
+    /// Build with columns permuted: trie depth `d` reads input column
+    /// `perm[d]`. Used to align an atom's columns with the global
+    /// variable order. Tuples whose arity differs from `perm.len()` are
+    /// skipped (an atom of arity *k* only ever matches *k*-tuples;
+    /// relations may hold mixed arities). No permuted tuples are
+    /// materialized — the trie sorts positions and reads through the
+    /// permutation (typed columns when the projection exists).
     pub fn permuted(rel: &Relation, perm: &[usize]) -> Self {
-        let tuples = rel
-            .iter()
-            .filter(|t| t.arity() == perm.len())
-            .map(|t| {
-                Tuple::from(
-                    perm.iter().map(|&i| t.values()[i].clone()).collect::<Vec<_>>(),
-                )
-            })
+        let rows = rel.as_slice();
+        let mut order: Vec<u32> = (0..rows.len() as u32)
+            .filter(|&i| rows[i as usize].arity() == perm.len())
             .collect();
-        SortedRel::new(tuples)
+        let projection = if order.len() == rows.len() {
+            rel.columnar().cloned()
+        } else {
+            None // mixed arity: no projection exists anyway
+        };
+        let cols = match &projection {
+            Some(proj) => {
+                let pcols: Vec<&Column> = perm.iter().map(|&c| &proj.cols()[c]).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    let (a, b) = (a as usize, b as usize);
+                    pcols
+                        .iter()
+                        .map(|col| col.cmp_rows(a, col, b))
+                        .find(|o| o.is_ne())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                order.dedup_by(|&mut a, &mut b| {
+                    let (a, b) = (a as usize, b as usize);
+                    pcols.iter().all(|col| col.cmp_rows(a, col, b).is_eq())
+                });
+                Some(perm.iter().map(|&c| proj.cols()[c].gather(&order)).collect())
+            }
+            None => {
+                order.sort_unstable_by(|&a, &b| {
+                    let (va, vb) =
+                        (rows[a as usize].values(), rows[b as usize].values());
+                    perm.iter()
+                        .map(|&c| va[c].cmp(&vb[c]))
+                        .find(|o| o.is_ne())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                order.dedup_by(|&mut a, &mut b| {
+                    let (va, vb) =
+                        (rows[a as usize].values(), rows[b as usize].values());
+                    perm.iter().all(|&c| va[c] == vb[c])
+                });
+                None
+            }
+        };
+        let arity = if order.is_empty() { 0 } else { perm.len() };
+        SortedRel { rel: rel.clone(), order, perm: perm.to_vec(), cols, arity }
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.order.len()
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.order.is_empty()
     }
 
     /// Arity.
     pub fn arity(&self) -> usize {
         self.arity
     }
+
+    /// Is the trie running on typed columns (vs the boxed-row fallback)?
+    pub fn is_columnar(&self) -> bool {
+        self.cols.is_some()
+    }
+
+    /// The cell at sorted position `pos`, trie depth `d` — a raw typed
+    /// cell in columnar mode, a borrowed boxed value otherwise.
+    #[inline]
+    fn cell(&self, pos: usize, d: usize) -> Cell<'_> {
+        match &self.cols {
+            Some(cols) => cols[d].cell(pos),
+            None => Cell::of_value(
+                &self.rel.as_slice()[self.order[pos] as usize].values()[self.perm[d]],
+            ),
+        }
+    }
+}
+
+/// Emit every row of the trie as a head tuple reading the cells at
+/// `depths` (trie-order column indexes, repeats allowed), skipping rows
+/// whose projected cells equal the previous row's. The trie leads with
+/// the head columns, so equal projections are consecutive and the
+/// output is a sorted, duplicate-free run — the caller's bulk
+/// [`Relation::from_tuples`] build verifies rather than re-sorts, and no
+/// duplicate tuple is ever boxed. Used by the fused rule kernel in
+/// [`crate::eval`] for single-atom (projection) rule bodies.
+pub fn project_emit(s: &SortedRel, depths: &[usize], out: &mut Vec<Tuple>) {
+    for i in 0..s.len() {
+        if i > 0
+            && depths
+                .iter()
+                .all(|&d| s.cell(i, d).cmp_cell(s.cell(i - 1, d)).is_eq())
+        {
+            continue;
+        }
+        let vals: Vec<Value> = depths.iter().map(|&d| s.cell(i, d).to_value()).collect();
+        out.push(Tuple::from(vals));
+    }
+}
+
+/// Fused binary merge join: both tries lead with the same `k` join
+/// columns (arrange with [`SortedRel::permuted`]); the walk advances two
+/// cursors comparing raw [`Cell`]s and collects the joining row pairs.
+/// `plan[c] = (from_b, depth)` names the trie column feeding output
+/// column `c`; `k == 0` degenerates to the cross product (one
+/// all-matching group).
+///
+/// The pairs are then sorted and deduplicated *by their projected head
+/// cells* — raw primitive comparisons over the typed columns — before
+/// any tuple is built, so the expensive part of the downstream
+/// [`Relation::from_tuples`] canonicalization (boxed-row comparisons,
+/// duplicate allocations) happens here on column data instead. Values
+/// are boxed once per distinct head row at emission; no intermediate
+/// environments or row clones exist. This is the fused rule kernel's
+/// join path (see [`crate::eval`]).
+pub fn merge_join_emit(
+    a: &SortedRel,
+    b: &SortedRel,
+    k: usize,
+    plan: &[(bool, usize)],
+    out: &mut Vec<Tuple>,
+) {
+    use std::cmp::Ordering;
+    let (na, nb) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    while i < na && j < nb {
+        let mut ord = Ordering::Equal;
+        for d in 0..k {
+            ord = a.cell(i, d).cmp_cell(b.cell(j, d));
+            if ord.is_ne() {
+                break;
+            }
+        }
+        match ord {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                let ia = group_end(a, i, k);
+                let jb = group_end(b, j, k);
+                for pa in i..ia {
+                    for pb in j..jb {
+                        pairs.push((pa as u32, pb as u32));
+                    }
+                }
+                i = ia;
+                j = jb;
+            }
+        }
+    }
+    // Fast path for the overwhelmingly common graph shape — a binary
+    // all-integer head: read the raw `i64` columns once per pair and
+    // sort/dedup machine-word tuples, an order of magnitude cheaper than
+    // dispatching cell comparisons per element.
+    let int_col = |from_b: bool, d: usize| -> Option<&[i64]> {
+        let cols = if from_b { b.cols.as_ref()? } else { a.cols.as_ref()? };
+        match &cols[d] {
+            Column::Int(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    };
+    if let [(fb0, d0), (fb1, d1)] = *plan {
+        if let (Some(c0), Some(c1)) = (int_col(fb0, d0), int_col(fb1, d1)) {
+            let mut keys: Vec<(i64, i64)> = pairs
+                .iter()
+                .map(|&(pa, pb)| {
+                    let r0 = if fb0 { pb } else { pa } as usize;
+                    let r1 = if fb1 { pb } else { pa } as usize;
+                    (c0[r0], c1[r1])
+                })
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            out.reserve(keys.len());
+            for (x, y) in keys {
+                out.push(Tuple::from(vec![Value::int(x), Value::int(y)]));
+            }
+            return;
+        }
+    }
+    let head_cmp = |&(pa1, pb1): &(u32, u32), &(pa2, pb2): &(u32, u32)| {
+        plan.iter()
+            .map(|&(from_b, d)| {
+                let (c1, c2) = if from_b {
+                    (b.cell(pb1 as usize, d), b.cell(pb2 as usize, d))
+                } else {
+                    (a.cell(pa1 as usize, d), a.cell(pa2 as usize, d))
+                };
+                c1.cmp_cell(c2)
+            })
+            .find(|o| o.is_ne())
+            .unwrap_or(Ordering::Equal)
+    };
+    pairs.sort_unstable_by(head_cmp);
+    for (n, &(pa, pb)) in pairs.iter().enumerate() {
+        if n > 0 && head_cmp(&pairs[n - 1], &(pa, pb)).is_eq() {
+            continue;
+        }
+        let vals: Vec<Value> = plan
+            .iter()
+            .map(|&(from_b, d)| {
+                if from_b { b.cell(pb as usize, d) } else { a.cell(pa as usize, d) }.to_value()
+            })
+            .collect();
+        out.push(Tuple::from(vals));
+    }
+}
+
+/// End (exclusive) of the run of rows sharing `start`'s first `k` cells.
+fn group_end(s: &SortedRel, start: usize, k: usize) -> usize {
+    let n = s.len();
+    let mut e = start + 1;
+    while e < n && (0..k).all(|d| s.cell(e, d).cmp_cell(s.cell(start, d)).is_eq()) {
+        e += 1;
+    }
+    e
 }
 
 /// A trie iterator over a [`SortedRel`]: a cursor at some depth, scoped to
-/// the tuple range matching the current key prefix.
+/// the position range matching the current key prefix.
 struct TrieIter<'a> {
     rel: &'a SortedRel,
     /// Stack of `(lo, hi)` ranges per open level; `ranges[d]` is the range
-    /// of tuples matching the prefix chosen at levels `< d`. Starts empty
-    /// (at the virtual root): `open()` descends into level 0.
+    /// of positions matching the prefix chosen at levels `< d`. Starts
+    /// empty (at the virtual root): `open()` descends into level 0.
     ranges: Vec<(usize, usize)>,
     /// Current position within the top range (points at the current key's
-    /// first tuple).
+    /// first row).
     pos: usize,
     at_end: bool,
 }
@@ -107,9 +340,16 @@ impl<'a> TrieIter<'a> {
         self.ranges.len() - 1
     }
 
-    /// The key at the current level.
-    fn key(&self) -> &'a Value {
-        &self.rel.tuples[self.pos].values()[self.depth()]
+    /// The key cell at the current level (borrows the trie, not the
+    /// cursor — cells from several iterators can be compared freely).
+    fn key(&self) -> Cell<'a> {
+        self.rel.cell(self.pos, self.depth())
+    }
+
+    /// The key at the current level as a boxed [`Value`].
+    #[cfg(test)]
+    fn key_value(&self) -> Value {
+        self.key().to_value()
     }
 
     /// End of the keys at this level?
@@ -117,7 +357,7 @@ impl<'a> TrieIter<'a> {
         self.at_end
     }
 
-    /// Range end of tuples sharing the current key (exclusive).
+    /// Range end of positions sharing the current key (exclusive).
     fn key_end(&self) -> usize {
         let d = self.depth();
         let (_, hi) = self.ranges[d];
@@ -125,7 +365,7 @@ impl<'a> TrieIter<'a> {
         // Gallop to the end of the run of equal keys.
         let mut step = 1;
         let mut lo = self.pos;
-        while lo + step < hi && &self.rel.tuples[lo + step].values()[d] == key {
+        while lo + step < hi && self.rel.cell(lo + step, d).cmp_cell(key).is_eq() {
             lo += step;
             step *= 2;
         }
@@ -133,7 +373,7 @@ impl<'a> TrieIter<'a> {
         // Binary search in (lo, hi2].
         while lo + 1 < hi2 {
             let mid = lo + (hi2 - lo) / 2;
-            if &self.rel.tuples[mid].values()[d] == key {
+            if self.rel.cell(mid, d).cmp_cell(key).is_eq() {
                 lo = mid;
             } else {
                 hi2 = mid;
@@ -154,7 +394,7 @@ impl<'a> TrieIter<'a> {
     }
 
     /// Seek to the first key ≥ `target` at this level.
-    fn seek(&mut self, target: &Value) {
+    fn seek(&mut self, target: Cell<'_>) {
         let d = self.depth();
         let (_, hi) = self.ranges[d];
         if self.at_end {
@@ -163,14 +403,14 @@ impl<'a> TrieIter<'a> {
         // Gallop forward.
         let mut lo = self.pos;
         let mut step = 1;
-        while lo + step < hi && self.rel.tuples[lo + step].values()[d].cmp(target).is_lt() {
+        while lo + step < hi && self.rel.cell(lo + step, d).cmp_cell(target).is_lt() {
             lo += step;
             step *= 2;
         }
         let mut hi2 = (lo + step).min(hi);
         while lo < hi2 {
             let mid = lo + (hi2 - lo) / 2;
-            if self.rel.tuples[mid].values()[d].cmp(target).is_lt() {
+            if self.rel.cell(mid, d).cmp_cell(target).is_lt() {
                 lo = mid + 1;
             } else {
                 hi2 = mid;
@@ -187,14 +427,14 @@ impl<'a> TrieIter<'a> {
     /// sub-trie of the current key.
     fn open(&mut self) {
         if self.ranges.is_empty() {
-            self.ranges.push((0, self.rel.tuples.len()));
+            self.ranges.push((0, self.rel.len()));
             self.pos = 0;
-            self.at_end = self.rel.tuples.is_empty();
+            self.at_end = self.rel.is_empty();
         } else {
             let end = self.key_end();
             self.ranges.push((self.pos, end));
             self.at_end = false;
-            // pos stays: first tuple of the range is the first child key.
+            // pos stays: first row of the range is the first child key.
         }
     }
 
@@ -224,8 +464,9 @@ pub struct JoinAtom<'a> {
 /// Run a leapfrog triejoin over `atoms` with `nvars` join variables
 /// (numbered `0..nvars` in join order). `emit` receives each result
 /// binding. The join itself copies no tuples: iterators are range
-/// cursors over the (shared, possibly cached) sorted storage, and the
-/// binding handed to `emit` borrows the matched key values.
+/// cursors over the (shared, possibly cached) sorted storage, keys are
+/// compared as raw [`Cell`]s, and a key is boxed into a [`Value`] only
+/// when it joins the result binding.
 pub fn leapfrog_join(atoms: &mut [JoinAtom<'_>], nvars: usize, emit: &mut dyn FnMut(&[Value])) {
     for atom in atoms.iter() {
         if atom.rel.is_empty() {
@@ -273,24 +514,23 @@ fn join_level(
         iters[i].open();
     }
     loop {
-        // Leapfrog search: find a common key or exhaust. The max is found
-        // by reference comparison and cloned once (values are cheap
-        // handles — ints or `Arc` strings — but p−1 needless clones per
-        // probe still added up on hot joins).
+        // Leapfrog search: find a common key or exhaust. Keys are `Copy`
+        // cell views borrowing the tries, so the max is found and seeked
+        // to without boxing a `Value`.
         if ps.iter().any(|&i| iters[i].at_end()) {
             break;
         }
-        let mut max_i = ps[0];
+        let mut max = iters[ps[0]].key();
         for &i in &ps[1..] {
-            if iters[i].key() > iters[max_i].key() {
-                max_i = i;
+            let k = iters[i].key();
+            if k.cmp_cell(max).is_gt() {
+                max = k;
             }
         }
-        let max = iters[max_i].key().clone();
         let mut all_equal = true;
         for &i in &ps {
-            if iters[i].key() != &max {
-                iters[i].seek(&max);
+            if iters[i].key().cmp_cell(max).is_ne() {
+                iters[i].seek(max);
                 all_equal = false;
             }
         }
@@ -301,7 +541,7 @@ fn join_level(
             continue;
         }
         // Match on `max`: descend to the next join variable.
-        binding.push(max);
+        binding.push(max.to_value());
         join_level(atoms, iters, var + 1, nvars, binding, emit);
         binding.pop();
         // Advance one participant to continue the search.
@@ -373,18 +613,18 @@ mod tests {
         let rel = SortedRel::new(vec![tuple![1, 2], tuple![1, 3], tuple![2, 5]]);
         let mut it = TrieIter::new(&rel);
         it.open(); // virtual root → level 0
-        assert_eq!(it.key(), &Value::int(1));
+        assert_eq!(it.key_value(), Value::int(1));
         it.open();
-        assert_eq!(it.key(), &Value::int(2));
+        assert_eq!(it.key_value(), Value::int(2));
         it.next_key();
-        assert_eq!(it.key(), &Value::int(3));
+        assert_eq!(it.key_value(), Value::int(3));
         it.next_key();
         assert!(it.at_end());
         it.up();
         it.next_key();
-        assert_eq!(it.key(), &Value::int(2));
+        assert_eq!(it.key_value(), Value::int(2));
         it.open();
-        assert_eq!(it.key(), &Value::int(5));
+        assert_eq!(it.key_value(), Value::int(5));
     }
 
     #[test]
@@ -392,11 +632,11 @@ mod tests {
         let rel = SortedRel::new((0..100).step_by(3).map(|i| tuple![i]).collect());
         let mut it = TrieIter::new(&rel);
         it.open();
-        it.seek(&Value::int(50));
-        assert_eq!(it.key(), &Value::int(51));
-        it.seek(&Value::int(99));
-        assert_eq!(it.key(), &Value::int(99));
-        it.seek(&Value::int(100));
+        it.seek(Cell::of_value(&Value::int(50)));
+        assert_eq!(it.key_value(), Value::int(51));
+        it.seek(Cell::of_value(&Value::int(99)));
+        assert_eq!(it.key_value(), Value::int(99));
+        it.seek(Cell::of_value(&Value::int(100)));
         assert!(it.at_end());
     }
 
@@ -455,6 +695,7 @@ mod tests {
         let s = SortedRel::permuted(&rel, &[1, 0]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.arity(), 2);
+        assert!(!s.is_columnar(), "mixed-arity source stays on the row path");
         let mut atoms = [JoinAtom { rel: &s, vars: &[0, 1] }];
         let mut out = Vec::new();
         leapfrog_join(&mut atoms, 2, &mut |vals| out.push((vals[0].clone(), vals[1].clone())));
@@ -480,5 +721,51 @@ mod tests {
         let mut emitted = 0;
         leapfrog_join(&mut atoms, 2, &mut |_| emitted += 1);
         assert_eq!(emitted, 0);
+    }
+
+    #[test]
+    fn columnar_and_row_tries_join_identically() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use rel_core::columnar::{columnar_enabled, set_columnar_enabled};
+        let mut rng = StdRng::seed_from_u64(11);
+        let pairs: Vec<(i64, i64)> = (0..300)
+            .map(|_| (rng.gen_range(0..40), rng.gen_range(0..40)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let e = edges(&pairs);
+        let prev = columnar_enabled();
+        set_columnar_enabled(true);
+        let on = triangle_count_lftj(&e);
+        set_columnar_enabled(false);
+        let off = triangle_count_lftj(&e);
+        set_columnar_enabled(prev);
+        assert_eq!(on, off);
+        assert_eq!(on, triangle_count_hash(&e));
+    }
+
+    #[test]
+    fn permuted_trie_over_string_columns() {
+        // Dictionary codes must seek/join exactly like the strings.
+        let rel = Relation::from_tuples([
+            tuple!["b", "x"],
+            tuple!["a", "y"],
+            tuple!["c", "x"],
+            tuple!["a", "x"],
+        ]);
+        let s = SortedRel::permuted(&rel, &[1, 0]); // (x-col, name-col)
+        let mut atoms = [JoinAtom { rel: &s, vars: &[0, 1] }];
+        let mut out = Vec::new();
+        leapfrog_join(&mut atoms, 2, &mut |vals| {
+            out.push((vals[0].clone(), vals[1].clone()))
+        });
+        assert_eq!(
+            out,
+            vec![
+                (Value::str("x"), Value::str("a")),
+                (Value::str("x"), Value::str("b")),
+                (Value::str("x"), Value::str("c")),
+                (Value::str("y"), Value::str("a")),
+            ]
+        );
     }
 }

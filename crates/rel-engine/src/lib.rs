@@ -102,6 +102,7 @@
 //! | `REL_EVAL_THREADS` | positive integer | # cores (≤ 8) | Worker threads per fixpoint run ([`eval_threads`]); `1` is fully sequential. |
 //! | `REL_INCREMENTAL` | `0`/`false`/`off`/`no` to disable | enabled | Incremental view maintenance for session evaluation and commit-time constraint re-checks ([`Session::set_incremental`] overrides per session). Results are byte-identical either way. |
 //! | `REL_WCOJ` | `0`/`off`, `force`, else auto | auto | Routing of multi-atom conjunctions through the leapfrog WCOJ kernel ([`Session::set_wcoj`] overrides per session). Results are byte-identical in every mode. |
+//! | `REL_COLUMNAR` | `0`/`false`/`off`/`no` to disable | enabled | Typed columnar storage layout under `Relation` ([`rel_core::columnar`]): set-operation merges, trie seeks, and sort keys run over schema-specialized columns (`Vec<i64>`, dictionary-encoded strings, …) instead of boxed `Value` rows. [`Session::set_columnar`] flips the same switch at runtime — it is **process-wide**, not per session, because the kernels live below the session layer. Results are byte-identical in both layouts. |
 //! | `REL_DURABILITY` | `0`/`off`/`false`/`no` to disable | enabled | Whether [`Session::open`] actually attaches durable storage; disabled, it returns a plain ephemeral session without touching disk ([`durability::durability_env_enabled`]). |
 //! | `REL_FSYNC` | `always`, `batch`, `off`/`0`/`false`/`no` | `batch` | When WAL appends reach stable storage ([`FsyncPolicy::from_env`]; [`DurabilityConfig`] overrides per session via [`Session::open_with`]). |
 //!

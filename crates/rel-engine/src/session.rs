@@ -377,6 +377,29 @@ impl Session {
         self.index_cache.wcoj_mode()
     }
 
+    /// Turn the typed columnar storage layout on or off (overriding the
+    /// `REL_COLUMNAR` environment default). Off, every kernel runs the
+    /// boxed-row fallback: set operations merge-walk `Value`s, tries
+    /// compare boxed cells, and no projections are built. Results are
+    /// byte-identical either way (the `columnar_equivalence` suite holds
+    /// both layouts to that).
+    ///
+    /// Unlike [`Session::set_wcoj`], the switch is **process-wide** — the
+    /// columnar kernels live in `rel-core`, below any session context —
+    /// so flipping it affects every session in the process (it simply
+    /// forwards to [`rel_core::set_columnar_enabled`]). Cached tries and
+    /// projections built under the previous setting remain valid (both
+    /// layouts agree on every comparison) and are replaced as relations
+    /// change generation.
+    pub fn set_columnar(&mut self, on: bool) {
+        rel_core::set_columnar_enabled(on);
+    }
+
+    /// Is the process-wide columnar layout switch on?
+    pub fn columnar_enabled(&self) -> bool {
+        rel_core::columnar_enabled()
+    }
+
     /// Is incremental evaluation enabled for this session?
     pub fn incremental_enabled(&self) -> bool {
         self.incremental
@@ -899,6 +922,28 @@ mod tests {
         assert_eq!(flat(&off), flat(&auto));
         assert_eq!(flat(&off), flat(&forced));
         assert_eq!(off.len(), 4, "fixture has four triangles");
+    }
+
+    #[test]
+    fn set_columnar_layouts_agree_on_query_results() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4), (1, 4)] {
+            db.insert("E", tuple![a, b]);
+        }
+        let mut s = Session::new(db);
+        s.set_incremental(false);
+        let src = "def output(a,b,c) : E(a,b) and E(b,c) and E(a,c)";
+        let prev = s.columnar_enabled();
+        s.set_columnar(true);
+        assert!(s.columnar_enabled());
+        let on = s.query(src).unwrap();
+        s.set_columnar(false);
+        assert!(!s.columnar_enabled());
+        let off = s.query(src).unwrap();
+        s.set_columnar(prev);
+        let flat = |r: &Relation| r.iter().cloned().collect::<Vec<_>>();
+        assert_eq!(flat(&on), flat(&off));
+        assert_eq!(on.len(), 4, "fixture has four triangles");
     }
 
     #[test]
