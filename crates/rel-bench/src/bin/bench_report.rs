@@ -4,9 +4,12 @@
 //! two scales each — plus the repeated-query (prepared vs unprepared),
 //! multi-stratum (1 vs 4 scheduler workers), incremental-transaction
 //! (delta propagation vs full re-materialization), durable-transaction
-//! (WAL commit overhead vs ephemeral, plus recovery replay on reopen)
-//! workloads — and writes a JSON report (default `BENCH_1.json`) so the
-//! engine's performance is tracked from PR 1 onward.
+//! (WAL commit overhead vs ephemeral, plus recovery replay on reopen),
+//! serving (open-loop client fleets against an in-process `rel-server`,
+//! p50/p99 + throughput), and group-commit (fsync=always with and
+//! without coalescing windows) workloads — and writes a JSON report
+//! (default `BENCH_1.json`) so the engine's performance is tracked from
+//! PR 1 onward.
 //!
 //! ```text
 //! bench_report [--out PATH] [--baseline PATH] [--runs N] [--smoke]
@@ -578,6 +581,175 @@ fn main() {
             median_ms: replay_ms,
             result_size: replay_size,
             extra: Vec::new(),
+        });
+    }
+
+    // --- Serving: concurrent clients against the network server ---------
+    // The paper's deployment shape: clients reach the database over the
+    // wire, not in-process. An in-process `rel-server` serves the order
+    // workload; fleets of 1 / 8 / 32 clients drive an *open-loop* mixed
+    // load (fixed arrival interval per client, ~90% prepared reads, ~10%
+    // one-shot writes through the group-commit queue). Latency is
+    // measured from each request's *scheduled* arrival, so queueing
+    // delay under load is visible, not hidden coordinated-omission
+    // style. `median_ms` is the p50 request latency; p99 and sustained
+    // throughput ride along as extra fields.
+    {
+        let client_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 8, 32] };
+        let per_client = if smoke { 20 } else { 200 };
+        let interval = std::time::Duration::from_micros(1000);
+        for &clients in client_counts {
+            let w = OrderWorkload::generate(120, 40, 9);
+            let server = rel_server::Server::start(
+                rel_engine::Session::with_stdlib(w.db.clone()),
+                rel_server::ServerConfig::default(),
+            )
+            .expect("serving benchmark server starts");
+            let addr = server.addr();
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients));
+            let handles: Vec<_> = (0..clients)
+                .map(|ci| {
+                    let barrier = barrier.clone();
+                    std::thread::spawn(move || {
+                        let mut c = rel_server::Client::connect(addr)
+                            .expect("serving client connects");
+                        let stmt = c
+                            .prepare(programs::REPEATED_QUERY)
+                            .expect("serving query prepares");
+                        barrier.wait();
+                        let start = Instant::now();
+                        let mut latencies = Vec::with_capacity(per_client);
+                        let mut rows = 0usize;
+                        for i in 0..per_client {
+                            let scheduled = interval * i as u32;
+                            if let Some(wait) =
+                                scheduled.checked_sub(start.elapsed())
+                            {
+                                std::thread::sleep(wait);
+                            }
+                            if i % 10 == 9 {
+                                let src = format!(
+                                    "def insert(:ServeLog, x, y) : x = {ci} and y = {i}"
+                                );
+                                rows += c
+                                    .transact(&src)
+                                    .expect("serving write commits")
+                                    .inserted as usize;
+                            } else {
+                                let params = rel_engine::Params::new()
+                                    .set("order", ((ci * 31 + i) % 120) as i64);
+                                rows += c
+                                    .execute(&stmt, &params)
+                                    .expect("serving read executes")
+                                    .len();
+                            }
+                            latencies.push(
+                                (start.elapsed().saturating_sub(scheduled))
+                                    .as_secs_f64()
+                                    * 1e3,
+                            );
+                        }
+                        (latencies, rows, start.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            let mut latencies = Vec::new();
+            let mut rows = 0usize;
+            let mut wall: f64 = 0.0;
+            for h in handles {
+                let (l, r, w) = h.join().expect("serving client panicked");
+                latencies.extend(l);
+                rows += r;
+                wall = wall.max(w);
+            }
+            server.shutdown().expect("serving server shuts down");
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+            let total = clients * per_client;
+            results.push(Measurement {
+                name: "serving",
+                scale: format!("clients={clients},reqs={total}"),
+                median_ms: pct(0.50),
+                result_size: rows,
+                extra: vec![
+                    ("p99_ms", pct(0.99)),
+                    ("throughput_rps", total as f64 / wall),
+                ],
+            });
+        }
+    }
+
+    // --- Group commit: fsync=always with and without coalescing ---------
+    // The durable_txn stream re-measured where durability is most
+    // expensive — one fsync per commit — against the same stream pushed
+    // through group-commit windows of 8 (what the server's commit queue
+    // does under concurrent load). Both runs land the same state; the
+    // grouped run must issue ~1/8th the fsyncs, and
+    // `speedup_vs_ungrouped` is the wall-clock effect.
+    {
+        let commits = if smoke { 16 } else { 100 };
+        let window = 8usize;
+        let always = rel_engine::DurabilityConfig {
+            fsync: rel_engine::FsyncPolicy::Always,
+            compact_after_commits: u64::MAX,
+            compact_after_bytes: u64::MAX,
+            ..Default::default()
+        };
+        let dir = std::env::temp_dir()
+            .join(format!("rel-bench-group-{}", std::process::id()));
+        let run_grouped = |grouped: bool| {
+            let before = rel_engine::durability::fsync_count();
+            let (ms, size) = median_ms(runs, || {
+                let _ = std::fs::remove_dir_all(&dir);
+                let mut session = rel_engine::Session::open_with(&dir, always)
+                    .expect("group-commit store opens");
+                assert!(session.is_durable());
+                let mut i = 0usize;
+                while i < commits {
+                    let span = if grouped { window.min(commits - i) } else { 1 };
+                    if grouped {
+                        session.begin_commit_group();
+                    }
+                    for _ in 0..span {
+                        let mut txn = session.begin();
+                        txn.stage_insert("E", rel_core::tuple![i as i64, i as i64]);
+                        txn.commit().expect("commit");
+                        i += 1;
+                    }
+                    if grouped {
+                        session.end_commit_group().expect("group sync");
+                    }
+                }
+                session.db().total_tuples()
+            });
+            let fsyncs = rel_engine::durability::fsync_count() - before;
+            (ms, size, fsyncs as f64 / runs as f64)
+        };
+        let (grp_ms, grp_size, grp_fsyncs) = run_grouped(true);
+        let (ung_ms, ung_size, ung_fsyncs) = run_grouped(false);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(grp_size, ung_size, "group commit changed the committed state");
+        assert!(
+            grp_fsyncs < ung_fsyncs,
+            "group commit must coalesce fsyncs ({grp_fsyncs} vs {ung_fsyncs})"
+        );
+        let scale = format!("commits={commits},fsync=always");
+        results.push(Measurement {
+            name: "group_commit_txn",
+            scale: format!("{scale},grouped"),
+            median_ms: grp_ms,
+            result_size: grp_size,
+            extra: vec![
+                ("fsyncs_per_run", grp_fsyncs),
+                ("speedup_vs_ungrouped", ung_ms / grp_ms),
+            ],
+        });
+        results.push(Measurement {
+            name: "group_commit_txn",
+            scale: format!("{scale},ungrouped"),
+            median_ms: ung_ms,
+            result_size: ung_size,
+            extra: vec![("fsyncs_per_run", ung_fsyncs)],
         });
     }
 

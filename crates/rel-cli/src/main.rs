@@ -7,6 +7,9 @@
 //!                                                   durable: commits are logged to a
 //!                                                   WAL in <dir> and recovered on the
 //!                                                   next start
+//! rel connect <host:port>                           remote repl against a running
+//!                                                   rel-server (each line is one
+//!                                                   transaction over the wire)
 //! ```
 //!
 //! The standard, relational-algebra, linear-algebra and graph libraries
@@ -22,10 +25,12 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("repl") => cmd_repl(&args[1..]),
+        Some("connect") => cmd_connect(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  rel run <program.rel> [--db <file.csv>:<Concept> ...]\n  \
-                 rel check <program.rel>\n  rel repl [--db <dir>]"
+                 rel check <program.rel>\n  rel repl [--db <dir>]\n  \
+                 rel connect <host:port>"
             );
             2
         }
@@ -219,6 +224,64 @@ fn cmd_repl(args: &[String]) -> i32 {
         match result {
             Ok(outcome) => {
                 let _ = writeln!(out, "{}", outcome.output);
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+fn cmd_connect(args: &[String]) -> i32 {
+    // `rel connect host:port` — the repl loop over the wire: every line
+    // is shipped to a running rel-server as one transaction and its
+    // `output` relation printed. The server holds the database (and its
+    // durability); this process is just a thin rel-client.
+    let Some(addr) = args.first() else {
+        eprintln!("rel connect: missing server address (host:port)");
+        return 2;
+    };
+    let mut client = match rel_server::Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rel: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    eprintln!("rel connect {addr} — enter a full program per line; :quit to exit");
+    loop {
+        eprint!("rel> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return 0,
+            Ok(_) => {}
+            Err(_) => return 1,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            return 0;
+        }
+        match client.transact(line) {
+            Ok(outcome) => {
+                for t in outcome.output.iter() {
+                    let _ = writeln!(out, "{t}");
+                }
+                if outcome.inserted + outcome.deleted > 0 {
+                    eprintln!(
+                        "committed: +{} / -{} tuples",
+                        outcome.inserted, outcome.deleted
+                    );
+                }
+            }
+            // A dropped connection cannot be re-framed; typed server
+            // errors leave the session usable.
+            Err(e @ rel_server::ClientError::Io(_)) => {
+                eprintln!("rel: connection lost: {e}");
+                return 1;
             }
             Err(e) => eprintln!("error: {e}"),
         }

@@ -120,7 +120,8 @@ impl<'a> Reader<'a> {
         DecodeError { offset: self.pos, msg: msg.into() }
     }
 
-    fn take(&mut self, n: usize, what: &str) -> DecodeResult<&'a [u8]> {
+    /// Consume `n` raw bytes (`what` names the field in errors).
+    pub fn take(&mut self, n: usize, what: &str) -> DecodeResult<&'a [u8]> {
         if self.remaining() < n {
             return Err(self.err(format!(
                 "truncated {what}: need {n} bytes, {} remain",
@@ -132,21 +133,25 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, what: &str) -> DecodeResult<u8> {
+    /// Consume one byte.
+    pub fn u8(&mut self, what: &str) -> DecodeResult<u8> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &str) -> DecodeResult<u32> {
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> DecodeResult<u32> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, what: &str) -> DecodeResult<u64> {
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> DecodeResult<u64> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
-    fn str(&mut self, what: &str) -> DecodeResult<&'a str> {
+    /// Consume a length-prefixed UTF-8 string (see [`encode_str`]).
+    pub fn str(&mut self, what: &str) -> DecodeResult<&'a str> {
         let len = self.u32(what)? as usize;
         let at = self.pos;
         let bytes = self.take(len, what)?;
@@ -167,7 +172,8 @@ const TAG_STRING: u8 = 2;
 const TAG_ENTITY: u8 = 3;
 const TAG_SYMBOL: u8 = 4;
 
-fn encode_str(s: &str, out: &mut Vec<u8>) {
+/// Append a length-prefixed UTF-8 string: `u32` byte length, then bytes.
+pub fn encode_str(s: &str, out: &mut Vec<u8>) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
@@ -269,6 +275,19 @@ fn decode_tuples(r: &mut Reader<'_>, what: &str) -> DecodeResult<Vec<Tuple>> {
         tuples.push(decode_tuple(r)?);
     }
     Ok(tuples)
+}
+
+/// Append the encoding of one relation: `u32` #tuples, then the tuples in
+/// the relation's canonical (sorted) order — encoding the same relation
+/// twice yields identical bytes. Used by the `rel-server` wire protocol
+/// for query results and parameter bindings.
+pub fn encode_relation(rel: &Relation, out: &mut Vec<u8>) {
+    encode_tuples(rel.iter(), out);
+}
+
+/// Decode one relation (see [`encode_relation`]).
+pub fn decode_relation(r: &mut Reader<'_>) -> DecodeResult<Relation> {
+    Ok(Relation::from_tuples(decode_tuples(r, "relation tuple")?))
 }
 
 // ---------------------------------------------------------------------------

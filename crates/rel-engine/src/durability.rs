@@ -26,7 +26,7 @@ use rel_core::{Database, RelResult};
 use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 /// When committed WAL records are `fsync`ed to stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +96,25 @@ pub fn durability_env_enabled() -> bool {
     )
 }
 
+/// Process-wide count of successful fsync calls (`fdatasync` +
+/// `fsync`) issued by the durability layer. Observability for the
+/// group-commit path: a coalescing commit queue must show strictly fewer
+/// syncs than commits under [`FsyncPolicy::Always`].
+static FSYNC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// How many fsyncs the durability layer has issued since process start
+/// (WAL syncs and snapshot syncs alike). Monotone; compare two readings
+/// to count the syncs a workload performed. The counter is
+/// process-global, so tests asserting on deltas must not run
+/// concurrently with other fsync-heavy tests in the same binary.
+pub fn fsync_count() -> u64 {
+    FSYNC_COUNT.load(Ordering::SeqCst)
+}
+
+pub(crate) fn note_fsync() {
+    FSYNC_COUNT.fetch_add(1, Ordering::SeqCst);
+}
+
 /// One process-wide warning when a [`crate::Session::open`] degrades to
 /// ephemeral operation (missing/read-only store directory): loud enough
 /// to notice, quiet enough not to spam a session loop.
@@ -146,6 +165,23 @@ impl DurableStore {
         let seq = self.wal.append(delta)?;
         self.commits_since_snapshot += 1;
         Ok(seq)
+    }
+
+    /// Log one commit's delta **without** syncing — the group-commit
+    /// path. The caller must close the window with
+    /// [`DurableStore::flush_group`] before acknowledging any commit
+    /// appended this way.
+    pub(crate) fn append_commit_deferred(&mut self, delta: &Delta) -> RelResult<u64> {
+        let seq = self.wal.append_deferred(delta)?;
+        self.commits_since_snapshot += 1;
+        Ok(seq)
+    }
+
+    /// Apply the fsync policy once over every deferred append; returns
+    /// how many commits the sync covered (see
+    /// [`crate::wal::WalWriter::flush_group`]).
+    pub(crate) fn flush_group(&mut self) -> RelResult<u64> {
+        self.wal.flush_group()
     }
 
     /// Has the log grown past either compaction trigger?
@@ -282,13 +318,17 @@ impl FailpointFile {
     /// Flush file *data* to stable storage (`fdatasync`).
     pub fn sync_data(&self) -> io::Result<()> {
         failpoint::check_op()?;
-        self.inner.sync_data()
+        self.inner.sync_data()?;
+        note_fsync();
+        Ok(())
     }
 
     /// Flush file data and metadata to stable storage (`fsync`).
     pub fn sync_all(&self) -> io::Result<()> {
         failpoint::check_op()?;
-        self.inner.sync_all()
+        self.inner.sync_all()?;
+        note_fsync();
+        Ok(())
     }
 
     /// Truncate (or extend) the file.

@@ -93,9 +93,11 @@
 //!
 //! ## Environment variables
 //!
-//! Every `REL_*` switch the engine reads, in one place. Each is a
-//! process-wide *default*; where a per-session override exists it is
-//! listed alongside.
+//! Every `REL_*` switch the engine reads, in one place — plus the
+//! `REL_SERVER_*` knobs the `rel-server` crate layers on top, so the
+//! whole `REL_*` namespace has a single consolidated table. Each is a
+//! process-wide *default*; where a per-session (or per-server) override
+//! exists it is listed alongside.
 //!
 //! | Variable | Values | Default | Effect |
 //! |----------|--------|---------|--------|
@@ -105,6 +107,12 @@
 //! | `REL_COLUMNAR` | `0`/`false`/`off`/`no` to disable | enabled | Typed columnar storage layout under `Relation` ([`rel_core::columnar`]): set-operation merges, trie seeks, and sort keys run over schema-specialized columns (`Vec<i64>`, dictionary-encoded strings, …) instead of boxed `Value` rows. [`Session::set_columnar`] flips the same switch at runtime — it is **process-wide**, not per session, because the kernels live below the session layer. Results are byte-identical in both layouts. |
 //! | `REL_DURABILITY` | `0`/`off`/`false`/`no` to disable | enabled | Whether [`Session::open`] actually attaches durable storage; disabled, it returns a plain ephemeral session without touching disk ([`durability::durability_env_enabled`]). |
 //! | `REL_FSYNC` | `always`, `batch`, `off`/`0`/`false`/`no` | `batch` | When WAL appends reach stable storage ([`FsyncPolicy::from_env`]; [`DurabilityConfig`] overrides per session via [`Session::open_with`]). |
+//! | `REL_SERVER_ADDR` | `host:port` | `127.0.0.1:0` | Listen address of `rel-server` (port `0` picks a free port). Read by `ServerConfig::from_env` in the `rel-server` crate; the config struct overrides per server. |
+//! | `REL_SERVER_MAX_CONNS` | positive integer | `64` | Max simultaneous connections; excess connects get a typed `Busy` reply. |
+//! | `REL_SERVER_MAX_INFLIGHT` | positive integer | `4` | Max commit jobs one connection may have queued at once (`Busy` beyond it). |
+//! | `REL_SERVER_QUEUE_DEPTH` | positive integer | `256` | Max commit jobs queued across all connections (`Busy` when full). |
+//! | `REL_SERVER_GROUP_WINDOW` | positive integer | `32` | Max commits coalesced into one group-commit window — one WAL fsync — per commit-worker pass ([`Session::begin_commit_group`]). |
+//! | `REL_SERVER_POOL` | positive integer | `8` | Max read replicas checked out of the server's session pool at once (readers block, never fail, beyond it). |
 //!
 //! [`Session::query`]/[`Session::eval`] results are unaffected by every
 //! switch in the table — they tune scheduling, caching, and durability,

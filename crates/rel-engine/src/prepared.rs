@@ -85,6 +85,12 @@ impl Params {
         self.bound.keys()
     }
 
+    /// The bound `(name, relation)` pairs in name order — the stable
+    /// iteration a wire protocol needs to ship bindings to a server.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Relation)> {
+        self.bound.iter()
+    }
+
     /// Number of bound parameters.
     pub fn len(&self) -> usize {
         self.bound.len()

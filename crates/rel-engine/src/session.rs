@@ -29,6 +29,7 @@ use rel_sema::ir::{ConstraintIr, Module, Rule};
 use rel_syntax::Program;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 /// Compiled modules cached per session, keyed by query source. Bounded so
@@ -128,6 +129,12 @@ pub struct Session {
     /// like [`Session::sync`] can take `&self`; commits already hold the
     /// session exclusively.
     durability: Option<Mutex<DurableStore>>,
+    /// While set, [`Session::log_commit`] appends WAL records *without*
+    /// applying the fsync policy; [`Session::end_commit_group`] closes
+    /// the window with one sync covering every commit inside it. Atomic
+    /// only because `log_commit` takes `&self`; the begin/end methods
+    /// take `&mut self`, so a window is always owned by a single writer.
+    group_commit: AtomicBool,
 }
 
 impl Default for Session {
@@ -151,6 +158,7 @@ impl Clone for Session {
             fixpoint_cache: Arc::clone(&self.fixpoint_cache),
             incremental: self.incremental,
             durability: None,
+            group_commit: AtomicBool::new(false),
         }
     }
 }
@@ -167,6 +175,7 @@ impl Session {
             fixpoint_cache: Arc::new(RwLock::new(LruMap::new(FIXPOINT_CACHE_CAP))),
             incremental: incremental::env_enabled(),
             durability: None,
+            group_commit: AtomicBool::new(false),
         }
     }
 
@@ -298,12 +307,54 @@ impl Session {
     /// reaches the log at all.
     pub(crate) fn log_commit(&self, delta: &Delta) -> RelResult<()> {
         if let Some(store) = &self.durability {
-            store
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .append_commit(delta)?;
+            let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+            if self.group_commit.load(Ordering::Relaxed) {
+                store.append_commit_deferred(delta)?;
+            } else {
+                store.append_commit(delta)?;
+            }
         }
         Ok(())
+    }
+
+    /// Open a **group-commit window**: until [`Session::end_commit_group`]
+    /// closes it, every transaction commit appends its WAL record without
+    /// syncing, and the close applies the fsync policy *once* over the
+    /// whole group. This is how a commit queue coalesces N concurrent
+    /// commits into one `fdatasync` — under [`FsyncPolicy::Always`] the
+    /// ungrouped path pays one sync per commit.
+    ///
+    /// Contract: commits made inside the window must not be acknowledged
+    /// to clients until `end_commit_group` returns `Ok` — a crash before
+    /// the group sync may lose a suffix of them (recovery still lands on
+    /// a clean prefix of the appended history; the WAL framing and
+    /// torn-tail scan are unchanged). No-op for ephemeral sessions.
+    ///
+    /// [`FsyncPolicy::Always`]: crate::durability::FsyncPolicy::Always
+    pub fn begin_commit_group(&mut self) {
+        self.group_commit.store(true, Ordering::Relaxed);
+    }
+
+    /// Close the group-commit window opened by
+    /// [`Session::begin_commit_group`] and apply the fsync policy once
+    /// over every commit inside it. Returns how many commits the sync
+    /// covered (`0` for ephemeral sessions, under `FsyncPolicy::Off`, or
+    /// under `Batch` while the running batch is still short). On `Err`
+    /// the group's durability is unknown and none of its commits may be
+    /// acknowledged.
+    pub fn end_commit_group(&mut self) -> RelResult<u64> {
+        self.group_commit.store(false, Ordering::Relaxed);
+        match &self.durability {
+            Some(store) => {
+                store.lock().unwrap_or_else(PoisonError::into_inner).flush_group()
+            }
+            None => Ok(0),
+        }
+    }
+
+    /// Is a group-commit window currently open?
+    pub fn in_commit_group(&self) -> bool {
+        self.group_commit.load(Ordering::Relaxed)
     }
 
     /// Run compaction if either trigger (commit count / log size) fired.

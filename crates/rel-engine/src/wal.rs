@@ -272,6 +272,20 @@ impl WalWriter {
     /// file is exactly what a crashed process leaves behind, and the next
     /// recovery lands on the clean prefix.
     pub fn append(&mut self, delta: &Delta) -> RelResult<u64> {
+        self.append_with(delta, false)
+    }
+
+    /// Append one commit record **without** applying the fsync policy —
+    /// the group-commit write path. The record is framed and written
+    /// exactly like [`WalWriter::append`], but the sync it would have
+    /// earned is deferred until [`WalWriter::flush_group`], which covers
+    /// every deferred record with a single `fdatasync`. A commit appended
+    /// this way must not be acknowledged until that flush returns.
+    pub fn append_deferred(&mut self, delta: &Delta) -> RelResult<u64> {
+        self.append_with(delta, true)
+    }
+
+    fn append_with(&mut self, delta: &Delta, defer_sync: bool) -> RelResult<u64> {
         if self.poisoned {
             let e = std::io::Error::other(
                 "WAL writer is poisoned by an earlier unrecoverable append failure",
@@ -283,11 +297,12 @@ impl WalWriter {
         if let Err(e) = self.file.write_all(&rec) {
             return Err(self.roll_back_failed_append("appending WAL record", &e));
         }
-        let synced = match self.fsync {
-            FsyncPolicy::Always => true,
-            FsyncPolicy::Batch => self.unsynced_commits + 1 >= self.fsync_batch,
-            FsyncPolicy::Off => false,
-        };
+        let synced = !defer_sync
+            && match self.fsync {
+                FsyncPolicy::Always => true,
+                FsyncPolicy::Batch => self.unsynced_commits + 1 >= self.fsync_batch,
+                FsyncPolicy::Off => false,
+            };
         if synced {
             if let Err(e) = self.file.sync_data() {
                 // The record is on disk but its durability is unknown;
@@ -309,6 +324,34 @@ impl WalWriter {
             self.poisoned = true;
         }
         self.io_err(what, e)
+    }
+
+    /// Close a group-commit window: apply the fsync policy **once** over
+    /// every record deferred since the last sync. Returns how many
+    /// commits the sync covered — `0` when the policy decided no sync was
+    /// due yet ([`FsyncPolicy::Off`] always; [`FsyncPolicy::Batch`] until
+    /// a full batch of commits has accumulated), in which case the
+    /// deferred commits simply stay in the running batch counter.
+    ///
+    /// On `Err` the records are on disk but their durability is unknown;
+    /// unlike a failed [`WalWriter::append`] the commits were already
+    /// installed by the caller, so nothing is rolled back — the caller
+    /// must refuse to acknowledge the group.
+    pub fn flush_group(&mut self) -> RelResult<u64> {
+        let covered = self.unsynced_commits;
+        let due = match self.fsync {
+            FsyncPolicy::Always => covered > 0,
+            FsyncPolicy::Batch => covered >= self.fsync_batch,
+            FsyncPolicy::Off => false,
+        };
+        if !due {
+            return Ok(0);
+        }
+        self.file
+            .sync_data()
+            .map_err(|e| self.io_err("syncing WAL commit group", &e))?;
+        self.unsynced_commits = 0;
+        Ok(covered)
     }
 
     /// Flush appended records to stable storage now.

@@ -1,0 +1,93 @@
+//! The `rel-server` binary: serve a (durable or in-memory) Rel database
+//! over TCP.
+//!
+//! ```text
+//! rel-server [--addr HOST:PORT] [--db DIR]
+//! ```
+//!
+//! Configuration defaults come from the `REL_SERVER_*` environment
+//! variables (see the `rel-engine` crate docs); flags override them.
+//! With `--db` the server opens a durable store at `DIR` (creating it if
+//! absent) and every committed transaction survives restarts; without
+//! it the database is ephemeral.
+//!
+//! The process prints the bound address on stdout (`listening on …`),
+//! serves until stdin reaches end-of-file or the process receives a
+//! termination signal, then shuts down gracefully: in-flight requests
+//! finish and the commit queue drains before exit. Piping from a parent
+//! process (as the CI smoke leg does) makes "close stdin" a clean,
+//! portable shutdown signal.
+
+use rel_engine::Session;
+use rel_server::{Server, ServerConfig};
+use std::io::Read;
+
+fn usage() -> ! {
+    eprintln!("usage: rel-server [--addr HOST:PORT] [--db DIR]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::from_env();
+    let mut db_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = args.next().unwrap_or_else(|| usage()),
+            "--db" => db_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => {
+                println!("usage: rel-server [--addr HOST:PORT] [--db DIR]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let session = match &db_dir {
+        Some(dir) => match Session::open(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rel-server: cannot open durable store at {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Session::default(),
+    };
+    // Serve with the full standard + graph libraries installed, like the
+    // `rel` CLI does.
+    let session = session
+        .with_library(&rel_stdlib::full_library())
+        .with_library(rel_graph::GRAPH_LIB);
+
+    let server = match Server::start(session, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rel-server: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.addr());
+    if let Some(dir) = &db_dir {
+        eprintln!("rel-server: durable store at {dir}");
+    }
+
+    // Block until stdin closes, then shut down gracefully.
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin().lock();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+    match server.shutdown() {
+        Ok(session) => {
+            if session.is_durable() {
+                let _ = session.sync();
+            }
+            eprintln!("rel-server: shut down cleanly");
+        }
+        Err(e) => {
+            eprintln!("rel-server: shutdown error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

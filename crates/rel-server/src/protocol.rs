@@ -1,0 +1,824 @@
+//! The wire protocol: length-prefixed, CRC-framed binary messages.
+//!
+//! Frames reuse the WAL's framing discipline (`rel-core::codec`): a
+//! fixed header, an IEEE CRC32 over the payload, and a payload whose
+//! every count is bounds-checked before allocation:
+//!
+//! ```text
+//! frame   := [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! payload := [opcode: u8] fields…
+//! ```
+//!
+//! Fields use the `rel_core::codec` primitives — little-endian integers,
+//! length-prefixed UTF-8 strings, and codec-encoded [`Tuple`]s /
+//! [`Relation`]s — so query results travel in exactly the bytes the
+//! durability layer already round-trips.
+//!
+//! One request frame yields exactly one response frame, in order; there
+//! is no pipelining. A frame that violates the grammar (`len == 0`,
+//! `len > `[`MAX_FRAME`], CRC mismatch, unknown opcode, trailing bytes)
+//! is a *protocol* error: the server answers with a typed
+//! [`ErrorKind::Protocol`] reply when it still can, then drops the
+//! connection — per-connection state dies with it, other connections are
+//! untouched.
+
+use rel_core::codec::{self, DecodeError, Reader};
+use rel_core::{Relation, Tuple};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Protocol version carried by the `Hello` handshake. The server rejects
+/// a mismatched major version with [`ErrorKind::Protocol`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on one frame's payload: anything larger is rejected
+/// *before* allocation — a garbage length field must not OOM the server.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// How often a blocked server read wakes up to check the shutdown flag.
+pub const READ_POLL: Duration = Duration::from_millis(100);
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a read or decode from the wire failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The socket died or the peer vanished — not a grammar violation.
+    Io(io::Error),
+    /// The bytes violate the framing or message grammar.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Protocol(e.to_string())
+    }
+}
+
+/// Machine-readable classification of a server-side failure, carried in
+/// every [`Response::Error`] reply so clients can react without parsing
+/// messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Admission control: connection table, commit queue, or per-client
+    /// in-flight budget is full. Retry later.
+    Busy,
+    /// The request violated the wire grammar; the connection is dropped.
+    Protocol,
+    /// The statement id is not in this connection's registry.
+    UnknownStmt,
+    /// The transaction id is not in this connection's registry.
+    UnknownTxn,
+    /// Compilation, evaluation, or constraint failure — the message holds
+    /// the engine's rendered [`rel_core::RelError`].
+    Query,
+    /// The server is shutting down; in-flight commits drain, new work is
+    /// refused.
+    ShuttingDown,
+    /// The request was valid but the server could not honor it (e.g. the
+    /// group sync failed, leaving a commit's durability unknown).
+    Internal,
+}
+
+impl ErrorKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorKind::Busy => 0,
+            ErrorKind::Protocol => 1,
+            ErrorKind::UnknownStmt => 2,
+            ErrorKind::UnknownTxn => 3,
+            ErrorKind::Query => 4,
+            ErrorKind::ShuttingDown => 5,
+            ErrorKind::Internal => 6,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => ErrorKind::Busy,
+            1 => ErrorKind::Protocol,
+            2 => ErrorKind::UnknownStmt,
+            3 => ErrorKind::UnknownTxn,
+            4 => ErrorKind::Query,
+            5 => ErrorKind::ShuttingDown,
+            6 => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed error reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// What class of failure this is.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl ErrorReply {
+    /// Build a reply.
+    pub fn new(kind: ErrorKind, msg: impl Into<String>) -> Self {
+        ErrorReply { kind, msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.msg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// Parameter bindings on the wire: `(name, relation)` pairs in name
+/// order, mirroring `rel_engine::Params`.
+pub type WireParams = Vec<(String, Relation)>;
+
+/// One client request. The surface mirrors the in-process v2 API:
+/// prepare / execute / execute-many, one-shot query and transact, and
+/// interactive `begin`/`run`/`stage`/`commit` transactions addressed by
+/// server-side ids scoped to this connection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Version handshake; must be the first request on a connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Compile `src` and register it under a connection-scoped id.
+    Prepare {
+        /// Rel source of the query (may use `?name` placeholders).
+        src: String,
+    },
+    /// Drop a prepared statement from the registry.
+    CloseStmt {
+        /// Statement id from [`Response::Prepared`].
+        stmt: u32,
+    },
+    /// Execute a prepared statement against the current snapshot.
+    Execute {
+        /// Statement id.
+        stmt: u32,
+        /// Parameter bindings.
+        params: WireParams,
+    },
+    /// Execute a prepared statement once per binding set, on one snapshot.
+    ExecuteMany {
+        /// Statement id.
+        stmt: u32,
+        /// One binding set per execution.
+        batches: Vec<WireParams>,
+    },
+    /// One-shot read: compile + evaluate `src`, return its `output`.
+    Query {
+        /// Rel source.
+        src: String,
+    },
+    /// One-shot write: compile + evaluate + commit through the commit
+    /// queue (group-committed with its queue neighbors).
+    Transact {
+        /// Rel source (typically `def insert(…)` / `def delete(…)`).
+        src: String,
+    },
+    /// Open an interactive transaction; steps accumulate server-side and
+    /// re-execute through the commit queue at commit.
+    TxnBegin,
+    /// Run a compiled step inside a transaction.
+    TxnRun {
+        /// Transaction id from [`Response::TxnBegun`].
+        txn: u32,
+        /// Rel source of the step.
+        src: String,
+    },
+    /// Run a prepared statement as a transaction step.
+    TxnRunPrepared {
+        /// Transaction id.
+        txn: u32,
+        /// Statement id.
+        stmt: u32,
+        /// Parameter bindings.
+        params: WireParams,
+    },
+    /// Stage raw tuples directly into (or out of) a base relation.
+    TxnStage {
+        /// Transaction id.
+        txn: u32,
+        /// Base relation name.
+        rel: String,
+        /// `true` stages deletions, `false` insertions.
+        deletes: bool,
+        /// The tuples.
+        tuples: Vec<Tuple>,
+    },
+    /// Commit: ship the step log through the commit queue.
+    TxnCommit {
+        /// Transaction id.
+        txn: u32,
+    },
+    /// Abort: drop the transaction. Free.
+    TxnAbort {
+        /// Transaction id.
+        txn: u32,
+    },
+}
+
+/// One server reply. Every [`Request`] gets exactly one.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// `Ping` reply.
+    Pong,
+    /// Statement compiled and registered.
+    Prepared {
+        /// Connection-scoped statement id.
+        stmt: u32,
+        /// The `?name` placeholders the statement expects, sorted.
+        params: Vec<String>,
+    },
+    /// A query / execute / txn-step result: the `output` relation.
+    Rows(Relation),
+    /// An `ExecuteMany` result: one relation per binding set, in order.
+    RowsMany(Vec<Relation>),
+    /// Interactive transaction opened.
+    TxnBegun {
+        /// Connection-scoped transaction id.
+        txn: u32,
+    },
+    /// Tuples staged into the transaction candidate.
+    Staged {
+        /// How many tuples the stage step actually changed.
+        changed: u64,
+    },
+    /// A commit (one-shot or interactive) landed — and, under group
+    /// commit, was covered by its group's sync before this reply left
+    /// the server.
+    Committed(Outcome),
+    /// Generic acknowledgement (`CloseStmt`, `TxnAbort`).
+    Done,
+    /// Typed failure; the connection stays usable unless the kind is
+    /// [`ErrorKind::Protocol`].
+    Error(ErrorReply),
+}
+
+/// A committed transaction's outcome on the wire.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Outcome {
+    /// Contents of the `output` control relation.
+    pub output: Relation,
+    /// Tuples inserted into base relations.
+    pub inserted: u64,
+    /// Tuples deleted from base relations.
+    pub deleted: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+const REQ_HELLO: u8 = 0x01;
+const REQ_PING: u8 = 0x02;
+const REQ_PREPARE: u8 = 0x03;
+const REQ_CLOSE_STMT: u8 = 0x04;
+const REQ_EXECUTE: u8 = 0x05;
+const REQ_EXECUTE_MANY: u8 = 0x06;
+const REQ_QUERY: u8 = 0x07;
+const REQ_TRANSACT: u8 = 0x08;
+const REQ_TXN_BEGIN: u8 = 0x09;
+const REQ_TXN_RUN: u8 = 0x0A;
+const REQ_TXN_RUN_PREPARED: u8 = 0x0B;
+const REQ_TXN_STAGE: u8 = 0x0C;
+const REQ_TXN_COMMIT: u8 = 0x0D;
+const REQ_TXN_ABORT: u8 = 0x0E;
+
+const RESP_HELLO: u8 = 0x81;
+const RESP_PONG: u8 = 0x82;
+const RESP_PREPARED: u8 = 0x83;
+const RESP_ROWS: u8 = 0x84;
+const RESP_ROWS_MANY: u8 = 0x85;
+const RESP_TXN_BEGUN: u8 = 0x86;
+const RESP_STAGED: u8 = 0x87;
+const RESP_COMMITTED: u8 = 0x88;
+const RESP_DONE: u8 = 0x89;
+const RESP_ERROR: u8 = 0x8A;
+
+fn encode_params(params: &WireParams, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for (name, rel) in params {
+        codec::encode_str(name, out);
+        codec::encode_relation(rel, out);
+    }
+}
+
+fn decode_params(r: &mut Reader<'_>) -> Result<WireParams, DecodeError> {
+    let at = r.pos();
+    let n = r.u32("parameter count")? as usize;
+    // Each binding costs at least a name prefix + a tuple count.
+    if n > r.remaining() / 8 {
+        return Err(DecodeError {
+            offset: at,
+            msg: format!("parameter count {n} exceeds {} remaining bytes", r.remaining()),
+        });
+    }
+    let mut params = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str("parameter name")?.to_string();
+        let rel = codec::decode_relation(r)?;
+        params.push((name, rel));
+    }
+    Ok(params)
+}
+
+fn decode_counted<T>(
+    r: &mut Reader<'_>,
+    what: &str,
+    min_bytes: usize,
+    mut item: impl FnMut(&mut Reader<'_>) -> Result<T, DecodeError>,
+) -> Result<Vec<T>, DecodeError> {
+    let at = r.pos();
+    let n = r.u32(what)? as usize;
+    if n > r.remaining() / min_bytes.max(1) {
+        return Err(DecodeError {
+            offset: at,
+            msg: format!("{what} {n} exceeds {} remaining bytes", r.remaining()),
+        });
+    }
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(item(r)?);
+    }
+    Ok(items)
+}
+
+impl Request {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Request::Hello { version } => {
+                out.push(REQ_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Request::Ping => out.push(REQ_PING),
+            Request::Prepare { src } => {
+                out.push(REQ_PREPARE);
+                codec::encode_str(src, &mut out);
+            }
+            Request::CloseStmt { stmt } => {
+                out.push(REQ_CLOSE_STMT);
+                out.extend_from_slice(&stmt.to_le_bytes());
+            }
+            Request::Execute { stmt, params } => {
+                out.push(REQ_EXECUTE);
+                out.extend_from_slice(&stmt.to_le_bytes());
+                encode_params(params, &mut out);
+            }
+            Request::ExecuteMany { stmt, batches } => {
+                out.push(REQ_EXECUTE_MANY);
+                out.extend_from_slice(&stmt.to_le_bytes());
+                out.extend_from_slice(&(batches.len() as u32).to_le_bytes());
+                for b in batches {
+                    encode_params(b, &mut out);
+                }
+            }
+            Request::Query { src } => {
+                out.push(REQ_QUERY);
+                codec::encode_str(src, &mut out);
+            }
+            Request::Transact { src } => {
+                out.push(REQ_TRANSACT);
+                codec::encode_str(src, &mut out);
+            }
+            Request::TxnBegin => out.push(REQ_TXN_BEGIN),
+            Request::TxnRun { txn, src } => {
+                out.push(REQ_TXN_RUN);
+                out.extend_from_slice(&txn.to_le_bytes());
+                codec::encode_str(src, &mut out);
+            }
+            Request::TxnRunPrepared { txn, stmt, params } => {
+                out.push(REQ_TXN_RUN_PREPARED);
+                out.extend_from_slice(&txn.to_le_bytes());
+                out.extend_from_slice(&stmt.to_le_bytes());
+                encode_params(params, &mut out);
+            }
+            Request::TxnStage { txn, rel, deletes, tuples } => {
+                out.push(REQ_TXN_STAGE);
+                out.extend_from_slice(&txn.to_le_bytes());
+                codec::encode_str(rel, &mut out);
+                out.push(u8::from(*deletes));
+                out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+                for t in tuples {
+                    codec::encode_tuple(t, &mut out);
+                }
+            }
+            Request::TxnCommit { txn } => {
+                out.push(REQ_TXN_COMMIT);
+                out.extend_from_slice(&txn.to_le_bytes());
+            }
+            Request::TxnAbort { txn } => {
+                out.push(REQ_TXN_ABORT);
+                out.extend_from_slice(&txn.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload. Trailing bytes are a protocol error.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8("request opcode")?;
+        let req = match op {
+            REQ_HELLO => Request::Hello { version: r.u32("protocol version")? },
+            REQ_PING => Request::Ping,
+            REQ_PREPARE => Request::Prepare { src: r.str("query source")?.to_string() },
+            REQ_CLOSE_STMT => Request::CloseStmt { stmt: r.u32("statement id")? },
+            REQ_EXECUTE => Request::Execute {
+                stmt: r.u32("statement id")?,
+                params: decode_params(&mut r)?,
+            },
+            REQ_EXECUTE_MANY => {
+                let stmt = r.u32("statement id")?;
+                let batches = decode_counted(&mut r, "batch count", 4, decode_params)?;
+                Request::ExecuteMany { stmt, batches }
+            }
+            REQ_QUERY => Request::Query { src: r.str("query source")?.to_string() },
+            REQ_TRANSACT => Request::Transact { src: r.str("transact source")?.to_string() },
+            REQ_TXN_BEGIN => Request::TxnBegin,
+            REQ_TXN_RUN => Request::TxnRun {
+                txn: r.u32("transaction id")?,
+                src: r.str("step source")?.to_string(),
+            },
+            REQ_TXN_RUN_PREPARED => Request::TxnRunPrepared {
+                txn: r.u32("transaction id")?,
+                stmt: r.u32("statement id")?,
+                params: decode_params(&mut r)?,
+            },
+            REQ_TXN_STAGE => {
+                let txn = r.u32("transaction id")?;
+                let rel = r.str("relation name")?.to_string();
+                let deletes = r.u8("stage direction")? != 0;
+                let tuples =
+                    decode_counted(&mut r, "tuple count", 4, codec::decode_tuple)?;
+                Request::TxnStage { txn, rel, deletes, tuples }
+            }
+            REQ_TXN_COMMIT => Request::TxnCommit { txn: r.u32("transaction id")? },
+            REQ_TXN_ABORT => Request::TxnAbort { txn: r.u32("transaction id")? },
+            other => {
+                return Err(WireError::Protocol(format!("unknown request opcode 0x{other:02X}")))
+            }
+        };
+        if !r.is_empty() {
+            return Err(WireError::Protocol(format!(
+                "{} trailing bytes after request",
+                r.remaining()
+            )));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Response::Hello { version } => {
+                out.push(RESP_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Response::Pong => out.push(RESP_PONG),
+            Response::Prepared { stmt, params } => {
+                out.push(RESP_PREPARED);
+                out.extend_from_slice(&stmt.to_le_bytes());
+                out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+                for p in params {
+                    codec::encode_str(p, &mut out);
+                }
+            }
+            Response::Rows(rel) => {
+                out.push(RESP_ROWS);
+                codec::encode_relation(rel, &mut out);
+            }
+            Response::RowsMany(rels) => {
+                out.push(RESP_ROWS_MANY);
+                out.extend_from_slice(&(rels.len() as u32).to_le_bytes());
+                for rel in rels {
+                    codec::encode_relation(rel, &mut out);
+                }
+            }
+            Response::TxnBegun { txn } => {
+                out.push(RESP_TXN_BEGUN);
+                out.extend_from_slice(&txn.to_le_bytes());
+            }
+            Response::Staged { changed } => {
+                out.push(RESP_STAGED);
+                out.extend_from_slice(&changed.to_le_bytes());
+            }
+            Response::Committed(o) => {
+                out.push(RESP_COMMITTED);
+                codec::encode_relation(&o.output, &mut out);
+                out.extend_from_slice(&o.inserted.to_le_bytes());
+                out.extend_from_slice(&o.deleted.to_le_bytes());
+            }
+            Response::Done => out.push(RESP_DONE),
+            Response::Error(e) => {
+                out.push(RESP_ERROR);
+                out.push(e.kind.to_u8());
+                codec::encode_str(&e.msg, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload. Trailing bytes are a protocol error.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8("response opcode")?;
+        let resp = match op {
+            RESP_HELLO => Response::Hello { version: r.u32("protocol version")? },
+            RESP_PONG => Response::Pong,
+            RESP_PREPARED => {
+                let stmt = r.u32("statement id")?;
+                let params = decode_counted(&mut r, "parameter name count", 4, |r| {
+                    Ok(r.str("parameter name")?.to_string())
+                })?;
+                Response::Prepared { stmt, params }
+            }
+            RESP_ROWS => Response::Rows(codec::decode_relation(&mut r)?),
+            RESP_ROWS_MANY => Response::RowsMany(decode_counted(
+                &mut r,
+                "relation count",
+                4,
+                codec::decode_relation,
+            )?),
+            RESP_TXN_BEGUN => Response::TxnBegun { txn: r.u32("transaction id")? },
+            RESP_STAGED => Response::Staged { changed: r.u64("staged count")? },
+            RESP_COMMITTED => Response::Committed(Outcome {
+                output: codec::decode_relation(&mut r)?,
+                inserted: r.u64("inserted count")?,
+                deleted: r.u64("deleted count")?,
+            }),
+            RESP_DONE => Response::Done,
+            RESP_ERROR => {
+                let kind_byte = r.u8("error kind")?;
+                let kind = ErrorKind::from_u8(kind_byte).ok_or_else(|| {
+                    WireError::Protocol(format!("unknown error kind {kind_byte}"))
+                })?;
+                let msg = r.str("error message")?.to_string();
+                Response::Error(ErrorReply { kind, msg })
+            }
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "unknown response opcode 0x{other:02X}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(WireError::Protocol(format!(
+                "{} trailing bytes after response",
+                r.remaining()
+            )));
+        }
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one `[len][crc][payload]` frame in a single `write_all`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME as usize, "oversized outbound frame");
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&codec::crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// What a polled frame read produced.
+pub enum FrameRead {
+    /// A complete, CRC-valid payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// `stop()` returned true while the stream was idle or mid-frame.
+    Stopped,
+}
+
+/// Fill `buf` from the stream, retrying timeouts so a socket read
+/// timeout acts as a poll interval rather than data loss (`read_exact`
+/// may consume bytes before failing, which would desync the framing).
+/// `Ok(false)` means the peer closed before the first byte.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &dyn Fn() -> bool,
+) -> Result<Option<bool>, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(Some(false));
+                }
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer disconnected mid-frame",
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Some(true))
+}
+
+/// Read one frame, polling `stop` whenever the socket's read timeout
+/// fires. Header sanity (`len` bounds) is checked before the payload is
+/// allocated; the CRC is checked after.
+pub fn read_frame(
+    stream: &mut TcpStream,
+    stop: &dyn Fn() -> bool,
+) -> Result<FrameRead, WireError> {
+    let mut header = [0u8; 8];
+    match read_full(stream, &mut header, stop)? {
+        None => return Ok(FrameRead::Stopped),
+        Some(false) => return Ok(FrameRead::Closed),
+        Some(true) => {}
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    if len == 0 {
+        return Err(WireError::Protocol("empty frame".to_string()));
+    }
+    if len > MAX_FRAME {
+        return Err(WireError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_full(stream, &mut payload, stop)? {
+        None => return Ok(FrameRead::Stopped),
+        Some(false) => {
+            return Err(WireError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer disconnected mid-frame",
+            )))
+        }
+        Some(true) => {}
+    }
+    if codec::crc32(&payload) != crc {
+        return Err(WireError::Protocol("frame CRC mismatch".to_string()));
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Read one frame on a stream with no read timeout (client side):
+/// blocks until a frame, EOF, or an error.
+pub fn read_frame_blocking(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, WireError> {
+    match read_frame(stream, &|| false)? {
+        FrameRead::Frame(p) => Ok(Some(p)),
+        FrameRead::Closed => Ok(None),
+        FrameRead::Stopped => unreachable!("stop is constant false"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::{tuple, Relation};
+
+    fn rel(n: i64) -> Relation {
+        Relation::from_tuples((0..n).map(|i| tuple![i, "v"]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Hello { version: PROTOCOL_VERSION },
+            Request::Ping,
+            Request::Prepare { src: "def output(x) : R(x)".into() },
+            Request::CloseStmt { stmt: 7 },
+            Request::Execute {
+                stmt: 3,
+                params: vec![("min".into(), rel(2)), ("max".into(), rel(0))],
+            },
+            Request::ExecuteMany {
+                stmt: 3,
+                batches: vec![vec![("a".into(), rel(1))], vec![], vec![("b".into(), rel(3))]],
+            },
+            Request::Query { src: "def output(x) : S(x)".into() },
+            Request::Transact { src: "def insert(:R, x) : x = 1".into() },
+            Request::TxnBegin,
+            Request::TxnRun { txn: 1, src: "def insert(:R, x) : x = 2".into() },
+            Request::TxnRunPrepared { txn: 1, stmt: 3, params: vec![] },
+            Request::TxnStage {
+                txn: 1,
+                rel: "R".into(),
+                deletes: true,
+                tuples: vec![tuple![1, "a"], tuple![2, "b"]],
+            },
+            Request::TxnCommit { txn: 1 },
+            Request::TxnAbort { txn: 1 },
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            let back = Request::decode(&bytes).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::Hello { version: PROTOCOL_VERSION },
+            Response::Pong,
+            Response::Prepared { stmt: 9, params: vec!["min".into(), "max".into()] },
+            Response::Rows(rel(4)),
+            Response::RowsMany(vec![rel(0), rel(2)]),
+            Response::TxnBegun { txn: 5 },
+            Response::Staged { changed: 17 },
+            Response::Committed(Outcome { output: rel(1), inserted: 3, deleted: 1 }),
+            Response::Done,
+            Response::Error(ErrorReply::new(ErrorKind::Busy, "queue full")),
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            let back = Response::decode(&bytes).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_protocol_errors() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert!(matches!(Request::decode(&bytes), Err(WireError::Protocol(_))));
+        let mut bytes = Response::Done.encode();
+        bytes.push(0);
+        assert!(matches!(Response::decode(&bytes), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn unknown_opcodes_and_kinds_are_protocol_errors() {
+        assert!(matches!(Request::decode(&[0x7F]), Err(WireError::Protocol(_))));
+        assert!(matches!(Response::decode(&[0x01]), Err(WireError::Protocol(_))));
+        // Error reply with an unknown kind byte.
+        let mut bytes = vec![RESP_ERROR, 200];
+        codec::encode_str("boom", &mut bytes);
+        assert!(matches!(Response::decode(&bytes), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn absurd_counts_fail_before_allocation() {
+        // ExecuteMany claiming 4 billion batches must hit the bounds
+        // check, not the allocator.
+        let mut bytes = vec![REQ_EXECUTE_MANY];
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = Request::decode(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::Protocol(ref m) if m.contains("exceeds")), "{err}");
+    }
+}

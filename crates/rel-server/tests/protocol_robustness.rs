@@ -1,0 +1,239 @@
+//! Protocol robustness: hostile and broken clients must get typed
+//! errors or a clean drop — never poison the server or other clients.
+//!
+//! Covers the satellite checklist: torn frames, oversized frames,
+//! garbage payloads, mid-request disconnects, unknown statement and
+//! transaction ids, version mismatches, and admission-control refusals.
+//! After every abuse, a healthy client on the same server must still
+//! get correct answers.
+
+use rel_core::database::figure1_database;
+use rel_server::protocol::{read_frame_blocking, write_frame, Request, Response};
+use rel_server::{Client, ClientError, ErrorKind, Server, ServerConfig, MAX_FRAME};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn start_server() -> Server {
+    Server::start(rel_stdlib::with_stdlib(figure1_database()), ServerConfig::default()).unwrap()
+}
+
+const QUERY: &str = "def output(y) : exists((x) | PaymentOrder(x, y))";
+
+/// A healthy client must still work; returns the row count it saw.
+fn assert_healthy(server: &Server) {
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(c.query(QUERY).unwrap().len(), 3);
+}
+
+/// Raw connection that has completed the handshake, for byte-level abuse.
+fn raw_conn(server: &Server) -> TcpStream {
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut s, &Request::Hello { version: rel_server::PROTOCOL_VERSION }.encode())
+        .unwrap();
+    let reply = read_frame_blocking(&mut s).unwrap().expect("hello reply");
+    assert!(matches!(Response::decode(&reply).unwrap(), Response::Hello { .. }));
+    s
+}
+
+fn expect_error_then_close(mut s: TcpStream, kind: ErrorKind) {
+    let reply = read_frame_blocking(&mut s)
+        .expect("server must answer with a well-formed frame")
+        .expect("server must answer before closing");
+    match Response::decode(&reply).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, kind, "{e}"),
+        other => panic!("expected {kind:?} error, got {other:?}"),
+    }
+    // The connection is dropped afterwards: the next read sees EOF.
+    assert!(read_frame_blocking(&mut s).unwrap().is_none(), "connection must be closed");
+}
+
+#[test]
+fn bad_crc_frame_gets_protocol_error_and_drop() {
+    let server = start_server();
+    let mut s = raw_conn(&server);
+    let payload = Request::Ping.encode();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes()); // wrong CRC
+    frame.extend_from_slice(&payload);
+    s.write_all(&frame).unwrap();
+    expect_error_then_close(s, ErrorKind::Protocol);
+    assert_healthy(&server);
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let server = start_server();
+    let mut s = raw_conn(&server);
+    // Announce a frame far past MAX_FRAME; send no body. The server
+    // must refuse from the header alone (no buffer allocation, no
+    // waiting for 4 GiB that will never come).
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(MAX_FRAME.wrapping_add(1)).to_le_bytes());
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    s.write_all(&frame).unwrap();
+    expect_error_then_close(s, ErrorKind::Protocol);
+    assert_healthy(&server);
+}
+
+#[test]
+fn zero_length_frame_is_a_protocol_error() {
+    let server = start_server();
+    let mut s = raw_conn(&server);
+    s.write_all(&0u32.to_le_bytes()).unwrap();
+    s.write_all(&0u32.to_le_bytes()).unwrap();
+    expect_error_then_close(s, ErrorKind::Protocol);
+    assert_healthy(&server);
+}
+
+#[test]
+fn garbage_payload_gets_protocol_error() {
+    let server = start_server();
+    let mut s = raw_conn(&server);
+    // Valid framing, nonsense payload (unknown opcode 0x7F).
+    write_frame(&mut s, &[0x7F, 1, 2, 3]).unwrap();
+    expect_error_then_close(s, ErrorKind::Protocol);
+    assert_healthy(&server);
+}
+
+#[test]
+fn torn_frame_then_disconnect_is_a_clean_close() {
+    let server = start_server();
+    for _ in 0..3 {
+        let mut s = raw_conn(&server);
+        // Half a header...
+        s.write_all(&[7u8, 0]).unwrap();
+        // ...then vanish mid-request.
+        drop(s);
+    }
+    // And a torn body: full header, partial payload, then disconnect.
+    let mut s = raw_conn(&server);
+    let payload = Request::Query { src: QUERY.to_string() }.encode();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload[..payload.len() / 2]);
+    s.write_all(&frame).unwrap();
+    drop(s);
+    // The server shrugs all of it off.
+    assert_healthy(&server);
+    let session = server.shutdown().unwrap();
+    assert!(!session.is_durable());
+}
+
+/// Same polynomial as `rel_core::codec` — recomputed here so the test
+/// does not depend on internals beyond the wire contract.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (0u32.wrapping_sub(crc & 1)));
+        }
+    }
+    !crc
+}
+
+#[test]
+fn version_mismatch_is_refused() {
+    let server = start_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut s, &Request::Hello { version: 999 }.encode()).unwrap();
+    expect_error_then_close(s, ErrorKind::Protocol);
+    assert_healthy(&server);
+}
+
+#[test]
+fn unknown_ids_are_typed_errors_and_do_not_poison_the_connection() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    // Unknown statement id.
+    let ghost = {
+        let stmt = c.prepare(QUERY).unwrap();
+        c.close_stmt(&stmt).unwrap();
+        stmt
+    };
+    let err = c.execute(&ghost, &rel_engine::Params::new()).unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::UnknownStmt), "{err}");
+
+    // Unknown transaction id.
+    let t = c.begin().unwrap();
+    c.txn_abort(t).unwrap();
+    let err = c.txn_run(t, QUERY).unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::UnknownTxn), "{err}");
+    let err = c.txn_commit(t).unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::UnknownTxn), "{err}");
+
+    // Same connection still answers correctly afterwards.
+    assert_eq!(c.query(QUERY).unwrap().len(), 3);
+    assert_healthy(&server);
+}
+
+#[test]
+fn query_errors_are_typed_and_recoverable() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let err = c.query("def output( : nonsense !!").unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::Query), "{err}");
+    let err = c.transact("def insert(:R, x) : x = ").unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::Query), "{err}");
+    // A failed txn step is dropped from the log; the txn stays usable.
+    let t = c.begin().unwrap();
+    let err = c.txn_run(t, "def broken(").unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::Query), "{err}");
+    c.txn_run(t, "def insert(:Ok, x) : x = 1").unwrap();
+    let out = c.txn_commit(t).unwrap();
+    assert_eq!(out.inserted, 1);
+    assert_eq!(c.query(QUERY).unwrap().len(), 3);
+}
+
+#[test]
+fn connection_limit_answers_busy() {
+    let cfg = ServerConfig { max_conns: 1, ..ServerConfig::default() };
+    let server =
+        Server::start(rel_stdlib::with_stdlib(figure1_database()), cfg).unwrap();
+    let mut first = Client::connect(server.addr()).unwrap();
+    first.ping().unwrap();
+    // Second connection is refused at the handshake with a typed Busy.
+    let err = Client::connect(server.addr()).unwrap_err();
+    assert!(err.is_busy(), "{err}");
+    match err {
+        ClientError::Server(e) => assert_eq!(e.kind, ErrorKind::Busy),
+        other => panic!("expected server Busy, got {other}"),
+    }
+    // The admitted client is unaffected.
+    assert_eq!(first.query(QUERY).unwrap().len(), 3);
+    drop(first);
+    // Once the slot frees, new clients are admitted again.
+    for _ in 0..50 {
+        match Client::connect(server.addr()) {
+            Ok(mut c) => {
+                c.ping().unwrap();
+                return;
+            }
+            Err(e) if e.is_busy() => {
+                std::thread::sleep(std::time::Duration::from_millis(20))
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    panic!("slot never freed after client disconnect");
+}
+
+#[test]
+fn graceful_shutdown_with_open_connections() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.transact("def insert(:Shut, x) : x = 1").unwrap();
+    // Shut down while the client connection is still open.
+    let session = server.shutdown().unwrap();
+    assert_eq!(session.db().get("Shut").unwrap().len(), 1);
+    // The client now sees a shutdown notice or a closed connection —
+    // never a hang or a garbage frame.
+    match c.ping() {
+        Err(ClientError::Server(e)) => assert_eq!(e.kind, ErrorKind::ShuttingDown),
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected shutdown or close, got {other:?}"),
+    }
+}

@@ -1,0 +1,205 @@
+//! Server/in-process equivalence: the acceptance bar for the serving
+//! layer.
+//!
+//! * 32 concurrent clients hammer one server with a mixed read workload
+//!   (ad-hoc queries, prepared statements with parameters, batched
+//!   `execute_many`); every result must be **byte-identical** to the
+//!   same call on an in-process [`Session`] over the same database.
+//! * A randomized single-client read/write stream is mirrored op-by-op
+//!   on an in-process session; outputs and the final database image
+//!   must match exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rel_core::database::figure1_database;
+use rel_core::{Relation, Tuple};
+use rel_engine::Params;
+use rel_server::{Client, Server, ServerConfig};
+use std::sync::Arc;
+
+const QUERIES: &[&str] = &[
+    "def output(y) : exists((x) | PaymentOrder(x, y))",
+    "def output(x, p) : ProductPrice(x, p) and p > 15",
+    "def output[v] : v = count[ProductPrice]",
+    "def output(p) : exists((a) | PaymentAmount(p, a) and a >= 20)",
+];
+
+const PREPARED: &str = "def output(x, p) : ProductPrice(x, p) and p > ?min";
+
+/// Byte-identical: equal as relations *and* as rendered bytes.
+fn assert_same(tag: &str, got: &Relation, want: &Relation) {
+    assert_eq!(got, want, "{tag}: relations differ");
+    assert_eq!(format!("{got}"), format!("{want}"), "{tag}: rendered bytes differ");
+}
+
+#[test]
+fn thirty_two_concurrent_clients_match_in_process_execution() {
+    let session = rel_stdlib::with_stdlib(figure1_database());
+    // The in-process oracle serves the same snapshot (CoW clone).
+    let oracle = session.clone();
+    let server = Server::start(session, ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Precompute every expected answer in-process.
+    let expected: Arc<Vec<Relation>> =
+        Arc::new(QUERIES.iter().map(|q| oracle.query(q).unwrap()).collect());
+    let prep = oracle.prepare(PREPARED).unwrap();
+    let mins: Vec<i64> = (0..8).map(|i| 5 * i).collect();
+    let expected_prep: Arc<Vec<Relation>> = Arc::new(
+        mins.iter()
+            .map(|&m| prep.execute_with(&oracle, &Params::new().set("min", m)).unwrap())
+            .collect(),
+    );
+
+    const CLIENTS: usize = 32;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let expected = expected.clone();
+            let expected_prep = expected_prep.clone();
+            let mins = mins.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                // Interleave differently per client.
+                for round in 0..3 {
+                    for (qi, q) in QUERIES.iter().enumerate() {
+                        let idx = (qi + i + round) % QUERIES.len();
+                        let got = c.query(QUERIES[idx]).unwrap();
+                        assert_same(
+                            &format!("client {i} query {idx}"),
+                            &got,
+                            &expected[idx],
+                        );
+                        let _ = q;
+                    }
+                    let stmt = c.prepare(PREPARED).unwrap();
+                    assert_eq!(stmt.param_names(), ["min".to_string()]);
+                    for (mi, &m) in mins.iter().enumerate() {
+                        let got = c.execute(&stmt, &Params::new().set("min", m)).unwrap();
+                        assert_same(
+                            &format!("client {i} prepared min={m}"),
+                            &got,
+                            &expected_prep[mi],
+                        );
+                    }
+                    // Batched execution on one snapshot.
+                    let batches: Vec<Params> =
+                        mins.iter().map(|&m| Params::new().set("min", m)).collect();
+                    let many = c.execute_many(&stmt, &batches).unwrap();
+                    assert_eq!(many.len(), mins.len());
+                    for (mi, got) in many.iter().enumerate() {
+                        assert_same(
+                            &format!("client {i} batch {mi}"),
+                            got,
+                            &expected_prep[mi],
+                        );
+                    }
+                    c.close_stmt(&stmt).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized mixed stream, mirrored in-process
+// ---------------------------------------------------------------------------
+
+fn canon(db: &rel_core::Database) -> Vec<(String, Vec<Tuple>)> {
+    db.iter()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(n, r)| (n.to_string(), r.iter().cloned().collect()))
+        .collect()
+}
+
+#[test]
+fn randomized_mixed_stream_matches_in_process_session() {
+    for seed in [3u64, 17, 101] {
+        let server =
+            Server::start(rel_stdlib::with_stdlib(figure1_database()), ServerConfig::default())
+                .unwrap();
+        let mut mirror = rel_stdlib::with_stdlib(figure1_database());
+        let mut c = Client::connect(server.addr()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        for step in 0..60 {
+            match rng.gen_range(0..5) {
+                // Ad-hoc read.
+                0 => {
+                    let q = QUERIES[rng.gen_range(0..QUERIES.len())];
+                    assert_same(
+                        &format!("seed {seed} step {step} query"),
+                        &c.query(q).unwrap(),
+                        &mirror.query(q).unwrap(),
+                    );
+                }
+                // Prepared read.
+                1 => {
+                    let m = rng.gen_range(0i64..45);
+                    let stmt = c.prepare(PREPARED).unwrap();
+                    let got = c.execute(&stmt, &Params::new().set("min", m)).unwrap();
+                    let p = mirror.prepare(PREPARED).unwrap();
+                    let want =
+                        p.execute_with(&mirror, &Params::new().set("min", m)).unwrap();
+                    assert_same(&format!("seed {seed} step {step} prepared"), &got, &want);
+                }
+                // One-shot write.
+                2 => {
+                    let (a, b) = (rng.gen_range(0i64..9), rng.gen_range(0i64..9));
+                    let src = format!("def insert(:Log, x, y) : x = {a} and y = {b}");
+                    let got = c.transact(&src).unwrap();
+                    let want = mirror.transact(&src).unwrap();
+                    assert_eq!(got.inserted as usize, want.inserted);
+                    assert_eq!(got.deleted as usize, want.deleted);
+                    assert_same(
+                        &format!("seed {seed} step {step} transact"),
+                        &got.output,
+                        &want.output,
+                    );
+                }
+                // Interactive transaction: run + stage, then commit.
+                3 => {
+                    let (a, b) = (rng.gen_range(0i64..9), rng.gen_range(0i64..9));
+                    let t = c.begin().unwrap();
+                    let src = format!("def insert(:Evt, x) : x = {a}");
+                    let got_rows = c.txn_run(t, &src).unwrap();
+                    let changed = c
+                        .txn_stage_insert(t, "Raw", vec![rel_core::tuple![a, b]])
+                        .unwrap();
+                    let got = c.txn_commit(t).unwrap();
+
+                    let mut txn = mirror.begin();
+                    let want_rows = txn.run(&src).unwrap();
+                    let want_changed =
+                        u64::from(txn.stage_insert("Raw", rel_core::tuple![a, b]));
+                    let want = txn.commit().unwrap();
+                    assert_same(
+                        &format!("seed {seed} step {step} txn rows"),
+                        &got_rows,
+                        &want_rows,
+                    );
+                    assert_eq!(changed, want_changed);
+                    assert_eq!(got.inserted as usize, want.inserted);
+                }
+                // Interactive transaction, aborted: no effect on either side.
+                _ => {
+                    let a = rng.gen_range(0i64..9);
+                    let t = c.begin().unwrap();
+                    c.txn_run(t, &format!("def insert(:Never, x) : x = {a}")).unwrap();
+                    c.txn_abort(t).unwrap();
+                }
+            }
+        }
+
+        // The authoritative session must end byte-identical to the mirror.
+        let session = server.shutdown().unwrap();
+        assert_eq!(
+            canon(session.db()),
+            canon(mirror.db()),
+            "seed {seed}: final database images differ"
+        );
+    }
+}
