@@ -6,8 +6,10 @@
 //! (delta propagation vs full re-materialization), durable-transaction
 //! (WAL commit overhead vs ephemeral, plus recovery replay on reopen),
 //! serving (open-loop client fleets against an in-process `rel-server`,
-//! p50/p99 + throughput), and group-commit (fsync=always with and
-//! without coalescing windows) workloads — and writes a JSON report
+//! p50/p99 + throughput), group-commit (fsync=always with and
+//! without coalescing windows), and observability-overhead (the same
+//! serving-shaped stream with the metrics registry dark vs hot)
+//! workloads — and writes a JSON report
 //! (default `BENCH_1.json`) so the engine's performance is tracked from
 //! PR 1 onward.
 //!
@@ -751,6 +753,90 @@ fn main() {
             result_size: ung_size,
             extra: vec![("fsyncs_per_run", ung_fsyncs)],
         });
+    }
+
+    // --- Observability overhead: the same stream, metrics off vs on -----
+    // The observability layer's acceptance guard: a serving-shaped mix
+    // (prepared point reads over a maintained transitive closure,
+    // interleaved with prepared-insert commits) run once with the
+    // metrics registry dark and once with every hot-path counter,
+    // histogram, and profile dispatch point ticking (`set_metrics(true)`
+    // — what `REL_METRICS=1` does at startup). Both streams must land
+    // identical results; `overhead_x` on the metrics-on entry is the
+    // acceptance number (<= 1.05x): metering the engine must cost
+    // almost nothing when on and exactly nothing when off.
+    {
+        let (n, ops) = if smoke { (40, 20) } else { (120, 150) };
+        let lib = "def TC(x,y) : E(x,y)\n\
+                   def TC(x,y) : exists((z) | E(x,z) and TC(z,y))";
+        let g = gen::random_graph(n, 3.0, 77);
+        let base_db = gen::graph_database(&g);
+        let stream = |metrics_on: bool| -> usize {
+            let mut session = rel_engine::Session::new(base_db.clone()).with_library(lib);
+            session.set_metrics(metrics_on);
+            let insert = session
+                .prepare("def insert(:E, x, y) : x = ?src and y = ?dst")
+                .expect("insert step prepares");
+            let read = session
+                .prepare("def output(y) : exists((x) | x = ?src and TC(x, y))")
+                .expect("point read prepares");
+            let mut total = 0usize;
+            for i in 0..ops {
+                let params = rel_engine::Params::new()
+                    .set("src", (i * 13 % n) as i64)
+                    .set("dst", ((i * 7 + 3) % n) as i64);
+                let mut txn = session.begin();
+                txn.run_prepared(&insert, &params).expect("step runs");
+                txn.commit().expect("commit");
+                let point = rel_engine::Params::new().set("src", (i % n) as i64);
+                total += read.execute_with(&session, &point).expect("read executes").len();
+            }
+            total
+        };
+        // One untimed pass per mode so allocator/compile warm-up lands on
+        // neither measured stream.
+        let _ = stream(false);
+        let _ = stream(true);
+        let (off_ms, off_size) = median_ms(runs, || stream(false));
+        let (on_ms, on_size) = median_ms(runs, || stream(true));
+        rel_engine::metrics::set_metrics(false);
+        assert_eq!(off_size, on_size, "enabling metrics changed query results");
+        let scale = format!("n={n},deg=3,ops={ops}");
+        results.push(Measurement {
+            name: "observability_overhead",
+            scale: format!("{scale},metrics-on"),
+            median_ms: on_ms,
+            result_size: on_size,
+            extra: vec![("overhead_x", on_ms / off_ms)],
+        });
+        results.push(Measurement {
+            name: "observability_overhead",
+            scale: format!("{scale},metrics-off"),
+            median_ms: off_ms,
+            result_size: off_size,
+            extra: Vec::new(),
+        });
+    }
+
+    // --- Smoke-only: print per-query profiles of the core workloads -----
+    // CI's bench-smoke job exercises the QueryProfile plumbing end to
+    // end: one profiled run each of TC and triangles at smoke scale,
+    // renderings printed so the profiler and its renderer cannot bit-rot
+    // between the PRs that actually read them (timings are meaningless
+    // at this scale; nothing here lands in the JSON).
+    if smoke {
+        let g = gen::random_graph(40, 3.0, 23);
+        let mut session = rel_graph::with_graph_lib(gen::graph_database(&g));
+        session.set_metrics(true);
+        for (tag, src) in [("tc", programs::TC), ("triangles", programs::TRIANGLES)] {
+            let (rows, profile) =
+                session.query_profiled(src).expect("profiled smoke workload runs");
+            println!("--- profile: {tag} (rows={}) ---", rows.len());
+            print!("{}", profile.render());
+        }
+        println!("--- metrics registry after profiled smoke runs ---");
+        print!("{}", rel_engine::metrics::registry().snapshot().render());
+        session.set_metrics(false);
     }
 
     let baseline = baseline_path.map(|p| {

@@ -186,7 +186,9 @@ fn cmd_repl(args: &[String]) -> i32 {
     }
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
-    eprintln!("rel repl — enter a full program per line; :quit to exit");
+    eprintln!(
+        "rel repl — enter a full program per line; :profile/:explain <query>, :quit to exit"
+    );
     loop {
         eprint!("rel> ");
         let _ = std::io::stderr().flush();
@@ -208,6 +210,28 @@ fn cmd_repl(args: &[String]) -> i32 {
             // last few committed lines to the fsync batch window.
             let _ = session.sync();
             return 0;
+        }
+        // `:profile <query>` / `:explain <query>` evaluate the query
+        // read-only under a profile sink and print its QueryProfile —
+        // with wall times (:profile) or just the plan shape (:explain).
+        if let Some(src) = line.strip_prefix(":profile ") {
+            match session.query_profiled(src.trim()) {
+                Ok((rows, profile)) => {
+                    let _ = writeln!(out, "{rows}");
+                    let _ = write!(out, "{}", profile.render());
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(src) = line.strip_prefix(":explain ") {
+            match session.query_profiled(src.trim()) {
+                Ok((_, profile)) => {
+                    let _ = write!(out, "{}", profile.explain());
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
         }
         // Each line is one transaction: prepare (cached), stage, commit.
         let prepared = match session.prepare(line) {
@@ -248,7 +272,7 @@ fn cmd_connect(args: &[String]) -> i32 {
     };
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
-    eprintln!("rel connect {addr} — enter a full program per line; :quit to exit");
+    eprintln!("rel connect {addr} — enter a full program per line; :stats, :quit to exit");
     loop {
         eprint!("rel> ");
         let _ = std::io::stderr().flush();
@@ -264,6 +288,21 @@ fn cmd_connect(args: &[String]) -> i32 {
         }
         if line == ":quit" || line == ":q" {
             return 0;
+        }
+        // `:stats` — the server's observability surface: engine metrics
+        // registry, per-request-type latency, commit queue and pool.
+        if line == ":stats" {
+            match client.stats() {
+                Ok(stats) => {
+                    let _ = write!(out, "{}", stats.render());
+                }
+                Err(e @ rel_server::ClientError::Io(_)) => {
+                    eprintln!("rel: connection lost: {e}");
+                    return 1;
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
         }
         match client.transact(line) {
             Ok(outcome) => {

@@ -26,7 +26,7 @@ use rel_core::{Database, RelResult};
 use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 
 /// When committed WAL records are `fsync`ed to stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,23 +96,21 @@ pub fn durability_env_enabled() -> bool {
     )
 }
 
-/// Process-wide count of successful fsync calls (`fdatasync` +
-/// `fsync`) issued by the durability layer. Observability for the
-/// group-commit path: a coalescing commit queue must show strictly fewer
-/// syncs than commits under [`FsyncPolicy::Always`].
-static FSYNC_COUNT: AtomicU64 = AtomicU64::new(0);
-
 /// How many fsyncs the durability layer has issued since process start
 /// (WAL syncs and snapshot syncs alike). Monotone; compare two readings
 /// to count the syncs a workload performed. The counter is
 /// process-global, so tests asserting on deltas must not run
 /// concurrently with other fsync-heavy tests in the same binary.
+///
+/// Thin shim over the `fsyncs` counter of [`crate::metrics::registry`]
+/// (which absorbed the old file-local static); prefer reading the
+/// registry directly.
 pub fn fsync_count() -> u64 {
-    FSYNC_COUNT.load(Ordering::SeqCst)
+    crate::metrics::registry().fsyncs.get()
 }
 
 pub(crate) fn note_fsync() {
-    FSYNC_COUNT.fetch_add(1, Ordering::SeqCst);
+    crate::metrics::registry().fsyncs.incr();
 }
 
 /// One process-wide warning when a [`crate::Session::open`] degrades to
@@ -205,6 +203,7 @@ impl DurableStore {
         self.wal.reset()?;
         self.commits_since_snapshot = 0;
         snapshot::prune(&self.dir, self.snapshot_seq);
+        crate::metrics::registry().compactions.incr();
         Ok(self.snapshot_seq)
     }
 

@@ -26,6 +26,8 @@
 use crate::builtins;
 use crate::env::{Env, EnvVal};
 use crate::leapfrog::{leapfrog_join, merge_join_emit, project_emit, JoinAtom, SortedRel};
+use crate::metrics;
+use crate::profile::ProfileSink;
 use rel_core::columnar::columnar_enabled;
 use rel_core::{Name, RelError, RelResult, Relation, Tuple, Value};
 use rel_sema::builtins as bsig;
@@ -76,6 +78,10 @@ pub struct EvalCtx<'a> {
     /// across fixpoint iterations and scheduler threads): see
     /// [`SharedIndexCache`].
     indexes: SharedIndexCache,
+    /// The profile sink installed on the cache at construction time, if
+    /// any — cached here so the per-rule/per-join hot paths pay an
+    /// `Option` check instead of an `RwLock` read.
+    profile: Option<Arc<ProfileSink>>,
 }
 
 /// Key of a demand-evaluation memo entry: predicate and bound prefix.
@@ -206,6 +212,11 @@ struct CacheState {
     /// Count of leapfrog joins executed through this cache handle
     /// (diagnostics/tests: proves the WCOJ path actually routed).
     wcoj_joins: AtomicU64,
+    /// Profile sink for the evaluation currently running against this
+    /// handle, if one is installed (see [`crate::profile::ProfileSink`]).
+    /// Contexts read it once at construction, so installing a sink
+    /// affects evaluators created after the install.
+    profile: RwLock<Option<Arc<ProfileSink>>>,
 }
 
 impl Default for SharedIndexCache {
@@ -235,6 +246,7 @@ impl SharedIndexCache {
             tries: RwLock::new(HashMap::new()),
             wcoj: RwLock::new(mode),
             wcoj_joins: AtomicU64::new(0),
+            profile: RwLock::new(None),
         }))
     }
 
@@ -272,6 +284,18 @@ impl SharedIndexCache {
 
     pub(crate) fn note_wcoj_join(&self) {
         self.0.wcoj_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Install (or clear) the profile sink evaluators created against
+    /// this handle will tick. One sink belongs to one profiled
+    /// evaluation; the caller clears it when the evaluation finishes.
+    pub(crate) fn set_profile(&self, sink: Option<Arc<ProfileSink>>) {
+        *self.0.profile.write().unwrap_or_else(std::sync::PoisonError::into_inner) = sink;
+    }
+
+    /// The currently installed profile sink, if any.
+    pub(crate) fn profile(&self) -> Option<Arc<ProfileSink>> {
+        self.0.profile.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     /// Number of cached entries, indexes and tries combined
@@ -359,12 +383,90 @@ impl<'a> EvalCtx<'a> {
         rels: &'a BTreeMap<Name, Relation>,
         cache: SharedIndexCache,
     ) -> Self {
+        let profile = cache.profile();
         EvalCtx {
             module,
             rels,
             demand_memo: RwLock::new(HashMap::new()),
             demand_stacks: Mutex::new(HashMap::new()),
             indexes: cache,
+            profile,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instrumentation: dispatch-point counters. Each is one predictable
+    // branch on the process-wide gate plus an `Option` check for the
+    // per-query sink — a no-op when both are off.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn note_fused_rule(&self) {
+        if metrics::enabled() {
+            metrics::registry().fused_rules.incr();
+        }
+        if let Some(sink) = &self.profile {
+            sink.note_fused_rule();
+        }
+    }
+
+    #[inline]
+    fn note_env_rule(&self) {
+        if metrics::enabled() {
+            metrics::registry().env_rules.incr();
+        }
+        if let Some(sink) = &self.profile {
+            sink.note_env_rule();
+        }
+    }
+
+    #[inline]
+    fn note_binary_join(&self) {
+        if metrics::enabled() {
+            metrics::registry().binary_join_dispatches.incr();
+        }
+        if let Some(sink) = &self.profile {
+            sink.note_binary_join();
+        }
+    }
+
+    #[inline]
+    fn note_wcoj_dispatch(&self) {
+        if metrics::enabled() {
+            metrics::registry().wcoj_dispatches.incr();
+        }
+        if let Some(sink) = &self.profile {
+            sink.note_wcoj_join();
+        }
+    }
+
+    #[inline]
+    fn note_index_lookup(&self, built: bool) {
+        if metrics::enabled() {
+            let r = metrics::registry();
+            if built { r.index_builds.incr() } else { r.index_reuses.incr() }
+        }
+        if let Some(sink) = &self.profile {
+            if built {
+                sink.note_index_build();
+            } else {
+                sink.note_index_reuse();
+            }
+        }
+    }
+
+    #[inline]
+    fn note_trie_lookup(&self, built: bool) {
+        if metrics::enabled() {
+            let r = metrics::registry();
+            if built { r.trie_builds.incr() } else { r.trie_reuses.incr() }
+        }
+        if let Some(sink) = &self.profile {
+            if built {
+                sink.note_trie_build();
+            } else {
+                sink.note_trie_reuse();
+            }
         }
     }
 
@@ -422,8 +524,10 @@ impl<'a> EvalCtx<'a> {
             }
             RExpr::OfFormula(f) => {
                 if self.try_fused_formula(rule, f, &seed, out) {
+                    self.note_fused_rule();
                     return Ok(());
                 }
+                self.note_env_rule();
                 gen.push((**f).clone());
                 let envs = self.eval_formula(&Formula::conj(gen), vec![seed])?;
                 for env in envs {
@@ -434,6 +538,7 @@ impl<'a> EvalCtx<'a> {
                 Ok(())
             }
             RExpr::Where { body: inner, cond } => {
+                self.note_env_rule();
                 gen.push((**cond).clone());
                 let envs = self.eval_formula(&Formula::conj(gen), vec![seed])?;
                 for env in envs {
@@ -445,8 +550,10 @@ impl<'a> EvalCtx<'a> {
             }
             other => {
                 if let Some(res) = self.try_fused_open(rule, other, &seed, out) {
+                    self.note_fused_rule();
                     return res;
                 }
+                self.note_env_rule();
                 let envs = self.eval_formula(&Formula::conj(gen), vec![seed])?;
                 for env in envs {
                     for (env2, rel) in self.eval_open(other, &env)? {
@@ -1148,6 +1255,9 @@ impl<'a> EvalCtx<'a> {
                 wcoj_failed = true;
             }
             let f = pending.remove(idx);
+            if cost > 0 && matches!(f, Formula::Atom(_)) {
+                self.note_binary_join();
+            }
             envs = self.eval_formula(f, envs)?;
         }
         Ok(envs)
@@ -1352,6 +1462,7 @@ impl<'a> EvalCtx<'a> {
             tries.push((trie, vars));
         }
         self.indexes.note_wcoj_join();
+        self.note_wcoj_dispatch();
         // 4. Constant pins are shared across the batch; per-environment
         // pins add one singleton atom per variable the environment binds.
         // The trie + constant part of the atom list is identical for
@@ -1843,10 +1954,14 @@ impl<'a> EvalCtx<'a> {
         let generation = rel.map(Relation::generation).unwrap_or(0);
         let cache_key = (pred.clone(), positions.to_vec(), arity);
         if let Some((built_gen, hit)) = self.indexes.read().get(&cache_key) {
+            // A generation-stale entry falls through to the rebuild below
+            // and is counted as a build (miss), never a reuse.
             if *built_gen == generation {
+                self.note_index_lookup(false);
                 return Arc::clone(hit);
             }
         }
+        self.note_index_lookup(true);
         let rows = rel.cloned().unwrap_or_default();
         let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
         for (pos, t) in rows.as_slice().iter().enumerate() {
@@ -1876,10 +1991,13 @@ impl<'a> EvalCtx<'a> {
         let generation = rel.map(Relation::generation).unwrap_or(0);
         let cache_key = (pred.clone(), perm.to_vec());
         if let Some((built_gen, hit)) = self.indexes.tries_read().get(&cache_key) {
+            // Same stale-rebuild-counts-as-miss rule as `index_for`.
             if *built_gen == generation {
+                self.note_trie_lookup(false);
                 return Arc::clone(hit);
             }
         }
+        self.note_trie_lookup(true);
         let trie = Arc::new(match rel {
             Some(r) => SortedRel::permuted(r, perm),
             None => SortedRel::new(Vec::new()),
@@ -3010,6 +3128,45 @@ mod tests {
         assert_eq!(WcojMode::parse("auto"), WcojMode::Auto);
         assert_eq!(WcojMode::parse("1"), WcojMode::Auto);
         assert_eq!(WcojMode::parse(""), WcojMode::Auto);
+    }
+
+    #[test]
+    fn stale_rebuild_counts_as_build_not_reuse() {
+        let (module, rels) = ctx_fixture();
+        let cache = SharedIndexCache::default();
+        let sink = Arc::new(ProfileSink::new());
+        cache.set_profile(Some(Arc::clone(&sink)));
+        let cx = EvalCtx::with_cache(&module, &rels, cache.clone());
+        let e = rel_core::name("E");
+
+        // First lookups: builds.
+        cx.index_for(&e, &[0], 2);
+        cx.trie_for(&e, &[0, 1]);
+        let c = sink.counts();
+        assert_eq!((c.index_builds, c.index_reuses), (1, 0));
+        assert_eq!((c.trie_builds, c.trie_reuses), (1, 0));
+
+        // Same generation: reuses.
+        cx.index_for(&e, &[0], 2);
+        cx.trie_for(&e, &[0, 1]);
+        let c = sink.counts();
+        assert_eq!((c.index_builds, c.index_reuses), (1, 1));
+        assert_eq!((c.trie_builds, c.trie_reuses), (1, 1));
+
+        // The relation's generation moves. The stale entries still sit in
+        // the cache maps, but looking them up must count as a build
+        // (miss) — finding a stale entry is not a hit.
+        let mut rels2 = rels.clone();
+        let mut moved = rels2[&e].clone();
+        moved.insert(tuple![7, 8]);
+        rels2.insert(e.clone(), moved);
+        let cx2 = EvalCtx::with_cache(&module, &rels2, cache.clone());
+        cx2.index_for(&e, &[0], 2);
+        cx2.trie_for(&e, &[0, 1]);
+        let c = sink.counts();
+        assert_eq!((c.index_builds, c.index_reuses), (2, 1));
+        assert_eq!((c.trie_builds, c.trie_reuses), (2, 1));
+        cache.set_profile(None);
     }
 
     #[test]

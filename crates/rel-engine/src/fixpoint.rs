@@ -38,6 +38,7 @@
 
 use crate::env::Env;
 use crate::eval::{EvalCtx, SharedIndexCache};
+use crate::profile::{StratumAction, StratumProfile};
 use rel_core::{Database, Name, RelError, RelResult, Relation};
 use rel_sema::ir::{AbsParam, EvalMode, Formula, Module, RExpr, Rule, Stratum};
 use std::collections::{BTreeMap, BTreeSet};
@@ -112,8 +113,13 @@ pub fn materialize_with_threads(
     let workers = threads.min(module.strata.len());
     // A hand-rolled module without the condensation DAG (stratum_deps
     // out of sync with strata) cannot be scheduled safely — fall back to
-    // the sequential dependency-order walk.
-    if workers > 1 && module.stratum_deps.len() == module.strata.len() {
+    // the sequential dependency-order walk. Profiled runs also go
+    // sequential: per-stratum wall times overlap under the parallel
+    // scheduler and would not sum to anything meaningful.
+    if workers > 1
+        && module.stratum_deps.len() == module.strata.len()
+        && cache.profile().is_none()
+    {
         materialize_parallel(module, &mut rels, &cache, workers)?;
     } else {
         for stratum in &module.strata {
@@ -132,6 +138,28 @@ pub fn materialize_with_threads(
 /// incremental engine's "recompute this stratum from its current inputs"
 /// primitive.
 pub(crate) fn eval_stratum(
+    module: &Module,
+    rels: &mut BTreeMap<Name, Relation>,
+    stratum: &Stratum,
+    cache: &SharedIndexCache,
+) -> RelResult<()> {
+    let Some(sink) = cache.profile() else {
+        return eval_stratum_inner(module, rels, stratum, cache);
+    };
+    let before = sink.counts();
+    let start = std::time::Instant::now();
+    let res = eval_stratum_inner(module, rels, stratum, cache);
+    sink.push_stratum(StratumProfile {
+        preds: stratum.preds.iter().map(|p| p.to_string()).collect(),
+        recursive: stratum.recursive,
+        action: StratumAction::Evaluated,
+        wall: start.elapsed(),
+        counts: sink.counts().since(&before),
+    });
+    res
+}
+
+fn eval_stratum_inner(
     module: &Module,
     rels: &mut BTreeMap<Name, Relation>,
     stratum: &Stratum,
@@ -401,6 +429,7 @@ pub(crate) fn semi_naive_loop(
     variants: &BTreeMap<Name, Vec<Rule>>,
     mut delta: BTreeMap<Name, Relation>,
 ) -> RelResult<()> {
+    let sink = cache.profile();
     for _iter in 0..SEMI_NAIVE_CAP {
         if delta.values().all(Relation::is_empty) {
             // Remove Δ overlays.
@@ -408,6 +437,9 @@ pub(crate) fn semi_naive_loop(
                 rels.remove(&delta_name(p));
             }
             return Ok(());
+        }
+        if let Some(sink) = &sink {
+            sink.note_iteration();
         }
         // Install Δ overlays — O(1) CoW clones, not deep copies.
         for p in preds {
@@ -459,7 +491,11 @@ fn pfp(
     for p in preds {
         rels.insert(p.clone(), prev[p].clone());
     }
+    let sink = cache.profile();
     for _iter in 0..PFP_CAP {
+        if let Some(sink) = &sink {
+            sink.note_iteration();
+        }
         let mut next: BTreeMap<Name, Relation> = BTreeMap::new();
         {
             let cx = EvalCtx::with_cache(module, rels, cache.clone());

@@ -79,6 +79,7 @@ use crate::fixpoint::{
     count_scc_refs, delta_name, delta_variant, eval_stratum, materialize_with_cache,
     scc_delta_variants, semi_naive_loop,
 };
+use crate::profile::{StratumAction, StratumProfile};
 use rel_core::{Database, Name, RelResult, Relation};
 use rel_sema::ir::{EvalMode, Module, Stratum};
 use std::collections::{BTreeMap, BTreeSet};
@@ -186,7 +187,9 @@ pub fn materialize_incremental_with_stats(
     let n = module.strata.len();
     if module.stratum_reads.len() != n || module.stratum_deps.len() != n {
         let rels = materialize_with_cache(module, db, cache)?;
-        return Ok((rels, IncrementalStats { recomputed: n, ..Default::default() }));
+        let stats = IncrementalStats { recomputed: n, ..Default::default() };
+        note_incremental_stats(&stats);
+        return Ok((rels, stats));
     }
     let touched = pre.touched_in(db);
     let cone: BTreeSet<usize> = module.dependent_cone(&touched).into_iter().collect();
@@ -202,6 +205,7 @@ pub fn materialize_incremental_with_stats(
     // cover (a `PreState` captured from a *different* module) cannot be
     // reused — recompute it, keeping the byte-identical contract even
     // for that misuse.
+    let sink = cache.profile();
     for (i, stratum) in module.strata.iter().enumerate() {
         if cone.contains(&i) {
             maintain_stratum(module, &mut rels, i, pre, &touched, &cone, &cache, &mut stats)?;
@@ -212,14 +216,46 @@ pub fn materialize_incremental_with_stats(
                 }
             }
             stats.reused += 1;
+            if let Some(sink) = &sink {
+                sink.push_stratum(reused_record(stratum));
+            }
         } else {
+            // `eval_stratum` pushes an "evaluated" record when profiling;
+            // relabel it with the incremental classification.
             eval_stratum(module, &mut rels, stratum, &cache)?;
             stats.recomputed += 1;
+            if let Some(sink) = &sink {
+                sink.relabel_last(StratumAction::Recomputed);
+            }
         }
     }
 
     cache.prune_stale(&rels);
+    note_incremental_stats(&stats);
     Ok((rels, stats))
+}
+
+/// Fold one incremental run's per-stratum classification into the
+/// process-wide registry (when metrics are on).
+fn note_incremental_stats(stats: &IncrementalStats) {
+    if crate::metrics::enabled() {
+        let r = crate::metrics::registry();
+        r.strata_reused.add(stats.reused as u64);
+        r.strata_delta_restarted.add(stats.delta_seeded as u64);
+        r.strata_recomputed.add(stats.recomputed as u64);
+    }
+}
+
+/// A profile record for a stratum reused wholesale (O(1) pointer bumps —
+/// no wall time or kernel counts worth attributing).
+fn reused_record(stratum: &Stratum) -> StratumProfile {
+    StratumProfile {
+        preds: stratum.preds.iter().map(|p| p.to_string()).collect(),
+        recursive: stratum.recursive,
+        action: StratumAction::Reused,
+        wall: std::time::Duration::ZERO,
+        counts: Default::default(),
+    }
 }
 
 /// Does the pre-state hold a result for every materialized predicate of
@@ -284,6 +320,7 @@ fn maintain_stratum(
         }
     }
 
+    let sink = cache.profile();
     if pre_complete && !own_touched && !demand_blocked {
         if changed.is_empty() {
             // Every input re-derived to its old value: so does this
@@ -294,6 +331,9 @@ fn maintain_stratum(
                 }
             }
             stats.reused += 1;
+            if let Some(sink) = &sink {
+                sink.push_stratum(reused_record(stratum));
+            }
             return Ok(());
         }
         if stratum.recursive && stratum.monotone {
@@ -315,16 +355,31 @@ fn maintain_stratum(
                 deltas.insert((*input).clone(), grown);
             }
             if eligible {
+                let before = sink.as_ref().map(|s| s.counts());
+                let start = std::time::Instant::now();
                 semi_naive_restart(module, rels, &stratum.preds, pre, deltas, cache)?;
                 stats.delta_seeded += 1;
+                if let (Some(sink), Some(before)) = (&sink, before) {
+                    sink.push_stratum(StratumProfile {
+                        preds: stratum.preds.iter().map(|p| p.to_string()).collect(),
+                        recursive: stratum.recursive,
+                        action: StratumAction::DeltaRestarted,
+                        wall: start.elapsed(),
+                        counts: sink.counts().since(&before),
+                    });
+                }
                 return Ok(());
             }
         }
     }
 
     // Recompute just this stratum from its current (correct) inputs.
+    // (`eval_stratum` pushes an "evaluated" record when profiling.)
     eval_stratum(module, rels, stratum, cache)?;
     stats.recomputed += 1;
+    if let Some(sink) = &sink {
+        sink.relabel_last(StratumAction::Recomputed);
+    }
     Ok(())
 }
 

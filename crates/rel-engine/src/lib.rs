@@ -82,6 +82,14 @@
 //!   is `REL_WCOJ` / [`Session::set_wcoj`] ([`WcojMode`]): `0` disables,
 //!   `force` drags every eligible conjunction through the kernel; all
 //!   modes produce byte-identical results;
+//! * [`metrics`] / [`profile`] — engine-wide observability: a
+//!   process-wide registry of atomic counters and latency histograms
+//!   (zero-cost no-ops unless `REL_METRICS` / [`Session::set_metrics`]
+//!   turns them on), plus per-query [`QueryProfile`]s from
+//!   [`Session::query_profiled`] / [`Prepared::execute_profiled`] —
+//!   per-stratum wall time and iteration counts, join-kernel choice,
+//!   cache outcomes, incremental classification — with an EXPLAIN-style
+//!   text renderer;
 //! * [`durability`] / [`wal`] / [`snapshot`] / [`recovery`] — the durable
 //!   store behind [`Session::open`]: committed transactions append
 //!   CRC32-framed net deltas to a write-ahead log, compaction folds the
@@ -113,10 +121,12 @@
 //! | `REL_SERVER_QUEUE_DEPTH` | positive integer | `256` | Max commit jobs queued across all connections (`Busy` when full). |
 //! | `REL_SERVER_GROUP_WINDOW` | positive integer | `32` | Max commits coalesced into one group-commit window — one WAL fsync — per commit-worker pass ([`Session::begin_commit_group`]). |
 //! | `REL_SERVER_POOL` | positive integer | `8` | Max read replicas checked out of the server's session pool at once (readers block, never fail, beyond it). |
+//! | `REL_METRICS` | `1`/`true`/`on`/`yes` to enable | disabled | Hot-path engine metrics ([`metrics`]): cache hit/miss, join-kernel dispatch, incremental classification, and per-query latency counters on the process-wide [`metrics::registry`] ([`Session::set_metrics`] flips the same process-wide switch at runtime). Cold-path counters (commits, aborts, WAL bytes, fsyncs, compactions, snapshot publishes) record regardless. Results are byte-identical either way. |
+//! | `REL_SLOW_QUERY_MS` | non-negative integer | unset | Slow-query log: any [`Session::query`] at or above the threshold is profiled and its rendered [`QueryProfile`] printed to stderr ([`metrics::slow_query_ms`]). |
 //!
 //! [`Session::query`]/[`Session::eval`] results are unaffected by every
-//! switch in the table — they tune scheduling, caching, and durability,
-//! never semantics.
+//! switch in the table — they tune scheduling, caching, observability,
+//! and durability, never semantics.
 
 pub mod builtins;
 pub mod durability;
@@ -126,7 +136,9 @@ pub mod fixpoint;
 pub mod incremental;
 pub mod leapfrog;
 mod lru;
+pub mod metrics;
 pub mod prepared;
+pub mod profile;
 pub mod recovery;
 pub mod session;
 pub mod snapshot;
@@ -142,6 +154,10 @@ pub use fixpoint::{
 pub use incremental::{
     materialize_incremental, materialize_incremental_with_stats, IncrementalStats, PreState,
 };
+pub use metrics::MetricsSnapshot;
 pub use prepared::{Params, Prepared};
+pub use profile::{
+    FixpointOutcome, KernelCounts, QueryProfile, StratumAction, StratumProfile,
+};
 pub use session::{Session, TxnOutcome};
 pub use txn::Transaction;

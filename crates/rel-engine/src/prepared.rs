@@ -149,9 +149,42 @@ impl Prepared {
     /// mismatches are errors rather than silently-empty results. Returns
     /// the `output` relation (integrity constraints in scope are checked).
     pub fn execute_with(&self, session: &Session, params: &Params) -> RelResult<Relation> {
+        let start = crate::metrics::enabled().then(std::time::Instant::now);
         let rels = self.materialize_with(session, params, session.db())?;
         check_constraints(&self.module, &rels)?;
+        if let Some(start) = start {
+            crate::metrics::registry().query_us.record(start.elapsed());
+        }
         Ok(rels.get("output").cloned().unwrap_or_default())
+    }
+
+    /// [`Prepared::execute`] under a profile sink — see
+    /// [`crate::Session::query_profiled`] for the contract and
+    /// [`crate::profile`] for how to read the result.
+    pub fn execute_profiled(
+        &self,
+        session: &Session,
+    ) -> RelResult<(Relation, crate::profile::QueryProfile)> {
+        self.execute_with_profiled(session, &Params::new())
+    }
+
+    /// [`Prepared::execute_with`] under a profile sink.
+    pub fn execute_with_profiled(
+        &self,
+        session: &Session,
+        params: &Params,
+    ) -> RelResult<(Relation, crate::profile::QueryProfile)> {
+        let start = std::time::Instant::now();
+        // A prepared handle is by construction compiled: its module came
+        // out of the session's cache (or was inserted there) at prepare
+        // time. Report the cache's *current* view of the source.
+        let module_cache_hit = session.module_cached(&self.src);
+        let db = self.bind(params, session.db())?;
+        session.run_profiled(start, module_cache_hit, |s| {
+            let (rels, outcome) = s.materialize_module_outcome(&self.module, &db)?;
+            check_constraints(&self.module, &rels)?;
+            Ok((rels.get("output").cloned().unwrap_or_default(), outcome))
+        })
     }
 
     /// Check that every module parameter is bound and every binding is a

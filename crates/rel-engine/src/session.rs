@@ -20,7 +20,9 @@ use crate::eval::{EvalCtx, SharedIndexCache};
 use crate::fixpoint::materialize_with_cache;
 use crate::incremental::{self, PreState};
 use crate::lru::LruMap;
+use crate::metrics;
 use crate::prepared::Prepared;
+use crate::profile::{FixpointOutcome, ProfileSink, QueryProfile};
 use crate::recovery;
 use crate::txn::Transaction;
 use rel_core::database::Delta;
@@ -451,6 +453,21 @@ impl Session {
         rel_core::columnar_enabled()
     }
 
+    /// Turn hot-path metrics collection on or off (overriding the
+    /// `REL_METRICS` environment default). Like [`Session::set_columnar`],
+    /// the switch is **process-wide**: the registry sits below any session
+    /// context (it simply forwards to [`crate::metrics::set_metrics`]).
+    /// Cold-path counters — commits, aborts, WAL bytes, fsyncs,
+    /// compactions, snapshot publishes — record regardless.
+    pub fn set_metrics(&mut self, on: bool) {
+        metrics::set_metrics(on);
+    }
+
+    /// Is the process-wide hot-path metrics switch on?
+    pub fn metrics_enabled(&self) -> bool {
+        metrics::enabled()
+    }
+
     /// Is incremental evaluation enabled for this session?
     pub fn incremental_enabled(&self) -> bool {
         self.incremental
@@ -495,7 +512,13 @@ impl Session {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(src)
         {
+            if metrics::enabled() {
+                metrics::registry().module_cache_hits.incr();
+            }
             return Ok(m);
+        }
+        if metrics::enabled() {
+            metrics::registry().module_cache_misses.incr();
         }
         let mut program = (*self.library_program()?).clone();
         program.extend(rel_syntax::parse_program(src)?);
@@ -519,8 +542,21 @@ impl Session {
         module: &Arc<Module>,
         db: &Database,
     ) -> RelResult<BTreeMap<Name, Relation>> {
+        self.materialize_module_outcome(module, db).map(|(rels, _)| rels)
+    }
+
+    /// [`Session::materialize_module`], also reporting *how* the
+    /// evaluation was served (full, pure cache reuse, or incremental with
+    /// per-stratum classification) — the fixpoint line of a
+    /// [`QueryProfile`].
+    pub(crate) fn materialize_module_outcome(
+        &self,
+        module: &Arc<Module>,
+        db: &Database,
+    ) -> RelResult<(BTreeMap<Name, Relation>, FixpointOutcome)> {
         if !self.incremental {
-            return materialize_with_cache(module, db, self.index_cache.clone());
+            let rels = materialize_with_cache(module, db, self.index_cache.clone())?;
+            return Ok((rels, FixpointOutcome::Full));
         }
         let key = Arc::as_ptr(module) as usize;
         let pre = self
@@ -534,20 +570,35 @@ impl Session {
             // state *is* this evaluation's result — no re-derivation, no
             // re-capture, and (the hot concurrent path) no write lock.
             if pre.touched_in(db).is_empty() {
-                return Ok(pre.state().clone());
+                if metrics::enabled() {
+                    metrics::registry().fixpoint_cache_hits.incr();
+                }
+                return Ok((pre.state().clone(), FixpointOutcome::CacheReuse));
             }
         }
-        let rels = match pre {
+        if metrics::enabled() {
+            metrics::registry().fixpoint_cache_misses.incr();
+        }
+        let (rels, outcome) = match pre {
             Some(pre) => {
-                incremental::materialize_incremental(module, &pre, db, self.index_cache.clone())?
+                let (rels, stats) = incremental::materialize_incremental_with_stats(
+                    module,
+                    &pre,
+                    db,
+                    self.index_cache.clone(),
+                )?;
+                (rels, FixpointOutcome::Incremental(stats))
             }
-            None => materialize_with_cache(module, db, self.index_cache.clone())?,
+            None => (
+                materialize_with_cache(module, db, self.index_cache.clone())?,
+                FixpointOutcome::Full,
+            ),
         };
         self.fixpoint_cache
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, (Arc::clone(module), Arc::new(PreState::capture(db, &rels))));
-        Ok(rels)
+        Ok((rels, outcome))
     }
 
     /// Compile a query once into a [`Prepared`] handle that can be
@@ -576,12 +627,95 @@ impl Session {
     /// evaluated but **not** applied. Equivalent to
     /// `self.prepare(src)?.execute(self)` minus the reusable handle.
     pub fn query(&self, src: &str) -> RelResult<Relation> {
+        // With a slow-query threshold armed, run under a profile sink so
+        // a crossing logs *what the query did*, not just that it was slow.
+        if metrics::slow_query_ms().is_some() {
+            return self.query_profiled(src).map(|(out, _)| out);
+        }
+        let start = metrics::enabled().then(std::time::Instant::now);
         let module = self.compile(src)?;
         check_control_materializable(&module)?;
         require_no_params(&module)?;
         let rels = self.materialize_module(&module, &self.db)?;
         check_constraints(&module, &rels)?;
+        if let Some(start) = start {
+            metrics::registry().query_us.record(start.elapsed());
+        }
         Ok(rels.get("output").cloned().unwrap_or_default())
+    }
+
+    /// [`Session::query`] under a profile sink: returns the `output`
+    /// relation — byte-identical to an unprofiled run — together with a
+    /// [`QueryProfile`] of what the engine did to produce it (per-stratum
+    /// wall times and kernel choices, cache/reuse outcomes, incremental
+    /// classification). Profiled runs evaluate strata sequentially so the
+    /// per-stratum wall times are attributable; see
+    /// [`crate::profile`] for how to read the result.
+    pub fn query_profiled(&self, src: &str) -> RelResult<(Relation, QueryProfile)> {
+        let start = std::time::Instant::now();
+        let module_cache_hit = self
+            .module_cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(src)
+            .is_some();
+        let module = self.compile(src)?;
+        check_control_materializable(&module)?;
+        require_no_params(&module)?;
+        let (out, profile) =
+            self.run_profiled(start, module_cache_hit, |s| {
+                let (rels, outcome) = s.materialize_module_outcome(&module, &s.db)?;
+                check_constraints(&module, &rels)?;
+                Ok((rels.get("output").cloned().unwrap_or_default(), outcome))
+            })?;
+        Ok((out, profile))
+    }
+
+    /// Shared profiled-evaluation harness ([`Session::query_profiled`],
+    /// [`crate::Prepared::execute_profiled`]): install a fresh sink on the
+    /// index cache, run `eval`, uninstall, and assemble the
+    /// [`QueryProfile`] (recording query latency and the slow-query log
+    /// on the way out).
+    pub(crate) fn run_profiled<T>(
+        &self,
+        start: std::time::Instant,
+        module_cache_hit: bool,
+        eval: impl FnOnce(&Session) -> RelResult<(T, FixpointOutcome)>,
+    ) -> RelResult<(T, QueryProfile)> {
+        let sink = Arc::new(ProfileSink::new());
+        self.index_cache.set_profile(Some(Arc::clone(&sink)));
+        let result = eval(self);
+        self.index_cache.set_profile(None);
+        let (value, fixpoint) = result?;
+        let profile = QueryProfile {
+            wall: start.elapsed(),
+            module_cache_hit,
+            fixpoint,
+            strata: sink.take_strata(),
+        };
+        if metrics::enabled() {
+            metrics::registry().query_us.record(profile.wall);
+        }
+        if let Some(ms) = metrics::slow_query_ms() {
+            if profile.wall.as_millis() as u64 >= ms {
+                metrics::registry().slow_queries.incr();
+                eprintln!(
+                    "rel slow query (>= {ms}ms threshold):\n{}",
+                    profile.render()
+                );
+            }
+        }
+        Ok((value, profile))
+    }
+
+    /// Was this query source already compiled into the session's module
+    /// cache? (Profile plumbing for the prepared API.)
+    pub(crate) fn module_cached(&self, src: &str) -> bool {
+        self.module_cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(src)
+            .is_some()
     }
 
     /// Evaluate a query and return an arbitrary derived relation (useful

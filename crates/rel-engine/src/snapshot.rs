@@ -67,6 +67,7 @@ pub fn write(dir: &Path, seq: u64, db: &Database) -> RelResult<PathBuf> {
     drop(file);
     guarded_rename(&tmp_path, &final_path)
         .map_err(|e| ctx(&final_path, "publishing snapshot", &e))?;
+    crate::metrics::registry().snapshot_publishes.incr();
     Ok(final_path)
 }
 

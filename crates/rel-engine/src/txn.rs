@@ -238,6 +238,7 @@ impl<'s> Transaction<'s> {
         // (no-op for ephemeral sessions; failure is a warning — the WAL
         // already holds this commit).
         self.session.maybe_compact();
+        crate::metrics::registry().commits.incr();
         Ok(TxnOutcome {
             output: self.output,
             inserted: self.inserted,
@@ -298,7 +299,9 @@ impl<'s> Transaction<'s> {
     /// provided so call sites can say what they mean. On a durable
     /// session this (like any abort path) leaves no trace in the WAL:
     /// commits are logged only at a successful [`Transaction::commit`].
-    pub fn abort(self) {}
+    pub fn abort(self) {
+        crate::metrics::registry().aborts.incr();
+    }
 }
 
 /// The net difference between the session database and the final

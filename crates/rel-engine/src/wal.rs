@@ -297,6 +297,7 @@ impl WalWriter {
         if let Err(e) = self.file.write_all(&rec) {
             return Err(self.roll_back_failed_append("appending WAL record", &e));
         }
+        crate::metrics::registry().wal_bytes.add(rec.len() as u64);
         let synced = !defer_sync
             && match self.fsync {
                 FsyncPolicy::Always => true,

@@ -21,7 +21,7 @@
 
 use crate::protocol::{
     read_frame_blocking, write_frame, ErrorKind, ErrorReply, Outcome, Request, Response,
-    WireError, WireParams, PROTOCOL_VERSION,
+    StatsReply, WireError, WireParams, PROTOCOL_VERSION,
 };
 use rel_core::{Relation, Tuple};
 use rel_engine::Params;
@@ -297,6 +297,15 @@ impl Client {
         match self.roundtrip(&Request::TxnAbort { txn: txn.0 })? {
             Response::Done => Ok(()),
             other => Err(unexpected("Done", &other)),
+        }
+    }
+
+    /// Read the server's observability surface: the engine's metrics
+    /// registry, per-request-type latency, commit-queue and pool state.
+    pub fn stats(&mut self) -> ClientResult<StatsReply> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
         }
     }
 }

@@ -53,5 +53,5 @@ pub mod server;
 
 pub use client::{Client, ClientError, ClientResult, Statement, TxnHandle};
 pub use pool::SessionPool;
-pub use protocol::{ErrorKind, ErrorReply, Outcome, MAX_FRAME, PROTOCOL_VERSION};
+pub use protocol::{ErrorKind, ErrorReply, Outcome, StatsReply, MAX_FRAME, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

@@ -93,6 +93,12 @@ impl SessionPool {
         self.capacity
     }
 
+    /// How many times [`SessionPool::publish`] has replaced the pooled
+    /// snapshot (the `Stats` surface reports this).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).generation
+    }
+
     fn checkout(&self) -> (u64, Session) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {

@@ -24,6 +24,7 @@
 
 use rel_core::codec::{self, DecodeError, Reader};
 use rel_core::{Relation, Tuple};
+use rel_engine::metrics::HistogramSnapshot;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -245,6 +246,8 @@ pub enum Request {
         /// Transaction id.
         txn: u32,
     },
+    /// Read the server's observability surface ([`StatsReply`]).
+    Stats,
 }
 
 /// One server reply. Every [`Request`] gets exactly one.
@@ -284,9 +287,77 @@ pub enum Response {
     Committed(Outcome),
     /// Generic acknowledgement (`CloseStmt`, `TxnAbort`).
     Done,
+    /// The server's observability surface.
+    Stats(StatsReply),
     /// Typed failure; the connection stays usable unless the kind is
     /// [`ErrorKind::Protocol`].
     Error(ErrorReply),
+}
+
+/// A point-in-time read of the server's observability surface, answered
+/// to [`Request::Stats`].
+///
+/// `counters` carries the engine's process-wide metrics registry
+/// ([`rel_engine::metrics::registry`]) verbatim — name for name, value
+/// for value — plus `server.`-prefixed counters maintained by the
+/// serving layer, so a wire read matches an in-process
+/// [`rel_engine::metrics::Registry::snapshot`] taken on the server.
+/// `histograms` carries the engine's query-latency histogram plus the
+/// server's per-request-type latency, commit group-size, fsync-wait,
+/// and queue-wait histograms ([`HistogramSnapshot`] summaries).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsReply {
+    /// Whether hot-path engine metrics are on (`REL_METRICS`).
+    pub metrics_enabled: bool,
+    /// Session-pool snapshot generation (bumped per publish).
+    pub pool_generation: u64,
+    /// Commit jobs currently queued.
+    pub queue_depth: u64,
+    /// Connections currently open.
+    pub connections: u64,
+    /// Named monotone counters, engine registry first.
+    pub counters: Vec<(String, u64)>,
+    /// Named histogram summaries.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl StatsReply {
+    /// Value of a named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A named histogram summary, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Render as an aligned text table (the `:stats` REPL view).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "metrics_enabled  {}", self.metrics_enabled);
+        let _ = writeln!(out, "pool_generation  {}", self.pool_generation);
+        let _ = writeln!(out, "queue_depth      {}", self.queue_depth);
+        let _ = writeln!(out, "connections      {}", self.connections);
+        let width =
+            self.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max(12);
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<width$}  {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name}: count={} mean={}us p50<={}us p99<={}us max={}us",
+                h.count,
+                h.mean_us(),
+                h.p50_us,
+                h.p99_us,
+                h.max_us
+            );
+        }
+        out
+    }
 }
 
 /// A committed transaction's outcome on the wire.
@@ -318,6 +389,7 @@ const REQ_TXN_RUN_PREPARED: u8 = 0x0B;
 const REQ_TXN_STAGE: u8 = 0x0C;
 const REQ_TXN_COMMIT: u8 = 0x0D;
 const REQ_TXN_ABORT: u8 = 0x0E;
+const REQ_STATS: u8 = 0x0F;
 
 const RESP_HELLO: u8 = 0x81;
 const RESP_PONG: u8 = 0x82;
@@ -329,6 +401,7 @@ const RESP_STAGED: u8 = 0x87;
 const RESP_COMMITTED: u8 = 0x88;
 const RESP_DONE: u8 = 0x89;
 const RESP_ERROR: u8 = 0x8A;
+const RESP_STATS: u8 = 0x8B;
 
 fn encode_params(params: &WireParams, out: &mut Vec<u8>) {
     out.extend_from_slice(&(params.len() as u32).to_le_bytes());
@@ -447,6 +520,7 @@ impl Request {
                 out.push(REQ_TXN_ABORT);
                 out.extend_from_slice(&txn.to_le_bytes());
             }
+            Request::Stats => out.push(REQ_STATS),
         }
         out
     }
@@ -491,6 +565,7 @@ impl Request {
             }
             REQ_TXN_COMMIT => Request::TxnCommit { txn: r.u32("transaction id")? },
             REQ_TXN_ABORT => Request::TxnAbort { txn: r.u32("transaction id")? },
+            REQ_STATS => Request::Stats,
             other => {
                 return Err(WireError::Protocol(format!("unknown request opcode 0x{other:02X}")))
             }
@@ -549,6 +624,27 @@ impl Response {
                 out.extend_from_slice(&o.deleted.to_le_bytes());
             }
             Response::Done => out.push(RESP_DONE),
+            Response::Stats(s) => {
+                out.push(RESP_STATS);
+                out.push(u8::from(s.metrics_enabled));
+                out.extend_from_slice(&s.pool_generation.to_le_bytes());
+                out.extend_from_slice(&s.queue_depth.to_le_bytes());
+                out.extend_from_slice(&s.connections.to_le_bytes());
+                out.extend_from_slice(&(s.counters.len() as u32).to_le_bytes());
+                for (name, v) in &s.counters {
+                    codec::encode_str(name, &mut out);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.extend_from_slice(&(s.histograms.len() as u32).to_le_bytes());
+                for (name, h) in &s.histograms {
+                    codec::encode_str(name, &mut out);
+                    out.extend_from_slice(&h.count.to_le_bytes());
+                    out.extend_from_slice(&h.sum_us.to_le_bytes());
+                    out.extend_from_slice(&h.max_us.to_le_bytes());
+                    out.extend_from_slice(&h.p50_us.to_le_bytes());
+                    out.extend_from_slice(&h.p99_us.to_le_bytes());
+                }
+            }
             Response::Error(e) => {
                 out.push(RESP_ERROR);
                 out.push(e.kind.to_u8());
@@ -587,6 +683,40 @@ impl Response {
                 deleted: r.u64("deleted count")?,
             }),
             RESP_DONE => Response::Done,
+            RESP_STATS => {
+                let metrics_enabled = r.u8("metrics flag")? != 0;
+                let pool_generation = r.u64("pool generation")?;
+                let queue_depth = r.u64("queue depth")?;
+                let connections = r.u64("connection count")?;
+                // A counter entry is at least a name prefix + a u64; a
+                // histogram entry at least a name prefix + five u64s.
+                let counters = decode_counted(&mut r, "counter count", 12, |r| {
+                    let name = r.str("counter name")?.to_string();
+                    let v = r.u64("counter value")?;
+                    Ok((name, v))
+                })?;
+                let histograms = decode_counted(&mut r, "histogram count", 44, |r| {
+                    let name = r.str("histogram name")?.to_string();
+                    Ok((
+                        name,
+                        HistogramSnapshot {
+                            count: r.u64("histogram count field")?,
+                            sum_us: r.u64("histogram sum")?,
+                            max_us: r.u64("histogram max")?,
+                            p50_us: r.u64("histogram p50")?,
+                            p99_us: r.u64("histogram p99")?,
+                        },
+                    ))
+                })?;
+                Response::Stats(StatsReply {
+                    metrics_enabled,
+                    pool_generation,
+                    queue_depth,
+                    connections,
+                    counters,
+                    histograms,
+                })
+            }
             RESP_ERROR => {
                 let kind_byte = r.u8("error kind")?;
                 let kind = ErrorKind::from_u8(kind_byte).ok_or_else(|| {
@@ -762,6 +892,7 @@ mod tests {
             },
             Request::TxnCommit { txn: 1 },
             Request::TxnAbort { txn: 1 },
+            Request::Stats,
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -782,6 +913,18 @@ mod tests {
             Response::Staged { changed: 17 },
             Response::Committed(Outcome { output: rel(1), inserted: 3, deleted: 1 }),
             Response::Done,
+            Response::Stats(StatsReply {
+                metrics_enabled: true,
+                pool_generation: 3,
+                queue_depth: 2,
+                connections: 5,
+                counters: vec![("commits".into(), 41), ("server.busy_rejections".into(), 1)],
+                histograms: vec![(
+                    "query_us".into(),
+                    HistogramSnapshot { count: 7, sum_us: 700, max_us: 300, p50_us: 127, p99_us: 255 },
+                )],
+            }),
+            Response::Stats(StatsReply::default()),
             Response::Error(ErrorReply::new(ErrorKind::Busy, "queue full")),
         ];
         for resp in resps {

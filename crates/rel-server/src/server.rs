@@ -40,9 +40,10 @@
 use crate::pool::SessionPool;
 use crate::protocol::{
     read_frame, write_frame, ErrorKind, ErrorReply, FrameRead, Outcome, Request, Response,
-    WireError, WireParams, PROTOCOL_VERSION, READ_POLL,
+    StatsReply, WireError, WireParams, PROTOCOL_VERSION, READ_POLL,
 };
 use rel_core::{RelError, RelResult, Tuple};
+use rel_engine::metrics::{self, Counter, Histogram};
 use rel_engine::{Params, Prepared, Session, TxnOutcome};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -50,6 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Tuning knobs for a [`Server`]. [`ServerConfig::from_env`] reads the
 /// `REL_SERVER_*` environment variables documented in the `rel-engine`
@@ -120,6 +122,61 @@ impl ServerConfig {
 }
 
 // ---------------------------------------------------------------------------
+// Server metrics
+// ---------------------------------------------------------------------------
+
+/// Request classes for per-type latency histograms, coarse on purpose:
+/// the interesting separations are read vs write vs compile vs step.
+const REQUEST_CLASSES: [&str; 6] = ["query", "execute", "prepare", "commit", "txn_step", "other"];
+
+fn request_class(req: &Request) -> usize {
+    match req {
+        Request::Query { .. } => 0,
+        Request::Execute { .. } | Request::ExecuteMany { .. } => 1,
+        Request::Prepare { .. } => 2,
+        Request::Transact { .. } | Request::TxnCommit { .. } => 3,
+        Request::TxnBegin
+        | Request::TxnRun { .. }
+        | Request::TxnRunPrepared { .. }
+        | Request::TxnStage { .. }
+        | Request::TxnAbort { .. } => 4,
+        Request::Hello { .. } | Request::Ping | Request::CloseStmt { .. } | Request::Stats => 5,
+    }
+}
+
+/// The serving layer's own observability, alongside the engine's
+/// process-wide registry. Commit-path instruments (group size, waits,
+/// admission refusals) record unconditionally — they fire once per
+/// batch or refusal, not per tuple; the per-request latency histograms
+/// are gated on [`metrics::enabled`] like every engine hot path.
+#[derive(Debug)]
+struct ServerMetrics {
+    /// Per-[`request_class`] request latency.
+    request_us: [Histogram; REQUEST_CLASSES.len()],
+    /// Commits coalesced per group-commit window (a size, not a time).
+    group_size: Histogram,
+    /// Time closing each group window (the shared fsync).
+    fsync_wait_us: Histogram,
+    /// Time each commit job waited in the queue before the worker
+    /// picked it up.
+    queue_wait_us: Histogram,
+    /// Admission-control refusals answered with `Busy`.
+    busy_rejections: Counter,
+}
+
+impl ServerMetrics {
+    const fn new() -> Self {
+        ServerMetrics {
+            request_us: [const { Histogram::new() }; REQUEST_CLASSES.len()],
+            group_size: Histogram::new(),
+            fsync_wait_us: Histogram::new(),
+            queue_wait_us: Histogram::new(),
+            busy_rejections: Counter::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Commit queue
 // ---------------------------------------------------------------------------
 
@@ -144,6 +201,7 @@ struct CommitJob {
     conn: u64,
     work: CommitWork,
     reply: mpsc::Sender<CommitResult>,
+    enqueued: Instant,
 }
 
 #[derive(Default)]
@@ -163,6 +221,7 @@ struct Shared {
     queue_ready: Condvar,
     shutdown: AtomicBool,
     conns: AtomicUsize,
+    metrics: ServerMetrics,
 }
 
 impl Shared {
@@ -177,6 +236,7 @@ fn submit(shared: &Shared, conn: u64, work: CommitWork) -> Result<mpsc::Receiver
         return Err(ErrorReply::new(ErrorKind::ShuttingDown, "server is shutting down"));
     }
     if q.jobs.len() >= shared.cfg.queue_depth {
+        shared.metrics.busy_rejections.incr();
         return Err(ErrorReply::new(
             ErrorKind::Busy,
             format!("commit queue is full ({} jobs)", shared.cfg.queue_depth),
@@ -184,6 +244,7 @@ fn submit(shared: &Shared, conn: u64, work: CommitWork) -> Result<mpsc::Receiver
     }
     let inflight = q.inflight.entry(conn).or_insert(0);
     if *inflight >= shared.cfg.max_inflight {
+        shared.metrics.busy_rejections.incr();
         return Err(ErrorReply::new(
             ErrorKind::Busy,
             format!("connection already has {inflight} commits in flight"),
@@ -191,7 +252,7 @@ fn submit(shared: &Shared, conn: u64, work: CommitWork) -> Result<mpsc::Receiver
     }
     *inflight += 1;
     let (tx, rx) = mpsc::channel();
-    q.jobs.push_back(CommitJob { conn, work, reply: tx });
+    q.jobs.push_back(CommitJob { conn, work, reply: tx, enqueued: Instant::now() });
     drop(q);
     shared.queue_ready.notify_all();
     Ok(rx)
@@ -265,12 +326,18 @@ fn commit_worker(mut session: Session, shared: Arc<Shared>) -> Session {
             let n = q.jobs.len().min(shared.cfg.group_window.max(1));
             q.jobs.drain(..n).collect()
         };
+        for job in &batch {
+            shared.metrics.queue_wait_us.record(job.enqueued.elapsed());
+        }
+        shared.metrics.group_size.record_us(batch.len() as u64);
         session.begin_commit_group();
         let mut results = Vec::with_capacity(batch.len());
         for job in &batch {
             results.push(apply_work(&mut session, &job.work));
         }
+        let sync_start = Instant::now();
         let group = session.end_commit_group();
+        shared.metrics.fsync_wait_us.record(sync_start.elapsed());
         // Publish before acknowledging: a client that sees its commit
         // reply and immediately reads must observe its own write.
         shared.pool.publish(&session);
@@ -328,6 +395,38 @@ struct ConnCtx {
 
 fn err(kind: ErrorKind, msg: impl Into<String>) -> Response {
     Response::Error(ErrorReply::new(kind, msg))
+}
+
+/// Assemble the `Stats` reply: the engine's process-wide registry
+/// verbatim (same names, same values — the wire read must match an
+/// in-process snapshot), then the serving layer's own counters and
+/// histograms under `server.` names.
+fn stats_reply(shared: &Shared) -> Response {
+    let engine = metrics::registry().snapshot();
+    let mut counters: Vec<(String, u64)> =
+        engine.counters.iter().map(|&(name, v)| (name.to_string(), v)).collect();
+    counters.push((
+        "server.busy_rejections".to_string(),
+        shared.metrics.busy_rejections.get(),
+    ));
+    let mut histograms: Vec<(String, metrics::HistogramSnapshot)> =
+        vec![("query_us".to_string(), engine.query_us)];
+    for (class, hist) in REQUEST_CLASSES.iter().zip(&shared.metrics.request_us) {
+        histograms.push((format!("server.request.{class}_us"), hist.snapshot()));
+    }
+    histograms.push(("server.commit.group_size".to_string(), shared.metrics.group_size.snapshot()));
+    histograms
+        .push(("server.commit.fsync_wait_us".to_string(), shared.metrics.fsync_wait_us.snapshot()));
+    histograms
+        .push(("server.commit.queue_wait_us".to_string(), shared.metrics.queue_wait_us.snapshot()));
+    Response::Stats(StatsReply {
+        metrics_enabled: metrics::enabled(),
+        pool_generation: shared.pool.generation(),
+        queue_depth: shared.lock_queue().jobs.len() as u64,
+        connections: shared.conns.load(Ordering::SeqCst) as u64,
+        counters,
+        histograms,
+    })
 }
 
 fn wire_to_params(pairs: WireParams) -> Params {
@@ -426,6 +525,7 @@ fn dispatch(ctx: &mut ConnCtx, req: Request) -> (Response, bool) {
         Request::Ping => Response::Pong,
         Request::Prepare { src } => {
             if ctx.stmts.len() >= ctx.shared.cfg.max_stmts {
+                ctx.shared.metrics.busy_rejections.incr();
                 return (err(ErrorKind::Busy, "prepared-statement registry is full"), false);
             }
             match ctx.shared.pool.with(|s| s.prepare(&src)) {
@@ -472,6 +572,7 @@ fn dispatch(ctx: &mut ConnCtx, req: Request) -> (Response, bool) {
         }
         Request::TxnBegin => {
             if ctx.txns.len() >= ctx.shared.cfg.max_txns {
+                ctx.shared.metrics.busy_rejections.incr();
                 return (err(ErrorKind::Busy, "transaction registry is full"), false);
             }
             let base = ctx.shared.pool.with(|s| s.clone());
@@ -502,6 +603,7 @@ fn dispatch(ctx: &mut ConnCtx, req: Request) -> (Response, bool) {
             Some(_) => Response::Done,
             None => err(ErrorKind::UnknownTxn, format!("no open transaction {txn}")),
         },
+        Request::Stats => stats_reply(&ctx.shared),
     };
     (resp, false)
 }
@@ -548,7 +650,12 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>, id: u64) {
                 return;
             }
         };
+        let class = request_class(&req);
+        let start = metrics::enabled().then(Instant::now);
         let (resp, close) = dispatch(&mut ctx, req);
+        if let Some(start) = start {
+            ctx.shared.metrics.request_us[class].record(start.elapsed());
+        }
         if write_frame(&mut stream, &resp.encode()).is_err() || close {
             return;
         }
@@ -570,6 +677,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         if shared.conns.load(Ordering::SeqCst) >= shared.cfg.max_conns {
             // Admission control: answer Busy without spawning a handler.
             // The refused client reads this as the reply to its Hello.
+            shared.metrics.busy_rejections.incr();
             let _ = write_frame(
                 &mut stream,
                 &err(
@@ -640,6 +748,7 @@ impl Server {
             queue_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             conns: AtomicUsize::new(0),
+            metrics: ServerMetrics::new(),
         });
         let worker_shared = shared.clone();
         let worker = std::thread::Builder::new()
