@@ -6,7 +6,9 @@
 //! (delta propagation vs full re-materialization), durable-transaction
 //! (WAL commit overhead vs ephemeral, plus recovery replay on reopen),
 //! serving (open-loop client fleets against an in-process `rel-server`,
-//! p50/p99 + throughput), group-commit (fsync=always with and
+//! p50/p99 + throughput), watch-push (standing-query delivery:
+//! commit-to-delivery latency for 1/8 subscribers vs the same fleet
+//! re-querying after every commit), group-commit (fsync=always with and
 //! without coalescing windows), and observability-overhead (the same
 //! serving-shaped stream with the metrics registry dark vs hot)
 //! workloads — and writes a JSON report
@@ -43,6 +45,120 @@ struct Measurement {
     /// Extra numeric fields appended to the JSON entry (e.g. the parallel
     /// scheduler's speedup against its own 1-worker run).
     extra: Vec<(&'static str, f64)>,
+}
+
+/// One watch-push measurement stream: a server over a length-`n0` chain
+/// whose transitive closure is the standing query, `watchers` subscriber
+/// (or poller) clients, and a committer extending the chain one edge per
+/// commit. Latency is commit-submit → the watcher holding that commit's
+/// output — for the push side that is the arrival of the pushed
+/// [`rel_engine::WatchDelta`]; for the poll side it is the naive
+/// alternative, a full re-query of the standing query after the commit
+/// is acknowledged. Commits are paced (every watcher confirms receipt
+/// before the next commit), so push deltas never lag and both sides
+/// measure a clean per-commit delivery time. Returns the per-delivery
+/// latencies (ms), the wall-clock seconds of the commit stream, and the
+/// final output size — after asserting every watcher's mirror equals a
+/// fresh query of the same program.
+fn watch_stream(n0: usize, commits: usize, watchers: usize, push: bool) -> (Vec<f64>, f64, usize) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{mpsc, Arc, Barrier};
+
+    let mut db = rel_core::Database::new();
+    for i in 0..n0 {
+        db.insert("E", rel_core::tuple![i as i64, (i + 1) as i64]);
+    }
+    let server = rel_server::Server::start(
+        rel_engine::Session::with_stdlib(db),
+        rel_server::ServerConfig::default(),
+    )
+    .expect("watch benchmark server starts");
+    let addr = server.addr();
+    let clock = Instant::now();
+    // Commit-submit timestamps (ns offsets from `clock`), one per commit,
+    // written by the committer before the transact ships.
+    let starts: Arc<Vec<AtomicU64>> =
+        Arc::new((0..commits).map(|_| AtomicU64::new(0)).collect());
+    let ready = Arc::new(Barrier::new(watchers + 1));
+    let (done_tx, done_rx) = mpsc::channel::<f64>();
+    let mut kick_txs = Vec::with_capacity(watchers);
+    let handles: Vec<_> = (0..watchers)
+        .map(|_| {
+            let starts = Arc::clone(&starts);
+            let ready = Arc::clone(&ready);
+            let done = done_tx.clone();
+            let (kick_tx, kick_rx) = mpsc::channel::<usize>();
+            kick_txs.push(kick_tx);
+            std::thread::spawn(move || {
+                let mut c = rel_server::Client::connect(addr).expect("watcher connects");
+                let latency = |i: usize| {
+                    (clock.elapsed().as_nanos() as u64 - starts[i - 1].load(Ordering::Acquire))
+                        as f64
+                        / 1e6
+                };
+                if push {
+                    let mut sub = c
+                        .subscribe(programs::TC, &rel_engine::Params::new())
+                        .expect("standing query subscribes");
+                    let first = sub.recv().expect("registration snapshot");
+                    assert!(first.snapshot, "first batch must be the snapshot");
+                    let mut mirror = first.apply_to(&rel_core::Relation::new());
+                    ready.wait();
+                    for i in 1..=commits {
+                        let d = sub.recv().expect("pushed delta");
+                        assert_eq!(d.seq as usize, i, "paced watchers cannot lag");
+                        mirror = d.apply_to(&mirror);
+                        done.send(latency(i)).expect("committer is draining");
+                    }
+                    sub.unsubscribe().expect("unsubscribe");
+                    mirror
+                } else {
+                    let stmt = c.prepare(programs::TC).expect("poll query prepares");
+                    let mut last = rel_core::Relation::new();
+                    ready.wait();
+                    while let Ok(i) = kick_rx.recv() {
+                        last = c
+                            .execute(&stmt, &rel_engine::Params::new())
+                            .expect("poll re-query");
+                        done.send(latency(i)).expect("committer is draining");
+                    }
+                    last
+                }
+            })
+        })
+        .collect();
+
+    let mut committer = rel_server::Client::connect(addr).expect("committer connects");
+    ready.wait();
+    let mut latencies = Vec::with_capacity(commits * watchers);
+    let t0 = clock.elapsed();
+    for i in 0..commits {
+        let (x, y) = ((n0 + i) as i64, (n0 + i + 1) as i64);
+        starts[i].store(clock.elapsed().as_nanos() as u64, Ordering::Release);
+        committer
+            .transact(&format!("def insert(:E, x, y) : x = {x} and y = {y}"))
+            .expect("chain-extension commit");
+        if !push {
+            for kick in &kick_txs {
+                kick.send(i + 1).expect("poller is waiting");
+            }
+        }
+        for _ in 0..watchers {
+            latencies.push(done_rx.recv().expect("watcher delivers"));
+        }
+    }
+    let wall = (clock.elapsed() - t0).as_secs_f64();
+    drop(kick_txs);
+    let fresh = committer.query(programs::TC).expect("final fresh query");
+    for h in handles {
+        let mirror = h.join().expect("watcher panicked");
+        assert_eq!(mirror, fresh, "watcher state diverged from a fresh query");
+    }
+    // Wire parity: the mirror was reassembled from decoded frames, so the
+    // same typed-row extraction the embedded API offers must work on it.
+    let pairs: Vec<(i64, i64)> = fresh.rows().expect("typed rows decode over the wire");
+    server.shutdown().expect("watch server shuts down");
+    (latencies, wall, pairs.len())
 }
 
 fn median_ms(runs: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
@@ -640,10 +756,15 @@ fn main() {
                             } else {
                                 let params = rel_engine::Params::new()
                                     .set("order", ((ci * 31 + i) % 120) as i64);
-                                rows += c
+                                // Wire parity: decode the (line, product,
+                                // amount) rows typed, exactly as the
+                                // embedded API would.
+                                let lines: Vec<(i64, i64, i64)> = c
                                     .execute(&stmt, &params)
                                     .expect("serving read executes")
-                                    .len();
+                                    .rows()
+                                    .expect("serving rows decode typed");
+                                rows += lines.len();
                             }
                             latencies.push(
                                 (start.elapsed().saturating_sub(scheduled))
@@ -676,6 +797,58 @@ fn main() {
                 extra: vec![
                     ("p99_ms", pct(0.99)),
                     ("throughput_rps", total as f64 / wall),
+                ],
+            });
+        }
+    }
+
+    // --- Watch push: standing-query delivery vs poll-after-commit -------
+    // The tentpole's acceptance shape: subscribers hold a standing
+    // transitive-closure query over a growing chain while a committer
+    // extends the chain edge by edge. The push side receives each
+    // commit's output change as a pushed delta (computed once on the
+    // commit path, fanned out to every watcher); the poll side is the
+    // naive alternative the watch API replaces — every watcher re-runs
+    // the full query after every acknowledged commit, recomputing and
+    // re-shipping the entire closure each time. `median_ms` is the p50
+    // commit-submit→delivery latency across all watcher deliveries;
+    // `speedup_vs_poll` on the push entry (>= 2x at 8 watchers) is the
+    // acceptance number.
+    {
+        let watcher_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 8] };
+        let (wp_n0, wp_commits) = if smoke { (8, 6) } else { (128, 60) };
+        for &watchers in watcher_counts {
+            let (push_lat, push_wall, push_size) =
+                watch_stream(wp_n0, wp_commits, watchers, true);
+            let (poll_lat, poll_wall, poll_size) =
+                watch_stream(wp_n0, wp_commits, watchers, false);
+            assert_eq!(push_size, poll_size, "push and poll streams landed different states");
+            let pct = |mut l: Vec<f64>, p: f64| {
+                l.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                l[((l.len() - 1) as f64 * p) as usize]
+            };
+            let (push_p50, push_p99) = (pct(push_lat.clone(), 0.50), pct(push_lat, 0.99));
+            let (poll_p50, poll_p99) = (pct(poll_lat.clone(), 0.50), pct(poll_lat, 0.99));
+            let scale = format!("chain={wp_n0}+{wp_commits},watchers={watchers}");
+            results.push(Measurement {
+                name: "watch_push",
+                scale: format!("{scale},push"),
+                median_ms: push_p50,
+                result_size: push_size,
+                extra: vec![
+                    ("p99_ms", push_p99),
+                    ("throughput_cps", wp_commits as f64 / push_wall),
+                    ("speedup_vs_poll", poll_p50 / push_p50),
+                ],
+            });
+            results.push(Measurement {
+                name: "watch_push",
+                scale: format!("{scale},poll"),
+                median_ms: poll_p50,
+                result_size: poll_size,
+                extra: vec![
+                    ("p99_ms", poll_p99),
+                    ("throughput_cps", wp_commits as f64 / poll_wall),
                 ],
             });
         }

@@ -272,7 +272,9 @@ fn cmd_connect(args: &[String]) -> i32 {
     };
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
-    eprintln!("rel connect {addr} — enter a full program per line; :stats, :quit to exit");
+    eprintln!(
+        "rel connect {addr} — enter a full program per line; :stats, :watch [n] <query>, :quit to exit"
+    );
     loop {
         eprint!("rel> ");
         let _ = std::io::stderr().flush();
@@ -296,6 +298,68 @@ fn cmd_connect(args: &[String]) -> i32 {
                 Ok(stats) => {
                     let _ = write!(out, "{}", stats.render());
                 }
+                Err(e @ rel_server::ClientError::Io(_)) => {
+                    eprintln!("rel: connection lost: {e}");
+                    return 1;
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        // `:watch <query>` — subscribe and stream pushed deltas forever;
+        // `:watch <n> <query>` stops after the initial snapshot plus `n`
+        // delta batches (sequence numbers are gapless, so that is
+        // "until seq n arrives") and returns to the prompt —
+        // deterministic for scripted use (`printf ':watch 1 ...' | rel
+        // connect`).
+        if let Some(rest) = line.strip_prefix(":watch ") {
+            let rest = rest.trim();
+            let (limit, src) = match rest.split_once(char::is_whitespace) {
+                Some((n, q)) if n.parse::<u64>().is_ok() => {
+                    (Some(n.parse::<u64>().expect("checked")), q.trim())
+                }
+                _ => (None, rest),
+            };
+            let mut sub = match client.subscribe(src, &rel_engine::Params::new()) {
+                Ok(s) => s,
+                Err(e @ rel_server::ClientError::Io(_)) => {
+                    eprintln!("rel: connection lost: {e}");
+                    return 1;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    continue;
+                }
+            };
+            let mut state = rel_core::Relation::new();
+            loop {
+                let d = match sub.recv() {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("rel: connection lost: {e}");
+                        return 1;
+                    }
+                };
+                if d.snapshot && d.seq > 0 {
+                    // The server coalesced missed batches (we lagged);
+                    // the snapshot replaces the state wholesale.
+                    eprintln!("watch: resynced at seq {}", d.seq);
+                }
+                for t in d.removed.iter() {
+                    let _ = writeln!(out, "- {t}");
+                }
+                for t in d.added.iter() {
+                    let _ = writeln!(out, "+ {t}");
+                }
+                state = d.apply_to(&state);
+                eprintln!("watch seq {}: {} rows live", d.seq, state.len());
+                let _ = out.flush();
+                if limit.is_some_and(|n| d.seq >= n) {
+                    break;
+                }
+            }
+            match sub.unsubscribe() {
+                Ok(()) => {}
                 Err(e @ rel_server::ClientError::Io(_)) => {
                     eprintln!("rel: connection lost: {e}");
                     return 1;

@@ -1,0 +1,193 @@
+//! One consolidated configuration surface for every engine switch.
+//!
+//! Historically each mode toggle lived where its machinery lives —
+//! incremental maintenance read `REL_INCREMENTAL` in
+//! [`crate::incremental`], WCOJ routing read `REL_WCOJ` in
+//! [`crate::eval`], the columnar layout read `REL_COLUMNAR` down in
+//! `rel-core`, metrics read `REL_METRICS` in [`crate::metrics`], and the
+//! fsync policy read `REL_FSYNC` in [`crate::durability`]. The switches
+//! still *live* there (each module owns its mechanism), but
+//! [`EngineConfig`] is the one client-facing place that names them all:
+//!
+//! * [`EngineConfig::from_env`] resolves every switch from the
+//!   environment in one call — exactly the defaults a freshly
+//!   constructed [`Session`] would see;
+//! * the builder methods override individual switches;
+//! * [`Session::with_config`] / [`Session::open_with`] apply the whole
+//!   bundle to a session at construction time. The per-switch setters
+//!   ([`Session::set_incremental`], [`Session::set_wcoj`],
+//!   [`Session::set_columnar`], [`Session::set_metrics`]) remain as thin
+//!   wrappers over the same switch points for runtime flips.
+//!
+//! ```
+//! use rel_core::Database;
+//! use rel_engine::{EngineConfig, Session, WcojMode};
+//!
+//! let cfg = EngineConfig::from_env().incremental(false).wcoj(WcojMode::Force);
+//! let s = Session::with_config(Database::new(), cfg);
+//! assert!(!s.incremental_enabled());
+//! assert_eq!(s.wcoj_mode(), WcojMode::Force);
+//! ```
+//!
+//! Every switch tunes scheduling, caching, observability, durability, or
+//! delivery — never query semantics: results are byte-identical under
+//! every configuration (held to that by the mode-matrix equivalence
+//! suites).
+
+use crate::durability::DurabilityConfig;
+use crate::eval::WcojMode;
+use crate::session::Session;
+use crate::{incremental, metrics, watch};
+
+/// Every engine switch, resolved. See the
+/// [crate-level table](crate#environment-variables) for the
+/// corresponding `REL_*` environment variables, and the module docs for
+/// how this relates to the per-switch [`Session`] setters.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Incremental view maintenance (`REL_INCREMENTAL`, default on).
+    /// Per-session.
+    pub incremental: bool,
+    /// Routing of multi-atom conjunctions through the leapfrog WCOJ
+    /// kernel (`REL_WCOJ`, default [`WcojMode::Auto`]). Per-session.
+    pub wcoj: WcojMode,
+    /// Typed columnar storage layout (`REL_COLUMNAR`, default on).
+    /// **Process-wide** — the kernels live below the session layer.
+    pub columnar: bool,
+    /// Hot-path metrics collection (`REL_METRICS`, default off).
+    /// **Process-wide**, like [`EngineConfig::columnar`].
+    pub metrics: bool,
+    /// How many [`crate::WatchDelta`] batches a standing query buffers
+    /// before its subscriber is considered lagging and is resynced with
+    /// a snapshot batch (`REL_WATCH_BUFFER`, default
+    /// [`watch::DEFAULT_WATCH_BUFFER`]). Per-session; captured per watch
+    /// at registration.
+    pub watch_buffer: usize,
+    /// Durability tuning for [`Session::open_with`] (`REL_FSYNC` plus
+    /// compaction triggers). Ignored by [`Session::with_config`], which
+    /// builds ephemeral sessions.
+    pub durability: DurabilityConfig,
+}
+
+impl Default for EngineConfig {
+    /// Identical to [`EngineConfig::from_env`]: the switches a plain
+    /// [`Session::new`] would resolve lazily, resolved eagerly.
+    fn default() -> Self {
+        EngineConfig::from_env()
+    }
+}
+
+impl EngineConfig {
+    /// Resolve every switch from the environment in one place: the
+    /// configuration an unconfigured session would end up with.
+    pub fn from_env() -> Self {
+        EngineConfig {
+            incremental: incremental::env_enabled(),
+            wcoj: WcojMode::from_env(),
+            columnar: rel_core::columnar_enabled(),
+            metrics: metrics::enabled(),
+            watch_buffer: watch::env_buffer(),
+            durability: DurabilityConfig::default(),
+        }
+    }
+
+    /// Override the incremental-maintenance switch (builder-style).
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Override the WCOJ routing mode (builder-style).
+    pub fn wcoj(mut self, mode: WcojMode) -> Self {
+        self.wcoj = mode;
+        self
+    }
+
+    /// Override the (process-wide) columnar-layout switch (builder-style).
+    pub fn columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
+        self
+    }
+
+    /// Override the (process-wide) hot-path metrics switch (builder-style).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Override the standing-query delivery buffer (builder-style;
+    /// clamped to at least 1 at registration).
+    pub fn watch_buffer(mut self, batches: usize) -> Self {
+        self.watch_buffer = batches;
+        self
+    }
+
+    /// Override the durability tuning used by [`Session::open_with`]
+    /// (builder-style).
+    pub fn durability(mut self, cfg: DurabilityConfig) -> Self {
+        self.durability = cfg;
+        self
+    }
+
+    /// Apply every switch to `session`, through the same switch points
+    /// the per-switch setters use. Process-wide switches (columnar,
+    /// metrics) are only written when the requested value differs from
+    /// the current effective one, so applying an unmodified
+    /// [`EngineConfig::from_env`] is a no-op for the rest of the process.
+    pub(crate) fn apply(&self, session: &mut Session) {
+        session.set_incremental(self.incremental);
+        session.set_wcoj(self.wcoj);
+        if session.columnar_enabled() != self.columnar {
+            session.set_columnar(self.columnar);
+        }
+        if session.metrics_enabled() != self.metrics {
+            session.set_metrics(self.metrics);
+        }
+        session.set_watch_buffer(self.watch_buffer);
+    }
+}
+
+/// The one legacy constructor signature kept working: durability-only
+/// configuration promotes to a full [`EngineConfig`] with every other
+/// switch at its environment default.
+impl From<DurabilityConfig> for EngineConfig {
+    fn from(durability: DurabilityConfig) -> Self {
+        EngineConfig::from_env().durability(durability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_core::Database;
+
+    #[test]
+    fn from_env_matches_unconfigured_session() {
+        let plain = Session::new(Database::new());
+        let cfg = EngineConfig::from_env();
+        assert_eq!(cfg.incremental, plain.incremental_enabled());
+        assert_eq!(cfg.wcoj, plain.wcoj_mode());
+        assert_eq!(cfg.columnar, plain.columnar_enabled());
+        assert_eq!(cfg.metrics, plain.metrics_enabled());
+        assert_eq!(cfg.watch_buffer, plain.watch_buffer());
+    }
+
+    #[test]
+    fn builder_overrides_reach_the_session() {
+        let cfg = EngineConfig::from_env()
+            .incremental(false)
+            .wcoj(WcojMode::Force)
+            .watch_buffer(3);
+        let s = Session::with_config(Database::new(), cfg);
+        assert!(!s.incremental_enabled());
+        assert_eq!(s.wcoj_mode(), WcojMode::Force);
+        assert_eq!(s.watch_buffer(), 3);
+    }
+
+    #[test]
+    fn durability_config_promotes_with_env_defaults() {
+        let cfg: EngineConfig = DurabilityConfig::default().into();
+        assert_eq!(cfg.incremental, incremental::env_enabled());
+        assert_eq!(cfg.wcoj, WcojMode::from_env());
+    }
+}

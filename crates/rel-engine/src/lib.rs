@@ -54,6 +54,18 @@
 //! * [`session`] — the session itself: database + libraries + module
 //!   cache + shared index cache; `Session` is `Send + Sync` and serves
 //!   queries from many threads;
+//! * [`config`] — [`EngineConfig`]: every engine switch (incremental,
+//!   WCOJ, columnar, metrics, watch buffer, durability) as one builder;
+//!   [`EngineConfig::from_env`] resolves the whole `REL_*` table below in
+//!   one call, [`Session::with_config`] / [`Session::open_with`] apply it
+//!   at construction, and the per-switch setters stay as runtime wrappers
+//!   over the same switch points;
+//! * [`watch`] — standing queries: [`Session::watch`] registers a
+//!   prepared query and every later commit pushes the exact
+//!   added/removed output rows as [`WatchDelta`] batches over a bounded
+//!   channel (initial snapshot at registration, O(1) skip for commits
+//!   outside the query's cone, coalescing resync snapshots for lagging
+//!   subscribers);
 //! * [`eval`] — formula evaluation over environment batches with greedy
 //!   sideways-information-passing, open expression evaluation (grouped
 //!   aggregation, generator `where`), tuple-variable matching,
@@ -105,7 +117,11 @@
 //! `REL_SERVER_*` knobs the `rel-server` crate layers on top, so the
 //! whole `REL_*` namespace has a single consolidated table. Each is a
 //! process-wide *default*; where a per-session (or per-server) override
-//! exists it is listed alongside.
+//! exists it is listed alongside. The engine rows of this table are
+//! exactly the fields of [`EngineConfig`] — [`EngineConfig::from_env`]
+//! resolves all of them in one call, and the per-field docs on
+//! [`EngineConfig`] are the authoritative switch reference this table is
+//! generated from.
 //!
 //! | Variable | Values | Default | Effect |
 //! |----------|--------|---------|--------|
@@ -115,6 +131,7 @@
 //! | `REL_COLUMNAR` | `0`/`false`/`off`/`no` to disable | enabled | Typed columnar storage layout under `Relation` ([`rel_core::columnar`]): set-operation merges, trie seeks, and sort keys run over schema-specialized columns (`Vec<i64>`, dictionary-encoded strings, …) instead of boxed `Value` rows. [`Session::set_columnar`] flips the same switch at runtime — it is **process-wide**, not per session, because the kernels live below the session layer. Results are byte-identical in both layouts. |
 //! | `REL_DURABILITY` | `0`/`off`/`false`/`no` to disable | enabled | Whether [`Session::open`] actually attaches durable storage; disabled, it returns a plain ephemeral session without touching disk ([`durability::durability_env_enabled`]). |
 //! | `REL_FSYNC` | `always`, `batch`, `off`/`0`/`false`/`no` | `batch` | When WAL appends reach stable storage ([`FsyncPolicy::from_env`]; [`DurabilityConfig`] overrides per session via [`Session::open_with`]). |
+//! | `REL_WATCH_BUFFER` | positive integer | `64` | Delivery buffer of a standing query ([`Session::watch`]), in [`WatchDelta`] batches: a subscriber further behind than this goes *lagged* — commits stop buffering deltas for it and the next in-cone commit after it drains coalesces everything missed into one resync snapshot ([`Session::set_watch_buffer`] overrides per session). |
 //! | `REL_SERVER_ADDR` | `host:port` | `127.0.0.1:0` | Listen address of `rel-server` (port `0` picks a free port). Read by `ServerConfig::from_env` in the `rel-server` crate; the config struct overrides per server. |
 //! | `REL_SERVER_MAX_CONNS` | positive integer | `64` | Max simultaneous connections; excess connects get a typed `Busy` reply. |
 //! | `REL_SERVER_MAX_INFLIGHT` | positive integer | `4` | Max commit jobs one connection may have queued at once (`Busy` beyond it). |
@@ -129,6 +146,7 @@
 //! and durability, never semantics.
 
 pub mod builtins;
+pub mod config;
 pub mod durability;
 pub mod env;
 pub mod eval;
@@ -144,7 +162,9 @@ pub mod session;
 pub mod snapshot;
 pub mod txn;
 pub mod wal;
+pub mod watch;
 
+pub use config::EngineConfig;
 pub use durability::{DurabilityConfig, FsyncPolicy};
 pub use eval::{EvalCtx, SharedIndexCache, WcojMode, WCOJ_MIN_ATOMS};
 pub use fixpoint::{
@@ -161,3 +181,4 @@ pub use profile::{
 };
 pub use session::{Session, TxnOutcome};
 pub use txn::Transaction;
+pub use watch::{Watch, WatchDelta, DEFAULT_WATCH_BUFFER};

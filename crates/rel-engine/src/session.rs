@@ -14,6 +14,7 @@
 //! recompiles. See [`crate::prepared`] and [`crate::txn`] for the
 //! prepared-query and explicit-transaction halves of the API.
 
+use crate::config::EngineConfig;
 use crate::durability::{self, DurabilityConfig, DurableStore};
 use crate::env::Env;
 use crate::eval::{EvalCtx, SharedIndexCache};
@@ -21,15 +22,16 @@ use crate::fixpoint::materialize_with_cache;
 use crate::incremental::{self, PreState};
 use crate::lru::LruMap;
 use crate::metrics;
-use crate::prepared::Prepared;
+use crate::prepared::{Params, Prepared};
 use crate::profile::{FixpointOutcome, ProfileSink, QueryProfile};
 use crate::recovery;
 use crate::txn::Transaction;
+use crate::watch::{self, Watch, WatchRegistry};
 use rel_core::database::Delta;
 use rel_core::{Database, Name, RelError, RelResult, Relation, Tuple, Value};
 use rel_sema::ir::{ConstraintIr, Module, Rule};
 use rel_syntax::Program;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
@@ -137,6 +139,15 @@ pub struct Session {
     /// only because `log_commit` takes `&self`; the begin/end methods
     /// take `&mut self`, so a window is always owned by a single writer.
     group_commit: AtomicBool,
+    /// Standing queries registered on this session ([`Session::watch`],
+    /// fed by every [`Transaction::commit`]). **Not** shared with clones:
+    /// a clone's database diverges immediately, and a watch must only
+    /// ever receive deltas from the database it was registered against.
+    watches: WatchRegistry,
+    /// Delivery-buffer bound, in batches, for watches registered through
+    /// this session; defaults to `REL_WATCH_BUFFER`
+    /// ([`Session::set_watch_buffer`] overrides).
+    watch_buffer: usize,
 }
 
 impl Default for Session {
@@ -161,6 +172,8 @@ impl Clone for Session {
             incremental: self.incremental,
             durability: None,
             group_commit: AtomicBool::new(false),
+            watches: WatchRegistry::default(),
+            watch_buffer: self.watch_buffer,
         }
     }
 }
@@ -178,7 +191,18 @@ impl Session {
             incremental: incremental::env_enabled(),
             durability: None,
             group_commit: AtomicBool::new(false),
+            watches: WatchRegistry::default(),
+            watch_buffer: watch::env_buffer(),
         }
+    }
+
+    /// A session over `db` with an explicit [`EngineConfig`] applied.
+    /// Ephemeral — the config's durability field is only consulted by
+    /// [`Session::open_with`].
+    pub fn with_config(db: Database, cfg: EngineConfig) -> Session {
+        let mut session = Session::new(db);
+        cfg.apply(&mut session);
+        session
     }
 
     /// Open (or create) a **durable** session backed by the store
@@ -188,7 +212,10 @@ impl Session {
         Session::open_with(path, DurabilityConfig::default())
     }
 
-    /// Open (or create) a durable session with an explicit configuration.
+    /// Open (or create) a durable session with an explicit configuration
+    /// — a full [`EngineConfig`], or (the legacy signature, still
+    /// accepted via `Into`) just a [`DurabilityConfig`], which promotes
+    /// with every other switch at its environment default.
     ///
     /// Recovery loads the newest valid snapshot and replays the WAL tail
     /// on top of it; the resulting database is **byte-identical to a
@@ -213,10 +240,11 @@ impl Session {
     /// Note that [`Session::db_mut`] bypasses the WAL: direct mutations
     /// become durable only when the next compaction snapshots the full
     /// database. Transactions are the durable write path.
-    pub fn open_with(path: impl AsRef<Path>, cfg: DurabilityConfig) -> RelResult<Session> {
+    pub fn open_with(path: impl AsRef<Path>, cfg: impl Into<EngineConfig>) -> RelResult<Session> {
+        let cfg: EngineConfig = cfg.into();
         let dir = path.as_ref();
         if !durability::durability_env_enabled() {
-            return Ok(Session::new(Database::new()));
+            return Ok(Session::with_config(Database::new(), cfg));
         }
         if let Err(e) = std::fs::create_dir_all(dir) {
             durability::warn_degraded(&format!(
@@ -224,7 +252,7 @@ impl Session {
                  commits will NOT be persisted",
                 dir.display()
             ));
-            return Ok(Session::new(Database::new()));
+            return Ok(Session::with_config(Database::new(), cfg));
         }
         let rec = match recovery::recover(dir) {
             Ok(rec) => rec,
@@ -235,15 +263,15 @@ impl Session {
                      commits will NOT be persisted",
                     dir.display()
                 ));
-                return Ok(Session::new(Database::new()));
+                return Ok(Session::with_config(Database::new(), cfg));
             }
         };
         for w in &rec.warnings {
             eprintln!("rel durability warning: {w}");
         }
-        match DurableStore::attach(dir, cfg, &rec) {
+        match DurableStore::attach(dir, cfg.durability, &rec) {
             Ok(store) => {
-                let mut session = Session::new(rec.db);
+                let mut session = Session::with_config(rec.db, cfg);
                 session.durability = Some(Mutex::new(store));
                 // A previous run may have crashed past the compaction
                 // triggers; fold the replayed backlog down right away.
@@ -256,7 +284,7 @@ impl Session {
                      recovered database ephemerally — commits will NOT be persisted",
                     dir.display()
                 ));
-                Ok(Session::new(rec.db))
+                Ok(Session::with_config(rec.db, cfg))
             }
         }
     }
@@ -471,6 +499,43 @@ impl Session {
     /// Is incremental evaluation enabled for this session?
     pub fn incremental_enabled(&self) -> bool {
         self.incremental
+    }
+
+    /// Register a **standing query**: evaluate `prepared` (with `params`
+    /// bound) against the current committed database and return a
+    /// [`Watch`] whose channel already holds the initial snapshot batch;
+    /// after every later [`Transaction::commit`] that can affect the
+    /// result, the exact added/removed output rows are pushed as a
+    /// [`crate::WatchDelta`]. Commits outside the query's dependent cone
+    /// are skipped without evaluating anything. See [`crate::watch`] for
+    /// the full delivery/ordering contract.
+    pub fn watch(&self, prepared: &Prepared, params: &Params) -> RelResult<Watch> {
+        watch::register(self, &self.watches, prepared, params)
+    }
+
+    /// Number of live standing queries on this session.
+    pub fn watch_count(&self) -> usize {
+        self.watches.len()
+    }
+
+    /// Bound the delivery buffer of watches registered *from now on*, in
+    /// batches (clamped to at least 1; existing watches keep the buffer
+    /// they were registered with). Overrides the `REL_WATCH_BUFFER`
+    /// environment default.
+    pub fn set_watch_buffer(&mut self, batches: usize) {
+        self.watch_buffer = batches.max(1);
+    }
+
+    /// The delivery-buffer bound new watches will be registered with.
+    pub fn watch_buffer(&self) -> usize {
+        self.watch_buffer
+    }
+
+    /// Fan a committed transaction's effects out to every standing query
+    /// (called by [`Transaction::commit`] right after the candidate
+    /// database is installed).
+    pub(crate) fn notify_watches(&self, touched: &BTreeSet<Name>) {
+        watch::notify(&self.watches, self, touched);
     }
 
     /// Builder-style library installation.

@@ -39,6 +39,7 @@ use crate::session::{
     check_constraints, check_control_materializable, extract_delta, require_no_params, Session,
     TxnOutcome,
 };
+use crate::watch::Watch;
 use rel_core::database::Delta;
 use rel_core::{Database, Name, RelResult, Relation, Tuple};
 use rel_sema::ir::Module;
@@ -162,6 +163,19 @@ impl<'s> Transaction<'s> {
         Ok(output)
     }
 
+    /// Register a standing query while this transaction is open. The
+    /// watch observes the **committed** snapshot — never this
+    /// transaction's staged candidate: its initial snapshot excludes
+    /// everything staged so far, and the staged writes arrive as an
+    /// ordinary delta batch if (and only if) the transaction commits.
+    /// (The borrow rules already prevent calling [`Session::watch`] while
+    /// a transaction holds the session; this delegation is the sanctioned
+    /// mid-transaction path, pinned to committed-state semantics by the
+    /// `watch_registered_mid_transaction_sees_committed_state_only` test.)
+    pub fn watch(&self, prepared: &Prepared, params: &Params) -> RelResult<Watch> {
+        self.session.watch(prepared, params)
+    }
+
     /// Stage one tuple for insertion, bypassing compilation. Returns
     /// whether the tuple was new.
     pub fn stage_insert(&mut self, rel: impl AsRef<str>, t: Tuple) -> bool {
@@ -234,6 +248,11 @@ impl<'s> Transaction<'s> {
         self.session
             .index_cache
             .invalidate_stale_relations(self.touched.iter(), &self.session.db);
+        // Standing queries see the commit the instant it is visible:
+        // compute and push each registered watch's output delta against
+        // the freshly installed database (watches whose dependent cone
+        // the commit cannot reach are skipped without evaluation).
+        self.session.notify_watches(&self.touched);
         // Fold the log into a snapshot when a compaction trigger fired
         // (no-op for ephemeral sessions; failure is a warning — the WAL
         // already holds this commit).
@@ -584,6 +603,56 @@ mod tests {
         let q = "def output(x, y) : TC(x, y)";
         assert_eq!(inc.query(q).unwrap(), full.query(q).unwrap());
         assert_eq!(inc.db().get("E").unwrap(), full.db().get("E").unwrap());
+    }
+
+    #[test]
+    fn watch_registered_mid_transaction_sees_committed_state_only() {
+        let mut s = session();
+        let q = s.prepare("def output(x, y) : ProductPrice(x, y)").unwrap();
+        let mut txn = s.begin();
+        txn.stage_insert("ProductPrice", tuple!["P9", 99]);
+        // Registration happens with staged state pending: the initial
+        // snapshot must be the committed database, not the candidate.
+        let w = txn.watch(&q, &Params::new()).unwrap();
+        let first = w.try_recv().unwrap();
+        assert!(first.snapshot);
+        assert_eq!(first.added.len(), 4, "snapshot must exclude staged writes");
+        assert!(!first.added.contains(&tuple!["P9", 99]));
+        txn.commit().unwrap();
+        // The staged write arrives as the commit's delta, not earlier.
+        let d = w.try_recv().unwrap();
+        assert_eq!(d.seq, 1);
+        assert!(!d.snapshot);
+        assert_eq!(
+            d.added.rows::<(String, i64)>().unwrap(),
+            vec![("P9".to_string(), 99)]
+        );
+        assert!(d.removed.is_empty());
+    }
+
+    #[test]
+    fn aborted_transaction_pushes_nothing() {
+        let mut s = session();
+        let q = s.prepare("def output(x, y) : ProductPrice(x, y)").unwrap();
+        let w = {
+            let mut txn = s.begin();
+            txn.stage_insert("ProductPrice", tuple!["P9", 99]);
+            let w = txn.watch(&q, &Params::new()).unwrap();
+            txn.abort();
+            w
+        };
+        let first = w.try_recv().unwrap();
+        assert!(first.snapshot);
+        assert!(w.try_recv().is_none(), "aborted staging must never surface");
+        // A commit-time constraint violation is equally invisible.
+        let err = s
+            .transact(
+                "def insert(:ProductPrice, x, y) : x = \"P9\" and y = 99\n\
+                 ic impossible() requires ProductPrice(\"P1\", 11)",
+            )
+            .unwrap_err();
+        assert!(matches!(err, RelError::ConstraintViolation { .. }), "{err}");
+        assert!(w.try_recv().is_none());
     }
 
     #[test]

@@ -5,6 +5,17 @@
 //! self` everywhere) — open one per thread. Used by the `rel connect`
 //! CLI subcommand and the `bench_report` serving load generator.
 //!
+//! The one exception to strict pairing is the push path: once
+//! [`Client::subscribe`] registers a standing query, the server may
+//! interleave unsolicited `Delta` frames with replies. [`Client`]
+//! stashes those internally (keyed by watch id) whenever it reads a
+//! frame, so request/reply pairing is preserved and
+//! [`Subscription::recv`] drains the stash before touching the socket.
+//! Deltas arrive as [`rel_engine::WatchDelta`] — the same type the
+//! in-process [`rel_engine::Session::watch`] API yields, so mirror
+//! maintenance code (`WatchDelta::apply_to`) works unchanged over the
+//! wire.
+//!
 //! ```no_run
 //! use rel_server::{Client, ClientResult};
 //! use rel_engine::Params;
@@ -24,9 +35,11 @@ use crate::protocol::{
     StatsReply, WireError, WireParams, PROTOCOL_VERSION,
 };
 use rel_core::{Relation, Tuple};
-use rel_engine::Params;
+use rel_engine::{Params, WatchDelta};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -116,6 +129,10 @@ fn params_wire(params: &Params) -> WireParams {
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// Pushed `Delta` frames that arrived while a reply was awaited —
+    /// the only unsolicited frame in the protocol — keyed by watch id
+    /// and drained in arrival order by [`Subscription::recv`].
+    pending: VecDeque<(u64, WatchDelta)>,
 }
 
 impl Client {
@@ -125,15 +142,17 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        let mut client = Client { stream };
+        let mut client = Client { stream, pending: VecDeque::new() };
         match client.roundtrip(&Request::Hello { version: PROTOCOL_VERSION })? {
             Response::Hello { .. } => Ok(client),
             other => Err(unexpected("Hello", &other)),
         }
     }
 
-    fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
-        write_frame(&mut self.stream, &req.encode())?;
+    /// Read exactly one frame off the wire. A pushed `Delta` frame is
+    /// stashed (it is never the answer to a request) and `None` is
+    /// returned; anything else comes back to the caller.
+    fn read_one(&mut self) -> ClientResult<Option<Response>> {
         let payload = read_frame_blocking(&mut self.stream)?.ok_or_else(|| {
             ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -141,8 +160,22 @@ impl Client {
             ))
         })?;
         match Response::decode(&payload)? {
-            Response::Error(e) => Err(ClientError::Server(e)),
-            resp => Ok(resp),
+            Response::Delta { watch, seq, snapshot, added, removed } => {
+                self.pending.push_back((watch, WatchDelta { seq, snapshot, added, removed }));
+                Ok(None)
+            }
+            resp => Ok(Some(resp)),
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        loop {
+            match self.read_one()? {
+                None => continue, // a push arrived first; keep waiting
+                Some(Response::Error(e)) => return Err(ClientError::Server(e)),
+                Some(resp) => return Ok(resp),
+            }
         }
     }
 
@@ -306,6 +339,147 @@ impl Client {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Register a standing query on the server. The first delivered
+    /// batch is always the seq-0 initial snapshot of the query's output;
+    /// every later commit that changes it pushes the exact added/removed
+    /// rows. The subscription borrows the client exclusively — issue
+    /// other requests after [`Subscription::unsubscribe`], or hold one
+    /// dedicated `Client` per live feed.
+    pub fn subscribe(&mut self, src: &str, params: &Params) -> ClientResult<Subscription<'_>> {
+        let req = Request::Subscribe { src: src.to_string(), params: params_wire(params) };
+        match self.roundtrip(&req)? {
+            Response::Subscribed { watch } => Ok(Subscription { client: self, watch }),
+            other => Err(unexpected("Subscribed", &other)),
+        }
+    }
+
+    fn take_pending(&mut self, watch: u64) -> Option<WatchDelta> {
+        let idx = self.pending.iter().position(|(w, _)| *w == watch)?;
+        self.pending.remove(idx).map(|(_, d)| d)
+    }
+
+    /// Block until a frame for `watch` is available and return it.
+    fn next_delta(&mut self, watch: u64) -> ClientResult<WatchDelta> {
+        loop {
+            if let Some(d) = self.take_pending(watch) {
+                return Ok(d);
+            }
+            // Only pushes can legitimately arrive here: no request is
+            // outstanding, so a non-Delta frame is a protocol violation.
+            match self.read_one()? {
+                None => {}
+                Some(Response::Error(e)) => return Err(ClientError::Server(e)),
+                Some(other) => return Err(unexpected("Delta", &other)),
+            }
+        }
+    }
+
+    /// Wait up to `timeout` for the *start* of an inbound frame, using
+    /// `peek` so a timeout consumes nothing (the framing cannot desync);
+    /// once the first byte is visible the full frame is read blocking.
+    /// `Ok(false)` is a clean timeout.
+    fn poll_frame(&mut self, timeout: Duration) -> ClientResult<bool> {
+        // A zero read timeout is invalid at the socket layer; clamp up.
+        self.stream.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let mut probe = [0u8; 1];
+        let outcome = loop {
+            match self.stream.peek(&mut probe) {
+                Ok(0) => {
+                    break Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(_) => break Ok(true),
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    break Ok(false)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(ClientError::Io(e)),
+            }
+        };
+        let _ = self.stream.set_read_timeout(None);
+        outcome
+    }
+
+    fn next_delta_timeout(
+        &mut self,
+        watch: u64,
+        timeout: Duration,
+    ) -> ClientResult<Option<WatchDelta>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(d) = self.take_pending(watch) {
+                return Ok(Some(d));
+            }
+            // poll_frame clamps to ≥1ms, so even a zero budget makes one
+            // immediate check (the `try_recv` case) before giving up.
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if !self.poll_frame(left)? {
+                return Ok(None);
+            }
+            match self.read_one()? {
+                None => {}
+                Some(Response::Error(e)) => return Err(ClientError::Server(e)),
+                Some(other) => return Err(unexpected("Delta", &other)),
+            }
+        }
+    }
+}
+
+/// A live standing query on a [`Client`] (see [`Client::subscribe`]).
+///
+/// Delivery contract, end to end: batches arrive in commit order with
+/// gapless per-watch sequence numbers starting at the seq-0 snapshot; a
+/// subscriber that falls further behind than the server's watch buffer
+/// is resynced with a coalescing snapshot batch (`snapshot = true`)
+/// rather than dropped, so `WatchDelta::apply_to` over everything
+/// received always reconstructs the query's current output.
+#[derive(Debug)]
+pub struct Subscription<'c> {
+    client: &'c mut Client,
+    watch: u64,
+}
+
+impl Subscription<'_> {
+    /// The server-side watch id carried by this subscription's frames.
+    pub fn id(&self) -> u64 {
+        self.watch
+    }
+
+    /// Block until the next batch arrives. (Named after the in-process
+    /// [`rel_engine::Watch::recv`], which it mirrors over the wire.)
+    pub fn recv(&mut self) -> ClientResult<WatchDelta> {
+        self.client.next_delta(self.watch)
+    }
+
+    /// The next batch if one is already buffered or immediately
+    /// readable, without waiting.
+    pub fn try_recv(&mut self) -> ClientResult<Option<WatchDelta>> {
+        self.client.next_delta_timeout(self.watch, Duration::ZERO)
+    }
+
+    /// Wait up to `timeout` for the next batch; `Ok(None)` on timeout.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> ClientResult<Option<WatchDelta>> {
+        self.client.next_delta_timeout(self.watch, timeout)
+    }
+
+    /// End the subscription and release the client for other requests.
+    /// Batches pushed before the server processed the unsubscribe are
+    /// discarded.
+    pub fn unsubscribe(self) -> ClientResult<()> {
+        let watch = self.watch;
+        match self.client.roundtrip(&Request::Unsubscribe { watch })? {
+            Response::Done => {
+                self.client.pending.retain(|(w, _)| *w != watch);
+                Ok(())
+            }
+            other => Err(unexpected("Done", &other)),
         }
     }
 }

@@ -20,7 +20,9 @@
 //!   one fsync per group ([`rel_engine::Session::begin_commit_group`]);
 //! * [`client`] — [`Client`]: the blocking client used by the
 //!   `rel connect` CLI subcommand and the `bench_report` serving
-//!   workload.
+//!   workload; [`Client::subscribe`] turns a query into a live feed of
+//!   [`WatchDelta`] push frames (`rel_engine::Session::watch` over the
+//!   wire).
 //!
 //! The `REL_SERVER_*` environment knobs ([`ServerConfig::from_env`])
 //! are listed in the consolidated switch table in the `rel-engine`
@@ -51,7 +53,8 @@ pub mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, ClientResult, Statement, TxnHandle};
+pub use client::{Client, ClientError, ClientResult, Statement, Subscription, TxnHandle};
 pub use pool::SessionPool;
 pub use protocol::{ErrorKind, ErrorReply, Outcome, StatsReply, MAX_FRAME, PROTOCOL_VERSION};
+pub use rel_engine::WatchDelta;
 pub use server::{Server, ServerConfig};

@@ -15,12 +15,17 @@
 //! durability layer already round-trips.
 //!
 //! One request frame yields exactly one response frame, in order; there
-//! is no pipelining. A frame that violates the grammar (`len == 0`,
-//! `len > `[`MAX_FRAME`], CRC mismatch, unknown opcode, trailing bytes)
-//! is a *protocol* error: the server answers with a typed
-//! [`ErrorKind::Protocol`] reply when it still can, then drops the
-//! connection — per-connection state dies with it, other connections are
-//! untouched.
+//! is no pipelining. The single exception is the **push path**: after a
+//! [`Request::Subscribe`] is acknowledged with [`Response::Subscribed`],
+//! the server may interleave server-initiated [`Response::Delta`] frames
+//! between a connection's request/response pairs. A `Delta` is the only
+//! frame that arrives unsolicited; clients must be prepared to stash it
+//! while awaiting any reply (see `Client::roundtrip`). A frame that
+//! violates the grammar (`len == 0`, `len > `[`MAX_FRAME`], CRC
+//! mismatch, unknown opcode, trailing bytes) is a *protocol* error: the
+//! server answers with a typed [`ErrorKind::Protocol`] reply when it
+//! still can, then drops the connection — per-connection state dies with
+//! it, other connections are untouched.
 
 use rel_core::codec::{self, DecodeError, Reader};
 use rel_core::{Relation, Tuple};
@@ -99,6 +104,8 @@ pub enum ErrorKind {
     /// The request was valid but the server could not honor it (e.g. the
     /// group sync failed, leaving a commit's durability unknown).
     Internal,
+    /// The watch id is not a live subscription of this connection.
+    UnknownWatch,
 }
 
 impl ErrorKind {
@@ -111,6 +118,7 @@ impl ErrorKind {
             ErrorKind::Query => 4,
             ErrorKind::ShuttingDown => 5,
             ErrorKind::Internal => 6,
+            ErrorKind::UnknownWatch => 7,
         }
     }
 
@@ -123,6 +131,7 @@ impl ErrorKind {
             4 => ErrorKind::Query,
             5 => ErrorKind::ShuttingDown,
             6 => ErrorKind::Internal,
+            7 => ErrorKind::UnknownWatch,
             _ => return None,
         })
     }
@@ -248,6 +257,23 @@ pub enum Request {
     },
     /// Read the server's observability surface ([`StatsReply`]).
     Stats,
+    /// Register a standing query: compile `src`, bind `params`, and push
+    /// a [`Response::Delta`] after every commit that changes its result.
+    /// Acknowledged with [`Response::Subscribed`]; the initial snapshot
+    /// arrives as the first `Delta` (seq 0, snapshot flag set).
+    Subscribe {
+        /// Rel source of the standing query.
+        src: String,
+        /// Parameter bindings, fixed for the subscription's lifetime.
+        params: WireParams,
+    },
+    /// Unregister a standing query. Acknowledged with [`Response::Done`];
+    /// `Delta` frames for the watch already in flight may still arrive
+    /// before the acknowledgement.
+    Unsubscribe {
+        /// Watch id from [`Response::Subscribed`].
+        watch: u64,
+    },
 }
 
 /// One server reply. Every [`Request`] gets exactly one.
@@ -289,6 +315,31 @@ pub enum Response {
     Done,
     /// The server's observability surface.
     Stats(StatsReply),
+    /// Standing query registered; [`Response::Delta`] frames for it
+    /// carry this id.
+    Subscribed {
+        /// Server-assigned watch id, unique per server.
+        watch: u64,
+    },
+    /// **Server-initiated** push: one standing-query delta batch. The
+    /// only frame a client receives without having sent a request for
+    /// it. `seq` is gapless per watch from 0 (the registration
+    /// snapshot); a set `snapshot` flag means `added` is the full
+    /// current result and replaces the subscriber's state (sent at
+    /// registration and as the coalescing resync after the subscriber
+    /// lagged — see the delivery contract in `rel-server/README.md`).
+    Delta {
+        /// Which subscription this batch belongs to.
+        watch: u64,
+        /// Per-watch gapless sequence number.
+        seq: u64,
+        /// Snapshot batch: `added` replaces the whole mirrored result.
+        snapshot: bool,
+        /// Output rows that entered the result.
+        added: Relation,
+        /// Output rows that left the result (empty for snapshots).
+        removed: Relation,
+    },
     /// Typed failure; the connection stays usable unless the kind is
     /// [`ErrorKind::Protocol`].
     Error(ErrorReply),
@@ -390,6 +441,8 @@ const REQ_TXN_STAGE: u8 = 0x0C;
 const REQ_TXN_COMMIT: u8 = 0x0D;
 const REQ_TXN_ABORT: u8 = 0x0E;
 const REQ_STATS: u8 = 0x0F;
+const REQ_SUBSCRIBE: u8 = 0x10;
+const REQ_UNSUBSCRIBE: u8 = 0x11;
 
 const RESP_HELLO: u8 = 0x81;
 const RESP_PONG: u8 = 0x82;
@@ -402,6 +455,8 @@ const RESP_COMMITTED: u8 = 0x88;
 const RESP_DONE: u8 = 0x89;
 const RESP_ERROR: u8 = 0x8A;
 const RESP_STATS: u8 = 0x8B;
+const RESP_SUBSCRIBED: u8 = 0x8C;
+const RESP_DELTA: u8 = 0x8D;
 
 fn encode_params(params: &WireParams, out: &mut Vec<u8>) {
     out.extend_from_slice(&(params.len() as u32).to_le_bytes());
@@ -521,6 +576,15 @@ impl Request {
                 out.extend_from_slice(&txn.to_le_bytes());
             }
             Request::Stats => out.push(REQ_STATS),
+            Request::Subscribe { src, params } => {
+                out.push(REQ_SUBSCRIBE);
+                codec::encode_str(src, &mut out);
+                encode_params(params, &mut out);
+            }
+            Request::Unsubscribe { watch } => {
+                out.push(REQ_UNSUBSCRIBE);
+                out.extend_from_slice(&watch.to_le_bytes());
+            }
         }
         out
     }
@@ -566,6 +630,11 @@ impl Request {
             REQ_TXN_COMMIT => Request::TxnCommit { txn: r.u32("transaction id")? },
             REQ_TXN_ABORT => Request::TxnAbort { txn: r.u32("transaction id")? },
             REQ_STATS => Request::Stats,
+            REQ_SUBSCRIBE => Request::Subscribe {
+                src: r.str("subscription source")?.to_string(),
+                params: decode_params(&mut r)?,
+            },
+            REQ_UNSUBSCRIBE => Request::Unsubscribe { watch: r.u64("watch id")? },
             other => {
                 return Err(WireError::Protocol(format!("unknown request opcode 0x{other:02X}")))
             }
@@ -645,6 +714,18 @@ impl Response {
                     out.extend_from_slice(&h.p99_us.to_le_bytes());
                 }
             }
+            Response::Subscribed { watch } => {
+                out.push(RESP_SUBSCRIBED);
+                out.extend_from_slice(&watch.to_le_bytes());
+            }
+            Response::Delta { watch, seq, snapshot, added, removed } => {
+                out.push(RESP_DELTA);
+                out.extend_from_slice(&watch.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.push(u8::from(*snapshot));
+                codec::encode_relation(added, &mut out);
+                codec::encode_relation(removed, &mut out);
+            }
             Response::Error(e) => {
                 out.push(RESP_ERROR);
                 out.push(e.kind.to_u8());
@@ -717,6 +798,14 @@ impl Response {
                     histograms,
                 })
             }
+            RESP_SUBSCRIBED => Response::Subscribed { watch: r.u64("watch id")? },
+            RESP_DELTA => Response::Delta {
+                watch: r.u64("watch id")?,
+                seq: r.u64("delta sequence")?,
+                snapshot: r.u8("snapshot flag")? != 0,
+                added: codec::decode_relation(&mut r)?,
+                removed: codec::decode_relation(&mut r)?,
+            },
             RESP_ERROR => {
                 let kind_byte = r.u8("error kind")?;
                 let kind = ErrorKind::from_u8(kind_byte).ok_or_else(|| {
@@ -893,6 +982,11 @@ mod tests {
             Request::TxnCommit { txn: 1 },
             Request::TxnAbort { txn: 1 },
             Request::Stats,
+            Request::Subscribe {
+                src: "def output(x) : Flagged(x)".into(),
+                params: vec![("min".into(), rel(1))],
+            },
+            Request::Unsubscribe { watch: u64::MAX },
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -925,6 +1019,21 @@ mod tests {
                 )],
             }),
             Response::Stats(StatsReply::default()),
+            Response::Subscribed { watch: 12 },
+            Response::Delta {
+                watch: 12,
+                seq: 0,
+                snapshot: true,
+                added: rel(3),
+                removed: Relation::default(),
+            },
+            Response::Delta {
+                watch: 12,
+                seq: 4,
+                snapshot: false,
+                added: rel(1),
+                removed: rel(2),
+            },
             Response::Error(ErrorReply::new(ErrorKind::Busy, "queue full")),
         ];
         for resp in resps {

@@ -27,13 +27,31 @@
 //! replays it against the authoritative state — optimistic concurrency
 //! with the queue as the single serialization point.
 //!
+//! ## Standing queries
+//!
+//! `Subscribe` rides the commit queue: the worker registers the watch on
+//! the **authoritative** session (the only one whose commits exist), so
+//! registration is serialized with commits and the engine's gapless
+//! sequence numbering carries straight onto the wire. After each worker
+//! pass the accumulated [`rel_engine::WatchDelta`] batches are fanned
+//! out as server-initiated [`Response::Delta`] frames — strictly *after*
+//! [`SessionPool::publish`] and the batch acknowledgements, so a pushed
+//! delta never precedes the read-your-writes visibility of the commit
+//! that caused it. Each connection's outbound stream is a shared writer
+//! (a mutex over the socket) so push frames and request replies never
+//! interleave mid-frame; a subscriber whose socket stalls past the write
+//! timeout or dies is dropped (its engine watch unregisters on drop) and
+//! its connection is shut down rather than desynced.
+//!
 //! ## Admission control
 //!
 //! Three independent gates, each answering with a typed
 //! [`ErrorKind::Busy`]: the connection table ([`ServerConfig::max_conns`]),
 //! the commit queue depth ([`ServerConfig::queue_depth`]), and a
 //! per-connection in-flight commit budget ([`ServerConfig::max_inflight`]).
-//! The pool bounds read fan-out by blocking, not refusing.
+//! Subscriptions ride the same queue gates plus a per-connection watch
+//! cap ([`ServerConfig::max_watches`]). The pool bounds read fan-out by
+//! blocking, not refusing.
 //!
 //! [group commit]: Session::end_commit_group
 
@@ -44,14 +62,20 @@ use crate::protocol::{
 };
 use rel_core::{RelError, RelResult, Tuple};
 use rel_engine::metrics::{self, Counter, Histogram};
-use rel_engine::{Params, Prepared, Session, TxnOutcome};
+use rel_engine::{Params, Prepared, Session, TxnOutcome, Watch};
 use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long one outbound frame write may stall before the connection is
+/// considered dead. Applies to push frames and request replies alike: a
+/// frame write that times out partway leaves the stream unframeable, so
+/// the connection is shut down rather than desynced.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Tuning knobs for a [`Server`]. [`ServerConfig::from_env`] reads the
 /// `REL_SERVER_*` environment variables documented in the `rel-engine`
@@ -80,6 +104,8 @@ pub struct ServerConfig {
     pub max_stmts: usize,
     /// Per-connection open-transaction cap.
     pub max_txns: usize,
+    /// Per-connection standing-query (subscription) cap.
+    pub max_watches: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +119,7 @@ impl Default for ServerConfig {
             pool: 8,
             max_stmts: 256,
             max_txns: 16,
+            max_watches: 64,
         }
     }
 }
@@ -140,7 +167,12 @@ fn request_class(req: &Request) -> usize {
         | Request::TxnRunPrepared { .. }
         | Request::TxnStage { .. }
         | Request::TxnAbort { .. } => 4,
-        Request::Hello { .. } | Request::Ping | Request::CloseStmt { .. } | Request::Stats => 5,
+        Request::Hello { .. }
+        | Request::Ping
+        | Request::CloseStmt { .. }
+        | Request::Stats
+        | Request::Subscribe { .. }
+        | Request::Unsubscribe { .. } => 5,
     }
 }
 
@@ -188,14 +220,36 @@ enum Step {
     Stage { rel: String, deletes: bool, tuples: Vec<Tuple> },
 }
 
+/// A connection's outbound half, shared between its handler thread and
+/// the commit worker's delta fan-out. Every frame write goes through the
+/// mutex so pushes and replies never interleave mid-frame.
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+/// Write one frame through a shared writer. `false` means the socket is
+/// dead or wedged (the [`WRITE_TIMEOUT`] elapsed mid-frame) — callers
+/// must treat the connection as unusable.
+fn send(writer: &SharedWriter, resp: &Response) -> bool {
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    write_frame(&mut *w, &resp.encode()).is_ok()
+}
+
 /// What a queued commit job executes against the authoritative session.
+/// Subscription management rides the same queue as commits so watch
+/// registration is serialized with the commit stream (gapless sequence
+/// numbers, no registration races).
 #[derive(Debug)]
 enum CommitWork {
     Transact { src: String },
     Steps(Vec<Step>),
+    Subscribe { src: String, params: Params, writer: SharedWriter },
+    Unsubscribe { watch: u64 },
+    /// Injected (reply-less, gate-less) when a connection exits, so its
+    /// subscriptions are reaped promptly instead of on the next failed
+    /// delta write.
+    ConnClosed,
 }
 
-type CommitResult = Result<Outcome, ErrorReply>;
+type CommitResult = Result<Response, ErrorReply>;
 
 struct CommitJob {
     conn: u64,
@@ -301,12 +355,84 @@ fn apply_steps(session: &mut Session, steps: &[Step]) -> RelResult<TxnOutcome> {
     txn.commit()
 }
 
-fn apply_work(session: &mut Session, work: &CommitWork) -> CommitResult {
-    let outcome = match work {
-        CommitWork::Transact { src } => session.transact(src),
-        CommitWork::Steps(steps) => apply_steps(session, steps),
-    };
-    outcome.map(wire_outcome).map_err(query_reply)
+/// One live subscription: the engine-side watch handle (registered on
+/// the authoritative session) plus the wire to push its deltas down.
+struct ServerWatch {
+    watch: Watch,
+    conn: u64,
+    writer: SharedWriter,
+}
+
+fn apply_job(
+    session: &mut Session,
+    shared: &Shared,
+    watches: &mut HashMap<u64, ServerWatch>,
+    job: &CommitJob,
+) -> CommitResult {
+    match &job.work {
+        CommitWork::Transact { src } => {
+            session.transact(src).map(|o| Response::Committed(wire_outcome(o))).map_err(query_reply)
+        }
+        CommitWork::Steps(steps) => apply_steps(session, steps)
+            .map(|o| Response::Committed(wire_outcome(o)))
+            .map_err(query_reply),
+        CommitWork::Subscribe { src, params, writer } => {
+            let open = watches.values().filter(|w| w.conn == job.conn).count();
+            if open >= shared.cfg.max_watches {
+                shared.metrics.busy_rejections.incr();
+                return Err(ErrorReply::new(
+                    ErrorKind::Busy,
+                    format!("subscription registry is full ({open} watches)"),
+                ));
+            }
+            let prepared = session.prepare(src).map_err(query_reply)?;
+            let watch = session.watch(&prepared, params).map_err(query_reply)?;
+            let id = watch.id();
+            watches.insert(id, ServerWatch { watch, conn: job.conn, writer: writer.clone() });
+            Ok(Response::Subscribed { watch: id })
+        }
+        CommitWork::Unsubscribe { watch } => match watches.get(watch) {
+            Some(sw) if sw.conn == job.conn => {
+                watches.remove(watch);
+                Ok(Response::Done)
+            }
+            _ => Err(ErrorReply::new(
+                ErrorKind::UnknownWatch,
+                format!("no subscription {watch} on this connection"),
+            )),
+        },
+        CommitWork::ConnClosed => {
+            watches.retain(|_, sw| sw.conn != job.conn);
+            Ok(Response::Done)
+        }
+    }
+}
+
+/// Drain every watch's buffered [`rel_engine::WatchDelta`] batches onto
+/// the subscriber's wire as [`Response::Delta`] push frames. Runs
+/// strictly after `pool.publish` and the batch acknowledgements (module
+/// docs: push-after-publish). A failed write means the subscriber is
+/// gone or wedged mid-frame: drop the subscription (the engine watch
+/// unregisters on drop) and shut the socket down so the connection dies
+/// cleanly instead of desyncing.
+fn fan_out(watches: &mut HashMap<u64, ServerWatch>) {
+    watches.retain(|&id, sw| {
+        while let Some(d) = sw.watch.try_recv() {
+            let resp = Response::Delta {
+                watch: id,
+                seq: d.seq,
+                snapshot: d.snapshot,
+                added: d.added,
+                removed: d.removed,
+            };
+            let mut w = sw.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            if write_frame(&mut *w, &resp.encode()).is_err() {
+                let _ = w.shutdown(Shutdown::Both);
+                return false;
+            }
+        }
+        true
+    });
 }
 
 /// The commit worker: drain a batch, apply it inside one group-commit
@@ -314,6 +440,11 @@ fn apply_work(session: &mut Session, work: &CommitWork) -> CommitResult {
 /// authoritative session at shutdown so the owner can inspect or reuse
 /// it.
 fn commit_worker(mut session: Session, shared: Arc<Shared>) -> Session {
+    // The server-side subscription registry lives on the worker thread:
+    // the authoritative session is the only one whose commits exist, so
+    // its watch registry is the only meaningful one (pool replicas have
+    // fresh, empty registries by design).
+    let mut watches: HashMap<u64, ServerWatch> = HashMap::new();
     loop {
         let batch: Vec<CommitJob> = {
             let mut q = shared.lock_queue();
@@ -333,7 +464,7 @@ fn commit_worker(mut session: Session, shared: Arc<Shared>) -> Session {
         session.begin_commit_group();
         let mut results = Vec::with_capacity(batch.len());
         for job in &batch {
-            results.push(apply_work(&mut session, &job.work));
+            results.push(apply_job(&mut session, &shared, &mut watches, job));
         }
         let sync_start = Instant::now();
         let group = session.end_commit_group();
@@ -344,7 +475,11 @@ fn commit_worker(mut session: Session, shared: Arc<Shared>) -> Session {
         {
             let mut q = shared.lock_queue();
             for job in &batch {
-                if let Some(n) = q.inflight.get_mut(&job.conn) {
+                if matches!(job.work, CommitWork::ConnClosed) {
+                    // Injected without an admission increment, and the
+                    // connection is gone: drop its in-flight slot.
+                    q.inflight.remove(&job.conn);
+                } else if let Some(n) = q.inflight.get_mut(&job.conn) {
                     *n = n.saturating_sub(1);
                 }
             }
@@ -354,7 +489,7 @@ fn commit_worker(mut session: Session, shared: Arc<Shared>) -> Session {
                 // The group sync failed: the commits are installed in
                 // memory but their durability is unknown — refuse the
                 // acknowledgement (same contract as a lone failed sync).
-                (Err(e), Ok(_)) => Err(ErrorReply::new(
+                (Err(e), Ok(Response::Committed(_))) => Err(ErrorReply::new(
                     ErrorKind::Internal,
                     format!("commit applied but group sync failed: {e}"),
                 )),
@@ -362,6 +497,10 @@ fn commit_worker(mut session: Session, shared: Arc<Shared>) -> Session {
             };
             let _ = job.reply.send(result);
         }
+        // Push-after-publish: deltas produced by this batch's commits
+        // (and initial snapshots of this batch's subscribes) go out only
+        // after the snapshot they describe is readable and acknowledged.
+        fan_out(&mut watches);
     }
     // Flush any batched-but-unsynced tail before handing the session back.
     let _ = session.sync();
@@ -387,6 +526,9 @@ struct StmtEntry {
 struct ConnCtx {
     id: u64,
     shared: Arc<Shared>,
+    /// The outbound half, shared with the commit worker's delta fan-out
+    /// once this connection subscribes.
+    writer: SharedWriter,
     stmts: HashMap<u32, StmtEntry>,
     next_stmt: u32,
     txns: HashMap<u32, TxnState>,
@@ -493,7 +635,7 @@ fn commit_roundtrip(ctx: &ConnCtx, work: CommitWork) -> (Response, bool) {
     match submit(&ctx.shared, ctx.id, work) {
         Err(e) => (Response::Error(e), false),
         Ok(rx) => match rx.recv() {
-            Ok(Ok(outcome)) => (Response::Committed(outcome), false),
+            Ok(Ok(resp)) => (resp, false),
             Ok(Err(e)) => (Response::Error(e), false),
             Err(_) => (
                 err(ErrorKind::ShuttingDown, "commit worker exited before replying"),
@@ -603,6 +745,17 @@ fn dispatch(ctx: &mut ConnCtx, req: Request) -> (Response, bool) {
             Some(_) => Response::Done,
             None => err(ErrorKind::UnknownTxn, format!("no open transaction {txn}")),
         },
+        Request::Subscribe { src, params } => {
+            let work = CommitWork::Subscribe {
+                src,
+                params: wire_to_params(params),
+                writer: ctx.writer.clone(),
+            };
+            return commit_roundtrip(ctx, work);
+        }
+        Request::Unsubscribe { watch } => {
+            return commit_roundtrip(ctx, CommitWork::Unsubscribe { watch });
+        }
         Request::Stats => stats_reply(&ctx.shared),
     };
     (resp, false)
@@ -611,9 +764,18 @@ fn dispatch(ctx: &mut ConnCtx, req: Request) -> (Response, bool) {
 fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>, id: u64) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    // The reader half stays private to this thread; all writes — request
+    // replies here, delta pushes from the commit worker — go through the
+    // shared, mutex-guarded clone so frames never interleave.
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
     let mut ctx = ConnCtx {
         id,
         shared: shared.clone(),
+        writer: writer.clone(),
         stmts: HashMap::new(),
         next_stmt: 1,
         txns: HashMap::new(),
@@ -624,30 +786,24 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>, id: u64) {
     loop {
         let payload = match read_frame(&mut stream, &stop) {
             Ok(FrameRead::Frame(p)) => p,
-            Ok(FrameRead::Closed) => return,
+            Ok(FrameRead::Closed) => break,
             Ok(FrameRead::Stopped) => {
-                let _ = write_frame(
-                    &mut stream,
-                    &err(ErrorKind::ShuttingDown, "server is shutting down").encode(),
-                );
-                return;
+                send(&writer, &err(ErrorKind::ShuttingDown, "server is shutting down"));
+                break;
             }
             Err(WireError::Protocol(msg)) => {
                 // Answer with a typed error when the socket still works,
                 // then drop: a desynced stream cannot be re-framed.
-                let _ = write_frame(&mut stream, &err(ErrorKind::Protocol, msg).encode());
-                return;
+                send(&writer, &err(ErrorKind::Protocol, msg));
+                break;
             }
-            Err(WireError::Io(_)) => return,
+            Err(WireError::Io(_)) => break,
         };
         let req = match Request::decode(&payload) {
             Ok(r) => r,
             Err(e) => {
-                let _ = write_frame(
-                    &mut stream,
-                    &err(ErrorKind::Protocol, e.to_string()).encode(),
-                );
-                return;
+                send(&writer, &err(ErrorKind::Protocol, e.to_string()));
+                break;
             }
         };
         let class = request_class(&req);
@@ -656,10 +812,32 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>, id: u64) {
         if let Some(start) = start {
             ctx.shared.metrics.request_us[class].record(start.elapsed());
         }
-        if write_frame(&mut stream, &resp.encode()).is_err() || close {
-            return;
+        if !send(&writer, &resp) || close {
+            break;
         }
     }
+    drop_conn_watches(&shared, id);
+}
+
+/// Best-effort cleanup when a connection exits: inject a reply-less
+/// [`CommitWork::ConnClosed`] job so the worker reaps the connection's
+/// subscriptions promptly. Skips the admission gates on purpose — this
+/// frees resources rather than consuming them — and if the queue is
+/// already stopped the watches die with the worker anyway.
+fn drop_conn_watches(shared: &Shared, conn: u64) {
+    let mut q = shared.lock_queue();
+    if q.stopped {
+        return;
+    }
+    let (reply, _discard) = mpsc::channel();
+    q.jobs.push_back(CommitJob {
+        conn,
+        work: CommitWork::ConnClosed,
+        reply,
+        enqueued: Instant::now(),
+    });
+    drop(q);
+    shared.queue_ready.notify_all();
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {

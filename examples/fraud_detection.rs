@@ -129,5 +129,55 @@ fn main() -> RelResult<()> {
     let err = txn.commit().unwrap_err();
     println!("blocked transfer:    {err}");
 
+    // --- Live feed: the screening query as a standing query. ---------
+    //
+    // Instead of the analyst polling `RiskScore` after every batch of
+    // transfers, the session pushes exactly the accounts whose flagged
+    // status changed — the incremental cone already computes the diff,
+    // the watch just delivers it. Out-of-cone commits are O(1) no-ops.
+    let feed_query =
+        session.prepare("def output(x, s) : RiskScore(x, s) and s >= ?min_score")?;
+    let feed = session.watch(&feed_query, &Params::new().set("min_score", 5))?;
+    let snapshot = feed.try_recv().expect("registration pushes the current state");
+    let flagged_now: Vec<(String, i64)> = snapshot.added.rows()?;
+    println!("\nlive feed snapshot:  {flagged_now:?}");
+
+    // A new mule ("drop") being structured into, one deposit per commit.
+    // The first two deposits change risk totals but flag nothing — no
+    // batch is pushed; the third crosses the structuring threshold and
+    // the feed delivers the newly flagged account.
+    for (t, from, amount) in [(200, "alice", 940i64), (201, "bob", 955), (202, "shop", 970)] {
+        let mut txn = session.begin();
+        txn.run(&format!(
+            "def insert(:Account, x) : x = \"drop\"\n\
+             def insert(:Transfer, {t}, \"{from}\", \"drop\", a) : a = {amount}"
+        ))?;
+        txn.commit()?;
+        while let Some(delta) = feed.try_recv() {
+            // Wire parity: deltas carry plain relations, so the same
+            // typed-row extraction works on pushed batches.
+            for (acct, score) in delta.removed.rows::<(String, i64)>()? {
+                println!("  seq {}: {acct} cleared (was {score})", delta.seq);
+            }
+            for (acct, score) in delta.added.rows::<(String, i64)>()? {
+                println!("  seq {}: {acct} FLAGGED (score {score})", delta.seq);
+            }
+        }
+    }
+
+    // Reversals drop the account back under the threshold: the feed
+    // pushes the removal, symmetric with the flagging above.
+    let mut txn = session.begin();
+    txn.run("def delete(:Transfer, t, x, y, a) : Transfer(t, x, y, a) and t = 202")?;
+    txn.commit()?;
+    while let Some(delta) = feed.try_recv() {
+        for (acct, score) in delta.removed.rows::<(String, i64)>()? {
+            println!("  seq {}: {acct} cleared (was {score})", delta.seq);
+        }
+        for (acct, score) in delta.added.rows::<(String, i64)>()? {
+            println!("  seq {}: {acct} FLAGGED (score {score})", delta.seq);
+        }
+    }
+
     Ok(())
 }

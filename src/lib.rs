@@ -50,5 +50,6 @@ pub mod prelude {
     pub use rel_engine::prepared::{Params, Prepared};
     pub use rel_engine::session::{Session, TxnOutcome};
     pub use rel_engine::txn::Transaction;
+    pub use rel_engine::{EngineConfig, Watch, WatchDelta};
     pub use rel_stdlib::{with_stdlib, SessionExt};
 }
